@@ -1,0 +1,35 @@
+// Shared configuration for the reproduction benches.
+//
+// Every bench prints the paper-reported values next to the measured ones;
+// EXPERIMENTS.md is generated from exactly these binaries' output.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "core/flow.hpp"
+
+namespace iddq::bench {
+
+/// The flow configuration used by the Table 1 reproduction. The evolution
+/// budget can be scaled down for smoke runs via IDDQSYN_BENCH_FAST=1.
+inline core::FlowConfig paper_flow_config(std::uint64_t seed = 42) {
+  core::FlowConfig cfg;
+  cfg.es.mu = 8;
+  cfg.es.lambda = 7;
+  cfg.es.chi = 2;
+  cfg.es.kappa = 8;
+  cfg.es.m0 = 4;
+  cfg.es.epsilon = 1.0;
+  cfg.es.max_generations = 350;
+  cfg.es.stall_generations = 60;
+  cfg.es.seed = seed;
+  if (const char* fast = std::getenv("IDDQSYN_BENCH_FAST");
+      fast != nullptr && std::string(fast) == "1") {
+    cfg.es.max_generations = 60;
+    cfg.es.stall_generations = 20;
+  }
+  return cfg;
+}
+
+}  // namespace iddq::bench

@@ -1,0 +1,164 @@
+// Micro-benchmarks of the flow's kernels (google-benchmark).
+//
+// The paper reports "convergence within a few hours on a Sun SPARC" for the
+// largest circuit; the incremental-evaluation design is what makes the
+// optimization tractable. These benchmarks pin the per-operation costs:
+// evaluator construction, incremental move + fitness, boundary computation,
+// distance-oracle construction, transition-time analysis, and the logic
+// simulator's pattern throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/evolution.hpp"
+#include "core/start_partition.hpp"
+#include "electrical/delay_model.hpp"
+#include "estimators/transition_times.hpp"
+#include "library/cell_library.hpp"
+#include "netlist/distance_oracle.hpp"
+#include "netlist/gen/iscas_profiles.hpp"
+#include "partition/evaluator.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/patterns.hpp"
+
+namespace {
+
+using namespace iddq;
+
+const netlist::Netlist& circuit() {
+  static const netlist::Netlist nl = netlist::gen::make_iscas_like("c7552");
+  return nl;
+}
+
+const lib::CellLibrary& library() {
+  static const lib::CellLibrary lib = lib::default_library();
+  return lib;
+}
+
+const part::EvalContext& context() {
+  static const part::EvalContext ctx(circuit(), library(),
+                                     elec::SensorSpec{}, part::CostWeights{});
+  return ctx;
+}
+
+void BM_EvalContextConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    const part::EvalContext ctx(circuit(), library(), elec::SensorSpec{},
+                                part::CostWeights{});
+    benchmark::DoNotOptimize(ctx.d_nominal_ps);
+  }
+}
+BENCHMARK(BM_EvalContextConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluatorFullBuild(benchmark::State& state) {
+  const auto& ctx = context();
+  Rng rng(1);
+  const auto p = core::make_start_partition(circuit(), 6, rng);
+  for (auto _ : state) {
+    part::PartitionEvaluator eval(ctx, p);
+    benchmark::DoNotOptimize(eval.violation());
+  }
+}
+BENCHMARK(BM_EvaluatorFullBuild)->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalMoveAndFitness(benchmark::State& state) {
+  const auto& ctx = context();
+  Rng rng(2);
+  part::PartitionEvaluator eval(
+      ctx, core::make_start_partition(circuit(), 6, rng));
+  const auto logic = circuit().logic_gates();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const netlist::GateId g = logic[i++ % logic.size()];
+    const auto target = static_cast<std::uint32_t>(
+        i % eval.partition().module_count());
+    eval.move_gate(g, target);
+    benchmark::DoNotOptimize(eval.fitness());
+  }
+}
+BENCHMARK(BM_IncrementalMoveAndFitness)->Unit(benchmark::kMicrosecond);
+
+void BM_EvaluatorCopy(benchmark::State& state) {
+  const auto& ctx = context();
+  Rng rng(3);
+  const part::PartitionEvaluator eval(
+      ctx, core::make_start_partition(circuit(), 6, rng));
+  for (auto _ : state) {
+    part::PartitionEvaluator copy = eval;
+    benchmark::DoNotOptimize(copy.partition().module_count());
+  }
+}
+BENCHMARK(BM_EvaluatorCopy)->Unit(benchmark::kMicrosecond);
+
+void BM_BoundaryGates(benchmark::State& state) {
+  const auto& ctx = context();
+  Rng rng(4);
+  const part::PartitionEvaluator eval(
+      ctx, core::make_start_partition(circuit(), 6, rng));
+  std::uint32_t m = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::EvolutionEngine::boundary_gates(eval, m));
+    m = (m + 1) % eval.partition().module_count();
+  }
+}
+BENCHMARK(BM_BoundaryGates)->Unit(benchmark::kMicrosecond);
+
+void BM_TransitionTimes(benchmark::State& state) {
+  const auto cells = lib::bind_cells(circuit(), library());
+  for (auto _ : state) {
+    const est::TransitionTimes tt(circuit(), cells, 45.0);
+    benchmark::DoNotOptimize(tt.grid_size());
+  }
+}
+BENCHMARK(BM_TransitionTimes)->Unit(benchmark::kMillisecond);
+
+void BM_DistanceOracle(benchmark::State& state) {
+  for (auto _ : state) {
+    const netlist::DistanceOracle oracle(circuit(), 4);
+    benchmark::DoNotOptimize(oracle.entry_count());
+  }
+}
+BENCHMARK(BM_DistanceOracle)->Unit(benchmark::kMillisecond);
+
+void BM_DelayModelSolve(benchmark::State& state) {
+  elec::DelayModelInput in;
+  in.rs_kohm = 0.02;
+  in.cs_ff = 2000.0;
+  in.cg_ff = 15.0;
+  in.rg_kohm = 25.0;
+  in.n = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(elec::DelayDegradationModel::delta(in));
+    in.n = (in.n % 200) + 1;
+  }
+}
+BENCHMARK(BM_DelayModelSolve);
+
+void BM_LogicSim64Patterns(benchmark::State& state) {
+  const sim::LogicSim simulator(circuit());
+  Rng rng(5);
+  const auto batches = sim::random_patterns(circuit(), 64, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(simulator.run(batches[0].words));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_LogicSim64Patterns)->Unit(benchmark::kMicrosecond);
+
+void BM_EvolutionGeneration(benchmark::State& state) {
+  const auto& ctx = context();
+  core::EsParams params;
+  params.mu = 8;
+  params.lambda = 7;
+  params.chi = 2;
+  params.max_generations = 1;
+  params.stall_generations = 1;
+  params.seed = 7;
+  for (auto _ : state) {
+    core::EvolutionEngine engine(ctx, params);
+    benchmark::DoNotOptimize(engine.run_with_module_count(6));
+  }
+}
+BENCHMARK(BM_EvolutionGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

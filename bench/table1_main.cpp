@@ -1,0 +1,75 @@
+// Table 1 reproduction (paper section 5.1).
+//
+// For each of the six ISCAS85 circuits: run the evolution-based partitioning
+// until convergence, then the standard partitioning at the same module
+// sizes, and report module count, BIC sensor areas, the standard method's
+// area overhead, and the delay / test-application overheads of both.
+//
+// Paper-reported reference values (where the 1995 scan is legible):
+//   #modules:            2 / 3 / 4 / 6 / 5 / 6
+//   std-vs-evo area:     +30.6% / +14.5% / +22.9% / +25.3% / +25.9% / +19.7%
+//   delay overhead:      5.95E-2 vs 5.94E-2 (one circuit legible; both
+//                        methods essentially identical)
+#include <chrono>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "library/cell_library.hpp"
+#include "netlist/gen/iscas_profiles.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace iddq;
+  std::cout << "=== Table 1: evolution-based vs standard partitioning ===\n";
+  std::cout << "(paper: Wunderlich et al., ED&TC 1995, section 5.1)\n\n";
+
+  const auto library = lib::default_library();
+  const double paper_overhead_pct[] = {30.6, 14.5, 22.9, 25.3, 25.9, 19.7};
+  const std::size_t paper_modules[] = {2, 3, 4, 6, 5, 6};
+
+  report::TextTable table(
+      {"circuit", "gates", "#mod", "#mod(paper)", "area(evo)", "area(std)",
+       "std ovh", "ovh(paper)", "c2(evo)", "c2(std)", "c4(evo)", "c4(std)",
+       "time"});
+
+  std::size_t idx = 0;
+  for (const auto name : netlist::gen::table1_circuit_names()) {
+    const auto nl = netlist::gen::make_iscas_like(name);
+    const auto cfg = bench::paper_flow_config();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = core::run_flow(nl, library, cfg);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    table.add_row({std::string(name),
+                   std::to_string(nl.logic_gate_count()),
+                   std::to_string(result.evolution.module_count),
+                   std::to_string(paper_modules[idx]),
+                   report::format_eng(result.evolution.sensor_area),
+                   report::format_eng(result.standard.sensor_area),
+                   report::format_pct(result.standard_area_overhead_pct(),
+                                      /*already_pct=*/true),
+                   report::format_pct(paper_overhead_pct[idx], true),
+                   report::format_eng(result.evolution.delay_overhead),
+                   report::format_eng(result.standard.delay_overhead),
+                   report::format_eng(result.evolution.test_overhead),
+                   report::format_eng(result.standard.test_overhead),
+                   report::format_fixed(seconds, 1) + "s"});
+    ++idx;
+  }
+  table.print(std::cout);
+
+  std::cout <<
+      "\nnotes:\n"
+      "  * circuits are statistical ISCAS85 stand-ins (c6288: real 16x16\n"
+      "    array multiplier); see DESIGN.md section 2 for the substitution.\n"
+      "  * c6288 shows ~0% area gap: on a homogeneous NOR array the\n"
+      "    pessimistic current estimator makes the sensor-area sum\n"
+      "    provably partition-invariant (EXPERIMENTS.md discusses this\n"
+      "    deviation from the paper's 25.9%).\n"
+      "  * delay (c2) and test-time (c4) overheads are method-independent,\n"
+      "    matching the paper's observation that standard partitioning\n"
+      "    shows no performance advantage.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Simulated-annealing baseline optimizer.
+//
+// Section 4 of the paper lists simulated annealing among the applicable
+// heuristics before choosing the evolution strategy; this implementation
+// provides the comparison point (bench/ablation_baselines) under the same
+// cost model and a matched evaluation budget.
+//
+// Moves are boundary-biased gate relocations (the same neighbourhood as the
+// ES mutation); module deletion is excluded so K stays fixed at the start
+// partition's value — the annealer refines gate placement, matching how the
+// baseline comparison is set up. Infeasibility is folded into the objective
+// with a large penalty so the Metropolis criterion remains scalar.
+#pragma once
+
+#include <cstdint>
+
+#include "core/evolution.hpp"
+#include "partition/evaluator.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::core {
+
+struct SaParams {
+  std::size_t steps = 20000;
+  double initial_acceptance = 0.3;  // calibrates T0 from sampled deltas
+  double cooling = 0.995;           // geometric factor per temperature stage
+  std::size_t stage_length = 100;   // steps per temperature stage
+  double violation_penalty = 1.0e4;
+  std::uint64_t seed = 1;
+};
+
+struct SaResult {
+  part::Partition best_partition{1, 1};
+  part::Fitness best_fitness;
+  part::Costs best_costs;
+  std::size_t accepted = 0;
+  std::size_t evaluations = 0;
+};
+
+[[nodiscard]] SaResult simulated_annealing(const part::EvalContext& ctx,
+                                           const part::Partition& start,
+                                           const SaParams& params);
+
+}  // namespace iddq::core

@@ -1,0 +1,219 @@
+#include "core/evolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/start_partition.hpp"
+#include "support/error.hpp"
+
+namespace iddq::core {
+
+EvolutionEngine::EvolutionEngine(const part::EvalContext& ctx,
+                                 EsParams params)
+    : ctx_(&ctx), params_(params), rng_(params.seed) {
+  require(params_.mu >= 1, "evolution: mu must be >= 1");
+  require(params_.lambda + params_.chi >= 1,
+          "evolution: need at least one descendant per parent");
+  require(params_.m0 >= 1 && params_.m0 <= params_.m_max,
+          "evolution: step width out of range");
+  require(params_.kappa >= 1, "evolution: kappa must be >= 1");
+}
+
+std::vector<netlist::GateId> EvolutionEngine::boundary_gates(
+    const part::PartitionEvaluator& eval, std::uint32_t m) {
+  const auto& nl = eval.context().nl;
+  const auto& p = eval.partition();
+  std::vector<netlist::GateId> boundary;
+  for (const netlist::GateId g : p.module(m)) {
+    bool is_boundary = false;
+    const auto& gate = nl.gate(g);
+    for (const netlist::GateId f : gate.fanins) {
+      if (netlist::is_logic(nl.gate(f).kind) && p.module_of(f) != m) {
+        is_boundary = true;
+        break;
+      }
+    }
+    if (!is_boundary) {
+      for (const netlist::GateId f : gate.fanouts) {
+        if (p.module_of(f) != m) {  // fanouts are always logic gates
+          is_boundary = true;
+          break;
+        }
+      }
+    }
+    if (is_boundary) boundary.push_back(g);
+  }
+  return boundary;
+}
+
+std::uint32_t EvolutionEngine::vary_step_width(std::uint32_t m) {
+  const double varied = rng_.normal(static_cast<double>(m), params_.epsilon);
+  const auto rounded = static_cast<std::int64_t>(std::llround(varied));
+  if (rounded < 1) return 1;
+  if (rounded > static_cast<std::int64_t>(params_.m_max)) return params_.m_max;
+  return static_cast<std::uint32_t>(rounded);
+}
+
+void EvolutionEngine::mutate(Individual& child) {
+  auto& eval = child.eval;
+  const auto& p = eval.partition();
+  if (p.module_count() < 2) return;  // nothing to move between
+
+  // Pick a start module that has boundary gates (every module of a
+  // connected partition has some; guard against pathological cases).
+  std::vector<netlist::GateId> boundary;
+  std::uint32_t m_start = 0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    m_start = static_cast<std::uint32_t>(rng_.index(p.module_count()));
+    boundary = boundary_gates(eval, m_start);
+    if (!boundary.empty()) break;
+  }
+  if (boundary.empty()) return;
+
+  const std::uint64_t cap =
+      std::min<std::uint64_t>(child.step_width, boundary.size());
+  const std::size_t m_move = 1 + static_cast<std::size_t>(rng_.below(cap));
+  rng_.shuffle(boundary);
+  boundary.resize(m_move);
+
+  for (const netlist::GateId g : boundary) {
+    // The gate moves into a random neighbouring module it connects with.
+    // (Earlier moves of this mutation may have changed memberships, so the
+    // neighbour set is recomputed per gate.)
+    const auto& nl = ctx_->nl;
+    const std::uint32_t src = eval.partition().module_of(g);
+    std::vector<std::uint32_t> targets;
+    const auto consider = [&](netlist::GateId f) {
+      if (!netlist::is_logic(nl.gate(f).kind)) return;
+      const std::uint32_t m = eval.partition().module_of(f);
+      if (m != src &&
+          std::find(targets.begin(), targets.end(), m) == targets.end())
+        targets.push_back(m);
+    };
+    for (const netlist::GateId f : nl.gate(g).fanins) consider(f);
+    for (const netlist::GateId f : nl.gate(g).fanouts) consider(f);
+    if (targets.empty()) continue;  // became interior; skip
+    eval.move_gate(g, targets[rng_.index(targets.size())]);
+    if (eval.partition().module_count() < 2) break;
+  }
+}
+
+void EvolutionEngine::monte_carlo(Individual& child) {
+  auto& eval = child.eval;
+  if (eval.partition().module_count() < 2) return;
+  const auto src = static_cast<std::uint32_t>(
+      rng_.index(eval.partition().module_count()));
+  std::uint32_t dst = src;
+  while (dst == src)
+    dst = static_cast<std::uint32_t>(
+        rng_.index(eval.partition().module_count()));
+  const std::size_t count =
+      1 + static_cast<std::size_t>(
+              rng_.below(eval.partition().module_size(src)));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t remaining = eval.partition().module_size(src);
+    if (remaining == 0) break;  // module was emptied and deleted
+    const netlist::GateId g =
+        eval.partition().module(src)[rng_.index(remaining)];
+    eval.move_gate(g, dst);
+    if (eval.partition().module_count() < 2) break;
+    // If the source module was deleted, its slot may now hold another
+    // module; stop moving in that case (the paper deletes the module and
+    // the descendant is complete).
+    if (remaining == 1) break;
+  }
+}
+
+EsResult EvolutionEngine::run_with_module_count(std::size_t module_count) {
+  std::vector<part::Partition> starts;
+  starts.reserve(params_.mu);
+  for (std::size_t i = 0; i < params_.mu; ++i)
+    starts.push_back(make_start_partition(ctx_->nl, module_count, rng_));
+  return run(starts);
+}
+
+EsResult EvolutionEngine::run(std::span<const part::Partition> starts) {
+  require(!starts.empty(), "evolution: need at least one start partition");
+
+  std::vector<Individual> parents;
+  parents.reserve(params_.mu);
+  for (std::size_t i = 0; i < params_.mu; ++i) {
+    part::PartitionEvaluator eval(*ctx_, starts[i % starts.size()]);
+    Individual ind{std::move(eval), {}, params_.m0, 0};
+    ind.fitness = ind.eval.fitness();
+    parents.push_back(std::move(ind));
+  }
+
+  EsResult result;
+  result.evaluations = parents.size();
+  auto best = parents.front();
+  for (const auto& p : parents)
+    if (p.fitness < best.fitness) best = p;
+
+  std::size_t stall = 0;
+  for (std::size_t gen = 0; gen < params_.max_generations; ++gen) {
+    std::vector<Individual> pool;
+    pool.reserve(parents.size() * (1 + params_.lambda + params_.chi));
+
+    for (auto& parent : parents) {
+      parent.age += 1;
+      for (std::size_t c = 0; c < params_.lambda; ++c) {
+        Individual child = parent;  // recombination = duplication
+        child.age = 0;
+        child.step_width = vary_step_width(parent.step_width);
+        mutate(child);
+        child.fitness = child.eval.fitness();
+        ++result.evaluations;
+        pool.push_back(std::move(child));
+      }
+      for (std::size_t c = 0; c < params_.chi; ++c) {
+        Individual child = parent;
+        child.age = 0;
+        child.step_width = vary_step_width(parent.step_width);
+        monte_carlo(child);
+        child.fitness = child.eval.fitness();
+        ++result.evaluations;
+        pool.push_back(std::move(child));
+      }
+      if (parent.age < params_.kappa) pool.push_back(parent);
+    }
+    if (pool.empty()) break;  // all parents expired with no children
+
+    std::sort(pool.begin(), pool.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.fitness < b.fitness;
+              });
+    const std::size_t survivors = std::min(params_.mu, pool.size());
+    parents.assign(std::make_move_iterator(pool.begin()),
+                   std::make_move_iterator(pool.begin() + survivors));
+
+    const bool improved = parents.front().fitness < best.fitness;
+    if (improved) {
+      best = parents.front();
+      stall = 0;
+    } else {
+      ++stall;
+    }
+    result.generations = gen + 1;
+
+    if (params_.record_trace) {
+      GenerationStats stats;
+      stats.generation = gen + 1;
+      stats.best = best.fitness;
+      double sum = 0.0;
+      for (const auto& p : parents) sum += p.fitness.cost;
+      stats.mean_cost = sum / static_cast<double>(parents.size());
+      stats.module_count = best.eval.partition().module_count();
+      stats.best_step_width = parents.front().step_width;
+      result.trace.push_back(stats);
+    }
+    if (stall >= params_.stall_generations) break;
+  }
+
+  result.best_partition = best.eval.partition();
+  result.best_fitness = best.fitness;
+  result.best_costs = best.eval.costs();
+  return result;
+}
+
+}  // namespace iddq::core

@@ -1,0 +1,102 @@
+// Evolution strategy for PART-IDDQ (paper section 4).
+//
+// Rechenberg/Schwefel-style evolution strategy adapted to partitions:
+//
+//  * Recombination is plain duplication ("just one parent is sufficient for
+//    a child", section 4.1).
+//  * Mutation: pick a module M_start, determine its boundary gates (gates
+//    directly connected to a gate outside M_start), draw
+//    m_move ~ U{1..min(m, |boundary|)} and move that many random boundary
+//    gates into the (randomly chosen, when several) neighbouring target
+//    module they are connected with.
+//  * Monte-Carlo descendants: a random number of gates of a random module
+//    moves into a random module; emptied modules are deleted. These larger
+//    steps reduce the probability of getting caught in a local minimum.
+//  * The step width m of each descendant is re-drawn from a normal
+//    distribution with std-dev epsilon around the parent's m
+//    (self-adaptation).
+//  * Selection: out of parents and the (lambda + chi) * mu descendants, the
+//    best mu individuals survive; parents older than kappa generations are
+//    always retired.
+//  * Costs are recomputed incrementally for the modified modules only
+//    (PartitionEvaluator); the constraint Gamma is enforced by lexicographic
+//    (violation, cost) fitness so infeasible partitions never dominate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "partition/evaluator.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::core {
+
+struct EsParams {
+  std::size_t mu = 8;        // parents
+  std::size_t lambda = 7;    // mutation children per parent
+  std::size_t chi = 2;       // Monte-Carlo descendants per parent
+  std::size_t kappa = 8;     // maximum lifetime, generations
+  std::uint32_t m0 = 4;      // initial step width (max gates per mutation)
+  std::uint32_t m_max = 64;  // hard cap on the step width
+  double epsilon = 1.0;      // std-dev of the step-width mutation
+  std::size_t max_generations = 300;
+  std::size_t stall_generations = 40;  // stop after this many without gain
+  std::uint64_t seed = 1;
+  bool record_trace = false;
+};
+
+struct GenerationStats {
+  std::size_t generation = 0;
+  part::Fitness best;
+  double mean_cost = 0.0;      // over surviving parents
+  std::size_t module_count = 0;  // of the best individual
+  std::uint32_t best_step_width = 0;
+};
+
+struct EsResult {
+  part::Partition best_partition{1, 1};
+  part::Fitness best_fitness;
+  part::Costs best_costs;
+  std::size_t generations = 0;
+  std::size_t evaluations = 0;
+  std::vector<GenerationStats> trace;
+};
+
+class EvolutionEngine {
+ public:
+  EvolutionEngine(const part::EvalContext& ctx, EsParams params);
+
+  /// Runs from explicit start partitions (their number may differ from mu;
+  /// they are cycled/varied to fill the initial population).
+  [[nodiscard]] EsResult run(std::span<const part::Partition> starts);
+
+  /// Convenience: builds mu chain-clustered start partitions with
+  /// `module_count` modules (section 4.2) and runs.
+  [[nodiscard]] EsResult run_with_module_count(std::size_t module_count);
+
+  /// Boundary gates of module `m`: gates directly connected (fan-in or
+  /// fan-out) to a logic gate outside m. Exposed for tests and the c17
+  /// trace bench.
+  [[nodiscard]] static std::vector<netlist::GateId> boundary_gates(
+      const part::PartitionEvaluator& eval, std::uint32_t m);
+
+ private:
+  struct Individual {
+    part::PartitionEvaluator eval;
+    part::Fitness fitness;
+    std::uint32_t step_width = 1;
+    std::size_t age = 0;
+  };
+
+  void mutate(Individual& child);
+  void monte_carlo(Individual& child);
+  [[nodiscard]] std::uint32_t vary_step_width(std::uint32_t m);
+
+  const part::EvalContext* ctx_;
+  EsParams params_;
+  Rng rng_;
+};
+
+}  // namespace iddq::core

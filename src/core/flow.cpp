@@ -1,0 +1,59 @@
+#include "core/flow.hpp"
+
+#include <vector>
+
+#include "core/refiner.hpp"
+#include "core/standard_partition.hpp"
+
+namespace iddq::core {
+
+MethodResult evaluate_method(const part::EvalContext& ctx, std::string method,
+                             const part::Partition& partition) {
+  part::PartitionEvaluator eval(ctx, partition);
+  MethodResult r;
+  r.method = std::move(method);
+  r.partition = partition;
+  r.costs = eval.costs();
+  r.fitness = eval.fitness();
+  r.sensor_area = eval.total_sensor_area();
+  r.delay_overhead = r.costs.c2;
+  r.test_overhead = r.costs.c4;
+  r.module_count = partition.module_count();
+  r.modules.reserve(r.module_count);
+  for (std::uint32_t m = 0; m < r.module_count; ++m)
+    r.modules.push_back(eval.module_report(m));
+  return r;
+}
+
+FlowResult run_flow(const netlist::Netlist& nl,
+                    const lib::CellLibrary& library,
+                    const FlowConfig& config) {
+  part::EvalContext ctx(nl, library, config.sensor, config.weights,
+                        config.rho);
+  FlowResult result;
+  result.plan = plan_module_size(ctx);
+
+  EvolutionEngine engine(ctx, config.es);
+  result.es_detail = engine.run_with_module_count(result.plan.module_count);
+
+  part::Partition es_best = result.es_detail.best_partition;
+  if (config.refine_result) {
+    part::PartitionEvaluator eval(ctx, es_best);
+    greedy_refine(eval);
+    es_best = eval.partition();
+  }
+  result.evolution = evaluate_method(ctx, "evolution", es_best);
+
+  // The standard baseline clusters to the module sizes the ES discovered
+  // (section 5: "in our case we take the numbers obtained by the evolution
+  // based algorithm").
+  std::vector<std::size_t> sizes;
+  sizes.reserve(es_best.module_count());
+  for (std::uint32_t m = 0; m < es_best.module_count(); ++m)
+    sizes.push_back(es_best.module_size(m));
+  result.standard = evaluate_method(
+      ctx, "standard", standard_partition(nl, ctx.oracle, sizes));
+  return result;
+}
+
+}  // namespace iddq::core

@@ -1,0 +1,68 @@
+// End-to-end synthesis flow: the public entry point of the library.
+//
+//   netlist + cell library
+//     -> EvalContext (estimator precomputation)
+//     -> size planning (section 4.2)
+//     -> evolution strategy (section 4)
+//     -> standard-partitioning baseline at the ES module sizes (section 5)
+//     -> per-method cost/constraint reports (Table 1 rows)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evolution.hpp"
+#include "core/size_planner.hpp"
+#include "library/cell_library.hpp"
+#include "partition/evaluator.hpp"
+
+namespace iddq::core {
+
+struct FlowConfig {
+  elec::SensorSpec sensor;
+  part::CostWeights weights;
+  EsParams es;
+  std::uint32_t rho = 4;  // separation saturation distance
+  /// Optional greedy polish of the ES result (off for paper fidelity).
+  bool refine_result = false;
+};
+
+/// One partitioning method's outcome on one circuit.
+struct MethodResult {
+  std::string method;
+  part::Partition partition{1, 1};
+  part::Costs costs;
+  part::Fitness fitness;
+  double sensor_area = 0.0;
+  double delay_overhead = 0.0;    // c2
+  double test_overhead = 0.0;     // c4
+  std::size_t module_count = 0;
+  std::vector<part::ModuleReport> modules;
+};
+
+struct FlowResult {
+  SizePlan plan;
+  MethodResult evolution;
+  MethodResult standard;
+  EsResult es_detail;
+
+  /// The paper's headline metric: extra BIC-sensor area the standard
+  /// baseline needs relative to the evolution result, in percent.
+  [[nodiscard]] double standard_area_overhead_pct() const {
+    return (standard.sensor_area / evolution.sensor_area - 1.0) * 100.0;
+  }
+};
+
+/// Runs the complete flow. `ctx` outlives the call only; results are
+/// self-contained.
+[[nodiscard]] FlowResult run_flow(const netlist::Netlist& nl,
+                                  const lib::CellLibrary& library,
+                                  const FlowConfig& config);
+
+/// Evaluates an externally produced partition under the same cost model
+/// (used by the figure-2 bench and the examples).
+[[nodiscard]] MethodResult evaluate_method(const part::EvalContext& ctx,
+                                           std::string method,
+                                           const part::Partition& partition);
+
+}  // namespace iddq::core

@@ -1,0 +1,31 @@
+#include "core/random_search.hpp"
+
+#include "core/start_partition.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::core {
+
+RandomSearchResult random_search(const part::EvalContext& ctx,
+                                 std::size_t module_count,
+                                 std::size_t samples, std::uint64_t seed) {
+  require(samples >= 1, "random search: need at least one sample");
+  Rng rng(seed);
+  RandomSearchResult result;
+  bool first = true;
+  for (std::size_t i = 0; i < samples; ++i) {
+    part::PartitionEvaluator eval(
+        ctx, make_start_partition(ctx.nl, module_count, rng));
+    const part::Fitness f = eval.fitness();
+    ++result.evaluations;
+    if (first || f < result.best_fitness) {
+      first = false;
+      result.best_fitness = f;
+      result.best_partition = eval.partition();
+      result.best_costs = eval.costs();
+    }
+  }
+  return result;
+}
+
+}  // namespace iddq::core

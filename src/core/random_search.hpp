@@ -1,0 +1,24 @@
+// Random-search baseline: evaluate many independent chain-clustered start
+// partitions and keep the best. The weakest of the section-4 alternatives;
+// it anchors the low end of the optimizer comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/evaluator.hpp"
+
+namespace iddq::core {
+
+struct RandomSearchResult {
+  part::Partition best_partition{1, 1};
+  part::Fitness best_fitness;
+  part::Costs best_costs;
+  std::size_t evaluations = 0;
+};
+
+[[nodiscard]] RandomSearchResult random_search(const part::EvalContext& ctx,
+                                               std::size_t module_count,
+                                               std::size_t samples,
+                                               std::uint64_t seed);
+
+}  // namespace iddq::core

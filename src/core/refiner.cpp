@@ -1,0 +1,59 @@
+#include "core/refiner.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/evolution.hpp"
+
+namespace iddq::core {
+
+RefineResult greedy_refine(part::PartitionEvaluator& eval,
+                           std::size_t max_evaluations) {
+  RefineResult result;
+  const auto& nl = eval.context().nl;
+  part::Fitness current = eval.fitness();
+  ++result.evaluations;
+
+  bool improved = true;
+  while (improved && result.evaluations < max_evaluations) {
+    improved = false;
+    for (std::uint32_t m = 0;
+         m < eval.partition().module_count() &&
+         result.evaluations < max_evaluations;
+         ++m) {
+      if (eval.partition().module_size(m) <= 1) continue;  // keep K fixed
+      const auto boundary = EvolutionEngine::boundary_gates(eval, m);
+      for (const netlist::GateId g : boundary) {
+        if (result.evaluations >= max_evaluations) break;
+        if (eval.partition().module_of(g) != m) continue;  // moved already
+        if (eval.partition().module_size(m) <= 1) break;
+        std::vector<std::uint32_t> targets;
+        const auto consider = [&](netlist::GateId f) {
+          if (!netlist::is_logic(nl.gate(f).kind)) return;
+          const std::uint32_t t = eval.partition().module_of(f);
+          if (t != m &&
+              std::find(targets.begin(), targets.end(), t) == targets.end())
+            targets.push_back(t);
+        };
+        for (const netlist::GateId f : nl.gate(g).fanins) consider(f);
+        for (const netlist::GateId f : nl.gate(g).fanouts) consider(f);
+        for (const std::uint32_t target : targets) {
+          eval.move_gate(g, target);
+          const part::Fitness f = eval.fitness();
+          ++result.evaluations;
+          if (f < current) {
+            current = f;
+            ++result.moves_applied;
+            improved = true;
+            break;  // keep the move; continue with the next boundary gate
+          }
+          eval.move_gate(g, m);  // revert (K was preserved)
+        }
+      }
+    }
+  }
+  result.final_fitness = current;
+  return result;
+}
+
+}  // namespace iddq::core

@@ -1,0 +1,25 @@
+// Greedy first-improvement refiner.
+//
+// Deterministic hill climbing over the ES mutation neighbourhood (boundary
+// gate -> adjacent module): scans boundary gates in order, applies any move
+// that improves the lexicographic fitness, and stops when a full sweep finds
+// none (a local optimum of the 1-move neighbourhood) or the evaluation
+// budget is exhausted. Serves both as an optimizer baseline and as an
+// optional polish pass after the ES.
+#pragma once
+
+#include "partition/evaluator.hpp"
+
+namespace iddq::core {
+
+struct RefineResult {
+  std::size_t moves_applied = 0;
+  std::size_t evaluations = 0;
+  part::Fitness final_fitness;
+};
+
+/// Refines `eval` in place.
+RefineResult greedy_refine(part::PartitionEvaluator& eval,
+                           std::size_t max_evaluations = 100000);
+
+}  // namespace iddq::core

@@ -1,0 +1,63 @@
+#include "core/size_planner.hpp"
+
+#include <cmath>
+
+#include "estimators/current_profile.hpp"
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace iddq::core {
+
+SizePlan plan_module_size(const part::EvalContext& ctx,
+                          double feasibility_margin,
+                          std::size_t k_search_range) {
+  require(feasibility_margin > 0.0 && feasibility_margin <= 1.0,
+          "size planner: margin must be in (0, 1]");
+  const auto& nl = ctx.nl;
+  const std::size_t n = nl.logic_gate_count();
+  require(n >= 1, "size planner: circuit has no logic gates");
+
+  SizePlan plan;
+  for (const netlist::GateId g : nl.logic_gates())
+    plan.total_leakage_ua += units::na_to_ua(ctx.cells[g].ileak_na);
+  plan.circuit_peak_current_ua =
+      est::circuit_profile(nl, ctx.transition_times, ctx.cells)
+          .max_current_ua();
+
+  const double cap = ctx.leak_cap_ua * feasibility_margin;
+  plan.k_min_leakage = static_cast<std::size_t>(
+      std::ceil(plan.total_leakage_ua / cap));
+  if (plan.k_min_leakage < 1) plan.k_min_leakage = 1;
+
+  // Average-number objective over K (see header): the delay terms are
+  // K-independent under the same averaging, so only c1, c3, c5 discriminate.
+  const double a0 = ctx.sensor.a0_area;
+  const double a1_part =
+      ctx.sensor.a1_area_kohm * plan.circuit_peak_current_ua /
+      ctx.sensor.r_max_mv;
+  const double rho = static_cast<double>(ctx.oracle.rho());
+  const double pair_bound =
+      static_cast<double>(n) * static_cast<double>(n) / 2.0 * rho;
+
+  double best_cost = 0.0;
+  std::size_t best_k = plan.k_min_leakage;
+  for (std::size_t k = plan.k_min_leakage;
+       k < plan.k_min_leakage + k_search_range; ++k) {
+    const double kd = static_cast<double>(k);
+    const double c1 = std::log(kd * a0 + a1_part);
+    const double c3 = std::log(std::max(pair_bound / kd, 1.0));
+    const double c5 = kd;
+    const double cost =
+        ctx.weights.a1 * c1 + ctx.weights.a3 * c3 + ctx.weights.a5 * c5;
+    if (k == plan.k_min_leakage || cost < best_cost) {
+      best_cost = cost;
+      best_k = k;
+    }
+  }
+  plan.module_count = best_k;
+  plan.estimated_cost = best_cost;
+  plan.target_module_size = (n + best_k - 1) / best_k;
+  return plan;
+}
+
+}  // namespace iddq::core

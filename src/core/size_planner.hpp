@@ -1,0 +1,39 @@
+// Module-size planning (paper section 4.2, first step).
+//
+// "First the appropriate module size is estimated. This can be done by
+// evaluating c1 and c2 by average numbers for the required parameters and by
+// abstraction from structural information."
+//
+// Two forces fix the module count K:
+//  * the discriminability constraint bounds module leakage by
+//    IDDQ_th / d, giving a hard lower bound K_min (with a margin for the
+//    uneven modules the chain clustering produces);
+//  * the average-number cost terms: the sensing-element area A1*peak/r is
+//    K-independent, so c1 grows ~ log(K*A0 + const) and c5 = K push K down,
+//    while c3 ~ log(n^2 * rho / 2K) pushes K up. We minimise the weighted
+//    sum over integer K >= K_min.
+#pragma once
+
+#include <cstddef>
+
+#include "partition/evaluator.hpp"
+
+namespace iddq::core {
+
+struct SizePlan {
+  std::size_t module_count = 1;      // chosen K
+  std::size_t target_module_size = 0;  // ceil(logic gates / K)
+  std::size_t k_min_leakage = 1;     // constraint-driven lower bound
+  double total_leakage_ua = 0.0;
+  double circuit_peak_current_ua = 0.0;  // whole-circuit iDD profile max
+  double estimated_cost = 0.0;       // average-number objective at K
+};
+
+/// `feasibility_margin` derates the leakage cap to absorb module-size
+/// imbalance in the start partitions (0.75 = modules may run 25% heavy,
+/// matching the imbalance chain clustering produces in practice).
+[[nodiscard]] SizePlan plan_module_size(const part::EvalContext& ctx,
+                                        double feasibility_margin = 0.75,
+                                        std::size_t k_search_range = 6);
+
+}  // namespace iddq::core

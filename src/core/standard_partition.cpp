@@ -1,0 +1,97 @@
+#include "core/standard_partition.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "netlist/levelize.hpp"
+#include "support/error.hpp"
+
+namespace iddq::core {
+
+part::Partition standard_partition(const netlist::Netlist& nl,
+                                   const netlist::DistanceOracle& oracle,
+                                   std::span<const std::size_t> module_sizes) {
+  const std::size_t n = nl.logic_gate_count();
+  const std::size_t total =
+      std::accumulate(module_sizes.begin(), module_sizes.end(),
+                      std::size_t{0});
+  require(total == n, "standard partition: module sizes must sum to " +
+                          std::to_string(n) + " (got " +
+                          std::to_string(total) + ")");
+  for (const std::size_t s : module_sizes)
+    require(s >= 1, "standard partition: zero-size module requested");
+
+  const auto levels = netlist::levelize(nl);
+  const double rho = static_cast<double>(oracle.rho());
+
+  std::vector<bool> free_gate(nl.gate_count(), false);
+  for (const netlist::GateId g : nl.logic_gates()) free_gate[g] = true;
+  std::size_t free_count = n;
+
+  // discount_cluster[c]: sum over clustered gates h near c of (rho - d(c,h));
+  // the sum of path lengths to the cluster is |cluster|*rho - discount.
+  // discount_free[c]: same against the free set, for the tie-break
+  // (maximising path lengths to unclustered == minimising discount_free).
+  std::vector<double> discount_cluster(nl.gate_count(), 0.0);
+  std::vector<double> discount_free(nl.gate_count(), 0.0);
+  for (const netlist::GateId g : nl.logic_gates())
+    for (const auto& [neighbor, distance] : oracle.near(g))
+      if (free_gate[neighbor])
+        discount_free[g] += rho - static_cast<double>(distance);
+
+  part::Partition partition(nl.gate_count(), module_sizes.size());
+
+  const auto add_to_cluster = [&](netlist::GateId g, std::uint32_t m) {
+    partition.assign(g, m);
+    free_gate[g] = false;
+    --free_count;
+    for (const auto& [neighbor, distance] : oracle.near(g)) {
+      const double weight = rho - static_cast<double>(distance);
+      discount_cluster[neighbor] += weight;  // g joined the cluster
+      discount_free[neighbor] -= weight;     // g left the free set
+    }
+  };
+
+  for (std::uint32_t m = 0; m < module_sizes.size(); ++m) {
+    // Seed: free gate as near to a primary input as possible.
+    netlist::GateId seed = netlist::kNoGate;
+    std::size_t seed_depth = static_cast<std::size_t>(-1);
+    for (const netlist::GateId g : nl.logic_gates()) {
+      if (!free_gate[g]) continue;
+      if (levels.depth[g] < seed_depth) {
+        seed_depth = levels.depth[g];
+        seed = g;
+      }
+    }
+    IDDQ_ASSERT(seed != netlist::kNoGate);
+    // Reset cluster discounts for the new module.
+    std::fill(discount_cluster.begin(), discount_cluster.end(), 0.0);
+    add_to_cluster(seed, m);
+
+    for (std::size_t added = 1; added < module_sizes[m]; ++added) {
+      // argmin over free gates of sum-to-cluster == argmax discount_cluster;
+      // tie-break: argmax sum-to-free == argmin discount_free.
+      netlist::GateId best = netlist::kNoGate;
+      double best_discount = -1.0;
+      double best_tiebreak = 0.0;
+      for (const netlist::GateId g : nl.logic_gates()) {
+        if (!free_gate[g]) continue;
+        const double d = discount_cluster[g];
+        const double tb = discount_free[g];
+        if (best == netlist::kNoGate || d > best_discount ||
+            (d == best_discount && tb < best_tiebreak)) {
+          best = g;
+          best_discount = d;
+          best_tiebreak = tb;
+        }
+      }
+      IDDQ_ASSERT(best != netlist::kNoGate);
+      add_to_cluster(best, m);
+    }
+  }
+  IDDQ_ASSERT(free_count == 0);
+  IDDQ_ASSERT(partition.covers(nl));
+  return partition;
+}
+
+}  // namespace iddq::core

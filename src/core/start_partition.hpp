@@ -1,0 +1,27 @@
+// Start-partition construction by chain clustering (paper section 4.2).
+//
+// "Starting from a gate close to a primary input, chains are formed towards
+// a primary output. The process stops if this path reaches a primary output,
+// or if there is no free gate anymore, or if the maximum module size is
+// reached. Modules are formed as long as there are free gates. Using
+// different chains the required number of start partitions is constructed."
+//
+// A module accumulates successive chains (each following free fanouts from a
+// low-depth free gate) until it reaches the target size; random tie-breaks
+// make distinct seeds produce distinct start partitions for the evolution
+// strategy's initial population.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "partition/partition.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::core {
+
+/// Builds a start partition with exactly `module_count` modules (>= 1 and
+/// <= logic gate count). Every module is non-empty.
+[[nodiscard]] part::Partition make_start_partition(const netlist::Netlist& nl,
+                                                   std::size_t module_count,
+                                                   Rng& rng);
+
+}  // namespace iddq::core

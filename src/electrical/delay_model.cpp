@@ -1,0 +1,105 @@
+#include "electrical/delay_model.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace iddq::elec {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+constexpr double kTiny = 1e-12;
+
+struct Waveform {
+  // v_out(t) = alpha * exp(lambda1 * t) + beta * expl(lambda2 * t)
+  double lambda1 = 0.0;
+  double lambda2 = 0.0;
+  double alpha = 0.0;
+  double beta = 0.0;
+
+  [[nodiscard]] double at(double t_ps) const {
+    return alpha * std::exp(lambda1 * t_ps) + beta * std::exp(lambda2 * t_ps);
+  }
+};
+
+Waveform solve(const DelayModelInput& in) {
+  const double a = 1.0 / (in.rg_kohm * in.cg_ff);
+  const double b = static_cast<double>(in.n) / (in.rg_kohm * in.cs_ff);
+  const double c = 1.0 / (in.rs_kohm * in.cs_ff);
+  const double tr = -(a + b + c);
+  const double det = a * c;
+  // disc = (a-c)^2 + b^2 + 2ab + 2bc > 0: roots are real and distinct.
+  const double disc = tr * tr - 4.0 * det;
+  IDDQ_ASSERT(disc > 0.0);
+  const double root = std::sqrt(disc);
+  Waveform w;
+  w.lambda1 = (tr + root) / 2.0;  // slow pole
+  w.lambda2 = (tr - root) / 2.0;  // fast pole
+  // v_out(0) = 1, v_out'(0) = a * (v_rail(0) - v_out(0)) = -a.
+  w.alpha = (-a - w.lambda2) / (w.lambda1 - w.lambda2);
+  w.beta = 1.0 - w.alpha;
+  return w;
+}
+
+void validate(const DelayModelInput& in) {
+  require(in.cg_ff > 0.0 && in.rg_kohm > 0.0,
+          "delay model: Cg and Rg must be positive");
+  require(in.rs_kohm >= 0.0 && in.cs_ff >= 0.0,
+          "delay model: Rs and Cs must be non-negative");
+  require(in.n >= 1, "delay model: n must be >= 1");
+}
+
+}  // namespace
+
+double DelayDegradationModel::t50_ps(const DelayModelInput& in) {
+  validate(in);
+  const double t50_nominal = kLn2 * in.rg_kohm * in.cg_ff;
+  if (in.rs_kohm <= kTiny) return t50_nominal;  // rail pinned to ground
+  const double k = static_cast<double>(in.n) * in.rs_kohm / in.rg_kohm;
+  if (in.cs_ff <= kTiny) {
+    // No rail capacitance: the rail is a static divider and the gate sees a
+    // single pole with tau = Rg*Cg*(1 + n*Rs/Rg).
+    return t50_nominal * (1.0 + k);
+  }
+  const Waveform w = solve(in);
+  // Bracket the 50% crossing. The static-divider delay is the quasi-static
+  // bound; double past it defensively for extreme pole splits.
+  double lo = 0.0;
+  double hi = t50_nominal * (1.0 + k);
+  int guard = 0;
+  while (w.at(hi) > 0.5 && guard++ < 64) hi *= 2.0;
+  IDDQ_ASSERT(w.at(hi) <= 0.5);
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (w.at(mid) > 0.5)
+      lo = mid;
+    else
+      hi = mid;
+    if ((hi - lo) <= 1e-12 * hi) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double DelayDegradationModel::delta(const DelayModelInput& in) {
+  validate(in);
+  const double t50_nominal = kLn2 * in.rg_kohm * in.cg_ff;
+  const double d = t50_ps(in) / t50_nominal;
+  // Numerical floor: the degraded gate is never faster than nominal.
+  return d < 1.0 ? 1.0 : d;
+}
+
+double DelayDegradationModel::v_out_norm(const DelayModelInput& in,
+                                         double t_ps) {
+  validate(in);
+  require(t_ps >= 0.0, "delay model: time must be non-negative");
+  if (in.rs_kohm <= kTiny)
+    return std::exp(-t_ps / (in.rg_kohm * in.cg_ff));
+  if (in.cs_ff <= kTiny) {
+    const double k = static_cast<double>(in.n) * in.rs_kohm / in.rg_kohm;
+    return std::exp(-t_ps / (in.rg_kohm * in.cg_ff * (1.0 + k)));
+  }
+  return solve(in).at(t_ps);
+}
+
+}  // namespace iddq::elec

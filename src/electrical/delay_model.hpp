@@ -1,0 +1,49 @@
+// Second-order gate-delay degradation model (paper section 3.2).
+//
+// With a BIC sensor in the ground path, a switching gate discharges its
+// output capacitance C_g through its pull-down network (average ON
+// resistance R_g) into the virtual rail, which is loaded by the parasitic
+// capacitance C_s and tied to ground through the bypass switch R_s shared by
+// the n(t) gates switching simultaneously:
+//
+//   C_g dV_out/dt  = -(V_out - V_rail) / R_g              (per gate)
+//   C_s dV_rail/dt =  n (V_out - V_rail) / R_g - V_rail / R_s
+//
+// The paper's gate delay degradation factor is the ratio of 50%-crossing
+// times:  delta(g, t) = t_50(R_s, C_s, n(t)) / t_50(R_s = 0), applied to the
+// nominal delay as  D_BIC(g, t) = D(g) * delta(g, t).
+//
+// The 2x2 linear system is solved in closed form via its eigenvalues (both
+// real and negative); the 50% crossing is bracketed and bisected on the
+// analytic waveform. Verified properties (see tests): delta >= 1, delta -> 1
+// as R_s -> 0, monotone non-decreasing in n and in R_s, and agreement with a
+// direct RK4 integration of the ODE system.
+#pragma once
+
+#include <cstdint>
+
+namespace iddq::elec {
+
+struct DelayModelInput {
+  double rs_kohm = 0.0;  // bypass switch ON resistance
+  double cs_ff = 0.0;    // virtual-rail parasitic capacitance
+  double cg_ff = 1.0;    // switching gate's output capacitance
+  double rg_kohm = 1.0;  // gate discharge resistance
+  std::uint32_t n = 1;   // simultaneously switching gates n(t)
+};
+
+class DelayDegradationModel {
+ public:
+  /// Degradation factor delta >= 1 for the given operating point.
+  [[nodiscard]] static double delta(const DelayModelInput& in);
+
+  /// 50%-crossing time of V_out starting from VDD, in ps.
+  [[nodiscard]] static double t50_ps(const DelayModelInput& in);
+
+  /// Analytic output waveform V_out(t)/VDD (exposed for the RK4 cross-check
+  /// tests and the transient-simulator validation).
+  [[nodiscard]] static double v_out_norm(const DelayModelInput& in,
+                                         double t_ps);
+};
+
+}  // namespace iddq::elec

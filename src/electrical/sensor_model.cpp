@@ -1,0 +1,30 @@
+#include "electrical/sensor_model.hpp"
+
+#include <algorithm>
+
+namespace iddq::elec {
+
+double sensor_rs_kohm(const SensorSpec& spec, double idd_max_ua) {
+  if (idd_max_ua <= 0.0) return spec.rs_cap_kohm;
+  return std::min(spec.r_max_mv / idd_max_ua, spec.rs_cap_kohm);
+}
+
+double sensor_area(const SensorSpec& spec, double rs_kohm) {
+  IDDQ_ASSERT(rs_kohm > 0.0);
+  return spec.a0_area + spec.a1_area_kohm / rs_kohm;
+}
+
+double sensor_tau_ps(double rs_kohm, double cs_ff) {
+  IDDQ_ASSERT(rs_kohm >= 0.0 && cs_ff >= 0.0);
+  return rs_kohm * cs_ff;
+}
+
+double rail_perturbation_mv(double rs_kohm, double idd_max_ua) {
+  return rs_kohm * idd_max_ua;
+}
+
+double leakage_cap_ua(const SensorSpec& spec) {
+  return spec.iddq_th_ua / spec.d_min;
+}
+
+}  // namespace iddq::elec

@@ -1,0 +1,68 @@
+// BIC sensor model (paper figure 1 and section 3.1).
+//
+// A BIC sensor is a sensing device + bypass MOS switch + detection circuitry
+// inserted between a module's gates and ground ("virtual ground"). During
+// normal operation the bypass switch (ON resistance R_s) carries the whole
+// module current; the worst-case virtual-rail perturbation is
+// R_s * iDD_max and is limited to a prescribed r (typ. 100..300 mV).
+//
+// Following the paper, the flow sizes each sensor at the limit:
+//     R_s,i = r / iDD_max,i
+// which satisfies the perturbation constraint by construction, and the area
+// model is  A_i = A0 + A1 / R_s,i  (A0: detection circuitry; A1/R_s: sensing
+// element + bypass device — a lower R_s needs a wider switch).
+#pragma once
+
+#include "support/error.hpp"
+
+namespace iddq::elec {
+
+struct SensorSpec {
+  /// Maximum allowed virtual-rail perturbation r, in mV (paper: 100..300).
+  double r_max_mv = 200.0;
+  /// Detection-circuitry area A0, in technology units.
+  double a0_area = 5.0e4;
+  /// Sensing-element/bypass area coefficient A1, in units * kOhm.
+  double a1_area_kohm = 2.0e4;
+  /// Upper clamp on R_s (tiny modules would otherwise get absurdly weak,
+  /// high-impedance switches), in kOhm.
+  double rs_cap_kohm = 10.0;
+  /// Detection circuitry parasitic capacitance on the virtual rail, in fF.
+  double c_sensor_ff = 500.0;
+  /// Decision time of the detection circuitry, in ps.
+  double t_detect_ps = 2000.0;
+  /// Detection threshold IDDQ_th: the minimum defective current that must
+  /// be detected, in uA.
+  double iddq_th_ua = 1.5;
+  /// Required discriminability d = IDDQ_th / IDDQ_nd (paper: typically 10).
+  double d_min = 10.0;
+
+  void validate() const {
+    require(r_max_mv > 0.0, "sensor: r_max must be positive");
+    require(a0_area >= 0.0 && a1_area_kohm > 0.0, "sensor: bad area model");
+    require(rs_cap_kohm > 0.0, "sensor: rs cap must be positive");
+    require(iddq_th_ua > 0.0, "sensor: IDDQ threshold must be positive");
+    require(d_min > 1.0, "sensor: discriminability must exceed 1");
+  }
+};
+
+/// Bypass switch sizing R_s,i = min(r / iDD_max, cap). iDD_max <= 0 (an
+/// empty module) yields the cap.
+[[nodiscard]] double sensor_rs_kohm(const SensorSpec& spec,
+                                    double idd_max_ua);
+
+/// Sensor area A = A0 + A1 / R_s.
+[[nodiscard]] double sensor_area(const SensorSpec& spec, double rs_kohm);
+
+/// Sensor time constant tau = R_s * C_s (C_s: module virtual-rail parasitic
+/// capacitance including the sensor's own c_sensor_ff), in ps.
+[[nodiscard]] double sensor_tau_ps(double rs_kohm, double cs_ff);
+
+/// Worst-case virtual-rail perturbation R_s * iDD_max, in mV.
+[[nodiscard]] double rail_perturbation_mv(double rs_kohm, double idd_max_ua);
+
+/// Maximum fault-free module leakage permitted by the discriminability
+/// constraint: IDDQ_nd <= IDDQ_th / d, in uA.
+[[nodiscard]] double leakage_cap_ua(const SensorSpec& spec);
+
+}  // namespace iddq::elec

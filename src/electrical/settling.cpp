@@ -1,0 +1,72 @@
+#include "electrical/settling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "electrical/transient.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace iddq::elec {
+
+SettlingModel SettlingModel::calibrate(double t_detect_ps, double ratio_hi) {
+  require(t_detect_ps >= 0.0, "settling: detection time must be >= 0");
+  require(ratio_hi > 1.0, "settling: ratio_hi must exceed 1");
+  SettlingModel m;
+  m.t_detect_ps_ = t_detect_ps;
+
+  // Simulate the decay at tau = 1 ps over a geometric grid of current
+  // ratios; linearity in tau is exact for a first-order decay, which the
+  // tests confirm against the simulator at other tau values.
+  const int points = 24;
+  const double log_hi = std::log(ratio_hi);
+  std::vector<double> log_ratios;
+  std::vector<double> times;
+  for (int i = 1; i <= points; ++i) {
+    const double lr = log_hi * static_cast<double>(i) /
+                      static_cast<double>(points);
+    const double ratio = std::exp(lr);
+    const double t =
+        simulate_decay_time_ps(/*i0_ua=*/ratio, /*i_th_ua=*/1.0,
+                               /*tau_ps=*/1.0, /*dt_ps=*/1.0e-3);
+    IDDQ_ASSERT(t >= 0.0);
+    log_ratios.push_back(lr);
+    times.push_back(t);
+  }
+  m.log_ratio_grid_ = log_ratios;
+  m.unit_decay_ps_ = times;
+  // Fit decay time ~ k * ln(ratio) (intercept discarded; it is ~0).
+  const auto [intercept, slope] = math::linear_fit(log_ratios, times);
+  (void)intercept;
+  m.k_ = slope;
+  return m;
+}
+
+double SettlingModel::delta_ps(double tau_ps, double i0_ua,
+                               double i_th_ua) const {
+  require(tau_ps >= 0.0, "settling: tau must be >= 0");
+  require(i_th_ua > 0.0, "settling: threshold must be positive");
+  if (i0_ua <= i_th_ua || tau_ps == 0.0) return t_detect_ps_;
+  const double lr = std::log(i0_ua / i_th_ua);
+  // Interpolate the simulated table; extrapolate with the fitted slope
+  // beyond its range.
+  double unit_time = 0.0;
+  if (lr <= log_ratio_grid_.front()) {
+    unit_time = unit_decay_ps_.front() * lr / log_ratio_grid_.front();
+  } else if (lr >= log_ratio_grid_.back()) {
+    unit_time = unit_decay_ps_.back() + k_ * (lr - log_ratio_grid_.back());
+  } else {
+    const auto it = std::lower_bound(log_ratio_grid_.begin(),
+                                     log_ratio_grid_.end(), lr);
+    const std::size_t hi = static_cast<std::size_t>(
+        std::distance(log_ratio_grid_.begin(), it));
+    const std::size_t lo = hi - 1;
+    const double frac = (lr - log_ratio_grid_[lo]) /
+                        (log_ratio_grid_[hi] - log_ratio_grid_[lo]);
+    unit_time =
+        unit_decay_ps_[lo] + frac * (unit_decay_ps_[hi] - unit_decay_ps_[lo]);
+  }
+  return t_detect_ps_ + unit_time * tau_ps;
+}
+
+}  // namespace iddq::elec

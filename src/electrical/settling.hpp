@@ -1,0 +1,46 @@
+// Settling-time model Delta(tau) (paper section 3.4).
+//
+// After a test vector is applied, the sensor must wait for the transient iDD
+// to decay to the quiescent level before switching the bypass off and
+// sensing. The paper estimates this "iDD decay time plus sensing time"
+// Delta(tau_s,i) from SPICE-level simulations as a function of the sensor
+// time constant tau_s,i = R_s,i * C_s,i.
+//
+// We reproduce the methodology: SettlingModel::calibrate() runs transient
+// simulations of the current decay over a grid of time constants and current
+// ratios, then serves queries by interpolating the simulated table (log-
+// linear in the current ratio, linear in tau), adding the detection time.
+#pragma once
+
+#include <vector>
+
+namespace iddq::elec {
+
+class SettlingModel {
+ public:
+  /// Calibrates the table. `t_detect_ps` is added to every query result.
+  /// `ratio_hi` bounds the largest ipeak/IDDQ_th ratio the table covers.
+  [[nodiscard]] static SettlingModel calibrate(double t_detect_ps,
+                                               double ratio_hi = 1.0e6);
+
+  /// Delta(tau): decay from `i0_ua` to `i_th_ua` with time constant `tau_ps`
+  /// plus the detection time, in ps. i0 <= i_th costs only detection time.
+  [[nodiscard]] double delta_ps(double tau_ps, double i0_ua,
+                                double i_th_ua) const;
+
+  /// The calibrated decay-constant estimate k in Delta = t_detect + k*tau*
+  /// ln(i0/ith); exposed for tests (the analytic value is 1).
+  [[nodiscard]] double decay_coefficient() const noexcept { return k_; }
+
+  [[nodiscard]] double t_detect_ps() const noexcept { return t_detect_ps_; }
+
+ private:
+  SettlingModel() = default;
+
+  double t_detect_ps_ = 0.0;
+  double k_ = 1.0;  // fitted multiplier on tau * ln(i0/ith)
+  std::vector<double> log_ratio_grid_;
+  std::vector<double> unit_decay_ps_;  // decay time at tau = 1 ps per ratio
+};
+
+}  // namespace iddq::elec

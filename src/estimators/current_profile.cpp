@@ -1,0 +1,65 @@
+#include "estimators/current_profile.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace iddq::est {
+
+void ModuleCurrentProfile::add_gate(const DynamicBitset& times,
+                                    double ipeak_ua) {
+  IDDQ_ASSERT(times.size() == current_ua_.size());
+  times.for_each([&](std::size_t t) {
+    current_ua_[t] += ipeak_ua;
+    switching_[t] += 1;
+  });
+}
+
+void ModuleCurrentProfile::remove_gate(const DynamicBitset& times,
+                                       double ipeak_ua) {
+  IDDQ_ASSERT(times.size() == current_ua_.size());
+  times.for_each([&](std::size_t t) {
+    current_ua_[t] -= ipeak_ua;
+    IDDQ_ASSERT(switching_[t] > 0);
+    switching_[t] -= 1;
+    if (switching_[t] == 0) current_ua_[t] = 0.0;  // cancel fp residue
+  });
+}
+
+double ModuleCurrentProfile::max_current_ua() const {
+  double best = 0.0;
+  for (const double v : current_ua_) best = std::max(best, v);
+  return best;
+}
+
+std::uint32_t ModuleCurrentProfile::max_switching() const {
+  std::uint32_t best = 0;
+  for (const std::uint32_t v : switching_) best = std::max(best, v);
+  return best;
+}
+
+std::uint32_t ModuleCurrentProfile::peak_overlap(
+    const DynamicBitset& times) const {
+  IDDQ_ASSERT(times.size() == switching_.size());
+  std::uint32_t best = 0;
+  times.for_each(
+      [&](std::size_t t) { best = std::max(best, switching_[t]); });
+  return best == 0 ? 1 : best;
+}
+
+ModuleCurrentProfile profile_of(const TransitionTimes& tt,
+                                std::span<const lib::CellParams> cells,
+                                std::span<const netlist::GateId> gates) {
+  ModuleCurrentProfile p(tt.grid_size());
+  for (const netlist::GateId id : gates)
+    p.add_gate(tt.at(id), cells[id].ipeak_ua);
+  return p;
+}
+
+ModuleCurrentProfile circuit_profile(const netlist::Netlist& nl,
+                                     const TransitionTimes& tt,
+                                     std::span<const lib::CellParams> cells) {
+  return profile_of(tt, cells, nl.logic_gates());
+}
+
+}  // namespace iddq::est

@@ -1,0 +1,17 @@
+#include "estimators/leakage.hpp"
+
+namespace iddq::est {
+
+double module_leakage_ua(std::span<const lib::CellParams> cells,
+                         std::span<const netlist::GateId> gates) {
+  double sum_na = 0.0;
+  for (const netlist::GateId id : gates) sum_na += cells[id].ileak_na;
+  return units::na_to_ua(sum_na);
+}
+
+double discriminability(double iddq_th_ua, double leakage_ua) {
+  if (leakage_ua <= 0.0) return 1.0e12;
+  return iddq_th_ua / leakage_ua;
+}
+
+}  // namespace iddq::est

@@ -1,0 +1,26 @@
+// Quiescent-current (leakage) sums and the discriminability constraint
+// (paper section 2):
+//
+//   d(M_i) = IDDQ_th / IDDQ_nd,i  >=  d        for every module,
+//
+// where IDDQ_nd,i is the module's maximum non-defective quiescent current —
+// the sum of its gates' worst-case leakages from the cell library.
+#pragma once
+
+#include <span>
+
+#include "library/cell.hpp"
+#include "netlist/netlist.hpp"
+#include "support/units.hpp"
+
+namespace iddq::est {
+
+/// Sum of gate leakages over a gate set, in uA.
+[[nodiscard]] double module_leakage_ua(std::span<const lib::CellParams> cells,
+                                       std::span<const netlist::GateId> gates);
+
+/// Discriminability d(M) = iddq_th / leakage. Infinite leakage-free modules
+/// are reported as a very large value rather than infinity.
+[[nodiscard]] double discriminability(double iddq_th_ua, double leakage_ua);
+
+}  // namespace iddq::est

@@ -1,0 +1,34 @@
+#include "estimators/separation.hpp"
+
+#include "support/error.hpp"
+
+namespace iddq::est {
+
+double sum_to_module(const netlist::DistanceOracle& oracle, netlist::GateId g,
+                     std::uint32_t module_id,
+                     std::span<const std::uint32_t> module_of,
+                     std::size_t module_size) {
+  const double rho = static_cast<double>(oracle.rho());
+  double sum = static_cast<double>(module_size) * rho;
+  for (const auto& [neighbor, distance] : oracle.near(g)) {
+    if (neighbor == g) continue;
+    if (module_of[neighbor] != module_id) continue;
+    sum -= rho - static_cast<double>(distance);
+  }
+  return sum;
+}
+
+double module_separation(const netlist::DistanceOracle& oracle,
+                         std::span<const netlist::GateId> gates,
+                         std::uint32_t module_id,
+                         std::span<const std::uint32_t> module_of) {
+  // Accumulate half of the directed sums (each unordered pair counted once).
+  double sum = 0.0;
+  for (const netlist::GateId g : gates) {
+    IDDQ_ASSERT(module_of[g] == module_id);
+    sum += sum_to_module(oracle, g, module_id, module_of, gates.size() - 1);
+  }
+  return sum / 2.0;
+}
+
+}  // namespace iddq::est

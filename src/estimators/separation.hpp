@@ -1,0 +1,41 @@
+// Separation-parameter estimators (paper section 3.3).
+//
+//   S(g_i, g_j): hop distance in the undirected circuit graph, saturated at
+//                rho (see netlist/distance_oracle.hpp for the convention);
+//   S(M) = sum over unordered gate pairs of M;
+//   S(Pi) = sum over modules.
+//
+// The quadratic-per-module full computation is only used for initialisation
+// and verification; the evaluator keeps S(M) incrementally using
+// sum_to_module: moving gate g from M1 to M2 changes
+//   S(M1) by -sum_to_module(g, M1 \ {g}),  S(M2) by +sum_to_module(g, M2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/distance_oracle.hpp"
+#include "netlist/netlist.hpp"
+
+namespace iddq::est {
+
+/// Sum of separations from `g` to every gate of the module identified by
+/// `module_id` (g itself excluded if present). `module_of[h]` gives the
+/// module of gate h (any sentinel for unassigned), `module_size` the number
+/// of gates in the module *excluding* g when g currently belongs to it.
+///
+/// Computed as module_size * rho - sum over near-neighbours of (rho - d):
+/// O(|near(g)|) regardless of module size.
+[[nodiscard]] double sum_to_module(const netlist::DistanceOracle& oracle,
+                                   netlist::GateId g, std::uint32_t module_id,
+                                   std::span<const std::uint32_t> module_of,
+                                   std::size_t module_size);
+
+/// Full S(M) over a gate set; O(|M| * |near|).
+[[nodiscard]] double module_separation(const netlist::DistanceOracle& oracle,
+                                       std::span<const netlist::GateId> gates,
+                                       std::uint32_t module_id,
+                                       std::span<const std::uint32_t> module_of);
+
+}  // namespace iddq::est

@@ -1,0 +1,15 @@
+#include "estimators/test_time.hpp"
+
+#include "support/error.hpp"
+
+namespace iddq::est {
+
+double test_time_overhead(double d_nominal_ps, double d_bic_ps,
+                          double settle_max_ps) {
+  require(d_nominal_ps > 0.0, "test time: nominal delay must be positive");
+  require(d_bic_ps >= d_nominal_ps, "test time: D_BIC must be >= D");
+  require(settle_max_ps >= 0.0, "test time: settle time must be >= 0");
+  return (d_bic_ps + settle_max_ps - d_nominal_ps) / d_nominal_ps;
+}
+
+}  // namespace iddq::est

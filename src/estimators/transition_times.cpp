@@ -1,0 +1,61 @@
+#include "estimators/transition_times.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netlist/levelize.hpp"
+#include "support/error.hpp"
+
+namespace iddq::est {
+
+TransitionTimes::TransitionTimes(const netlist::Netlist& nl) {
+  std::vector<std::size_t> slot_delay(nl.gate_count(), 1);
+  build(nl, slot_delay);
+}
+
+TransitionTimes::TransitionTimes(const netlist::Netlist& nl,
+                                 std::span<const lib::CellParams> cells,
+                                 double bin_ps)
+    : bin_ps_(bin_ps) {
+  require(bin_ps > 0.0, "transition times: bin width must be positive");
+  require(cells.size() == nl.gate_count(),
+          "transition times: cells must be bound to the netlist");
+  std::vector<std::size_t> slot_delay(nl.gate_count(), 0);
+  for (const netlist::GateId g : nl.logic_gates()) {
+    const auto slots =
+        static_cast<std::size_t>(std::llround(cells[g].delay_ps / bin_ps));
+    slot_delay[g] = std::max<std::size_t>(1, slots);
+  }
+  build(nl, slot_delay);
+}
+
+void TransitionTimes::build(const netlist::Netlist& nl,
+                            std::span<const std::size_t> slot_delay) {
+  // Grid bound: longest path in quantized slots.
+  std::vector<std::size_t> arrival(nl.gate_count(), 0);
+  std::size_t worst = 0;
+  const auto order = netlist::topological_order(nl);
+  for (const netlist::GateId id : order) {
+    const auto& g = nl.gate(id);
+    if (g.fanins.empty()) continue;
+    std::size_t in_arrival = 0;
+    for (const netlist::GateId f : g.fanins)
+      in_arrival = std::max(in_arrival, arrival[f]);
+    arrival[id] = in_arrival + slot_delay[id];
+    worst = std::max(worst, arrival[id]);
+  }
+  grid_ = worst + 1;
+
+  times_.assign(nl.gate_count(), DynamicBitset(grid_));
+  for (const netlist::GateId id : order) {
+    const auto& g = nl.gate(id);
+    if (g.fanins.empty()) {
+      times_[id].set(0);  // primary input: switches with pattern application
+      continue;
+    }
+    for (const netlist::GateId f : g.fanins)
+      times_[id].or_shifted(times_[f], slot_delay[id]);
+  }
+}
+
+}  // namespace iddq::est

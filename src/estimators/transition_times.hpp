@@ -1,0 +1,67 @@
+// Transition-time sets T(g) (paper section 3.1).
+//
+// The maximum-current estimator needs, for every gate, the set of times at
+// which the gate can possibly switch: the arrival times of transitions along
+// all input-to-gate paths. Following the paper, delays come from the
+// electrical-level cell characterization and arrival times live on a
+// discrete time grid ("these delays are time grid functions"):
+//
+//   T(pi) = {0},   T(g) = union over fanins f of { t + q(D(g)) : t in T(f) }
+//
+// with q(D) = max(1, round(D / bin)) the quantized cell delay in grid slots.
+// Gates are assumed to switch (pessimistically) at *every* time in T(g);
+// gates whose arrival sets collide in a slot switch together and their peak
+// currents add. Sets are stored as bitsets so the module current profiles
+// can be updated in O(grid/64) per gate move.
+//
+// The unit-delay constructor (every gate one slot, the levelized depth grid)
+// is kept for tests and for structural analyses where cell delays are not
+// bound yet.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "library/cell.hpp"
+#include "netlist/netlist.hpp"
+#include "support/bitset.hpp"
+
+namespace iddq::est {
+
+class TransitionTimes {
+ public:
+  /// Unit-delay grid: every logic gate advances one slot (grid = depth + 1).
+  explicit TransitionTimes(const netlist::Netlist& nl);
+
+  /// Electrical-delay grid: gate g advances max(1, round(delay/bin_ps))
+  /// slots. `cells` is the bound cell-parameter table (bind_cells).
+  TransitionTimes(const netlist::Netlist& nl,
+                  std::span<const lib::CellParams> cells, double bin_ps);
+
+  /// Number of grid slots.
+  [[nodiscard]] std::size_t grid_size() const noexcept { return grid_; }
+
+  /// Grid bin width in ps (1.0 and meaningless for the unit-delay grid).
+  [[nodiscard]] double bin_ps() const noexcept { return bin_ps_; }
+
+  /// The transition-time set of a gate.
+  [[nodiscard]] const DynamicBitset& at(netlist::GateId id) const {
+    return times_[id];
+  }
+
+  /// Number of possible transition times of a gate (|T(g)| = number of
+  /// distinct quantized arrival times, not number of paths).
+  [[nodiscard]] std::size_t count(netlist::GateId id) const {
+    return times_[id].count();
+  }
+
+ private:
+  void build(const netlist::Netlist& nl,
+             std::span<const std::size_t> slot_delay);
+
+  std::size_t grid_ = 0;
+  double bin_ps_ = 1.0;
+  std::vector<DynamicBitset> times_;
+};
+
+}  // namespace iddq::est

@@ -1,0 +1,45 @@
+// Cell types and their electrical-level characterization.
+//
+// The paper assumes "a target cell library fully characterized at electrical
+// level" (section 3): every estimator reads only these per-cell parameters.
+// Units follow support/units.hpp (mV, uA, kOhm, fF, ps).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "netlist/gate.hpp"
+
+namespace iddq::lib {
+
+/// A library cell is identified by its logic function and fan-in count.
+struct CellType {
+  netlist::GateKind kind = netlist::GateKind::kNand;
+  std::uint8_t fanin = 2;
+
+  friend bool operator==(const CellType&, const CellType&) = default;
+};
+
+/// Electrical characterization of one cell.
+struct CellParams {
+  double delay_ps = 0.0;   // nominal pair delay D(g), without BIC sensor
+  double ipeak_ua = 0.0;   // maximum transient switching current iDD_max(g)
+  double ileak_na = 0.0;   // maximum quiescent (fault-free) current, in nA
+  double cin_ff = 0.0;     // input capacitance per pin
+  double cout_ff = 0.0;    // equivalent output capacitance C_g
+  double rg_kohm = 0.0;    // average ON resistance R_g of the discharge path
+  double cvr_ff = 0.0;     // parasitic contribution to the virtual rail C_s
+  double area = 0.0;       // layout area in technology units
+};
+
+[[nodiscard]] std::string to_string(const CellType& t);
+
+struct CellTypeHash {
+  [[nodiscard]] std::size_t operator()(const CellType& t) const noexcept {
+    return std::hash<std::uint32_t>{}(
+        (static_cast<std::uint32_t>(t.kind) << 8) | t.fanin);
+  }
+};
+
+}  // namespace iddq::lib

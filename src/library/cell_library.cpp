@@ -1,0 +1,124 @@
+#include "library/cell_library.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace iddq::lib {
+
+std::string to_string(const CellType& t) {
+  std::string s(netlist::to_string(t.kind));
+  if (t.kind != netlist::GateKind::kNot && t.kind != netlist::GateKind::kBuf &&
+      t.kind != netlist::GateKind::kInput)
+    s += std::to_string(static_cast<unsigned>(t.fanin));
+  return s;
+}
+
+CellLibrary::CellLibrary(std::string_view name, double vdd_mv)
+    : name_(name), vdd_mv_(vdd_mv) {
+  require(vdd_mv > 0.0, "cell library: vdd must be positive");
+}
+
+void CellLibrary::add(CellType type, CellParams params) {
+  require(netlist::is_logic(type.kind), "cell library: cannot add input pads");
+  require(params.delay_ps > 0.0 && params.cout_ff > 0.0 &&
+              params.rg_kohm > 0.0 && params.area > 0.0,
+          "cell library: delay/cout/rg/area must be positive for cell " +
+              to_string(type));
+  require(params.ipeak_ua > 0.0 && params.ileak_na > 0.0,
+          "cell library: currents must be positive for cell " + to_string(type));
+  cells_[type] = params;
+}
+
+bool CellLibrary::has(CellType type) const { return cells_.contains(type); }
+
+const CellParams& CellLibrary::params(CellType type) const {
+  const auto it = cells_.find(type);
+  if (it == cells_.end())
+    throw LookupError("library '" + name_ + "' has no cell '" +
+                      to_string(type) + "'");
+  return it->second;
+}
+
+std::vector<CellType> CellLibrary::cell_types() const {
+  std::vector<CellType> out;
+  out.reserve(cells_.size());
+  for (const auto& [type, params] : cells_) out.push_back(type);
+  return out;
+}
+
+std::vector<CellParams> bind_cells(const netlist::Netlist& nl,
+                                   const CellLibrary& lib) {
+  std::vector<CellParams> bound(nl.gate_count());
+  for (netlist::GateId id = 0; id < nl.gate_count(); ++id) {
+    const auto& g = nl.gate(id);
+    if (!netlist::is_logic(g.kind)) continue;  // PI: all-zero params
+    require(g.fanins.size() <= 255, "gate fan-in too large for cell binding");
+    bound[id] = lib.params(
+        CellType{g.kind, static_cast<std::uint8_t>(g.fanins.size())});
+  }
+  return bound;
+}
+
+namespace {
+
+struct KindBase {
+  netlist::GateKind kind;
+  double delay_ps;   // at fan-in 2 (or the unary cell's delay)
+  double cout_ff;    // at fan-in 2
+  double area;       // at fan-in 2
+  double ileak_na;   // at fan-in 2
+};
+
+}  // namespace
+
+CellLibrary default_library() {
+  CellLibrary lib("cmos5v-generic", 5000.0);
+  constexpr double kLn2 = 0.6931471805599453;
+
+  // Unary cells.
+  const auto add_unary = [&](netlist::GateKind kind, double delay_ps,
+                             double cout_ff, double area, double ileak_na) {
+    CellParams p;
+    p.delay_ps = delay_ps;
+    p.cout_ff = cout_ff;
+    p.rg_kohm = delay_ps / (kLn2 * cout_ff);
+    p.ipeak_ua = 0.75 * lib.vdd_mv() / p.rg_kohm;
+    p.ileak_na = ileak_na;
+    p.cin_ff = 6.0;
+    p.cvr_ff = 2.5;
+    p.area = area;
+    lib.add(CellType{kind, 1}, p);
+  };
+  add_unary(netlist::GateKind::kNot, 180.0, 12.0, 4.0, 0.12);
+  add_unary(netlist::GateKind::kBuf, 350.0, 14.0, 6.0, 0.18);
+
+  const KindBase bases[] = {
+      {netlist::GateKind::kAnd, 380.0, 16.0, 10.0, 0.24},
+      {netlist::GateKind::kNand, 260.0, 15.0, 8.0, 0.20},
+      {netlist::GateKind::kOr, 400.0, 16.0, 10.0, 0.26},
+      {netlist::GateKind::kNor, 290.0, 15.0, 8.0, 0.22},
+      {netlist::GateKind::kXor, 480.0, 18.0, 14.0, 0.34},
+      {netlist::GateKind::kXnor, 470.0, 18.0, 14.0, 0.34},
+  };
+  for (const auto& base : bases) {
+    for (unsigned fanin = 2; fanin <= 9; ++fanin) {
+      // Empirical fan-in scaling of a static CMOS cell: series stacks slow
+      // the cell and enlarge it roughly linearly.
+      const double k = static_cast<double>(fanin - 2);
+      CellParams p;
+      p.delay_ps = base.delay_ps * (1.0 + 0.18 * k);
+      p.cout_ff = base.cout_ff * (1.0 + 0.12 * k);
+      p.rg_kohm = p.delay_ps / (kLn2 * p.cout_ff);
+      p.ipeak_ua = 0.75 * lib.vdd_mv() / p.rg_kohm;
+      p.ileak_na = base.ileak_na * (1.0 + 0.22 * k);
+      p.cin_ff = 6.0;
+      p.cvr_ff = 2.5 + 0.5 * static_cast<double>(fanin);
+      p.area = base.area * (1.0 + 0.45 * k);
+      lib.add(CellType{base.kind, static_cast<std::uint8_t>(fanin)}, p);
+    }
+  }
+  return lib;
+}
+
+}  // namespace iddq::lib

@@ -1,0 +1,53 @@
+// CellLibrary: the characterized target technology.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "library/cell.hpp"
+#include "netlist/netlist.hpp"
+
+namespace iddq::lib {
+
+class CellLibrary {
+ public:
+  explicit CellLibrary(std::string_view name, double vdd_mv = 5000.0);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double vdd_mv() const noexcept { return vdd_mv_; }
+
+  /// Registers (or replaces) a cell.
+  void add(CellType type, CellParams params);
+
+  [[nodiscard]] bool has(CellType type) const;
+
+  /// Parameters of an exact cell; throws iddq::LookupError when missing.
+  [[nodiscard]] const CellParams& params(CellType type) const;
+
+  /// All registered cells (unspecified order).
+  [[nodiscard]] std::vector<CellType> cell_types() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+
+ private:
+  std::string name_;
+  double vdd_mv_;
+  std::unordered_map<CellType, CellParams, CellTypeHash> cells_;
+};
+
+/// Per-gate resolved cell parameters for a netlist, indexed by GateId.
+/// Primary inputs receive all-zero parameters (they draw no supply current
+/// and add no delay). Throws iddq::LookupError when a gate's (kind, fanin)
+/// has no library cell.
+[[nodiscard]] std::vector<CellParams> bind_cells(const netlist::Netlist& nl,
+                                                 const CellLibrary& lib);
+
+/// The default 1995-era 5 V CMOS library used throughout the benches:
+/// BUF/NOT plus AND/NAND/OR/NOR/XOR/XNOR with fan-in 2..9, parameterized
+/// self-consistently (D ~ ln2 * R_g * C_g, ipeak ~ 0.75 * VDD / R_g).
+[[nodiscard]] CellLibrary default_library();
+
+}  // namespace iddq::lib

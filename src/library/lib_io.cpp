@@ -1,0 +1,163 @@
+#include "library/lib_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace iddq::lib {
+
+CellLibrary read_library_text(std::string_view text,
+                              std::string_view source_label) {
+  std::string lib_name = "unnamed";
+  double vdd_mv = 5000.0;
+  // Collected before the CellLibrary is constructed (header lines may appear
+  // in any order before the first cell).
+  struct PendingCell {
+    CellType type;
+    CellParams params;
+    std::size_t line;
+  };
+  std::vector<PendingCell> cells;
+  bool in_cell = false;
+  PendingCell current;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  bool saw_cell = false;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = str::trim(line);
+    if (line.empty()) continue;
+
+    const auto words = str::split_ws(line);
+    const std::string key = str::to_lower(words[0]);
+    if (key == "library") {
+      if (words.size() != 2)
+        throw ParseError(source_label, line_no, "library expects one name");
+      lib_name = std::string(words[1]);
+    } else if (key == "vdd_mv") {
+      if (words.size() != 2 || !str::parse_double(words[1], vdd_mv))
+        throw ParseError(source_label, line_no, "vdd_mv expects a number");
+      if (saw_cell)
+        throw ParseError(source_label, line_no,
+                         "vdd_mv must precede cell definitions");
+    } else if (key == "cell") {
+      if (in_cell)
+        throw ParseError(source_label, line_no,
+                         "nested cell (missing 'end'?)");
+      if (words.size() != 3)
+        throw ParseError(source_label, line_no, "cell expects: cell KIND FANIN");
+      netlist::GateKind kind{};
+      if (!netlist::gate_kind_from_string(words[1], kind) ||
+          kind == netlist::GateKind::kInput)
+        throw ParseError(source_label, line_no,
+                         "unknown cell kind '" + std::string(words[1]) + "'");
+      std::size_t fanin = 0;
+      if (!str::parse_size(words[2], fanin) || fanin == 0 || fanin > 255)
+        throw ParseError(source_label, line_no, "bad fan-in count");
+      current = PendingCell{};
+      current.type = CellType{kind, static_cast<std::uint8_t>(fanin)};
+      current.line = line_no;
+      in_cell = true;
+      saw_cell = true;
+    } else if (key == "end") {
+      if (!in_cell)
+        throw ParseError(source_label, line_no, "'end' outside cell");
+      cells.push_back(current);
+      in_cell = false;
+    } else if (in_cell) {
+      if (words.size() != 2)
+        throw ParseError(source_label, line_no,
+                         "cell attribute expects: NAME VALUE");
+      double value = 0.0;
+      if (!str::parse_double(words[1], value))
+        throw ParseError(source_label, line_no,
+                         "bad numeric value '" + std::string(words[1]) + "'");
+      auto& p = current.params;
+      if (key == "delay_ps") p.delay_ps = value;
+      else if (key == "ipeak_ua") p.ipeak_ua = value;
+      else if (key == "ileak_na") p.ileak_na = value;
+      else if (key == "cin_ff") p.cin_ff = value;
+      else if (key == "cout_ff") p.cout_ff = value;
+      else if (key == "rg_kohm") p.rg_kohm = value;
+      else if (key == "cvr_ff") p.cvr_ff = value;
+      else if (key == "area") p.area = value;
+      else
+        throw ParseError(source_label, line_no,
+                         "unknown cell attribute '" + key + "'");
+    } else {
+      throw ParseError(source_label, line_no,
+                       "unexpected token '" + key + "'");
+    }
+  }
+  if (in_cell)
+    throw ParseError(source_label, line_no, "unterminated cell (missing 'end')");
+
+  CellLibrary lib(lib_name, vdd_mv);
+  for (const auto& c : cells) {
+    try {
+      lib.add(c.type, c.params);
+    } catch (const Error& e) {
+      throw ParseError(source_label, c.line, e.what());
+    }
+  }
+  return lib;
+}
+
+CellLibrary read_library_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open library file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return read_library_text(buf.str(), path);
+}
+
+void write_library(std::ostream& os, const CellLibrary& lib) {
+  // Full round-trip precision: reloading a written library must reproduce
+  // every parameter bit-for-bit up to decimal conversion.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "# iddqsyn cell library\n";
+  os << "library " << lib.name() << '\n';
+  os << "vdd_mv " << lib.vdd_mv() << '\n';
+  auto types = lib.cell_types();
+  std::sort(types.begin(), types.end(), [](const CellType& a, const CellType& b) {
+    if (a.kind != b.kind)
+      return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    return a.fanin < b.fanin;
+  });
+  for (const auto& t : types) {
+    const CellParams& p = lib.params(t);
+    os << "cell " << netlist::to_string(t.kind) << ' '
+       << static_cast<unsigned>(t.fanin) << '\n';
+    os << "  delay_ps " << p.delay_ps << '\n';
+    os << "  ipeak_ua " << p.ipeak_ua << '\n';
+    os << "  ileak_na " << p.ileak_na << '\n';
+    os << "  cin_ff " << p.cin_ff << '\n';
+    os << "  cout_ff " << p.cout_ff << '\n';
+    os << "  rg_kohm " << p.rg_kohm << '\n';
+    os << "  cvr_ff " << p.cvr_ff << '\n';
+    os << "  area " << p.area << '\n';
+    os << "end\n";
+  }
+}
+
+std::string to_library_string(const CellLibrary& lib) {
+  std::ostringstream os;
+  write_library(os, lib);
+  return os.str();
+}
+
+}  // namespace iddq::lib

@@ -1,0 +1,38 @@
+// Text serialization of cell libraries.
+//
+// Format (line-oriented, '#' comments):
+//
+//   library cmos5v-generic
+//   vdd_mv 5000
+//   cell nand 2
+//     delay_ps 260
+//     ipeak_ua 230.5
+//     ileak_na 0.2
+//     cin_ff 6
+//     cout_ff 15
+//     rg_kohm 25.0
+//     cvr_ff 3.5
+//     area 8
+//   end
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "library/cell_library.hpp"
+
+namespace iddq::lib {
+
+[[nodiscard]] CellLibrary read_library_text(std::string_view text,
+                                            std::string_view source_label =
+                                                "<text>");
+
+[[nodiscard]] CellLibrary read_library_file(const std::string& path);
+
+void write_library(std::ostream& os, const CellLibrary& lib);
+
+[[nodiscard]] std::string to_library_string(const CellLibrary& lib);
+
+}  // namespace iddq::lib

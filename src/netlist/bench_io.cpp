@@ -1,0 +1,188 @@
+#include "netlist/bench_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace iddq::netlist {
+
+namespace {
+
+struct AssignLine {
+  std::size_t line_no = 0;
+  std::string target;
+  GateKind kind = GateKind::kBuf;
+  std::vector<std::string> operands;
+};
+
+struct ParsedFile {
+  std::vector<std::pair<std::string, std::size_t>> inputs;   // name, line
+  std::vector<std::pair<std::string, std::size_t>> outputs;  // name, line
+  std::vector<AssignLine> assigns;
+};
+
+ParsedFile scan(std::string_view text, std::string_view label) {
+  ParsedFile out;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = str::trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const std::size_t open = line.find('(');
+      const std::size_t close = line.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos ||
+          close < open)
+        throw ParseError(label, line_no, "expected INPUT(..), OUTPUT(..) or assignment");
+      const std::string head = str::to_upper(str::trim(line.substr(0, open)));
+      const std::string_view arg = str::trim(line.substr(open + 1, close - open - 1));
+      if (arg.empty()) throw ParseError(label, line_no, "empty signal name");
+      if (head == "INPUT")
+        out.inputs.emplace_back(std::string(arg), line_no);
+      else if (head == "OUTPUT")
+        out.outputs.emplace_back(std::string(arg), line_no);
+      else
+        throw ParseError(label, line_no, "unknown directive '" + head + "'");
+      continue;
+    }
+
+    AssignLine a;
+    a.line_no = line_no;
+    a.target = std::string(str::trim(line.substr(0, eq)));
+    if (a.target.empty()) throw ParseError(label, line_no, "empty target name");
+    const std::string_view rhs = str::trim(line.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open)
+      throw ParseError(label, line_no, "expected KIND(operands) on right-hand side");
+    const std::string_view kind_word = str::trim(rhs.substr(0, open));
+    if (str::to_upper(kind_word) == "DFF")
+      throw ParseError(label, line_no,
+                       "sequential element DFF not supported: the IDDQ "
+                       "partitioning flow operates on combinational CUTs");
+    if (!gate_kind_from_string(kind_word, a.kind) ||
+        a.kind == GateKind::kInput)
+      throw ParseError(label, line_no,
+                       "unknown gate kind '" + std::string(kind_word) + "'");
+    for (const auto piece : str::split(rhs.substr(open + 1, close - open - 1), ',')) {
+      if (piece.empty())
+        throw ParseError(label, line_no, "empty operand in gate '" + a.target + "'");
+      a.operands.emplace_back(piece);
+    }
+    if (a.operands.empty())
+      throw ParseError(label, line_no, "gate '" + a.target + "' has no operands");
+    out.assigns.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace
+
+Netlist read_bench_text(std::string_view text, std::string_view name,
+                        std::string_view source_label) {
+  const ParsedFile parsed = scan(text, source_label);
+
+  NetlistBuilder b(name);
+  for (const auto& [in_name, line] : parsed.inputs) {
+    if (b.find(in_name) != kNoGate)
+      throw ParseError(source_label, line, "duplicate INPUT '" + in_name + "'");
+    b.add_input(in_name);
+  }
+  // Pass 1: declare every assigned signal so forward references resolve.
+  for (const auto& a : parsed.assigns) {
+    if (b.find(a.target) != kNoGate)
+      throw ParseError(source_label, a.line_no,
+                       "signal '" + a.target + "' defined twice");
+    b.declare_gate(a.kind, a.target);
+  }
+  // Pass 2: connect.
+  for (const auto& a : parsed.assigns) {
+    std::vector<GateId> fanins;
+    fanins.reserve(a.operands.size());
+    for (const auto& op : a.operands) {
+      const GateId f = b.find(op);
+      if (f == kNoGate)
+        throw ParseError(source_label, a.line_no,
+                         "gate '" + a.target + "' references undefined signal '" +
+                             op + "'");
+      fanins.push_back(f);
+    }
+    try {
+      b.set_fanins(b.find(a.target), std::move(fanins));
+    } catch (const Error& e) {
+      throw ParseError(source_label, a.line_no, e.what());
+    }
+  }
+  for (const auto& [out_name, line] : parsed.outputs) {
+    const GateId g = b.find(out_name);
+    if (g == kNoGate)
+      throw ParseError(source_label, line,
+                       "OUTPUT references undefined signal '" + out_name + "'");
+    b.mark_output(g);
+  }
+  try {
+    return std::move(b).build();
+  } catch (const Error& e) {
+    throw ParseError(source_label, 0, e.what());
+  }
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open .bench file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  // Derive the circuit name from the file stem.
+  std::string stem = path;
+  if (const auto slash = stem.find_last_of('/'); slash != std::string::npos)
+    stem = stem.substr(slash + 1);
+  if (const auto dot = stem.find_last_of('.'); dot != std::string::npos)
+    stem = stem.substr(0, dot);
+  return read_bench_text(buf.str(), stem, path);
+}
+
+void write_bench(std::ostream& os, const Netlist& nl) {
+  os << "# " << nl.name() << " — written by iddqsyn\n";
+  os << "# " << nl.primary_inputs().size() << " inputs, "
+     << nl.primary_outputs().size() << " outputs, " << nl.logic_gate_count()
+     << " gates\n";
+  for (const GateId id : nl.primary_inputs())
+    os << "INPUT(" << nl.gate(id).name << ")\n";
+  for (const GateId id : nl.primary_outputs())
+    os << "OUTPUT(" << nl.gate(id).name << ")\n";
+  os << '\n';
+  for (const GateId id : nl.logic_gates()) {
+    const Gate& g = nl.gate(id);
+    os << g.name << " = " << str::to_upper(to_string(g.kind)) << '(';
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << nl.gate(g.fanins[i]).name;
+    }
+    os << ")\n";
+  }
+}
+
+std::string to_bench_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_bench(os, nl);
+  return os.str();
+}
+
+}  // namespace iddq::netlist

@@ -1,0 +1,39 @@
+// ISCAS85 .bench reader/writer.
+//
+// Grammar accepted (the ISCAS85/89 combinational subset):
+//   # comment
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = KIND(a, b, ...)        KIND in {BUF, BUFF, NOT, INV, AND, NAND,
+//                                          OR, NOR, XOR, XNOR}
+//
+// Signals may be referenced before their defining line (two-pass resolve).
+// OUTPUT(x) lines may precede the definition of x. DFFs are rejected with a
+// clear error: the paper (and this library) handles combinational CUTs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace iddq::netlist {
+
+/// Parses .bench text. `name` becomes the netlist name; `source_label` is
+/// used in error messages (e.g. the file path). Throws iddq::ParseError.
+[[nodiscard]] Netlist read_bench_text(std::string_view text,
+                                      std::string_view name,
+                                      std::string_view source_label = "<text>");
+
+/// Reads a .bench file; the netlist name is derived from the file stem.
+/// Throws iddq::Error when the file cannot be opened, ParseError on syntax.
+[[nodiscard]] Netlist read_bench_file(const std::string& path);
+
+/// Serialises a netlist in .bench syntax (stable, diff-friendly order).
+void write_bench(std::ostream& os, const Netlist& nl);
+
+/// Convenience: serialise to a string.
+[[nodiscard]] std::string to_bench_string(const Netlist& nl);
+
+}  // namespace iddq::netlist

@@ -1,0 +1,110 @@
+#include "netlist/builder.hpp"
+
+#include <algorithm>
+
+#include "netlist/levelize.hpp"
+#include "support/error.hpp"
+
+namespace iddq::netlist {
+
+namespace {
+std::string_view kind_word(GateKind k) { return to_string(k); }
+}  // namespace
+
+NetlistBuilder::NetlistBuilder(std::string_view name) {
+  netlist_.name_ = std::string(name);
+}
+
+GateId NetlistBuilder::add(GateKind kind, std::string_view name) {
+  require(!name.empty(), "gate name must not be empty");
+  const auto [it, inserted] =
+      netlist_.by_name_.emplace(std::string(name), GateId{0});
+  if (!inserted)
+    throw Error("netlist '" + netlist_.name_ + "': duplicate gate name '" +
+                std::string(name) + "'");
+  const auto id = static_cast<GateId>(netlist_.gates_.size());
+  it->second = id;
+  Gate g;
+  g.kind = kind;
+  g.name = std::string(name);
+  netlist_.gates_.push_back(std::move(g));
+  netlist_.is_output_.push_back(false);
+  fanins_set_.push_back(false);
+  return id;
+}
+
+GateId NetlistBuilder::add_input(std::string_view name) {
+  const GateId id = add(GateKind::kInput, name);
+  netlist_.inputs_.push_back(id);
+  fanins_set_[id] = true;
+  return id;
+}
+
+GateId NetlistBuilder::add_gate(GateKind kind, std::string_view name,
+                                std::vector<GateId> fanins) {
+  const GateId id = declare_gate(kind, name);
+  set_fanins(id, std::move(fanins));
+  return id;
+}
+
+GateId NetlistBuilder::declare_gate(GateKind kind, std::string_view name) {
+  require(is_logic(kind), "declare_gate: use add_input for primary inputs");
+  const GateId id = add(kind, name);
+  netlist_.logic_gates_.push_back(id);
+  return id;
+}
+
+void NetlistBuilder::set_fanins(GateId id, std::vector<GateId> fanins) {
+  IDDQ_ASSERT(id < netlist_.gates_.size());
+  Gate& g = netlist_.gates_[id];
+  require(is_logic(g.kind), "set_fanins: primary inputs have no fanins");
+  require(!fanins_set_[id], "set_fanins: fanins already set");
+  require(!fanins.empty(), "gate '" + g.name + "' must have at least one fanin");
+  if (g.kind == GateKind::kNot || g.kind == GateKind::kBuf) {
+    require(fanins.size() == 1, "gate '" + g.name + "' (" +
+                                    std::string(kind_word(g.kind)) +
+                                    ") must have exactly one fanin");
+  } else {
+    require(fanins.size() >= 2, "gate '" + g.name + "' (" +
+                                    std::string(kind_word(g.kind)) +
+                                    ") must have at least two fanins");
+  }
+  for (const GateId f : fanins) {
+    require(f < netlist_.gates_.size(),
+            "gate '" + g.name + "': fanin id out of range");
+    require(f != id, "gate '" + g.name + "' must not feed itself");
+  }
+  g.fanins = std::move(fanins);
+  for (const GateId f : g.fanins) netlist_.gates_[f].fanouts.push_back(id);
+  fanins_set_[id] = true;
+}
+
+void NetlistBuilder::mark_output(GateId id) {
+  IDDQ_ASSERT(id < netlist_.gates_.size());
+  if (!netlist_.is_output_[id]) {
+    netlist_.is_output_[id] = true;
+    netlist_.outputs_.push_back(id);
+  }
+}
+
+GateId NetlistBuilder::find(std::string_view name) const {
+  const auto it = netlist_.by_name_.find(std::string(name));
+  return it == netlist_.by_name_.end() ? kNoGate : it->second;
+}
+
+Netlist NetlistBuilder::build() && {
+  for (std::size_t id = 0; id < netlist_.gates_.size(); ++id) {
+    if (!fanins_set_[id])
+      throw Error("netlist '" + netlist_.name_ + "': gate '" +
+                  netlist_.gates_[id].name + "' declared but never connected");
+  }
+  require(!netlist_.outputs_.empty(),
+          "netlist '" + netlist_.name_ + "' has no primary outputs");
+  require(!netlist_.inputs_.empty(),
+          "netlist '" + netlist_.name_ + "' has no primary inputs");
+  if (!is_acyclic(netlist_))
+    throw Error("netlist '" + netlist_.name_ + "' contains a cycle");
+  return std::move(netlist_);
+}
+
+}  // namespace iddq::netlist

@@ -1,0 +1,64 @@
+// NetlistBuilder: the only way to construct a Netlist.
+//
+// Usage:
+//   NetlistBuilder b("c17");
+//   auto i1 = b.add_input("1");
+//   auto g10 = b.add_gate(GateKind::kNand, "10", {i1, i3});
+//   b.mark_output(g22);
+//   Netlist nl = std::move(b).build();   // validates and freezes
+//
+// build() enforces the structural invariants the rest of the system relies
+// on: acyclicity, logic gates have >= 1 fanin, inverter/buffer arity, fanout
+// lists consistent with fanin lists, at least one primary output.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace iddq::netlist {
+
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(std::string_view name);
+
+  /// Adds a primary input pad. Names must be unique.
+  GateId add_input(std::string_view name);
+
+  /// Adds a logic gate with the given fanins (which must already exist).
+  GateId add_gate(GateKind kind, std::string_view name,
+                  std::vector<GateId> fanins);
+
+  /// Declares a gate whose fanins will be supplied later via set_fanins()
+  /// (needed by .bench files, which may reference signals before defining
+  /// them -- our parser resolves in two passes but generators also use this).
+  GateId declare_gate(GateKind kind, std::string_view name);
+
+  /// Supplies the fanins of a gate created with declare_gate().
+  void set_fanins(GateId id, std::vector<GateId> fanins);
+
+  /// Marks an existing gate as a primary output. Idempotent.
+  void mark_output(GateId id);
+
+  /// Number of gates added so far.
+  [[nodiscard]] std::size_t gate_count() const noexcept {
+    return netlist_.gates_.size();
+  }
+
+  /// Looks up a previously added gate by name; kNoGate when absent.
+  [[nodiscard]] GateId find(std::string_view name) const;
+
+  /// Validates and returns the finished netlist. The builder is consumed.
+  /// Throws iddq::Error on any structural violation.
+  [[nodiscard]] Netlist build() &&;
+
+ private:
+  GateId add(GateKind kind, std::string_view name);
+
+  Netlist netlist_;
+  std::vector<bool> fanins_set_;
+};
+
+}  // namespace iddq::netlist

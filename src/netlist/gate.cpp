@@ -1,0 +1,36 @@
+#include "netlist/gate.hpp"
+
+#include "support/strings.hpp"
+
+namespace iddq::netlist {
+
+std::string_view to_string(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput: return "input";
+    case GateKind::kBuf: return "buf";
+    case GateKind::kNot: return "not";
+    case GateKind::kAnd: return "and";
+    case GateKind::kNand: return "nand";
+    case GateKind::kOr: return "or";
+    case GateKind::kNor: return "nor";
+    case GateKind::kXor: return "xor";
+    case GateKind::kXnor: return "xnor";
+  }
+  return "?";
+}
+
+bool gate_kind_from_string(std::string_view word, GateKind& out) {
+  const std::string w = str::to_lower(word);
+  if (w == "input") { out = GateKind::kInput; return true; }
+  if (w == "buf" || w == "buff") { out = GateKind::kBuf; return true; }
+  if (w == "not" || w == "inv") { out = GateKind::kNot; return true; }
+  if (w == "and") { out = GateKind::kAnd; return true; }
+  if (w == "nand") { out = GateKind::kNand; return true; }
+  if (w == "or") { out = GateKind::kOr; return true; }
+  if (w == "nor") { out = GateKind::kNor; return true; }
+  if (w == "xor") { out = GateKind::kXor; return true; }
+  if (w == "xnor") { out = GateKind::kXnor; return true; }
+  return false;
+}
+
+}  // namespace iddq::netlist

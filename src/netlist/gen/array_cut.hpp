@@ -1,0 +1,47 @@
+// The Figure-2 CUT: a two-dimensional array of cells with three cell types.
+//
+// The paper's figure 2 motivates shape-aware partitioning with a CUT that is
+// a 2-D array involving cell types C1, C2, C3: grouping cells *along* the
+// signal flow (partition 1) keeps the per-group maximum transient current low
+// because the chained cells never switch simultaneously, while grouping cells
+// *across* the flow (partition 2) makes whole groups switch in parallel and
+// forces larger bypass switches.
+//
+// make_array_cut(rows, cols) builds a braided systolic mesh of rows x cols
+// cells. Cell (r, c) has kind cycle(c) in {NAND, NOR, AND} (the three cell
+// types) and reads two depth-c signals: its own row's previous cell and the
+// neighbouring row's previous cell (primary inputs at column 0). All cells
+// of column c therefore sit at exactly depth c+1 with the singleton
+// transition-time set {c+1}: a switching wavefront marches across the
+// columns. Helpers row_band_partition / column_band_partition build the two
+// partitions compared by the figure2_shape bench.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace iddq::netlist::gen {
+
+struct ArrayCut {
+  Netlist netlist;
+  /// cell[r][c] = gate id of the array cell at row r, column c.
+  std::vector<std::vector<GateId>> cell;
+};
+
+/// rows >= 2 (the braid needs a neighbouring row), cols >= 1.
+[[nodiscard]] ArrayCut make_array_cut(std::size_t rows, std::size_t cols);
+
+/// Groups of gate ids: `bands` modules, each a contiguous band of rows
+/// (partition 1 of figure 2 — cells along the signal flow). `bands` must
+/// divide nothing in particular; remainder rows go to the last band.
+[[nodiscard]] std::vector<std::vector<GateId>> row_band_partition(
+    const ArrayCut& cut, std::size_t bands);
+
+/// `bands` modules, each a contiguous band of columns (partition 2 —
+/// cells across the signal flow, switching in parallel).
+[[nodiscard]] std::vector<std::vector<GateId>> column_band_partition(
+    const ArrayCut& cut, std::size_t bands);
+
+}  // namespace iddq::netlist::gen

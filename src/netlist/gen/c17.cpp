@@ -1,0 +1,25 @@
+#include "netlist/gen/c17.hpp"
+
+#include "netlist/builder.hpp"
+
+namespace iddq::netlist::gen {
+
+Netlist make_c17() {
+  NetlistBuilder b("c17");
+  const GateId i1 = b.add_input("1");
+  const GateId i2 = b.add_input("2");
+  const GateId i3 = b.add_input("3");
+  const GateId i6 = b.add_input("6");
+  const GateId i7 = b.add_input("7");
+  const GateId g10 = b.add_gate(GateKind::kNand, "10", {i1, i3});
+  const GateId g11 = b.add_gate(GateKind::kNand, "11", {i3, i6});
+  const GateId g16 = b.add_gate(GateKind::kNand, "16", {i2, g11});
+  const GateId g19 = b.add_gate(GateKind::kNand, "19", {g11, i7});
+  const GateId g22 = b.add_gate(GateKind::kNand, "22", {g10, g16});
+  const GateId g23 = b.add_gate(GateKind::kNand, "23", {g16, g19});
+  b.mark_output(g22);
+  b.mark_output(g23);
+  return std::move(b).build();
+}
+
+}  // namespace iddq::netlist::gen

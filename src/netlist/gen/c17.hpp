@@ -1,0 +1,15 @@
+// Exact ISCAS85 C17: 5 inputs, 2 outputs, 6 two-input NAND gates.
+//
+// This is the worked example of the paper's section 4.3 (figures 3-5); the
+// evolution-based algorithm's optimum partition for it is
+// {(g10, g16, g22), (g11, g19, g23)} in ISCAS signal names — the paper's
+// {(1,3,5), (2,4,6)} with gates numbered g1..g6 in topological order.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace iddq::netlist::gen {
+
+[[nodiscard]] Netlist make_c17();
+
+}  // namespace iddq::netlist::gen

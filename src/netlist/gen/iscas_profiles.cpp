@@ -1,0 +1,95 @@
+#include "netlist/gen/iscas_profiles.hpp"
+
+#include <array>
+
+#include "netlist/gen/multiplier.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace iddq::netlist::gen {
+
+namespace {
+
+constexpr std::array<std::string_view, 6> kTable1Names = {
+    "c1908", "c2670", "c3540", "c5315", "c6288", "c7552"};
+
+struct KindMix {
+  double buf, not_, and_, nand_, or_, nor_, xor_, xnor_;
+};
+
+DagProfile make_profile(std::string name, std::size_t pis, std::size_t pos,
+                        std::size_t gates, std::size_t depth, KindMix mix,
+                        std::uint64_t seed) {
+  DagProfile p;
+  p.name = std::move(name);
+  p.inputs = pis;
+  p.outputs = pos;
+  p.gates = gates;
+  p.depth = depth;
+  p.seed = seed;
+  p.kind_weights[static_cast<std::size_t>(GateKind::kBuf)] = mix.buf;
+  p.kind_weights[static_cast<std::size_t>(GateKind::kNot)] = mix.not_;
+  p.kind_weights[static_cast<std::size_t>(GateKind::kAnd)] = mix.and_;
+  p.kind_weights[static_cast<std::size_t>(GateKind::kNand)] = mix.nand_;
+  p.kind_weights[static_cast<std::size_t>(GateKind::kOr)] = mix.or_;
+  p.kind_weights[static_cast<std::size_t>(GateKind::kNor)] = mix.nor_;
+  p.kind_weights[static_cast<std::size_t>(GateKind::kXor)] = mix.xor_;
+  p.kind_weights[static_cast<std::size_t>(GateKind::kXnor)] = mix.xnor_;
+  p.fanin_weights = {0.72, 0.16, 0.08, 0.04};
+  return p;
+}
+
+}  // namespace
+
+std::span<const std::string_view> table1_circuit_names() {
+  return kTable1Names;
+}
+
+DagProfile iscas_profile(std::string_view name) {
+  const std::string n = str::to_lower(name);
+  // PI/PO/gate-count/depth figures are the published ISCAS85 statistics;
+  // kind mixes are approximations of the published per-function counts.
+  if (n == "c1908")
+    return make_profile("c1908", 33, 25, 880, 40,
+                        {.buf = 0.08, .not_ = 0.35, .and_ = 0.04,
+                         .nand_ = 0.44, .or_ = 0.02, .nor_ = 0.05,
+                         .xor_ = 0.01, .xnor_ = 0.01},
+                        0xC1908);
+  if (n == "c2670")
+    return make_profile("c2670", 233, 140, 1193, 32,
+                        {.buf = 0.17, .not_ = 0.28, .and_ = 0.10,
+                         .nand_ = 0.29, .or_ = 0.07, .nor_ = 0.09,
+                         .xor_ = 0.0, .xnor_ = 0.0},
+                        0xC2670);
+  if (n == "c3540")
+    return make_profile("c3540", 50, 22, 1669, 47,
+                        {.buf = 0.13, .not_ = 0.29, .and_ = 0.15,
+                         .nand_ = 0.28, .or_ = 0.06, .nor_ = 0.08,
+                         .xor_ = 0.01, .xnor_ = 0.0},
+                        0xC3540);
+  if (n == "c5315")
+    return make_profile("c5315", 178, 123, 2307, 49,
+                        {.buf = 0.12, .not_ = 0.27, .and_ = 0.18,
+                         .nand_ = 0.27, .or_ = 0.11, .nor_ = 0.05,
+                         .xor_ = 0.0, .xnor_ = 0.0},
+                        0xC5315);
+  if (n == "c7552")
+    return make_profile("c7552", 207, 108, 3512, 43,
+                        {.buf = 0.12, .not_ = 0.35, .and_ = 0.15,
+                         .nand_ = 0.30, .or_ = 0.03, .nor_ = 0.05,
+                         .xor_ = 0.0, .xnor_ = 0.0},
+                        0xC7552);
+  if (n == "c6288")
+    throw LookupError(
+        "c6288 is generated structurally (make_multiplier / make_iscas_like), "
+        "not from a statistical profile");
+  throw LookupError("unknown ISCAS85 profile '" + std::string(name) + "'");
+}
+
+Netlist make_iscas_like(std::string_view name) {
+  const std::string n = str::to_lower(name);
+  if (n == "c6288") return make_multiplier(16, "c6288");
+  return make_random_dag(iscas_profile(n));
+}
+
+}  // namespace iddq::netlist::gen

@@ -1,0 +1,38 @@
+// ISCAS85 benchmark stand-ins.
+//
+// The paper's Table 1 evaluates on C1908, C2670, C3540, C5315, C6288 and
+// C7552 (the paper's "C7522" is read as C7552, the standard ISCAS85 name
+// matching the 3512-gate size). The original netlists are public but not
+// redistributable inside this offline build, so `make_iscas_like` synthesizes
+// deterministic circuits matching each benchmark's published statistics
+// (PI/PO counts, gate count, logical depth, gate-kind mix); C6288 is instead
+// generated as a real gate-level 16x16 parallel array multiplier — the
+// structure C6288 actually is — because its 2-D array regularity is what
+// drives the paper's partition-shape effects.
+//
+// Real .bench files, when available, can be loaded with
+// netlist::read_bench_file and used with the identical downstream flow.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "netlist/gen/random_dag.hpp"
+#include "netlist/netlist.hpp"
+
+namespace iddq::netlist::gen {
+
+/// Names of the Table 1 circuits, in paper order.
+[[nodiscard]] std::span<const std::string_view> table1_circuit_names();
+
+/// Statistical profile for a named ISCAS85 circuit (c1908, c2670, c3540,
+/// c5315, c7552). Throws iddq::LookupError for unknown names and for c6288
+/// (which is structurally generated, not profile-sampled).
+[[nodiscard]] DagProfile iscas_profile(std::string_view name);
+
+/// Builds the stand-in for any Table 1 circuit (case-insensitive name).
+/// c6288 maps to the 16x16 array multiplier; the rest are profile-sampled.
+[[nodiscard]] Netlist make_iscas_like(std::string_view name);
+
+}  // namespace iddq::netlist::gen

@@ -1,0 +1,172 @@
+#include "netlist/gen/multiplier.hpp"
+
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "support/error.hpp"
+
+namespace iddq::netlist::gen {
+
+namespace {
+
+/// Helper emitting NOR-cell adders with systematic names.
+class MultBuilder {
+ public:
+  explicit MultBuilder(NetlistBuilder& b) : b_(b) {}
+
+  GateId nor(std::string name, GateId a, GateId b) {
+    return b_.add_gate(GateKind::kNor, std::move(name), {a, b});
+  }
+
+  /// 9-NOR full adder; returns {sum, carry}. See header for the cell netlist.
+  std::pair<GateId, GateId> full_add(const std::string& tag, GateId a,
+                                     GateId b, GateId c) {
+    const GateId n1 = nor(tag + "_n1", a, b);
+    const GateId n2 = nor(tag + "_n2", a, n1);
+    const GateId n3 = nor(tag + "_n3", b, n1);
+    const GateId x = nor(tag + "_x", n2, n3);  // XNOR(a,b)
+    const GateId p1 = nor(tag + "_p1", x, c);
+    const GateId p2 = nor(tag + "_p2", x, p1);
+    const GateId p3 = nor(tag + "_p3", c, p1);
+    const GateId s = nor(tag + "_s", p2, p3);      // a ^ b ^ c
+    const GateId cout = nor(tag + "_co", n1, p1);  // majority(a,b,c)
+    return {s, cout};
+  }
+
+  /// NOR/NOT half adder; returns {sum, carry}.
+  std::pair<GateId, GateId> half_add(const std::string& tag, GateId a,
+                                     GateId b) {
+    const GateId n1 = nor(tag + "_n1", a, b);
+    const GateId n2 = nor(tag + "_n2", a, n1);
+    const GateId n3 = nor(tag + "_n3", b, n1);
+    const GateId xn = nor(tag + "_xn", n2, n3);                   // XNOR(a,b)
+    const GateId s = b_.add_gate(GateKind::kNot, tag + "_s", {xn});  // a ^ b
+    const GateId cout = nor(tag + "_co", n1, s);                  // a & b
+    return {s, cout};
+  }
+
+  /// Sum-only half adder (for the top product bit, whose carry is provably
+  /// zero — emitting it would leave a dangling gate).
+  GateId half_sum(const std::string& tag, GateId a, GateId b) {
+    const GateId n1 = nor(tag + "_n1", a, b);
+    const GateId n2 = nor(tag + "_n2", a, n1);
+    const GateId n3 = nor(tag + "_n3", b, n1);
+    const GateId xn = nor(tag + "_xn", n2, n3);
+    return b_.add_gate(GateKind::kNot, tag + "_s", {xn});  // a ^ b
+  }
+
+ private:
+  NetlistBuilder& b_;
+};
+
+}  // namespace
+
+Netlist make_multiplier(std::size_t n, std::string_view name) {
+  require(n >= 2 && n <= 32, "make_multiplier: n must be in [2, 32]");
+  const std::string circuit_name =
+      name.empty() ? "mult" + std::to_string(n) + "x" + std::to_string(n)
+                   : std::string(name);
+  NetlistBuilder b(circuit_name);
+  MultBuilder mb(b);
+
+  std::vector<GateId> a(n);
+  std::vector<GateId> bb(n);
+  for (std::size_t i = 0; i < n; ++i)
+    a[i] = b.add_input("a" + std::to_string(i));
+  for (std::size_t j = 0; j < n; ++j)
+    bb[j] = b.add_input("b" + std::to_string(j));
+
+  // Partial products pp[i][j] = a_i & b_j, contributing at weight i+j.
+  std::vector<std::vector<GateId>> pp(n, std::vector<GateId>(n));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      pp[i][j] = b.add_gate(
+          GateKind::kAnd,
+          "pp_" + std::to_string(i) + "_" + std::to_string(j), {a[i], bb[j]});
+
+  // Carry-save array (the physical C6288 structure): each row j reduces its
+  // partial-product row against the previous row's sum bits, and the carries
+  // are passed *diagonally down* to the next row instead of rippling within
+  // the row. Every cell therefore depends only on row j-1, which keeps the
+  // possible-transition-time sets T(g) narrow — the regular 2-D wavefront
+  // that makes C6288 the interesting shape case for BIC partitioning.
+  std::vector<GateId> sum_at(2 * n, kNoGate);    // S_j, weight-indexed
+  std::vector<GateId> carry_in(2 * n, kNoGate);  // carries entering row j+1
+  for (std::size_t i = 0; i < n; ++i) sum_at[i] = pp[i][0];
+
+  for (std::size_t j = 1; j < n; ++j) {
+    std::vector<GateId> carry_next(2 * n, kNoGate);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t w = j + i;
+      const std::string tag =
+          "r" + std::to_string(j) + "_c" + std::to_string(i);
+      GateId ops[3];
+      std::size_t count = 0;
+      ops[count++] = pp[i][j];
+      if (sum_at[w] != kNoGate) ops[count++] = sum_at[w];
+      if (carry_in[w] != kNoGate) ops[count++] = carry_in[w];
+      if (count == 3) {
+        const auto [s, c] = mb.full_add(tag, ops[0], ops[1], ops[2]);
+        sum_at[w] = s;
+        carry_next[w + 1] = c;
+      } else if (count == 2) {
+        const auto [s, c] = mb.half_add(tag, ops[0], ops[1]);
+        sum_at[w] = s;
+        carry_next[w + 1] = c;
+      } else {
+        sum_at[w] = ops[0];
+      }
+    }
+    // A carry entering a weight beyond the row's top cell survives to the
+    // next row untouched.
+    for (std::size_t w = j + n; w < 2 * n; ++w) {
+      if (carry_in[w] != kNoGate) {
+        IDDQ_ASSERT(carry_next[w] == kNoGate);
+        carry_next[w] = carry_in[w];
+      }
+    }
+    carry_in = std::move(carry_next);
+  }
+
+  // Final vector-merge adder: ripple the surviving carries into the sums
+  // (weights n .. 2n-1), the "last row" of the physical array.
+  GateId ripple = kNoGate;
+  for (std::size_t w = n; w < 2 * n; ++w) {
+    const std::string tag = "fin_w" + std::to_string(w);
+    GateId ops[3];
+    std::size_t count = 0;
+    if (sum_at[w] != kNoGate) ops[count++] = sum_at[w];
+    if (carry_in[w] != kNoGate) ops[count++] = carry_in[w];
+    if (ripple != kNoGate) ops[count++] = ripple;
+    const bool top = (w == 2 * n - 1);  // carry out of the MSB is provably 0
+    if (count == 3) {
+      IDDQ_ASSERT(!top);
+      const auto [s, c] = mb.full_add(tag, ops[0], ops[1], ops[2]);
+      sum_at[w] = s;
+      ripple = c;
+    } else if (count == 2) {
+      if (top) {
+        sum_at[w] = mb.half_sum(tag, ops[0], ops[1]);
+        ripple = kNoGate;
+      } else {
+        const auto [s, c] = mb.half_add(tag, ops[0], ops[1]);
+        sum_at[w] = s;
+        ripple = c;
+      }
+    } else if (count == 1) {
+      sum_at[w] = ops[0];
+      ripple = kNoGate;
+    } else {
+      sum_at[w] = kNoGate;  // unreachable for n >= 2; guarded below
+    }
+  }
+  IDDQ_ASSERT(ripple == kNoGate);
+
+  for (std::size_t w = 0; w < 2 * n; ++w) {
+    IDDQ_ASSERT(sum_at[w] != kNoGate);
+    b.mark_output(sum_at[w]);
+  }
+  return std::move(b).build();
+}
+
+}  // namespace iddq::netlist::gen

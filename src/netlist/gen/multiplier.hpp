@@ -1,0 +1,29 @@
+// Gate-level n x n parallel array multiplier (C6288 structure).
+//
+// ISCAS85 C6288 is a 16x16 array multiplier built from a 2-D grid of NOR-only
+// adder cells; its regular array structure and large logical depth make it
+// the interesting shape case for BIC-sensor partitioning (DESIGN.md §4,
+// Figure 2 discussion). make_multiplier(16) produces a functionally verified
+// multiplier of ~2400 gates using the classic 9-NOR full-adder cell:
+//
+//   n1 = NOR(a,b)   n2 = NOR(a,n1)   n3 = NOR(b,n1)   x = NOR(n2,n3)  ; XNOR
+//   p1 = NOR(x,c)   p2 = NOR(x,p1)   p3 = NOR(c,p1)   s = NOR(p2,p3)  ; SUM
+//   cout = NOR(n1, p1)
+//
+// Inputs a0..a(n-1), b0..b(n-1); outputs p0..p(2n-1) with
+// p = a * b (unsigned), verified by the logic-simulator tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace iddq::netlist::gen {
+
+/// Builds an n x n unsigned array multiplier. n must be in [2, 32].
+[[nodiscard]] Netlist make_multiplier(std::size_t n,
+                                      std::string_view name = "");
+
+}  // namespace iddq::netlist::gen

@@ -1,0 +1,182 @@
+#include "netlist/gen/random_dag.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::netlist::gen {
+
+namespace {
+
+/// Draws an index from a discrete weight table with precomputed total.
+std::size_t draw_weighted(Rng& rng, std::span<const double> weights,
+                          double total) {
+  double x = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace
+
+DagProfile DagProfile::basic(std::string name, std::size_t gates,
+                             std::size_t depth, std::uint64_t seed) {
+  DagProfile p;
+  p.name = std::move(name);
+  p.gates = gates;
+  p.depth = depth;
+  p.seed = seed;
+  p.inputs = std::max<std::size_t>(4, gates / 20);
+  p.outputs = std::max<std::size_t>(2, gates / 30);
+  p.kind_weights[static_cast<std::size_t>(GateKind::kNot)] = 0.25;
+  p.kind_weights[static_cast<std::size_t>(GateKind::kNand)] = 0.40;
+  p.kind_weights[static_cast<std::size_t>(GateKind::kNor)] = 0.15;
+  p.kind_weights[static_cast<std::size_t>(GateKind::kAnd)] = 0.10;
+  p.kind_weights[static_cast<std::size_t>(GateKind::kOr)] = 0.10;
+  p.fanin_weights = {0.80, 0.15, 0.05, 0.0};
+  return p;
+}
+
+Netlist make_random_dag(const DagProfile& profile) {
+  require(profile.gates >= profile.depth,
+          "random dag: gate count must be >= depth");
+  require(profile.depth >= 1, "random dag: depth must be >= 1");
+  require(profile.inputs >= 1, "random dag: need at least one input");
+  require(profile.outputs >= 1, "random dag: need at least one output");
+
+  double kind_total = 0.0;
+  for (std::size_t k = 0; k < kGateKindCount; ++k) {
+    if (k == static_cast<std::size_t>(GateKind::kInput)) continue;
+    require(profile.kind_weights[k] >= 0.0, "random dag: negative kind weight");
+    kind_total += profile.kind_weights[k];
+  }
+  require(kind_total > 0.0, "random dag: all kind weights are zero");
+  double fanin_total = 0.0;
+  for (const double w : profile.fanin_weights) fanin_total += w;
+  require(fanin_total > 0.0, "random dag: all fanin weights are zero");
+
+  Rng rng(profile.seed);
+  NetlistBuilder b(profile.name);
+
+  std::vector<GateId> inputs;
+  inputs.reserve(profile.inputs);
+  for (std::size_t i = 0; i < profile.inputs; ++i)
+    inputs.push_back(b.add_input("pi" + std::to_string(i)));
+
+  // Distribute gates over levels: every level gets at least one gate; the
+  // remainder is spread with a mid-depth bulge (flat floor + parabola),
+  // mimicking the level-population shape of the ISCAS circuits.
+  std::vector<std::size_t> level_size(profile.depth, 1);
+  {
+    const std::size_t remaining = profile.gates - profile.depth;
+    std::vector<double> w(profile.depth);
+    double wt = 0.0;
+    for (std::size_t l = 0; l < profile.depth; ++l) {
+      const double x =
+          (static_cast<double>(l) + 0.5) / static_cast<double>(profile.depth);
+      w[l] = 0.25 + x * (1.0 - x);
+      wt += w[l];
+    }
+    for (std::size_t i = 0; i < remaining; ++i)
+      level_size[draw_weighted(rng, w, wt)]++;
+  }
+
+  // fanout_count[id]: running fanout of every created vertex (self-tracked;
+  // used to steer fanin selection toward fanout-free gates so that the
+  // number of unintended sinks stays small).
+  std::vector<std::size_t> fanout_count(profile.inputs, 0);
+  std::vector<std::vector<GateId>> by_level(profile.depth + 1);
+  by_level[0] = inputs;
+
+  std::size_t made = 0;
+  std::size_t next_input = 0;  // round-robin so every PI drives something
+  for (std::size_t level = 1; level <= profile.depth; ++level) {
+    by_level[level].reserve(level_size[level - 1]);
+    for (std::size_t i = 0; i < level_size[level - 1]; ++i) {
+      const auto kind = static_cast<GateKind>(
+          draw_weighted(rng, profile.kind_weights, kind_total));
+      std::size_t fanin_n = 1;
+      if (kind != GateKind::kNot && kind != GateKind::kBuf)
+        fanin_n = 2 + draw_weighted(rng, profile.fanin_weights, fanin_total);
+
+      std::vector<GateId> fanins;
+      fanins.reserve(fanin_n);
+      // First fanin comes from the previous level, pinning depth == level.
+      const auto& prev = by_level[level - 1];
+      GateId first = prev[rng.index(prev.size())];
+      if (level == 1 && next_input < inputs.size()) {
+        first = inputs[next_input++];
+      } else {
+        std::size_t tries = 4;  // prefer a sink from the previous level
+        while (tries-- > 0 && fanout_count[first] != 0)
+          first = prev[rng.index(prev.size())];
+      }
+      fanins.push_back(first);
+      std::size_t attempts = 0;
+      while (fanins.size() < fanin_n && attempts < 64) {
+        ++attempts;
+        // Level-local fanin choice: real circuits are cone-structured, so a
+        // gate's side inputs come mostly from nearby levels (geometric
+        // fall-off), keeping the transition-time sets T(g) narrow — the
+        // structure the paper's max-current estimator exploits.
+        std::size_t back = 1;
+        while (back < level && rng.chance(0.35)) ++back;
+        const std::size_t src_level = level - back;
+        const auto& pool = by_level[src_level];
+        GateId cand = pool[rng.index(pool.size())];
+        // Bias toward current sinks so the finished circuit does not leak
+        // far more primary outputs than the profile requests.
+        for (int retry = 0; retry < 6 && fanout_count[cand] != 0; ++retry)
+          cand = pool[rng.index(pool.size())];
+        if (std::find(fanins.begin(), fanins.end(), cand) != fanins.end())
+          continue;
+        fanins.push_back(cand);
+      }
+      if (fanins.size() < 2 &&
+          (kind != GateKind::kNot && kind != GateKind::kBuf)) {
+        // Degenerate tiny pools: fall back to an inverter.
+        const GateId id = b.add_gate(GateKind::kNot,
+                                     "g" + std::to_string(made), {fanins[0]});
+        fanout_count[fanins[0]]++;
+        fanout_count.push_back(0);
+        by_level[level].push_back(id);
+        ++made;
+        continue;
+      }
+      for (const GateId f : fanins) fanout_count[f]++;
+      const GateId id =
+          b.add_gate(kind, "g" + std::to_string(made), std::move(fanins));
+      fanout_count.push_back(0);
+      by_level[level].push_back(id);
+      ++made;
+    }
+  }
+  IDDQ_ASSERT(made == profile.gates);
+
+  // Primary outputs: every sink (fanout-free logic gate) must be observable;
+  // pad with random deep gates up to the requested count.
+  std::vector<GateId> sinks;
+  for (std::size_t id = profile.inputs; id < fanout_count.size(); ++id)
+    if (fanout_count[id] == 0) sinks.push_back(static_cast<GateId>(id));
+  for (const GateId s : sinks) b.mark_output(s);
+  std::size_t marked = sinks.size();
+  // Pad from the deepest levels down.
+  for (std::size_t level = profile.depth; level >= 1 && marked < profile.outputs;
+       --level) {
+    for (const GateId id : by_level[level]) {
+      if (marked >= profile.outputs) break;
+      if (fanout_count[id] != 0) {
+        b.mark_output(id);
+        ++marked;
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace iddq::netlist::gen

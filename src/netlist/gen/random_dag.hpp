@@ -1,0 +1,50 @@
+// Profile-driven random DAG generator.
+//
+// Produces deterministic pseudo-random combinational circuits matching a
+// statistical profile: primary input/output counts, logic-gate count, logical
+// depth, gate-kind mix, and fan-in distribution. Used to synthesize stand-ins
+// for the ISCAS85 benchmark circuits (see iscas_profiles.hpp and the
+// substitution note in DESIGN.md §2).
+//
+// Construction guarantees:
+//  * exact logic-gate count and exact logical depth (every level non-empty,
+//    each gate takes one fanin from the previous level);
+//  * acyclic by construction (fanins only from strictly lower levels);
+//  * every primary input drives at least one gate;
+//  * primary outputs = all sinks (fanout-free gates), padded with random
+//    deep gates up to the requested count when needed (the generator keeps
+//    the number of sinks close to the requested output count by preferring
+//    fanout-free gates when selecting fanins).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "netlist/gate.hpp"
+#include "netlist/netlist.hpp"
+
+namespace iddq::netlist::gen {
+
+struct DagProfile {
+  std::string name;
+  std::size_t inputs = 8;
+  std::size_t outputs = 4;
+  std::size_t gates = 100;
+  std::size_t depth = 10;
+  /// Relative weight of each gate kind (kInput entry ignored).
+  std::array<double, kGateKindCount> kind_weights{};
+  /// Relative weight of fan-in 2, 3, 4 and 5 for multi-input kinds.
+  std::array<double, 4> fanin_weights{1.0, 0.0, 0.0, 0.0};
+  std::uint64_t seed = 1;
+
+  /// A small, fully valid default mix (NAND-heavy).
+  [[nodiscard]] static DagProfile basic(std::string name, std::size_t gates,
+                                        std::size_t depth, std::uint64_t seed);
+};
+
+/// Generates a circuit following `profile`. Throws iddq::Error when the
+/// profile is infeasible (e.g. depth > gates, or no positive kind weight).
+[[nodiscard]] Netlist make_random_dag(const DagProfile& profile);
+
+}  // namespace iddq::netlist::gen

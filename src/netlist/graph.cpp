@@ -1,0 +1,42 @@
+#include "netlist/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace iddq::netlist {
+
+UndirectedGraph::UndirectedGraph(const Netlist& nl) {
+  adjacency_.resize(nl.gate_count());
+  for (GateId id = 0; id < nl.gate_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    auto& adj = adjacency_[id];
+    adj.reserve(g.fanins.size() + g.fanouts.size());
+    adj.insert(adj.end(), g.fanins.begin(), g.fanins.end());
+    adj.insert(adj.end(), g.fanouts.begin(), g.fanouts.end());
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+  for (const auto& adj : adjacency_) edges_ += adj.size();
+  edges_ /= 2;
+}
+
+std::vector<std::uint32_t> bfs_within(const UndirectedGraph& graph,
+                                      GateId source, std::uint32_t radius) {
+  std::vector<std::uint32_t> dist(graph.vertex_count(), kUnreached);
+  dist[source] = 0;
+  std::deque<GateId> queue{source};
+  while (!queue.empty()) {
+    const GateId u = queue.front();
+    queue.pop_front();
+    if (dist[u] >= radius) continue;
+    for (const GateId v : graph.neighbors(u)) {
+      if (dist[v] == kUnreached) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace iddq::netlist

@@ -1,0 +1,72 @@
+#include "netlist/levelize.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace iddq::netlist {
+
+std::vector<GateId> topological_order(const Netlist& nl) {
+  const std::size_t n = nl.gate_count();
+  std::vector<std::size_t> pending(n, 0);
+  std::vector<GateId> order;
+  order.reserve(n);
+  std::vector<GateId> ready;
+  for (GateId id = 0; id < n; ++id) {
+    pending[id] = nl.gate(id).fanins.size();
+    if (pending[id] == 0) ready.push_back(id);
+  }
+  while (!ready.empty()) {
+    const GateId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (const GateId out : nl.gate(id).fanouts) {
+      IDDQ_ASSERT(pending[out] > 0);
+      if (--pending[out] == 0) ready.push_back(out);
+    }
+  }
+  IDDQ_ASSERT(order.size() == n);  // build() guarantees acyclicity
+  return order;
+}
+
+bool is_acyclic(const Netlist& nl) {
+  const std::size_t n = nl.gate_count();
+  std::vector<std::size_t> pending(n, 0);
+  std::vector<GateId> ready;
+  std::size_t seen = 0;
+  for (GateId id = 0; id < n; ++id) {
+    pending[id] = nl.gate(id).fanins.size();
+    if (pending[id] == 0) ready.push_back(id);
+  }
+  while (!ready.empty()) {
+    const GateId id = ready.back();
+    ready.pop_back();
+    ++seen;
+    for (const GateId out : nl.gate(id).fanouts)
+      if (--pending[out] == 0) ready.push_back(out);
+  }
+  return seen == n;
+}
+
+Levels levelize(const Netlist& nl) {
+  const std::size_t n = nl.gate_count();
+  Levels lv;
+  lv.depth.assign(n, 0);
+  lv.min_depth.assign(n, 0);
+  for (const GateId id : topological_order(nl)) {
+    const Gate& g = nl.gate(id);
+    if (g.fanins.empty()) continue;  // primary input
+    std::size_t dmax = 0;
+    std::size_t dmin = static_cast<std::size_t>(-1);
+    for (const GateId f : g.fanins) {
+      dmax = std::max(dmax, lv.depth[f]);
+      dmin = std::min(dmin, lv.min_depth[f]);
+    }
+    lv.depth[id] = dmax + 1;
+    lv.min_depth[id] = dmin + 1;
+    lv.max_depth = std::max(lv.max_depth, lv.depth[id]);
+  }
+  return lv;
+}
+
+}  // namespace iddq::netlist

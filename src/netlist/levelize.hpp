@@ -1,0 +1,38 @@
+// Levelization: topological ordering and depth assignment.
+//
+// Depth is the unit-delay transition-time grid of the paper's current
+// estimator (section 3.1): primary inputs sit at depth 0, a logic gate fed
+// only by inputs at depth 1, and in general
+//   depth(g) = 1 + max over fanins of depth(fanin).
+// The *minimum* depth (1 + min over fanins) bounds the earliest possible
+// transition; the full set of possible transition times is computed in
+// estimators/transition_times.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace iddq::netlist {
+
+/// Gate ids in a topological order (fanins before fanouts). Inputs first.
+[[nodiscard]] std::vector<GateId> topological_order(const Netlist& nl);
+
+/// True when the netlist is a DAG. (Builder::build() enforces this, so it
+/// holds for every constructed Netlist; exposed for tests and parsers.)
+[[nodiscard]] bool is_acyclic(const Netlist& nl);
+
+struct Levels {
+  /// depth[g]: longest path (in gates) from any primary input; inputs = 0.
+  std::vector<std::size_t> depth;
+  /// min_depth[g]: shortest such path.
+  std::vector<std::size_t> min_depth;
+  /// Maximum of depth[] over all gates (the circuit's logical depth).
+  std::size_t max_depth = 0;
+};
+
+/// Computes depths for every gate.
+[[nodiscard]] Levels levelize(const Netlist& nl);
+
+}  // namespace iddq::netlist

@@ -1,0 +1,31 @@
+#include "netlist/netlist.hpp"
+
+#include "support/error.hpp"
+
+namespace iddq::netlist {
+
+const Gate& Netlist::gate(GateId id) const {
+  IDDQ_ASSERT(id < gates_.size());
+  return gates_[id];
+}
+
+bool Netlist::is_primary_output(GateId id) const {
+  IDDQ_ASSERT(id < gates_.size());
+  return is_output_[id];
+}
+
+std::optional<GateId> Netlist::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+GateId Netlist::at(std::string_view name) const {
+  const auto id = find(name);
+  if (!id)
+    throw LookupError("netlist '" + name_ + "': no gate named '" +
+                      std::string(name) + "'");
+  return *id;
+}
+
+}  // namespace iddq::netlist

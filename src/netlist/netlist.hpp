@@ -1,0 +1,75 @@
+// Netlist: an immutable-after-build gate-level circuit.
+//
+// Construction goes through NetlistBuilder (builder.hpp) or one of the
+// generators (gen/); the class itself only offers queries. Gate ids are dense
+// [0, gate_count()), stable, and ordered by creation.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace iddq::netlist {
+
+class NetlistBuilder;
+
+class Netlist {
+ public:
+  /// Circuit name (e.g. "c17").
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] std::size_t gate_count() const noexcept {
+    return gates_.size();
+  }
+
+  /// Number of logic gates (gate_count() minus primary inputs).
+  [[nodiscard]] std::size_t logic_gate_count() const noexcept {
+    return gates_.size() - inputs_.size();
+  }
+
+  [[nodiscard]] const Gate& gate(GateId id) const;
+
+  [[nodiscard]] std::span<const Gate> gates() const noexcept { return gates_; }
+
+  /// Primary inputs, in declaration order.
+  [[nodiscard]] std::span<const GateId> primary_inputs() const noexcept {
+    return inputs_;
+  }
+
+  /// Primary outputs: ids of the gates whose output signal is observable.
+  [[nodiscard]] std::span<const GateId> primary_outputs() const noexcept {
+    return outputs_;
+  }
+
+  /// Ids of all logic gates (kind != kInput), ascending.
+  [[nodiscard]] std::span<const GateId> logic_gates() const noexcept {
+    return logic_gates_;
+  }
+
+  /// True when `id` is marked as a primary output.
+  [[nodiscard]] bool is_primary_output(GateId id) const;
+
+  /// Finds a gate by name; returns std::nullopt when absent.
+  [[nodiscard]] std::optional<GateId> find(std::string_view name) const;
+
+  /// Finds a gate by name; throws iddq::LookupError when absent.
+  [[nodiscard]] GateId at(std::string_view name) const;
+
+ private:
+  friend class NetlistBuilder;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> logic_gates_;
+  std::vector<bool> is_output_;
+  std::unordered_map<std::string, GateId> by_name_;
+};
+
+}  // namespace iddq::netlist

@@ -1,0 +1,45 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "netlist/levelize.hpp"
+
+namespace iddq::netlist {
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.inputs = nl.primary_inputs().size();
+  s.outputs = nl.primary_outputs().size();
+  s.logic_gates = nl.logic_gate_count();
+  s.max_depth = levelize(nl).max_depth;
+  std::size_t fanin_sum = 0;
+  std::size_t fanout_sum = 0;
+  for (const auto& g : nl.gates()) {
+    s.by_kind[static_cast<std::size_t>(g.kind)]++;
+    fanout_sum += g.fanouts.size();
+    s.max_fanout = std::max(s.max_fanout, g.fanouts.size());
+    if (is_logic(g.kind)) fanin_sum += g.fanins.size();
+  }
+  if (s.logic_gates > 0)
+    s.avg_fanin = static_cast<double>(fanin_sum) / static_cast<double>(s.logic_gates);
+  if (nl.gate_count() > 0)
+    s.avg_fanout =
+        static_cast<double>(fanout_sum) / static_cast<double>(nl.gate_count());
+  return s;
+}
+
+void print_stats(std::ostream& os, const Netlist& nl) {
+  const NetlistStats s = compute_stats(nl);
+  os << nl.name() << ": " << s.inputs << " PI, " << s.outputs << " PO, "
+     << s.logic_gates << " gates, depth " << s.max_depth << ", avg fanin "
+     << s.avg_fanin << ", max fanout " << s.max_fanout << '\n';
+  os << "  kinds:";
+  for (std::size_t k = 0; k < kGateKindCount; ++k) {
+    if (s.by_kind[k] == 0) continue;
+    os << ' ' << to_string(static_cast<GateKind>(k)) << '=' << s.by_kind[k];
+  }
+  os << '\n';
+}
+
+}  // namespace iddq::netlist

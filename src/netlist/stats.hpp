@@ -1,0 +1,31 @@
+// Netlist summary statistics, used by the generators (profile matching),
+// reports, and tests.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+
+#include "netlist/gate.hpp"
+#include "netlist/netlist.hpp"
+
+namespace iddq::netlist {
+
+struct NetlistStats {
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t logic_gates = 0;
+  std::size_t max_depth = 0;
+  double avg_fanin = 0.0;   // over logic gates
+  double avg_fanout = 0.0;  // over all gates
+  std::size_t max_fanout = 0;
+  /// Gate counts per kind, indexed by static_cast<size_t>(GateKind).
+  std::array<std::size_t, kGateKindCount> by_kind{};
+};
+
+[[nodiscard]] NetlistStats compute_stats(const Netlist& nl);
+
+/// Human-readable one-circuit summary block.
+void print_stats(std::ostream& os, const Netlist& nl);
+
+}  // namespace iddq::netlist

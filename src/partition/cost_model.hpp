@@ -1,0 +1,58 @@
+// Cost model: the paper's weighted multi-objective function (sections 2-3).
+//
+//   C(Pi) = a1*c1 + a2*c2 + a3*c3 + a4*c4 + a5*c5
+//
+//   c1 = log(sum_i A_i)        BIC sensor area
+//   c2 = (D_BIC - D) / D       circuit delay overhead
+//   c3 = log(sum_k S(M_k))     intra-module connectivity cost
+//   c4 = test-time overhead    (D_BIC + max_i Delta(tau_i)) / D - 1
+//   c5 = K                     sensor count (test clock / test-out routing)
+//
+// Default weights are the paper's section 5 choice: 9, 1e5, 1, 1, 10.
+// The discriminability constraint Gamma is handled separately (hard
+// constraint with a violation measure for lexicographic selection).
+#pragma once
+
+#include <array>
+
+namespace iddq::part {
+
+struct CostWeights {
+  double a1 = 9.0;
+  double a2 = 1.0e5;
+  double a3 = 1.0;
+  double a4 = 1.0;
+  double a5 = 10.0;
+};
+
+struct Costs {
+  double c1 = 0.0;
+  double c2 = 0.0;
+  double c3 = 0.0;
+  double c4 = 0.0;
+  double c5 = 0.0;
+
+  [[nodiscard]] double total(const CostWeights& w) const {
+    return w.a1 * c1 + w.a2 * c2 + w.a3 * c3 + w.a4 * c4 + w.a5 * c5;
+  }
+  [[nodiscard]] std::array<double, 5> as_array() const {
+    return {c1, c2, c3, c4, c5};
+  }
+};
+
+/// Fitness for selection: lexicographic (constraint violation, cost) so an
+/// infeasible partition never outranks a feasible one (hard Gamma as in the
+/// paper).
+struct Fitness {
+  double violation = 0.0;  // 0 when all modules meet the discriminability
+  double cost = 0.0;
+
+  [[nodiscard]] bool feasible() const noexcept { return violation <= 0.0; }
+
+  friend bool operator<(const Fitness& a, const Fitness& b) {
+    if (a.violation != b.violation) return a.violation < b.violation;
+    return a.cost < b.cost;
+  }
+};
+
+}  // namespace iddq::part

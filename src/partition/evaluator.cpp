@@ -1,0 +1,297 @@
+#include "partition/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "electrical/delay_model.hpp"
+#include "estimators/delay_estimator.hpp"
+#include "estimators/leakage.hpp"
+#include "netlist/levelize.hpp"
+#include "estimators/separation.hpp"
+#include "estimators/test_time.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+#include "support/units.hpp"
+
+namespace iddq::part {
+
+namespace {
+
+/// Key for deduplicating (cg, rg) pairs into dense type indices.
+struct CgRgKey {
+  double cg;
+  double rg;
+  friend bool operator==(const CgRgKey&, const CgRgKey&) = default;
+};
+struct CgRgHash {
+  std::size_t operator()(const CgRgKey& k) const noexcept {
+    const auto h1 = std::hash<double>{}(k.cg);
+    const auto h2 = std::hash<double>{}(k.rg);
+    return h1 ^ (h2 * 0x9E3779B97F4A7C15ull);
+  }
+};
+
+}  // namespace
+
+EvalContext::EvalContext(const netlist::Netlist& netlist,
+                         const lib::CellLibrary& library,
+                         elec::SensorSpec sensor_spec, CostWeights w,
+                         std::uint32_t rho, double grid_bin_ps)
+    : nl(netlist),
+      cells(lib::bind_cells(netlist, library)),
+      transition_times(netlist, cells, grid_bin_ps),
+      oracle(netlist, rho),
+      settling(elec::SettlingModel::calibrate(sensor_spec.t_detect_ps)),
+      sensor(sensor_spec),
+      weights(w) {
+  sensor.validate();
+  // Dense (cg, rg) type indexing for the delay-anchor cache.
+  type_of.assign(nl.gate_count(), 0);
+  std::unordered_map<CgRgKey, std::uint16_t, CgRgHash> index;
+  for (const netlist::GateId id : nl.logic_gates()) {
+    const CgRgKey key{cells[id].cout_ff, cells[id].rg_kohm};
+    const auto [it, inserted] = index.emplace(
+        key, static_cast<std::uint16_t>(type_cg_ff.size()));
+    if (inserted) {
+      type_cg_ff.push_back(key.cg);
+      type_rg_kohm.push_back(key.rg);
+    }
+    type_of[id] = it->second;
+  }
+  type_count = type_cg_ff.size();
+  d_nominal_ps = est::nominal_critical_path_ps(nl, cells);
+  leak_cap_ua = elec::leakage_cap_ua(sensor);
+}
+
+PartitionEvaluator::PartitionEvaluator(const EvalContext& ctx,
+                                       Partition partition)
+    : ctx_(&ctx), partition_(std::move(partition)) {
+  require(partition_.covers(ctx_->nl),
+          "evaluator: partition must cover all logic gates with no empty "
+          "module");
+  rebuild_all();
+}
+
+void PartitionEvaluator::rebuild_all() {
+  const std::size_t k = partition_.module_count();
+  profiles_.assign(k, est::ModuleCurrentProfile(
+                          ctx_->transition_times.grid_size()));
+  leak_ua_.assign(k, 0.0);
+  cvr_ff_.assign(k, 0.0);
+  separation_.assign(k, 0.0);
+  type_histogram_.assign(k, std::vector<std::uint32_t>(ctx_->type_count, 0));
+  std::vector<std::uint32_t> module_of(partition_.gate_count(), kUnassigned);
+  for (netlist::GateId g = 0; g < partition_.gate_count(); ++g)
+    module_of[g] = partition_.module_of(g);
+  for (std::uint32_t m = 0; m < k; ++m) {
+    for (const netlist::GateId g : partition_.module(m)) {
+      const auto& cell = ctx_->cells[g];
+      profiles_[m].add_gate(ctx_->transition_times.at(g), cell.ipeak_ua);
+      leak_ua_[m] += units::na_to_ua(cell.ileak_na);
+      cvr_ff_[m] += cell.cvr_ff;
+      type_histogram_[m][ctx_->type_of[g]]++;
+    }
+    separation_[m] = est::module_separation(ctx_->oracle, partition_.module(m),
+                                            m, module_of);
+  }
+  delay_dirty_ = true;
+}
+
+void PartitionEvaluator::move_gate(netlist::GateId g, std::uint32_t target) {
+  const std::uint32_t src = partition_.module_of(g);
+  IDDQ_ASSERT(src != kUnassigned);
+  IDDQ_ASSERT(target < partition_.module_count());
+  if (src == target) return;
+
+  const auto& cell = ctx_->cells[g];
+  // Separation sums are updated while module_of still reflects the old
+  // assignment (g not yet in target, still in src); the near-list scan is
+  // inlined here to avoid materialising a module_of vector per move.
+  const double rho = static_cast<double>(ctx_->oracle.rho());
+  double sum_src = static_cast<double>(partition_.module_size(src) - 1) * rho;
+  double sum_dst = static_cast<double>(partition_.module_size(target)) * rho;
+  for (const auto& [neighbor, distance] : ctx_->oracle.near(g)) {
+    const std::uint32_t nm = partition_.module_of(neighbor);
+    if (nm == src)
+      sum_src -= rho - static_cast<double>(distance);
+    else if (nm == target)
+      sum_dst -= rho - static_cast<double>(distance);
+  }
+  separation_[src] -= sum_src;
+  separation_[target] += sum_dst;
+
+  profiles_[src].remove_gate(ctx_->transition_times.at(g), cell.ipeak_ua);
+  profiles_[target].add_gate(ctx_->transition_times.at(g), cell.ipeak_ua);
+  leak_ua_[src] -= units::na_to_ua(cell.ileak_na);
+  leak_ua_[target] += units::na_to_ua(cell.ileak_na);
+  cvr_ff_[src] -= cell.cvr_ff;
+  cvr_ff_[target] += cell.cvr_ff;
+  const std::uint16_t type = ctx_->type_of[g];
+  IDDQ_ASSERT(type_histogram_[src][type] > 0);
+  type_histogram_[src][type]--;
+  type_histogram_[target][type]++;
+
+  partition_.move(g, target);
+  if (partition_.module_size(src) == 0) erase_module(src);
+  delay_dirty_ = true;
+}
+
+void PartitionEvaluator::erase_module(std::uint32_t m) {
+  const std::uint32_t moved_from = partition_.erase_empty_module(m);
+  const std::uint32_t last = static_cast<std::uint32_t>(profiles_.size() - 1);
+  IDDQ_ASSERT(moved_from == last);
+  if (m != last) {
+    profiles_[m] = std::move(profiles_[last]);
+    leak_ua_[m] = leak_ua_[last];
+    cvr_ff_[m] = cvr_ff_[last];
+    separation_[m] = separation_[last];
+    type_histogram_[m] = std::move(type_histogram_[last]);
+  }
+  profiles_.pop_back();
+  leak_ua_.pop_back();
+  cvr_ff_.pop_back();
+  separation_.pop_back();
+  type_histogram_.pop_back();
+}
+
+double PartitionEvaluator::module_rs_kohm(std::uint32_t m) const {
+  return elec::sensor_rs_kohm(ctx_->sensor, profiles_[m].max_current_ua());
+}
+
+double PartitionEvaluator::module_cs_ff(std::uint32_t m) const {
+  return cvr_ff_[m] + ctx_->sensor.c_sensor_ff;
+}
+
+double PartitionEvaluator::violation() const {
+  double v = 0.0;
+  for (const double leak : leak_ua_) {
+    if (leak > ctx_->leak_cap_ua)
+      v += (leak - ctx_->leak_cap_ua) / ctx_->leak_cap_ua;
+  }
+  return v;
+}
+
+void PartitionEvaluator::ensure_delay_fresh() {
+  if (!delay_dirty_) return;
+  const std::size_t k = partition_.module_count();
+  // Worst-case degradation per (module, cell type): every gate of module m
+  // is charged the module's peak simultaneity n_max,m — the paper's
+  // pessimistic treatment of the time-grid functions delta(g, t). Note the
+  // self-normalisation: with R_s = r / iDD_max and iDD_max ~ n_max * ipeak,
+  // the product n_max * R_s ~ r / ipeak is partition-invariant, which is why
+  // the paper's Table 1 shows (and our benches reproduce) essentially equal
+  // delay overheads for different partitioning methods at equal K.
+  std::vector<std::vector<double>> type_delta(
+      k, std::vector<double>(ctx_->type_count, 1.0));
+  for (std::uint32_t m = 0; m < k; ++m) {
+    const double rs = module_rs_kohm(m);
+    const double cs = module_cs_ff(m);
+    const std::uint32_t n_max =
+        std::max<std::uint32_t>(profiles_[m].max_switching(), 1);
+    for (std::uint16_t t = 0; t < ctx_->type_count; ++t) {
+      if (type_histogram_[m][t] == 0) continue;
+      elec::DelayModelInput in;
+      in.rs_kohm = rs;
+      in.cs_ff = cs;
+      in.cg_ff = ctx_->type_cg_ff[t];
+      in.rg_kohm = ctx_->type_rg_kohm[t];
+      in.n = n_max;
+      type_delta[m][t] = elec::DelayDegradationModel::delta(in);
+    }
+  }
+  std::vector<double> delta(ctx_->nl.gate_count(), 1.0);
+  for (const netlist::GateId g : ctx_->nl.logic_gates()) {
+    const std::uint32_t m = partition_.module_of(g);
+    delta[g] = type_delta[m][ctx_->type_of[g]];
+  }
+  d_bic_ps_ = est::degraded_critical_path_ps(ctx_->nl, ctx_->cells, delta);
+
+  settle_max_ps_ = 0.0;
+  for (std::uint32_t m = 0; m < k; ++m) {
+    const double tau =
+        elec::sensor_tau_ps(module_rs_kohm(m), module_cs_ff(m));
+    const double settle = ctx_->settling.delta_ps(
+        tau, profiles_[m].max_current_ua(), ctx_->sensor.iddq_th_ua);
+    settle_max_ps_ = std::max(settle_max_ps_, settle);
+  }
+  delay_dirty_ = false;
+}
+
+double PartitionEvaluator::d_bic_ps() {
+  ensure_delay_fresh();
+  return d_bic_ps_;
+}
+
+double PartitionEvaluator::total_sensor_area() {
+  double area = 0.0;
+  for (std::uint32_t m = 0; m < partition_.module_count(); ++m)
+    area += elec::sensor_area(ctx_->sensor, module_rs_kohm(m));
+  return area;
+}
+
+Costs PartitionEvaluator::costs() {
+  ensure_delay_fresh();
+  Costs c;
+  c.c1 = std::log(std::max(total_sensor_area(), 1.0));
+  c.c2 = (d_bic_ps_ - ctx_->d_nominal_ps) / ctx_->d_nominal_ps;
+  double s_total = 0.0;
+  for (const double s : separation_) s_total += s;
+  c.c3 = std::log(std::max(s_total, 1.0));
+  c.c4 = est::test_time_overhead(ctx_->d_nominal_ps, d_bic_ps_,
+                                 settle_max_ps_);
+  c.c5 = static_cast<double>(partition_.module_count());
+  return c;
+}
+
+Fitness PartitionEvaluator::fitness() {
+  return Fitness{violation(), costs().total(ctx_->weights)};
+}
+
+ModuleReport PartitionEvaluator::module_report(std::uint32_t m) {
+  IDDQ_ASSERT(m < partition_.module_count());
+  ModuleReport r;
+  r.gates = partition_.module_size(m);
+  r.idd_max_ua = profiles_[m].max_current_ua();
+  r.leakage_ua = leak_ua_[m];
+  r.discriminability =
+      est::discriminability(ctx_->sensor.iddq_th_ua, leak_ua_[m]);
+  r.rs_kohm = module_rs_kohm(m);
+  r.cs_ff = module_cs_ff(m);
+  r.tau_ps = elec::sensor_tau_ps(r.rs_kohm, r.cs_ff);
+  r.area = elec::sensor_area(ctx_->sensor, r.rs_kohm);
+  r.separation = separation_[m];
+  r.rail_perturbation_mv = elec::rail_perturbation_mv(r.rs_kohm, r.idd_max_ua);
+  r.settle_ps =
+      ctx_->settling.delta_ps(r.tau_ps, r.idd_max_ua, ctx_->sensor.iddq_th_ua);
+  return r;
+}
+
+void PartitionEvaluator::self_check() const {
+  PartitionEvaluator fresh(*ctx_, partition_);
+  for (std::uint32_t m = 0; m < partition_.module_count(); ++m) {
+    // Switching counts are integers and must match exactly; the running
+    // current sums accumulate floating-point rounding in a different order
+    // than a fresh summation, so they are compared with a tolerance.
+    const auto fresh_sw = fresh.profiles_[m].switching();
+    const auto inc_sw = profiles_[m].switching();
+    require(std::equal(fresh_sw.begin(), fresh_sw.end(), inc_sw.begin(),
+                       inc_sw.end()),
+            "self_check: switching-count profile mismatch");
+    const auto fresh_i = fresh.profiles_[m].current_ua();
+    const auto inc_i = profiles_[m].current_ua();
+    for (std::size_t t = 0; t < fresh_i.size(); ++t)
+      require(math::rel_diff(fresh_i[t], inc_i[t]) < 1e-9,
+              "self_check: current profile mismatch");
+    require(math::rel_diff(fresh.leak_ua_[m], leak_ua_[m]) < 1e-9,
+            "self_check: leakage mismatch");
+    require(math::rel_diff(fresh.cvr_ff_[m], cvr_ff_[m]) < 1e-9,
+            "self_check: cvr mismatch");
+    require(math::rel_diff(fresh.separation_[m], separation_[m]) < 1e-9,
+            "self_check: separation mismatch");
+    require(fresh.type_histogram_[m] == type_histogram_[m],
+            "self_check: type histogram mismatch");
+  }
+}
+
+}  // namespace iddq::part

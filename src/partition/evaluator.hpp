@@ -1,0 +1,147 @@
+// PartitionEvaluator: incremental evaluation of constraints and costs.
+//
+// The paper's evolution strategy relies on recomputing costs "just for the
+// modified modules" (section 4.2). EvalContext holds everything immutable
+// per circuit (netlist, bound cells, transition-time sets, distance oracle,
+// settling model, sensor spec, weights); PartitionEvaluator holds one
+// partition plus per-module caches:
+//
+//   * current/count profiles  -> iDD_max,i, n_i(t)      (add/remove per gate)
+//   * leakage sums            -> discriminability check (O(1) per move)
+//   * separation sums S(M_i)  -> c3                     (O(|near|) per move)
+//   * virtual-rail capacitance-> tau_i                  (O(1) per move)
+//   * per-module cell-type counts -> delay-model anchors
+//
+// The delay terms (c2, c4) are inherently global (critical path), so they
+// are recomputed lazily on query, using the cached per-module profiles.
+// tests/partition/test_incremental.cpp verifies full == incremental on
+// random move sequences.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "electrical/sensor_model.hpp"
+#include "electrical/settling.hpp"
+#include "estimators/current_profile.hpp"
+#include "estimators/transition_times.hpp"
+#include "library/cell_library.hpp"
+#include "netlist/distance_oracle.hpp"
+#include "netlist/netlist.hpp"
+#include "partition/cost_model.hpp"
+#include "partition/partition.hpp"
+
+namespace iddq::part {
+
+/// Immutable per-circuit evaluation context (shared by many evaluators).
+class EvalContext {
+ public:
+  /// `grid_bin_ps` is the transition-time grid resolution (section 3.1's
+  /// time grid); the default resolves a quarter of the fastest default-
+  /// library cell.
+  EvalContext(const netlist::Netlist& nl, const lib::CellLibrary& library,
+              elec::SensorSpec sensor, CostWeights weights,
+              std::uint32_t rho = 4, double grid_bin_ps = 45.0);
+
+  const netlist::Netlist& nl;
+  std::vector<lib::CellParams> cells;      // by GateId
+  est::TransitionTimes transition_times;
+  netlist::DistanceOracle oracle;
+  elec::SettlingModel settling;
+  elec::SensorSpec sensor;
+  CostWeights weights;
+
+  /// Dense cell-type indexing for the delay-model anchor cache.
+  std::vector<std::uint16_t> type_of;      // by GateId; inputs = 0 (unused)
+  std::vector<double> type_cg_ff;          // by type index
+  std::vector<double> type_rg_kohm;        // by type index
+  std::size_t type_count = 0;
+
+  double d_nominal_ps = 0.0;               // critical path without sensors
+  double leak_cap_ua = 0.0;                // IDDQ_th / d
+};
+
+/// Per-module snapshot used by reports and benches.
+struct ModuleReport {
+  std::size_t gates = 0;
+  double idd_max_ua = 0.0;
+  double leakage_ua = 0.0;
+  double discriminability = 0.0;
+  double rs_kohm = 0.0;
+  double cs_ff = 0.0;
+  double tau_ps = 0.0;
+  double area = 0.0;
+  double separation = 0.0;
+  double rail_perturbation_mv = 0.0;
+  double settle_ps = 0.0;
+};
+
+class PartitionEvaluator {
+ public:
+  /// Takes ownership of the partition and fully computes all caches.
+  PartitionEvaluator(const EvalContext& ctx, Partition partition);
+
+  // Copyable: evolution-strategy children copy the parent and mutate.
+  PartitionEvaluator(const PartitionEvaluator&) = default;
+  PartitionEvaluator& operator=(const PartitionEvaluator&) = default;
+  PartitionEvaluator(PartitionEvaluator&&) = default;
+  PartitionEvaluator& operator=(PartitionEvaluator&&) = default;
+
+  [[nodiscard]] const Partition& partition() const noexcept {
+    return partition_;
+  }
+  [[nodiscard]] const EvalContext& context() const noexcept { return *ctx_; }
+
+  /// Moves a gate to another module, incrementally updating every cache.
+  /// Erases the source module if the move empties it (module indices shift
+  /// as documented on Partition::erase_empty_module).
+  void move_gate(netlist::GateId g, std::uint32_t target);
+
+  /// Constraint violation: sum over modules of the relative leakage excess
+  /// over IDDQ_th/d; 0 when the partition is feasible. O(K).
+  [[nodiscard]] double violation() const;
+
+  /// All five cost terms (recomputes the lazy delay terms when dirty).
+  [[nodiscard]] Costs costs();
+
+  /// Lexicographic fitness (violation, weighted cost).
+  [[nodiscard]] Fitness fitness();
+
+  /// Degraded critical path D_BIC, in ps (triggers delay evaluation).
+  [[nodiscard]] double d_bic_ps();
+
+  /// Per-module report for tables.
+  [[nodiscard]] ModuleReport module_report(std::uint32_t m);
+
+  /// Total BIC sensor area (sum over modules).
+  [[nodiscard]] double total_sensor_area();
+
+  /// Verification helper: recomputes every cache from scratch and compares
+  /// with the incrementally maintained state (throws on mismatch).
+  void self_check() const;
+
+ private:
+  void rebuild_all();
+  void erase_module(std::uint32_t m);
+  [[nodiscard]] double module_rs_kohm(std::uint32_t m) const;
+  [[nodiscard]] double module_cs_ff(std::uint32_t m) const;
+  void ensure_delay_fresh();
+
+  const EvalContext* ctx_;
+  Partition partition_;
+
+  // Per-module caches, indexed like partition_ modules.
+  std::vector<est::ModuleCurrentProfile> profiles_;
+  std::vector<double> leak_ua_;
+  std::vector<double> cvr_ff_;
+  std::vector<double> separation_;
+  std::vector<std::vector<std::uint32_t>> type_histogram_;
+
+  // Lazy global delay state.
+  bool delay_dirty_ = true;
+  double d_bic_ps_ = 0.0;
+  double settle_max_ps_ = 0.0;
+};
+
+}  // namespace iddq::part

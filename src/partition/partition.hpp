@@ -1,0 +1,84 @@
+// Partition: disjoint modules (groups of logic gates) covering the CUT.
+//
+// Paper section 2: a partition Pi of the gate set G is a collection
+// {M_1, ..., M_K} of disjoint modules covering G; every gate belongs to
+// exactly one module (whole transistor groups stay together, avoiding the
+// latch-up hazards of split groups). Primary inputs are never partitioned.
+//
+// The representation supports the evolution strategy's inner loop:
+//   * O(1) move of a gate between modules (swap-pop with position index),
+//   * O(|M_last|) deletion of an emptied module (swap with the last slot),
+//   * stable module indices otherwise.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace iddq::part {
+
+/// Module index sentinel for unassigned gates (primary inputs stay here).
+inline constexpr std::uint32_t kUnassigned = static_cast<std::uint32_t>(-1);
+
+class Partition {
+ public:
+  /// An empty partition over `gate_count` gates with `module_count` modules.
+  Partition(std::size_t gate_count, std::size_t module_count);
+
+  /// Builds a partition from explicit groups; every logic gate of `nl` must
+  /// appear in exactly one group (throws iddq::Error otherwise).
+  [[nodiscard]] static Partition from_groups(
+      const netlist::Netlist& nl,
+      std::span<const std::vector<netlist::GateId>> groups);
+
+  [[nodiscard]] std::size_t gate_count() const noexcept {
+    return module_of_.size();
+  }
+  [[nodiscard]] std::size_t module_count() const noexcept {
+    return modules_.size();
+  }
+
+  [[nodiscard]] std::uint32_t module_of(netlist::GateId g) const {
+    return module_of_[g];
+  }
+
+  [[nodiscard]] std::span<const netlist::GateId> module(
+      std::uint32_t m) const {
+    return modules_[m];
+  }
+
+  [[nodiscard]] std::size_t module_size(std::uint32_t m) const {
+    return modules_[m].size();
+  }
+
+  /// Number of gates assigned to any module.
+  [[nodiscard]] std::size_t assigned_count() const noexcept {
+    return assigned_;
+  }
+
+  /// Assigns a currently-unassigned gate to module `m`.
+  void assign(netlist::GateId g, std::uint32_t m);
+
+  /// Moves an assigned gate to another module. No-op when already there.
+  void move(netlist::GateId g, std::uint32_t target);
+
+  /// Removes module `m`, which must be empty. The last module is swapped
+  /// into slot m. Returns the index the swapped module previously had
+  /// (== new module_count() when m was the last slot, i.e. nothing moved).
+  std::uint32_t erase_empty_module(std::uint32_t m);
+
+  /// True when every logic gate of `nl` is assigned and no module is empty.
+  [[nodiscard]] bool covers(const netlist::Netlist& nl) const;
+
+  friend bool operator==(const Partition&, const Partition&) = default;
+
+ private:
+  std::vector<std::uint32_t> module_of_;
+  std::vector<std::uint32_t> pos_in_module_;
+  std::vector<std::vector<netlist::GateId>> modules_;
+  std::size_t assigned_ = 0;
+};
+
+}  // namespace iddq::part

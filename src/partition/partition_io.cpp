@@ -1,0 +1,87 @@
+#include "partition/partition_io.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace iddq::part {
+
+void write_partition(std::ostream& os, const netlist::Netlist& nl,
+                     const Partition& p) {
+  os << "partition " << nl.name() << " modules " << p.module_count() << '\n';
+  for (std::uint32_t m = 0; m < p.module_count(); ++m) {
+    os << "module " << m << ':';
+    for (const netlist::GateId g : p.module(m)) os << ' ' << nl.gate(g).name;
+    os << '\n';
+  }
+}
+
+std::string to_partition_string(const netlist::Netlist& nl,
+                                const Partition& p) {
+  std::ostringstream os;
+  write_partition(os, nl, p);
+  return os.str();
+}
+
+Partition read_partition_text(std::string_view text,
+                              const netlist::Netlist& nl,
+                              std::string_view source_label) {
+  std::vector<std::vector<netlist::GateId>> groups;
+  std::size_t declared_modules = 0;
+  bool saw_header = false;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = str::trim(line);
+    if (line.empty()) continue;
+
+    const auto words = str::split_ws(line);
+    if (words[0] == "partition") {
+      if (words.size() != 4 || words[2] != "modules" ||
+          !str::parse_size(words[3], declared_modules))
+        throw ParseError(source_label, line_no,
+                         "expected: partition NAME modules K");
+      saw_header = true;
+    } else if (words[0] == "module") {
+      if (!saw_header)
+        throw ParseError(source_label, line_no, "module before header");
+      if (words.size() < 2)
+        throw ParseError(source_label, line_no, "bad module line");
+      std::vector<netlist::GateId> gates;
+      // words[1] is "<index>:"; the index is informative only — order defines
+      // the module number.
+      for (std::size_t i = 2; i < words.size(); ++i) {
+        const auto id = nl.find(words[i]);
+        if (!id)
+          throw ParseError(source_label, line_no,
+                           "unknown gate '" + std::string(words[i]) + "'");
+        gates.push_back(*id);
+      }
+      // Gate names may also be glued to the colon token ("module 0: a b").
+      groups.push_back(std::move(gates));
+    } else {
+      throw ParseError(source_label, line_no,
+                       "unexpected token '" + std::string(words[0]) + "'");
+    }
+  }
+  if (!saw_header)
+    throw ParseError(source_label, 0, "missing partition header");
+  if (groups.size() != declared_modules)
+    throw ParseError(source_label, 0,
+                     "declared " + std::to_string(declared_modules) +
+                         " modules, found " + std::to_string(groups.size()));
+  return Partition::from_groups(nl, groups);
+}
+
+}  // namespace iddq::part

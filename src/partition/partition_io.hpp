@@ -1,0 +1,32 @@
+// Text serialization of partitions (save/restore of flow results).
+//
+// Format:
+//   # comment
+//   partition <circuit-name> modules <K>
+//   module 0: g1 g2 g3 ...
+//   module 1: ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+#include "partition/partition.hpp"
+
+namespace iddq::part {
+
+void write_partition(std::ostream& os, const netlist::Netlist& nl,
+                     const Partition& p);
+
+[[nodiscard]] std::string to_partition_string(const netlist::Netlist& nl,
+                                              const Partition& p);
+
+/// Parses a partition against `nl` (gate names must resolve; the cover
+/// property is enforced). Throws iddq::ParseError / iddq::Error.
+[[nodiscard]] Partition read_partition_text(std::string_view text,
+                                            const netlist::Netlist& nl,
+                                            std::string_view source_label =
+                                                "<text>");
+
+}  // namespace iddq::part

@@ -1,0 +1,114 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace iddq::report {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "table: need at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "table: row has " + std::to_string(cells.size()) + " cells, want " +
+              std::to_string(headers_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w;
+  total += 2 * (width.size() - 1);
+  for (std::size_t i = 0; i < total; ++i) os << '-';
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::to_markdown() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (const auto& cell : row) os << ' ' << cell << " |";
+    os << '\n';
+  };
+  emit(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      const bool quote = row[c].find_first_of(",\"\n") != std::string::npos;
+      if (!quote) {
+        os << row[c];
+      } else {
+        os << '"';
+        for (const char ch : row[c]) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string format_eng(double v, int significant) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*E", significant - 1, v);
+  // Normalise exponent like the paper: 1.08E+06 -> 1.08E+6.
+  std::string s(buf);
+  const auto e = s.find('E');
+  if (e != std::string::npos && e + 2 < s.size()) {
+    std::size_t digits = e + 2;
+    while (digits + 1 < s.size() && s[digits] == '0') s.erase(digits, 1);
+  }
+  return s;
+}
+
+std::string format_pct(double fraction_or_pct, bool already_pct) {
+  const double pct = already_pct ? fraction_or_pct : fraction_or_pct * 100.0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f%%", pct);
+  return buf;
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace iddq::report

@@ -1,0 +1,43 @@
+// Plain-text / markdown / CSV table rendering for the benches and examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace iddq::report {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return headers_.size();
+  }
+
+  /// Column-aligned plain text with a header rule.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_markdown() const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Engineering notation like the paper's Table 1 ("1.08E+6").
+[[nodiscard]] std::string format_eng(double v, int significant = 3);
+
+/// Percentage with one decimal ("30.6%").
+[[nodiscard]] std::string format_pct(double fraction_or_pct,
+                                     bool already_pct = false);
+
+/// Fixed-decimal format.
+[[nodiscard]] std::string format_fixed(double v, int decimals = 2);
+
+}  // namespace iddq::report

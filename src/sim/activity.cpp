@@ -1,0 +1,62 @@
+#include "sim/activity.hpp"
+
+#include <algorithm>
+
+#include "netlist/levelize.hpp"
+#include "support/error.hpp"
+
+namespace iddq::sim {
+
+ActivityAnalyzer::ActivityAnalyzer(const netlist::Netlist& nl,
+                                   const est::TransitionTimes& tt,
+                                   std::span<const lib::CellParams> cells)
+    : nl_(&nl), tt_(&tt), cells_(cells), sim_(nl),
+      depth_(netlist::levelize(nl).depth) {
+  require(cells.size() == nl.gate_count(),
+          "activity: cells must be bound to the netlist");
+}
+
+ActivityResult ActivityAnalyzer::measure(
+    std::span<const PatternBatch> patterns,
+    std::span<const std::uint32_t> module_of,
+    std::size_t module_count) const {
+  require(module_of.size() == nl_->gate_count(),
+          "activity: module_of must cover all gates");
+  ActivityResult out;
+  out.peak_current_ua.assign(module_count, 0.0);
+  out.peak_switching.assign(module_count, 0);
+
+  const std::size_t grid = tt_->grid_size();
+  std::vector<double> current(module_count * grid);
+  std::vector<std::uint32_t> switching(module_count * grid);
+
+  for (const auto& batch : patterns) {
+    if (batch.pattern_count < 2) continue;
+    const auto values = sim_.run(batch.words);
+    for (std::size_t lane = 0; lane + 1 < batch.pattern_count; ++lane) {
+      std::fill(current.begin(), current.end(), 0.0);
+      std::fill(switching.begin(), switching.end(), 0);
+      for (const netlist::GateId g : nl_->logic_gates()) {
+        const std::uint32_t m = module_of[g];
+        if (m == static_cast<std::uint32_t>(-1)) continue;
+        const bool v0 = (values[g] >> lane) & 1u;
+        const bool v1 = (values[g] >> (lane + 1)) & 1u;
+        if (v0 == v1) continue;  // gate does not toggle for this pair
+        const std::size_t t = depth_[g];
+        current[m * grid + t] += cells_[g].ipeak_ua;
+        switching[m * grid + t] += 1;
+      }
+      for (std::size_t m = 0; m < module_count; ++m) {
+        for (std::size_t t = 0; t < grid; ++t) {
+          out.peak_current_ua[m] =
+              std::max(out.peak_current_ua[m], current[m * grid + t]);
+          out.peak_switching[m] =
+              std::max(out.peak_switching[m], switching[m * grid + t]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace iddq::sim

@@ -1,0 +1,69 @@
+#include "sim/faults.hpp"
+
+#include "netlist/graph.hpp"
+#include "support/error.hpp"
+
+namespace iddq::sim {
+
+FaultList random_faults(const netlist::Netlist& nl, std::size_t bridge_count,
+                        std::size_t short_count, Rng& rng) {
+  FaultList out;
+  const auto logic = nl.logic_gates();
+  require(!logic.empty(), "random_faults: circuit has no logic gates");
+  const netlist::UndirectedGraph graph(nl);
+
+  // Bridges: half between graph neighbours-of-neighbours (layout-local),
+  // half between arbitrary pairs.
+  std::size_t guard = 0;
+  while (out.bridges.size() < bridge_count && guard < bridge_count * 64) {
+    ++guard;
+    const netlist::GateId a = logic[rng.index(logic.size())];
+    netlist::GateId b = netlist::kNoGate;
+    if (rng.chance(0.5)) {
+      // Pick a vertex within two hops (a "neighbouring wire").
+      const auto n1 = graph.neighbors(a);
+      if (n1.empty()) continue;
+      const netlist::GateId mid = n1[rng.index(n1.size())];
+      const auto n2 = graph.neighbors(mid);
+      if (n2.empty()) continue;
+      b = n2[rng.index(n2.size())];
+    } else {
+      b = logic[rng.index(logic.size())];
+    }
+    if (b == a || b == netlist::kNoGate) continue;
+    if (!netlist::is_logic(nl.gate(b).kind)) continue;
+    Bridge f;
+    f.a = a;
+    f.b = b;
+    f.r_bridge_kohm = rng.uniform(0.5, 20.0);
+    out.bridges.push_back(f);
+  }
+
+  for (std::size_t i = 0; i < short_count; ++i) {
+    const netlist::GateId g = logic[rng.index(logic.size())];
+    GateOxideShort f;
+    f.gate = g;
+    f.pin = static_cast<std::uint32_t>(rng.index(nl.gate(g).fanins.size()));
+    f.r_short_kohm = rng.uniform(1.0, 50.0);
+    out.shorts.push_back(f);
+  }
+  return out;
+}
+
+double bridge_current_ua(const Bridge& f, double vdd_mv, double rg_up_kohm,
+                         double rg_down_kohm) {
+  require(vdd_mv > 0.0, "bridge current: vdd must be positive");
+  const double r_total = f.r_bridge_kohm + rg_up_kohm + rg_down_kohm;
+  IDDQ_ASSERT(r_total > 0.0);
+  return vdd_mv / r_total;
+}
+
+double short_current_ua(const GateOxideShort& f, double vdd_mv,
+                        double rdrv_kohm) {
+  require(vdd_mv > 0.0, "short current: vdd must be positive");
+  const double r_total = f.r_short_kohm + rdrv_kohm;
+  IDDQ_ASSERT(r_total > 0.0);
+  return vdd_mv / r_total;
+}
+
+}  // namespace iddq::sim

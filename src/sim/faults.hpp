@@ -1,0 +1,65 @@
+// IDDQ defect models.
+//
+// The defect classes that motivate IDDQ testing (paper section 1, refs
+// [1-6]): bridging defects between two signal nets and gate-oxide shorts.
+// Both are invisible to logic testing in many activation states but pull a
+// steady current from VDD to GND whenever activated — exactly what a BIC
+// sensor observes.
+//
+//  * Bridge(a, b, R): when gates a and b drive opposite values, a current
+//    VDD / (R + Rg_up + Rg_down) flows from the '1' driver's pull-up through
+//    the bridge into the '0' driver's pull-down. The *ground-side* sensor —
+//    the sensor of the module containing the gate driving 0 — sees it.
+//  * GateOxideShort(g, pin, R): a short from the gate oxide of input `pin`
+//    of gate g to the channel; draws VDD / (R + Rdrv) whenever the driving
+//    signal is 1. Seen by the sensor of the *driving* gate's module (the
+//    current enters the ground network through the defect path).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "library/cell.hpp"
+#include "netlist/netlist.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::sim {
+
+struct Bridge {
+  netlist::GateId a = netlist::kNoGate;
+  netlist::GateId b = netlist::kNoGate;
+  double r_bridge_kohm = 5.0;
+};
+
+struct GateOxideShort {
+  netlist::GateId gate = netlist::kNoGate;  // defective gate
+  std::uint32_t pin = 0;                    // which input pin
+  double r_short_kohm = 10.0;
+};
+
+struct FaultList {
+  std::vector<Bridge> bridges;
+  std::vector<GateOxideShort> shorts;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return bridges.size() + shorts.size();
+  }
+};
+
+/// Samples `bridge_count` random bridges (biased toward topologically close
+/// net pairs, as real layout bridges are) and `short_count` random gate-oxide
+/// shorts. Deterministic for a given rng state.
+[[nodiscard]] FaultList random_faults(const netlist::Netlist& nl,
+                                      std::size_t bridge_count,
+                                      std::size_t short_count, Rng& rng);
+
+/// Defect current of an activated bridge, in uA.
+[[nodiscard]] double bridge_current_ua(const Bridge& f, double vdd_mv,
+                                       double rg_up_kohm,
+                                       double rg_down_kohm);
+
+/// Defect current of an activated gate-oxide short, in uA.
+[[nodiscard]] double short_current_ua(const GateOxideShort& f, double vdd_mv,
+                                      double rdrv_kohm);
+
+}  // namespace iddq::sim

@@ -1,0 +1,68 @@
+#include "sim/logic_sim.hpp"
+
+#include "netlist/levelize.hpp"
+#include "support/error.hpp"
+
+namespace iddq::sim {
+
+LogicSim::LogicSim(const netlist::Netlist& nl)
+    : nl_(&nl), order_(netlist::topological_order(nl)) {}
+
+std::vector<PatternWord> LogicSim::run(
+    std::span<const PatternWord> input_words) const {
+  const auto inputs = nl_->primary_inputs();
+  require(input_words.size() == inputs.size(),
+          "logic sim: need one pattern word per primary input");
+  std::vector<PatternWord> value(nl_->gate_count(), 0);
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    value[inputs[i]] = input_words[i];
+
+  for (const netlist::GateId id : order_) {
+    const auto& g = nl_->gate(id);
+    if (g.fanins.empty()) continue;  // primary input
+    PatternWord v = 0;
+    switch (g.kind) {
+      case netlist::GateKind::kBuf:
+        v = value[g.fanins[0]];
+        break;
+      case netlist::GateKind::kNot:
+        v = ~value[g.fanins[0]];
+        break;
+      case netlist::GateKind::kAnd:
+      case netlist::GateKind::kNand:
+        v = ~PatternWord{0};
+        for (const netlist::GateId f : g.fanins) v &= value[f];
+        if (g.kind == netlist::GateKind::kNand) v = ~v;
+        break;
+      case netlist::GateKind::kOr:
+      case netlist::GateKind::kNor:
+        v = 0;
+        for (const netlist::GateId f : g.fanins) v |= value[f];
+        if (g.kind == netlist::GateKind::kNor) v = ~v;
+        break;
+      case netlist::GateKind::kXor:
+      case netlist::GateKind::kXnor:
+        v = 0;
+        for (const netlist::GateId f : g.fanins) v ^= value[f];
+        if (g.kind == netlist::GateKind::kXnor) v = ~v;
+        break;
+      case netlist::GateKind::kInput:
+        IDDQ_ASSERT(false);
+        break;
+    }
+    value[id] = v;
+  }
+  return value;
+}
+
+std::vector<bool> LogicSim::run_single(const std::vector<bool>& inputs) const {
+  std::vector<PatternWord> words(inputs.size(), 0);
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    words[i] = inputs[i] ? 1u : 0u;
+  const auto values = run(words);
+  std::vector<bool> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = (values[i] & 1u) != 0;
+  return out;
+}
+
+}  // namespace iddq::sim

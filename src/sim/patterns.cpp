@@ -1,0 +1,51 @@
+#include "sim/patterns.hpp"
+
+#include "support/error.hpp"
+
+namespace iddq::sim {
+
+std::vector<PatternBatch> random_patterns(const netlist::Netlist& nl,
+                                          std::size_t count, Rng& rng) {
+  require(count >= 1, "random_patterns: need at least one pattern");
+  std::vector<PatternBatch> out;
+  std::size_t remaining = count;
+  while (remaining > 0) {
+    const std::size_t lanes = remaining >= 64 ? 64 : remaining;
+    PatternBatch batch;
+    batch.pattern_count = lanes;
+    batch.words.resize(nl.primary_inputs().size());
+    for (auto& w : batch.words) {
+      w = rng();
+      if (lanes < 64) w &= (PatternWord{1} << lanes) - 1;
+    }
+    out.push_back(std::move(batch));
+    remaining -= lanes;
+  }
+  return out;
+}
+
+std::vector<PatternBatch> exhaustive_patterns(const netlist::Netlist& nl,
+                                              std::size_t max_inputs) {
+  const std::size_t n = nl.primary_inputs().size();
+  require(n <= max_inputs && n < 63,
+          "exhaustive_patterns: too many primary inputs");
+  const std::size_t total = std::size_t{1} << n;
+  std::vector<PatternBatch> out;
+  for (std::size_t base = 0; base < total; base += 64) {
+    const std::size_t lanes = std::min<std::size_t>(64, total - base);
+    PatternBatch batch;
+    batch.pattern_count = lanes;
+    batch.words.assign(n, 0);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const std::size_t pattern = base + lane;
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((pattern >> i) & 1u)
+          batch.words[i] |= PatternWord{1} << lane;
+      }
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+}  // namespace iddq::sim

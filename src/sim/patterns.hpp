@@ -1,0 +1,28 @@
+// Test-pattern generation for the IDDQ test simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/logic_sim.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::sim {
+
+/// A batch of up to 64 patterns, one word per primary input.
+struct PatternBatch {
+  std::vector<PatternWord> words;  // indexed like primary_inputs()
+  std::size_t pattern_count = 0;   // lanes in use (1..64)
+};
+
+/// `count` uniformly random patterns packed into ceil(count/64) batches.
+[[nodiscard]] std::vector<PatternBatch> random_patterns(
+    const netlist::Netlist& nl, std::size_t count, Rng& rng);
+
+/// An exhaustive pattern set (only for small input counts; throws when
+/// the circuit has more than `max_inputs` primary inputs, default 16).
+[[nodiscard]] std::vector<PatternBatch> exhaustive_patterns(
+    const netlist::Netlist& nl, std::size_t max_inputs = 16);
+
+}  // namespace iddq::sim

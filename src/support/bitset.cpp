@@ -1,0 +1,87 @@
+#include "support/bitset.hpp"
+
+#include "support/error.hpp"
+
+namespace iddq {
+
+void DynamicBitset::set(std::size_t bit) {
+  IDDQ_ASSERT(bit < size_);
+  words_[bit / 64] |= (std::uint64_t{1} << (bit % 64));
+}
+
+void DynamicBitset::reset(std::size_t bit) {
+  IDDQ_ASSERT(bit < size_);
+  words_[bit / 64] &= ~(std::uint64_t{1} << (bit % 64));
+}
+
+bool DynamicBitset::test(std::size_t bit) const {
+  IDDQ_ASSERT(bit < size_);
+  return (words_[bit / 64] >> (bit % 64)) & 1u;
+}
+
+void DynamicBitset::clear() noexcept {
+  for (auto& w : words_) w = 0;
+}
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t n = 0;
+  for (const auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+bool DynamicBitset::none() const noexcept {
+  for (const auto w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  IDDQ_ASSERT(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+void DynamicBitset::or_shifted(const DynamicBitset& other, std::size_t shift) {
+  IDDQ_ASSERT(size_ == other.size_);
+  if (shift >= size_) return;
+  const std::size_t word_shift = shift / 64;
+  const std::size_t bit_shift = shift % 64;
+  for (std::size_t i = words_.size(); i-- > word_shift;) {
+    std::uint64_t v = other.words_[i - word_shift] << bit_shift;
+    if (bit_shift != 0 && i > word_shift)
+      v |= other.words_[i - word_shift - 1] >> (64 - bit_shift);
+    words_[i] |= v;
+  }
+  // Mask out bits beyond size() that the shift may have produced.
+  const std::size_t tail = size_ % 64;
+  if (tail != 0) words_.back() &= (~std::uint64_t{0}) >> (64 - tail);
+}
+
+std::size_t DynamicBitset::find_first() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if (words_[w] != 0)
+      return w * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+  return size_;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t bit) const noexcept {
+  ++bit;
+  if (bit >= size_) return size_;
+  std::size_t w = bit / 64;
+  std::uint64_t word = words_[w] & ((~std::uint64_t{0}) << (bit % 64));
+  for (;;) {
+    if (word != 0)
+      return w * 64 + static_cast<std::size_t>(__builtin_ctzll(word));
+    if (++w >= words_.size()) return size_;
+    word = words_[w];
+  }
+}
+
+std::size_t DynamicBitset::find_last() const noexcept {
+  for (std::size_t w = words_.size(); w-- > 0;)
+    if (words_[w] != 0)
+      return w * 64 + 63 - static_cast<std::size_t>(__builtin_clzll(words_[w]));
+  return size_;
+}
+
+}  // namespace iddq

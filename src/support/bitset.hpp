@@ -1,0 +1,79 @@
+// DynamicBitset: a fixed-capacity-at-construction bitset sized at runtime.
+//
+// Used for the transition-time sets T(g) of the maximum-current estimator
+// (one bit per depth level of the circuit) where std::bitset's compile-time
+// size does not fit and std::vector<bool> lacks word-level operations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iddq {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset with `size` bits, all cleared.
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void set(std::size_t bit);
+  void reset(std::size_t bit);
+  [[nodiscard]] bool test(std::size_t bit) const;
+
+  /// Sets every bit to zero, keeping the size.
+  void clear() noexcept;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// True when no bit is set.
+  [[nodiscard]] bool none() const noexcept;
+
+  /// Bitwise-or of `other` into *this. Sizes must match.
+  DynamicBitset& operator|=(const DynamicBitset& other);
+
+  /// Bitwise-or of `other` shifted left by `shift` into *this
+  /// (i.e. for every set bit b in `other`, sets bit b+shift when in range).
+  /// This is the inner step of the transition-time recurrence
+  /// T(g) |= T(fanin) << 1.
+  void or_shifted(const DynamicBitset& other, std::size_t shift);
+
+  /// Index of the lowest set bit, or size() when none.
+  [[nodiscard]] std::size_t find_first() const noexcept;
+
+  /// Index of the next set bit strictly after `bit`, or size() when none.
+  [[nodiscard]] std::size_t find_next(std::size_t bit) const noexcept;
+
+  /// Index of the highest set bit, or size() when none.
+  [[nodiscard]] std::size_t find_last() const noexcept;
+
+  /// Invokes `fn(index)` for every set bit in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const DynamicBitset& a,
+                         const DynamicBitset& b) noexcept {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace iddq

@@ -1,0 +1,68 @@
+// Error handling primitives for iddqsyn.
+//
+// Policy (C++ Core Guidelines E.2/E.14): throw iddq::Error (or a subclass) for
+// runtime failures such as malformed input files or violated API contracts that
+// depend on external data; use IDDQ_ASSERT for internal invariants that indicate
+// a programming error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace iddq {
+
+/// Base class of all exceptions thrown by iddqsyn.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input file (netlist, library, partition) cannot be parsed.
+class ParseError : public Error {
+ public:
+  ParseError(std::string_view file, std::size_t line, std::string_view message)
+      : Error(format(file, line, message)), line_(line) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  static std::string format(std::string_view file, std::size_t line,
+                            std::string_view message) {
+    std::ostringstream os;
+    os << file << ':' << line << ": " << message;
+    return os.str();
+  }
+  std::size_t line_ = 0;
+};
+
+/// Thrown when a requested entity (gate, cell, module) does not exist.
+class LookupError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::ostringstream os;
+  os << "iddqsyn assertion failed: (" << expr << ") at " << file << ':' << line;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+/// Throws iddq::Error with `message` when `condition` is false.
+/// Used for precondition checks whose failure depends on caller-supplied data.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) throw Error(std::string(message));
+}
+
+}  // namespace iddq
+
+/// Internal-invariant assertion. Active in all build types: the library is an
+/// experiment platform where silent corruption is worse than an abort, and the
+/// cost of the checks is negligible next to the optimization loops.
+#define IDDQ_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) \
+          : ::iddq::detail::assert_fail(#expr, __FILE__, __LINE__))

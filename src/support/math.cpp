@@ -1,0 +1,73 @@
+#include "support/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace iddq::math {
+
+double mean(std::span<const double> xs) {
+  IDDQ_ASSERT(!xs.empty());
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  IDDQ_ASSERT(!xs.empty());
+  if (xs.size() == 1) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double min(std::span<const double> xs) {
+  IDDQ_ASSERT(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  IDDQ_ASSERT(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  IDDQ_ASSERT(!xs.empty());
+  IDDQ_ASSERT(p >= 0.0 && p <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::pair<double, double> linear_fit(std::span<const double> xs,
+                                     std::span<const double> ys) {
+  IDDQ_ASSERT(xs.size() == ys.size());
+  IDDQ_ASSERT(xs.size() >= 2);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  IDDQ_ASSERT(sxx > 0.0);
+  const double b = sxy / sxx;
+  return {my - b * mx, b};
+}
+
+double rel_diff(double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+  if (a == b) return 0.0;
+  return std::abs(a - b) / scale;
+}
+
+}  // namespace iddq::math

@@ -1,0 +1,31 @@
+// Numeric helpers: summary statistics and least-squares fits used by the
+// settling-model calibration and the report/ablation benches.
+#pragma once
+
+#include <span>
+#include <utility>
+
+namespace iddq::math {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);
+[[nodiscard]] double min(std::span<const double> xs);
+[[nodiscard]] double max(std::span<const double> xs);
+
+/// p in [0,1]; linear interpolation between order statistics.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Ordinary least squares y = a + b*x; returns {a, b}.
+/// Requires xs.size() == ys.size() >= 2 and non-degenerate xs.
+[[nodiscard]] std::pair<double, double> linear_fit(std::span<const double> xs,
+                                                   std::span<const double> ys);
+
+/// Clamps v into [lo, hi].
+[[nodiscard]] constexpr double clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); 0 for a==b==0.
+[[nodiscard]] double rel_diff(double a, double b);
+
+}  // namespace iddq::math

@@ -1,0 +1,38 @@
+// Small string utilities shared by the text-format parsers (.bench netlists,
+// cell-library files, partition files).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iddq::str {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits on `sep`, trimming each piece; empty pieces are kept.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits on any ASCII whitespace run; empty pieces are dropped.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view s);
+
+/// ASCII lower-casing (locale-independent).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// ASCII upper-casing (locale-independent).
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a double; returns false on malformed input or trailing junk.
+[[nodiscard]] bool parse_double(std::string_view s, double& out);
+
+/// Parses a non-negative integer; returns false on malformed input.
+[[nodiscard]] bool parse_size(std::string_view s, std::size_t& out);
+
+/// Formats a double like "%.3g" (used by report tables).
+[[nodiscard]] std::string format_sig(double v, int significant = 3);
+
+}  // namespace iddq::str

@@ -1,0 +1,31 @@
+// Unit conventions used throughout iddqsyn.
+//
+// All electrical quantities are plain doubles in a coherent unit system chosen
+// so that Ohm's law and RC time constants need no conversion factors:
+//
+//   voltage      millivolt   (mV)
+//   current      microampere (uA)
+//   resistance   kiloohm     (kOhm)    => mV = kOhm * uA
+//   capacitance  femtofarad  (fF)      => ps = kOhm * fF
+//   time         picosecond  (ps)
+//   area         square micrometre "units" (the paper reports technology-
+//                dependent units; we keep the same convention)
+//
+// Variable and member names carry the unit as a suffix (`r_s_kohm`,
+// `ipeak_ua`, `delay_ps`) per the project style, so mixed-unit bugs are
+// visible at the call site.
+#pragma once
+
+namespace iddq::units {
+
+/// Nominal 1995-era 5 V CMOS supply, in mV.
+inline constexpr double kVddMv = 5000.0;
+
+/// Convenience conversions (documentation aids; all values are doubles).
+inline constexpr double ns_to_ps(double ns) { return ns * 1000.0; }
+inline constexpr double ps_to_ns(double ps) { return ps / 1000.0; }
+inline constexpr double na_to_ua(double na) { return na / 1000.0; }
+inline constexpr double ua_to_na(double ua) { return ua * 1000.0; }
+inline constexpr double ma_to_ua(double ma) { return ma * 1000.0; }
+
+}  // namespace iddq::units

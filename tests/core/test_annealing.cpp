@@ -1,0 +1,80 @@
+#include "core/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/start_partition.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "support/error.hpp"
+
+namespace iddq::core {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("sa", 180, 12, 4));
+  lib::CellLibrary library = lib::default_library();
+  part::EvalContext ctx{nl, library, elec::SensorSpec{},
+                        part::CostWeights{}};
+
+  part::Partition start() {
+    Rng rng(2);
+    return make_start_partition(nl, 3, rng);
+  }
+};
+
+TEST(Annealing, ImprovesOverStart) {
+  Fixture f;
+  part::PartitionEvaluator start_eval(f.ctx, f.start());
+  const double start_cost = start_eval.fitness().cost;
+  SaParams params;
+  params.steps = 3000;
+  params.seed = 7;
+  const auto result = simulated_annealing(f.ctx, f.start(), params);
+  EXPECT_LE(result.best_fitness.cost, start_cost);
+  EXPECT_GT(result.accepted, 0u);
+}
+
+TEST(Annealing, KeepsModuleCountFixed) {
+  Fixture f;
+  SaParams params;
+  params.steps = 2000;
+  params.seed = 3;
+  const auto result = simulated_annealing(f.ctx, f.start(), params);
+  EXPECT_EQ(result.best_partition.module_count(), 3u);
+  EXPECT_TRUE(result.best_partition.covers(f.nl));
+}
+
+TEST(Annealing, DeterministicForSeed) {
+  Fixture f;
+  SaParams params;
+  params.steps = 1500;
+  params.seed = 11;
+  const auto a = simulated_annealing(f.ctx, f.start(), params);
+  const auto b = simulated_annealing(f.ctx, f.start(), params);
+  EXPECT_EQ(a.best_fitness.cost, b.best_fitness.cost);
+  EXPECT_EQ(a.accepted, b.accepted);
+}
+
+TEST(Annealing, BestCostsMatchReEvaluation) {
+  Fixture f;
+  SaParams params;
+  params.steps = 1000;
+  params.seed = 5;
+  const auto result = simulated_annealing(f.ctx, f.start(), params);
+  part::PartitionEvaluator check(f.ctx, result.best_partition);
+  EXPECT_NEAR(check.fitness().cost, result.best_fitness.cost,
+              1e-9 * result.best_fitness.cost);
+}
+
+TEST(Annealing, RejectsBadParams) {
+  Fixture f;
+  SaParams params;
+  params.steps = 0;
+  EXPECT_THROW((void)simulated_annealing(f.ctx, f.start(), params), Error);
+  params = SaParams{};
+  params.cooling = 1.5;
+  EXPECT_THROW((void)simulated_annealing(f.ctx, f.start(), params), Error);
+}
+
+}  // namespace
+}  // namespace iddq::core

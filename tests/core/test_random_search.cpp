@@ -1,0 +1,57 @@
+#include "core/random_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/start_partition.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::core {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("rs", 150, 10, 8));
+  lib::CellLibrary library = lib::default_library();
+  part::EvalContext ctx{nl, library, elec::SensorSpec{},
+                        part::CostWeights{}};
+};
+
+TEST(RandomSearch, BestOfManyBeatsFirst) {
+  Fixture f;
+  Rng rng(1);
+  part::PartitionEvaluator first(f.ctx, make_start_partition(f.nl, 3, rng));
+  const auto result = random_search(f.ctx, 3, 40, 1);
+  EXPECT_EQ(result.evaluations, 40u);
+  EXPECT_LE(result.best_fitness.cost, first.fitness().cost);
+}
+
+TEST(RandomSearch, SingleSampleIsValid) {
+  Fixture f;
+  const auto result = random_search(f.ctx, 3, 1, 2);
+  EXPECT_EQ(result.evaluations, 1u);
+  EXPECT_TRUE(result.best_partition.covers(f.nl));
+}
+
+TEST(RandomSearch, Deterministic) {
+  Fixture f;
+  const auto a = random_search(f.ctx, 3, 10, 7);
+  const auto b = random_search(f.ctx, 3, 10, 7);
+  EXPECT_EQ(a.best_fitness.cost, b.best_fitness.cost);
+}
+
+TEST(RandomSearch, MoreSamplesNeverWorse) {
+  Fixture f;
+  const auto few = random_search(f.ctx, 3, 5, 9);
+  const auto many = random_search(f.ctx, 3, 50, 9);
+  EXPECT_LE(many.best_fitness.cost, few.best_fitness.cost);
+}
+
+TEST(RandomSearch, RejectsZeroSamples) {
+  Fixture f;
+  EXPECT_THROW((void)random_search(f.ctx, 3, 0, 1), Error);
+}
+
+}  // namespace
+}  // namespace iddq::core

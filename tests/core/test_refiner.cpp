@@ -1,0 +1,67 @@
+#include "core/refiner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/start_partition.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::core {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("ref", 150, 10, 6));
+  lib::CellLibrary library = lib::default_library();
+  part::EvalContext ctx{nl, library, elec::SensorSpec{},
+                        part::CostWeights{}};
+};
+
+TEST(Refiner, NeverWorsensFitness) {
+  Fixture f;
+  Rng rng(3);
+  part::PartitionEvaluator eval(f.ctx, make_start_partition(f.nl, 3, rng));
+  const auto before = eval.fitness();
+  const auto result = greedy_refine(eval);
+  EXPECT_FALSE(before < result.final_fitness);  // <= in fitness order
+  EXPECT_GE(result.evaluations, 1u);
+}
+
+TEST(Refiner, ReachesLocalOptimumOfOneMoveNeighbourhood) {
+  Fixture f;
+  Rng rng(4);
+  part::PartitionEvaluator eval(f.ctx, make_start_partition(f.nl, 3, rng));
+  greedy_refine(eval);
+  // Refining again finds nothing further.
+  const auto second = greedy_refine(eval);
+  EXPECT_EQ(second.moves_applied, 0u);
+}
+
+TEST(Refiner, KeepsModuleCount) {
+  Fixture f;
+  Rng rng(5);
+  part::PartitionEvaluator eval(f.ctx, make_start_partition(f.nl, 4, rng));
+  greedy_refine(eval);
+  EXPECT_EQ(eval.partition().module_count(), 4u);
+  EXPECT_TRUE(eval.partition().covers(f.nl));
+}
+
+TEST(Refiner, FinalFitnessMatchesEvaluatorState) {
+  Fixture f;
+  Rng rng(6);
+  part::PartitionEvaluator eval(f.ctx, make_start_partition(f.nl, 3, rng));
+  const auto result = greedy_refine(eval);
+  EXPECT_NEAR(eval.fitness().cost, result.final_fitness.cost,
+              1e-12 * result.final_fitness.cost);
+}
+
+TEST(Refiner, RespectsEvaluationBudget) {
+  Fixture f;
+  Rng rng(7);
+  part::PartitionEvaluator eval(f.ctx, make_start_partition(f.nl, 3, rng));
+  const auto result = greedy_refine(eval, 10);
+  EXPECT_LE(result.evaluations, 10u);
+}
+
+}  // namespace
+}  // namespace iddq::core

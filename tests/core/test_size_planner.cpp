@@ -1,0 +1,94 @@
+#include "core/size_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/iscas_profiles.hpp"
+#include "support/error.hpp"
+
+namespace iddq::core {
+namespace {
+
+part::EvalContext make_ctx(const netlist::Netlist& nl,
+                           const lib::CellLibrary& library) {
+  return part::EvalContext(nl, library, elec::SensorSpec{},
+                           part::CostWeights{});
+}
+
+TEST(SizePlanner, TinyCircuitNeedsOneModule) {
+  const auto nl = netlist::gen::make_c17();
+  const auto library = lib::default_library();
+  const auto ctx = make_ctx(nl, library);
+  const auto plan = plan_module_size(ctx);
+  EXPECT_EQ(plan.k_min_leakage, 1u);
+  EXPECT_EQ(plan.module_count, 1u);
+  EXPECT_EQ(plan.target_module_size, 6u);
+}
+
+TEST(SizePlanner, LeakageBoundScalesWithCircuitSize) {
+  const auto library = lib::default_library();
+  const auto small = netlist::gen::make_iscas_like("c1908");
+  const auto large = netlist::gen::make_iscas_like("c7552");
+  const auto plan_small = plan_module_size(make_ctx(small, library));
+  const auto plan_large = plan_module_size(make_ctx(large, library));
+  EXPECT_GT(plan_large.k_min_leakage, plan_small.k_min_leakage);
+  EXPECT_GT(plan_large.total_leakage_ua, plan_small.total_leakage_ua);
+}
+
+TEST(SizePlanner, PaperModuleCountsReproduced) {
+  // Table 1 reports 2/3/4/6/5/6 modules; the reproduction's planner lands
+  // within one module of the paper on every circuit (see EXPERIMENTS.md).
+  const auto library = lib::default_library();
+  const struct {
+    const char* name;
+    std::size_t paper_k;
+  } rows[] = {{"c1908", 2}, {"c2670", 3}, {"c3540", 4},
+              {"c5315", 6}, {"c6288", 5}, {"c7552", 6}};
+  for (const auto& row : rows) {
+    const auto nl = netlist::gen::make_iscas_like(row.name);
+    const auto plan = plan_module_size(make_ctx(nl, library));
+    EXPECT_NEAR(static_cast<double>(plan.module_count),
+                static_cast<double>(row.paper_k), 1.0)
+        << row.name;
+  }
+}
+
+TEST(SizePlanner, ModuleCountRespectsLeakageBound) {
+  const auto library = lib::default_library();
+  const auto nl = netlist::gen::make_iscas_like("c3540");
+  const auto ctx = make_ctx(nl, library);
+  const auto plan = plan_module_size(ctx);
+  EXPECT_GE(plan.module_count, plan.k_min_leakage);
+  // Average module leakage under the derated cap.
+  const double avg_leak =
+      plan.total_leakage_ua / static_cast<double>(plan.module_count);
+  EXPECT_LE(avg_leak, ctx.leak_cap_ua);
+}
+
+TEST(SizePlanner, TighterMarginRaisesModuleCount) {
+  const auto library = lib::default_library();
+  const auto nl = netlist::gen::make_iscas_like("c5315");
+  const auto ctx = make_ctx(nl, library);
+  const auto loose = plan_module_size(ctx, 1.0);
+  const auto tight = plan_module_size(ctx, 0.5);
+  EXPECT_GE(tight.module_count, loose.module_count);
+}
+
+TEST(SizePlanner, TargetSizeCoversAllGates) {
+  const auto library = lib::default_library();
+  const auto nl = netlist::gen::make_iscas_like("c2670");
+  const auto plan = plan_module_size(make_ctx(nl, library));
+  EXPECT_GE(plan.target_module_size * plan.module_count,
+            nl.logic_gate_count());
+}
+
+TEST(SizePlanner, RejectsBadMargin) {
+  const auto nl = netlist::gen::make_c17();
+  const auto library = lib::default_library();
+  const auto ctx = make_ctx(nl, library);
+  EXPECT_THROW((void)plan_module_size(ctx, 0.0), Error);
+  EXPECT_THROW((void)plan_module_size(ctx, 1.5), Error);
+}
+
+}  // namespace
+}  // namespace iddq::core

@@ -1,0 +1,90 @@
+#include "core/standard_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/iscas_profiles.hpp"
+#include "netlist/levelize.hpp"
+#include "support/error.hpp"
+
+namespace iddq::core {
+namespace {
+
+TEST(StandardPartition, ProducesRequestedSizes) {
+  const auto nl = netlist::gen::make_iscas_like("c1908");
+  const netlist::DistanceOracle oracle(nl, 4);
+  const std::vector<std::size_t> sizes = {400, 300, 180};
+  const auto p = standard_partition(nl, oracle, sizes);
+  ASSERT_EQ(p.module_count(), 3u);
+  for (std::size_t m = 0; m < sizes.size(); ++m)
+    EXPECT_EQ(p.module_size(static_cast<std::uint32_t>(m)), sizes[m]);
+  EXPECT_TRUE(p.covers(nl));
+}
+
+TEST(StandardPartition, SeedIsNearPrimaryInput) {
+  const auto nl = netlist::gen::make_c17();
+  const netlist::DistanceOracle oracle(nl, 4);
+  const std::vector<std::size_t> sizes = {3, 3};
+  const auto p = standard_partition(nl, oracle, sizes);
+  const auto lv = netlist::levelize(nl);
+  // The first gate clustered into module 0 must be at depth 1.
+  std::size_t min_depth = 100;
+  for (const auto g : p.module(0)) min_depth = std::min(min_depth, lv.depth[g]);
+  EXPECT_EQ(min_depth, 1u);
+}
+
+TEST(StandardPartition, ModulesAreWellConnected) {
+  // The paper: "modules such that their gates are connected most closely".
+  // Intra-module edge fraction must far exceed a random scatter's.
+  const auto nl = netlist::gen::make_iscas_like("c2670");
+  const netlist::DistanceOracle oracle(nl, 4);
+  const std::size_t n = nl.logic_gate_count();
+  const std::vector<std::size_t> sizes = {n / 3, n / 3, n - 2 * (n / 3)};
+  const auto p = standard_partition(nl, oracle, sizes);
+  std::size_t intra = 0;
+  std::size_t total = 0;
+  for (const auto g : nl.logic_gates()) {
+    for (const auto f : nl.gate(g).fanouts) {
+      ++total;
+      if (p.module_of(g) == p.module_of(f)) ++intra;
+    }
+  }
+  EXPECT_GT(static_cast<double>(intra) / static_cast<double>(total), 0.55);
+}
+
+TEST(StandardPartition, DeterministicByConstruction) {
+  const auto nl = netlist::gen::make_iscas_like("c1908");
+  const netlist::DistanceOracle oracle(nl, 4);
+  const std::vector<std::size_t> sizes = {440, 440};
+  const auto a = standard_partition(nl, oracle, sizes);
+  const auto b = standard_partition(nl, oracle, sizes);
+  EXPECT_EQ(a, b);
+}
+
+TEST(StandardPartition, RejectsWrongTotal) {
+  const auto nl = netlist::gen::make_c17();
+  const netlist::DistanceOracle oracle(nl, 4);
+  EXPECT_THROW((void)standard_partition(nl, oracle,
+                                        std::vector<std::size_t>{3, 2}),
+               Error);
+}
+
+TEST(StandardPartition, RejectsZeroSizeModule) {
+  const auto nl = netlist::gen::make_c17();
+  const netlist::DistanceOracle oracle(nl, 4);
+  EXPECT_THROW((void)standard_partition(nl, oracle,
+                                        std::vector<std::size_t>{6, 0}),
+               Error);
+}
+
+TEST(StandardPartition, SingleModuleTakesEverything) {
+  const auto nl = netlist::gen::make_c17();
+  const netlist::DistanceOracle oracle(nl, 4);
+  const auto p =
+      standard_partition(nl, oracle, std::vector<std::size_t>{6});
+  EXPECT_EQ(p.module_count(), 1u);
+  EXPECT_EQ(p.module_size(0), 6u);
+}
+
+}  // namespace
+}  // namespace iddq::core

@@ -1,0 +1,95 @@
+#include "core/start_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/iscas_profiles.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "support/error.hpp"
+
+namespace iddq::core {
+namespace {
+
+TEST(StartPartition, CoversWithRequestedModuleCount) {
+  const auto nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("sp", 250, 15, 1));
+  Rng rng(1);
+  for (const std::size_t k : {1u, 2u, 5u, 10u}) {
+    const auto p = make_start_partition(nl, k, rng);
+    EXPECT_EQ(p.module_count(), k);
+    EXPECT_TRUE(p.covers(nl));
+  }
+}
+
+TEST(StartPartition, ModuleSizesAreBalanced) {
+  const auto nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("sp", 300, 15, 2));
+  Rng rng(3);
+  const auto p = make_start_partition(nl, 4, rng);
+  const std::size_t target = (300 + 3) / 4;
+  for (std::uint32_t m = 0; m < 4; ++m) {
+    EXPECT_GE(p.module_size(m), 1u);
+    EXPECT_LE(p.module_size(m), target);
+  }
+}
+
+TEST(StartPartition, DifferentSeedsGiveDifferentPartitions) {
+  const auto nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("sp", 200, 12, 5));
+  Rng a(10);
+  Rng b(20);
+  const auto pa = make_start_partition(nl, 4, a);
+  const auto pb = make_start_partition(nl, 4, b);
+  bool different = false;
+  for (const auto g : nl.logic_gates())
+    if (pa.module_of(g) != pb.module_of(g)) {
+      different = true;
+      break;
+    }
+  EXPECT_TRUE(different);
+}
+
+TEST(StartPartition, SameSeedReproduces) {
+  const auto nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("sp", 200, 12, 5));
+  Rng a(10);
+  Rng b(10);
+  EXPECT_EQ(make_start_partition(nl, 4, a), make_start_partition(nl, 4, b));
+}
+
+TEST(StartPartition, ChainsFollowConnectivity) {
+  // Chain clustering should produce modules far more connected than a
+  // random scatter: compare average intra-module adjacency.
+  const auto nl = netlist::gen::make_iscas_like("c1908");
+  Rng rng(7);
+  const auto p = make_start_partition(nl, 4, rng);
+  std::size_t intra = 0;
+  std::size_t total = 0;
+  for (const auto g : nl.logic_gates()) {
+    for (const auto f : nl.gate(g).fanouts) {
+      ++total;
+      if (p.module_of(g) == p.module_of(f)) ++intra;
+    }
+  }
+  // A 4-way random scatter keeps ~25% of edges internal; chains keep far
+  // more.
+  EXPECT_GT(static_cast<double>(intra) / static_cast<double>(total), 0.5);
+}
+
+TEST(StartPartition, SingleGatePerModuleExtreme) {
+  const auto nl = netlist::gen::make_c17();
+  Rng rng(1);
+  const auto p = make_start_partition(nl, 6, rng);
+  EXPECT_EQ(p.module_count(), 6u);
+  for (std::uint32_t m = 0; m < 6; ++m) EXPECT_EQ(p.module_size(m), 1u);
+}
+
+TEST(StartPartition, RejectsImpossibleCounts) {
+  const auto nl = netlist::gen::make_c17();
+  Rng rng(1);
+  EXPECT_THROW((void)make_start_partition(nl, 0, rng), Error);
+  EXPECT_THROW((void)make_start_partition(nl, 7, rng), Error);
+}
+
+}  // namespace
+}  // namespace iddq::core

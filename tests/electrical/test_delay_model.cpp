@@ -1,0 +1,126 @@
+#include "electrical/delay_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace iddq::elec {
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+DelayModelInput nominal_case() {
+  DelayModelInput in;
+  in.rs_kohm = 0.02;
+  in.cs_ff = 2000.0;
+  in.cg_ff = 15.0;
+  in.rg_kohm = 25.0;
+  in.n = 50;
+  return in;
+}
+
+TEST(DelayModel, NoSensorMeansNoDegradation) {
+  auto in = nominal_case();
+  in.rs_kohm = 0.0;
+  EXPECT_DOUBLE_EQ(DelayDegradationModel::delta(in), 1.0);
+  EXPECT_NEAR(DelayDegradationModel::t50_ps(in), kLn2 * in.rg_kohm * in.cg_ff,
+              1e-9);
+}
+
+TEST(DelayModel, DeltaAtLeastOne) {
+  auto in = nominal_case();
+  for (const double rs : {0.001, 0.01, 0.1, 1.0})
+    for (const std::uint32_t n : {1u, 10u, 200u}) {
+      in.rs_kohm = rs;
+      in.n = n;
+      EXPECT_GE(DelayDegradationModel::delta(in), 1.0);
+    }
+}
+
+TEST(DelayModel, MonotoneInSwitchingCount) {
+  auto in = nominal_case();
+  double prev = 0.0;
+  for (const std::uint32_t n : {1u, 5u, 20u, 100u, 400u}) {
+    in.n = n;
+    const double d = DelayDegradationModel::delta(in);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(DelayModel, MonotoneInBypassResistance) {
+  auto in = nominal_case();
+  double prev = 0.0;
+  for (const double rs : {0.001, 0.005, 0.02, 0.1, 0.5}) {
+    in.rs_kohm = rs;
+    const double d = DelayDegradationModel::delta(in);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(DelayModel, ZeroRailCapIsStaticDivider) {
+  auto in = nominal_case();
+  in.cs_ff = 0.0;
+  const double k = static_cast<double>(in.n) * in.rs_kohm / in.rg_kohm;
+  EXPECT_NEAR(DelayDegradationModel::delta(in), 1.0 + k, 1e-9);
+}
+
+TEST(DelayModel, LargeRailCapSuppressesDegradation) {
+  auto in = nominal_case();
+  in.cs_ff = 1.0e9;  // enormous local charge reservoir
+  EXPECT_NEAR(DelayDegradationModel::delta(in), 1.0, 1e-3);
+}
+
+TEST(DelayModel, DeltaBoundedByStaticDivider) {
+  // The quasi-static case is the worst case: finite Cs only helps.
+  auto in = nominal_case();
+  const double bound =
+      1.0 + static_cast<double>(in.n) * in.rs_kohm / in.rg_kohm;
+  for (const double cs : {10.0, 100.0, 2000.0, 1e5}) {
+    in.cs_ff = cs;
+    EXPECT_LE(DelayDegradationModel::delta(in), bound + 1e-9);
+  }
+}
+
+TEST(DelayModel, WaveformStartsAtVddAndDecays) {
+  const auto in = nominal_case();
+  EXPECT_NEAR(DelayDegradationModel::v_out_norm(in, 0.0), 1.0, 1e-12);
+  double prev = 1.0;
+  for (double t = 50.0; t <= 2000.0; t += 50.0) {
+    const double v = DelayDegradationModel::v_out_norm(in, t);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(DelayModel, T50MatchesWaveformCrossing) {
+  const auto in = nominal_case();
+  const double t50 = DelayDegradationModel::t50_ps(in);
+  EXPECT_NEAR(DelayDegradationModel::v_out_norm(in, t50), 0.5, 1e-6);
+}
+
+TEST(DelayModel, TypicalMagnitudeIsFewPercent) {
+  // The 1995 table reports delay overheads of a few percent; the model must
+  // land in that regime for representative numbers.
+  const auto in = nominal_case();
+  const double d = DelayDegradationModel::delta(in);
+  EXPECT_GT(d, 1.005);
+  EXPECT_LT(d, 1.2);
+}
+
+TEST(DelayModel, RejectsInvalidInputs) {
+  auto in = nominal_case();
+  in.cg_ff = 0.0;
+  EXPECT_THROW((void)DelayDegradationModel::delta(in), Error);
+  in = nominal_case();
+  in.n = 0;
+  EXPECT_THROW((void)DelayDegradationModel::delta(in), Error);
+  in = nominal_case();
+  EXPECT_THROW((void)DelayDegradationModel::v_out_norm(in, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace iddq::elec

@@ -1,0 +1,69 @@
+#include "electrical/sensor_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iddq::elec {
+namespace {
+
+TEST(SensorModel, RsSizingMeetsPerturbationLimit) {
+  SensorSpec spec;
+  spec.r_max_mv = 200.0;
+  for (const double idd : {100.0, 1000.0, 50000.0}) {
+    const double rs = sensor_rs_kohm(spec, idd);
+    EXPECT_LE(rail_perturbation_mv(rs, idd), spec.r_max_mv + 1e-9);
+    // Sizing at the limit: the perturbation equals r unless the cap binds.
+    if (rs < spec.rs_cap_kohm)
+      EXPECT_NEAR(rail_perturbation_mv(rs, idd), spec.r_max_mv, 1e-9);
+  }
+}
+
+TEST(SensorModel, RsCapBindsForTinyModules) {
+  SensorSpec spec;
+  EXPECT_DOUBLE_EQ(sensor_rs_kohm(spec, 0.0), spec.rs_cap_kohm);
+  EXPECT_DOUBLE_EQ(sensor_rs_kohm(spec, 1e-9), spec.rs_cap_kohm);
+}
+
+TEST(SensorModel, AreaDecreasesWithRs) {
+  SensorSpec spec;
+  const double a_strong = sensor_area(spec, 0.001);  // wide switch
+  const double a_weak = sensor_area(spec, 1.0);
+  EXPECT_GT(a_strong, a_weak);
+  EXPECT_GE(a_weak, spec.a0_area);
+}
+
+TEST(SensorModel, AreaScalesLinearlyWithCurrent) {
+  SensorSpec spec;
+  const double rs1 = sensor_rs_kohm(spec, 1000.0);
+  const double rs2 = sensor_rs_kohm(spec, 2000.0);
+  const double a1 = sensor_area(spec, rs1) - spec.a0_area;
+  const double a2 = sensor_area(spec, rs2) - spec.a0_area;
+  EXPECT_NEAR(a2 / a1, 2.0, 1e-9);
+}
+
+TEST(SensorModel, TauIsRsTimesCs) {
+  EXPECT_DOUBLE_EQ(sensor_tau_ps(0.05, 2000.0), 100.0);
+  EXPECT_DOUBLE_EQ(sensor_tau_ps(0.0, 2000.0), 0.0);
+}
+
+TEST(SensorModel, LeakageCap) {
+  SensorSpec spec;
+  spec.iddq_th_ua = 1.5;
+  spec.d_min = 10.0;
+  EXPECT_DOUBLE_EQ(leakage_cap_ua(spec), 0.15);
+}
+
+TEST(SensorModel, ValidateRejectsBadSpecs) {
+  SensorSpec spec;
+  spec.r_max_mv = 0.0;
+  EXPECT_THROW(spec.validate(), Error);
+  spec = SensorSpec{};
+  spec.d_min = 1.0;  // discriminability must exceed 1
+  EXPECT_THROW(spec.validate(), Error);
+  spec = SensorSpec{};
+  spec.iddq_th_ua = -1.0;
+  EXPECT_THROW(spec.validate(), Error);
+  EXPECT_NO_THROW(SensorSpec{}.validate());
+}
+
+}  // namespace
+}  // namespace iddq::elec

@@ -1,0 +1,71 @@
+#include "electrical/settling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "electrical/transient.hpp"
+#include "support/error.hpp"
+
+namespace iddq::elec {
+namespace {
+
+TEST(Settling, CalibrationRecoversAnalyticCoefficient) {
+  // Delta = t_detect + k * tau * ln(i0/ith) with analytic k = 1.
+  const auto model = SettlingModel::calibrate(2000.0);
+  EXPECT_NEAR(model.decay_coefficient(), 1.0, 1e-3);
+}
+
+TEST(Settling, DetectionTimeOnlyWhenAlreadySettled) {
+  const auto model = SettlingModel::calibrate(1500.0);
+  EXPECT_DOUBLE_EQ(model.delta_ps(100.0, 0.5, 1.0), 1500.0);
+  EXPECT_DOUBLE_EQ(model.delta_ps(0.0, 1e6, 1.0), 1500.0);
+}
+
+TEST(Settling, MatchesDirectSimulation) {
+  const auto model = SettlingModel::calibrate(0.0);
+  for (const double tau : {10.0, 80.0, 500.0}) {
+    for (const double ratio : {100.0, 1e4}) {
+      const double predicted = model.delta_ps(tau, ratio, 1.0);
+      const double simulated =
+          simulate_decay_time_ps(ratio, 1.0, tau, tau * 1e-3);
+      EXPECT_NEAR(predicted, simulated, simulated * 5e-3)
+          << "tau=" << tau << " ratio=" << ratio;
+    }
+  }
+}
+
+TEST(Settling, LinearInTau) {
+  const auto model = SettlingModel::calibrate(0.0);
+  const double d1 = model.delta_ps(100.0, 1e4, 1.0);
+  const double d2 = model.delta_ps(200.0, 1e4, 1.0);
+  EXPECT_NEAR(d2 / d1, 2.0, 1e-9);
+}
+
+TEST(Settling, MonotoneInCurrentRatio) {
+  const auto model = SettlingModel::calibrate(0.0);
+  double prev = 0.0;
+  for (const double ratio : {2.0, 10.0, 100.0, 1e4, 1e7}) {
+    const double d = model.delta_ps(50.0, ratio, 1.0);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Settling, ExtrapolatesBeyondCalibrationRange) {
+  const auto model = SettlingModel::calibrate(0.0, /*ratio_hi=*/1e4);
+  // Query far beyond the table: fitted-slope extrapolation ~ tau*ln(ratio).
+  const double d = model.delta_ps(10.0, 1e8, 1.0);
+  EXPECT_NEAR(d, 10.0 * std::log(1e8), 10.0 * std::log(1e8) * 0.02);
+}
+
+TEST(Settling, RejectsBadInputs) {
+  const auto model = SettlingModel::calibrate(0.0);
+  EXPECT_THROW((void)model.delta_ps(-1.0, 10.0, 1.0), Error);
+  EXPECT_THROW((void)model.delta_ps(10.0, 10.0, 0.0), Error);
+  EXPECT_THROW((void)SettlingModel::calibrate(-1.0), Error);
+  EXPECT_THROW((void)SettlingModel::calibrate(0.0, 0.5), Error);
+}
+
+}  // namespace
+}  // namespace iddq::elec

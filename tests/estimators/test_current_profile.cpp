@@ -1,0 +1,115 @@
+#include "estimators/current_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "library/cell_library.hpp"
+#include "netlist/gen/array_cut.hpp"
+#include "netlist/gen/c17.hpp"
+
+namespace iddq::est {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl = netlist::gen::make_c17();
+  lib::CellLibrary library = lib::default_library();
+  std::vector<lib::CellParams> cells = lib::bind_cells(nl, library);
+  TransitionTimes tt{nl};  // unit grid for hand-checkable numbers
+};
+
+TEST(CurrentProfile, C17WholeCircuit) {
+  Fixture f;
+  const auto prof = circuit_profile(f.nl, f.tt, f.cells);
+  const double nand2 = f.cells[f.nl.at("10")].ipeak_ua;
+  const auto current = prof.current_ua();
+  // Slot 1: gates 10, 11, 16, 19 can switch (16/19 via direct input paths).
+  EXPECT_NEAR(current[1], 4 * nand2, 1e-9);
+  // Slot 2: 16, 19 (via 11) and 22, 23 (via short paths).
+  EXPECT_NEAR(current[2], 4 * nand2, 1e-9);
+  // Slot 3: 22, 23 only.
+  EXPECT_NEAR(current[3], 2 * nand2, 1e-9);
+  EXPECT_NEAR(prof.max_current_ua(), 4 * nand2, 1e-9);
+  EXPECT_EQ(prof.max_switching(), 4u);
+}
+
+TEST(CurrentProfile, AddRemoveRoundTrip) {
+  Fixture f;
+  ModuleCurrentProfile p(f.tt.grid_size());
+  const ModuleCurrentProfile empty = p;
+  for (const auto id : f.nl.logic_gates())
+    p.add_gate(f.tt.at(id), f.cells[id].ipeak_ua);
+  for (const auto id : f.nl.logic_gates())
+    p.remove_gate(f.tt.at(id), f.cells[id].ipeak_ua);
+  EXPECT_EQ(p, empty);
+  EXPECT_DOUBLE_EQ(p.max_current_ua(), 0.0);
+}
+
+TEST(CurrentProfile, ProfileOfSubset) {
+  Fixture f;
+  const std::vector<netlist::GateId> subset = {f.nl.at("10"), f.nl.at("11")};
+  const auto p = profile_of(f.tt, f.cells, subset);
+  const double nand2 = f.cells[f.nl.at("10")].ipeak_ua;
+  EXPECT_NEAR(p.max_current_ua(), 2 * nand2, 1e-9);  // both switch at t=1
+  EXPECT_EQ(p.max_switching(), 2u);
+}
+
+TEST(CurrentProfile, PeakOverlapSeesModuleActivity) {
+  Fixture f;
+  const std::vector<netlist::GateId> subset = {f.nl.at("10"), f.nl.at("11"),
+                                               f.nl.at("22")};
+  const auto p = profile_of(f.tt, f.cells, subset);
+  // Gate 22 switches at {2,3}; within this subset only itself -> overlap 1.
+  EXPECT_EQ(p.peak_overlap(f.tt.at(f.nl.at("22"))), 1u);
+  // Gate 10 at {1} overlaps 11 -> 2.
+  EXPECT_EQ(p.peak_overlap(f.tt.at(f.nl.at("10"))), 2u);
+}
+
+TEST(CurrentProfile, FigureTwoShapeEffect) {
+  // The paper's figure 2: grouping along the flow (rows) yields a smaller
+  // per-group max current than grouping across the flow (columns).
+  const auto cut = netlist::gen::make_array_cut(6, 6);
+  const auto library = lib::default_library();
+  const auto cells = lib::bind_cells(cut.netlist, library);
+  const TransitionTimes tt(cut.netlist);
+
+  const auto rows = netlist::gen::row_band_partition(cut, 3);
+  const auto cols = netlist::gen::column_band_partition(cut, 3);
+  double worst_row = 0.0;
+  double worst_col = 0.0;
+  for (const auto& group : rows)
+    worst_row = std::max(worst_row,
+                         profile_of(tt, cells, group).max_current_ua());
+  for (const auto& group : cols)
+    worst_col = std::max(worst_col,
+                         profile_of(tt, cells, group).max_current_ua());
+  // Row bands: 2 cells per time slot; column bands: 6 cells of one column
+  // switch together. The column grouping must be markedly worse.
+  EXPECT_GT(worst_col, worst_row * 1.5);
+}
+
+TEST(CurrentProfile, RemoveCancelsFloatingPointResidue) {
+  Fixture f;
+  ModuleCurrentProfile p(f.tt.grid_size());
+  p.add_gate(f.tt.at(f.nl.at("10")), 0.1);
+  p.add_gate(f.tt.at(f.nl.at("11")), 0.2);
+  p.remove_gate(f.tt.at(f.nl.at("10")), 0.1);
+  p.remove_gate(f.tt.at(f.nl.at("11")), 0.2);
+  // Slot currents are exactly zero once the count reaches zero.
+  for (const double v : p.current_ua()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(CurrentProfile, SumOfModuleMaximaBoundsGlobalPeak) {
+  // Invariant exploited by the table-1 analysis: for any disjoint cover,
+  // sum over modules of max >= max over time of the global profile.
+  Fixture f;
+  const auto global = circuit_profile(f.nl, f.tt, f.cells);
+  const std::vector<std::vector<netlist::GateId>> groups = {
+      {f.nl.at("10"), f.nl.at("16"), f.nl.at("22")},
+      {f.nl.at("11"), f.nl.at("19"), f.nl.at("23")}};
+  double sum = 0.0;
+  for (const auto& g : groups)
+    sum += profile_of(f.tt, f.cells, g).max_current_ua();
+  EXPECT_GE(sum, global.max_current_ua() - 1e-9);
+}
+
+}  // namespace
+}  // namespace iddq::est

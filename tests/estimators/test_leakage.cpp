@@ -1,0 +1,43 @@
+#include "estimators/leakage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "library/cell_library.hpp"
+#include "netlist/gen/c17.hpp"
+
+namespace iddq::est {
+namespace {
+
+TEST(Leakage, SumsGateLeakagesInMicroamps) {
+  const auto nl = netlist::gen::make_c17();
+  const auto cells = lib::bind_cells(nl, lib::default_library());
+  const double leak = module_leakage_ua(cells, nl.logic_gates());
+  const double nand2_na = cells[nl.at("10")].ileak_na;
+  EXPECT_NEAR(leak, 6.0 * nand2_na / 1000.0, 1e-12);
+}
+
+TEST(Leakage, EmptyModuleLeaksNothing) {
+  const auto nl = netlist::gen::make_c17();
+  const auto cells = lib::bind_cells(nl, lib::default_library());
+  EXPECT_DOUBLE_EQ(module_leakage_ua(cells, {}), 0.0);
+}
+
+TEST(Leakage, DiscriminabilityDefinition) {
+  EXPECT_DOUBLE_EQ(discriminability(1.5, 0.15), 10.0);
+  EXPECT_DOUBLE_EQ(discriminability(1.0, 0.5), 2.0);
+}
+
+TEST(Leakage, ZeroLeakageIsEffectivelyInfinite) {
+  EXPECT_GT(discriminability(1.0, 0.0), 1e9);
+}
+
+TEST(Leakage, PaperConstraintExample) {
+  // d(M) >= 10 demands module leakage <= IDDQ_th / 10.
+  const double iddq_th = 1.5;
+  const double d_min = 10.0;
+  EXPECT_GE(discriminability(iddq_th, 0.15), d_min);
+  EXPECT_LT(discriminability(iddq_th, 0.16), d_min);
+}
+
+}  // namespace
+}  // namespace iddq::est

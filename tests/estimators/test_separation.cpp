@@ -1,0 +1,94 @@
+#include "estimators/separation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::est {
+namespace {
+
+std::vector<std::uint32_t> module_map(
+    const netlist::Netlist& nl,
+    const std::vector<std::vector<netlist::GateId>>& groups) {
+  std::vector<std::uint32_t> mof(nl.gate_count(),
+                                 static_cast<std::uint32_t>(-1));
+  for (std::uint32_t m = 0; m < groups.size(); ++m)
+    for (const auto g : groups[m]) mof[g] = m;
+  return mof;
+}
+
+TEST(Separation, PairwiseSumByHand) {
+  const auto nl = netlist::gen::make_c17();
+  const netlist::DistanceOracle oracle(nl, 4);
+  // Module {10, 16, 22}: d(10,22)=1, d(16,22)=1, d(10,16)=2.
+  const std::vector<std::vector<netlist::GateId>> groups = {
+      {nl.at("10"), nl.at("16"), nl.at("22")}};
+  const auto mof = module_map(nl, groups);
+  EXPECT_DOUBLE_EQ(module_separation(oracle, groups[0], 0, mof), 4.0);
+}
+
+TEST(Separation, CliqueLikeModuleIsMinimal) {
+  const auto nl = netlist::gen::make_c17();
+  const netlist::DistanceOracle oracle(nl, 4);
+  // Directly connected pair: separation 1; far pair saturates at rho.
+  const std::vector<std::vector<netlist::GateId>> adjacent = {
+      {nl.at("10"), nl.at("22")}};
+  const std::vector<std::vector<netlist::GateId>> distant = {
+      {nl.at("10"), nl.at("19")}};
+  EXPECT_LT(
+      module_separation(oracle, adjacent[0], 0, module_map(nl, adjacent)),
+      module_separation(oracle, distant[0], 0, module_map(nl, distant)));
+}
+
+TEST(Separation, SumToModuleMatchesDirectSum) {
+  const auto nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("r", 120, 10, 3));
+  const netlist::DistanceOracle oracle(nl, 4);
+  Rng rng(5);
+  // Random 2-module split.
+  std::vector<std::vector<netlist::GateId>> groups(2);
+  for (const auto g : nl.logic_gates())
+    groups[rng.index(2)].push_back(g);
+  const auto mof = module_map(nl, groups);
+  for (const auto g : nl.logic_gates()) {
+    const std::uint32_t m = mof[g];
+    double direct = 0.0;
+    for (const auto h : groups[m])
+      if (h != g) direct += oracle.separation(g, h);
+    const double fast =
+        sum_to_module(oracle, g, m, mof, groups[m].size() - 1);
+    ASSERT_NEAR(fast, direct, 1e-9) << "gate " << g;
+  }
+}
+
+TEST(Separation, ModuleSeparationMatchesPairwiseBruteForce) {
+  const auto nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("r", 80, 8, 7));
+  const netlist::DistanceOracle oracle(nl, 5);
+  Rng rng(11);
+  std::vector<std::vector<netlist::GateId>> groups(3);
+  for (const auto g : nl.logic_gates()) groups[rng.index(3)].push_back(g);
+  const auto mof = module_map(nl, groups);
+  for (std::uint32_t m = 0; m < 3; ++m) {
+    double brute = 0.0;
+    for (std::size_t i = 0; i < groups[m].size(); ++i)
+      for (std::size_t j = i + 1; j < groups[m].size(); ++j)
+        brute += oracle.separation(groups[m][i], groups[m][j]);
+    EXPECT_NEAR(module_separation(oracle, groups[m], m, mof), brute, 1e-9);
+  }
+}
+
+TEST(Separation, SingletonModuleIsZero) {
+  const auto nl = netlist::gen::make_c17();
+  const netlist::DistanceOracle oracle(nl, 4);
+  const std::vector<std::vector<netlist::GateId>> groups = {{nl.at("10")}};
+  const auto mof = module_map(nl, groups);
+  EXPECT_DOUBLE_EQ(module_separation(oracle, groups[0], 0, mof), 0.0);
+}
+
+}  // namespace
+}  // namespace iddq::est

@@ -1,0 +1,104 @@
+#include "estimators/transition_times.hpp"
+
+#include <gtest/gtest.h>
+
+#include "library/cell_library.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/gen/array_cut.hpp"
+#include "netlist/gen/c17.hpp"
+#include "netlist/levelize.hpp"
+#include "support/error.hpp"
+
+namespace iddq::est {
+namespace {
+
+TEST(TransitionTimes, UnitGridC17) {
+  const auto nl = netlist::gen::make_c17();
+  const TransitionTimes tt(nl);
+  EXPECT_EQ(tt.grid_size(), 4u);  // depth 3 + slot 0
+  // Inputs switch at t=0.
+  for (const auto id : nl.primary_inputs()) {
+    EXPECT_EQ(tt.count(id), 1u);
+    EXPECT_TRUE(tt.at(id).test(0));
+  }
+  // First-level NANDs: {1}.
+  EXPECT_TRUE(tt.at(nl.at("10")).test(1));
+  EXPECT_EQ(tt.count(nl.at("10")), 1u);
+  // 16 = NAND(2, 11): paths of length 1 (via input 2) and 2 (via 11).
+  EXPECT_TRUE(tt.at(nl.at("16")).test(1));
+  EXPECT_TRUE(tt.at(nl.at("16")).test(2));
+  EXPECT_EQ(tt.count(nl.at("16")), 2u);
+  // 22 = NAND(10, 16): 2 via 10, {2,3} via 16.
+  EXPECT_TRUE(tt.at(nl.at("22")).test(2));
+  EXPECT_TRUE(tt.at(nl.at("22")).test(3));
+  EXPECT_EQ(tt.count(nl.at("22")), 2u);
+}
+
+TEST(TransitionTimes, MaxTimeEqualsDepth) {
+  const auto nl = netlist::gen::make_c17();
+  const TransitionTimes tt(nl);
+  const auto lv = netlist::levelize(nl);
+  for (const auto id : nl.logic_gates())
+    EXPECT_EQ(tt.at(id).find_last(), lv.depth[id]);
+}
+
+TEST(TransitionTimes, MinTimeEqualsMinDepth) {
+  const auto nl = netlist::gen::make_c17();
+  const TransitionTimes tt(nl);
+  const auto lv = netlist::levelize(nl);
+  for (const auto id : nl.logic_gates())
+    EXPECT_EQ(tt.at(id).find_first(), lv.min_depth[id]);
+}
+
+TEST(TransitionTimes, ArrayCutHasSingletonSets) {
+  // Pure chains with depth-aligned column inputs: T(cell) = {column + 1}.
+  const auto cut = netlist::gen::make_array_cut(3, 5);
+  const TransitionTimes tt(cut.netlist);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_EQ(tt.count(cut.cell[r][c]), 1u);
+      EXPECT_TRUE(tt.at(cut.cell[r][c]).test(c + 1));
+    }
+}
+
+TEST(TransitionTimes, ElectricalGridScalesWithDelays) {
+  const auto nl = netlist::gen::make_c17();
+  const auto lib = lib::default_library();
+  const auto cells = lib::bind_cells(nl, lib);
+  const double bin = 50.0;
+  const TransitionTimes tt(nl, cells, bin);
+  // NAND2 delay 260 ps -> 5 slots. Gate 10 (all paths via inputs): {5}.
+  EXPECT_EQ(tt.at(nl.at("10")).find_first(), 5u);
+  EXPECT_EQ(tt.count(nl.at("10")), 1u);
+  // Gate 22: paths 10->22 (10 slots) and 16->22 (10 or 15 slots).
+  EXPECT_TRUE(tt.at(nl.at("22")).test(10));
+  EXPECT_TRUE(tt.at(nl.at("22")).test(15));
+}
+
+TEST(TransitionTimes, ElectricalGridBoundsMatchCriticalPath) {
+  const auto nl = netlist::gen::make_c17();
+  const auto lib = lib::default_library();
+  const auto cells = lib::bind_cells(nl, lib);
+  const TransitionTimes tt(nl, cells, 50.0);
+  // Critical path: 3 NAND2 = 780 ps -> 15 slots; grid must be 16.
+  EXPECT_EQ(tt.grid_size(), 16u);
+}
+
+TEST(TransitionTimes, CoarseBinStillAdvancesAtLeastOneSlot) {
+  const auto nl = netlist::gen::make_c17();
+  const auto lib = lib::default_library();
+  const auto cells = lib::bind_cells(nl, lib);
+  const TransitionTimes tt(nl, cells, 1.0e6);  // bin far above any delay
+  // Degenerates to the unit-depth grid.
+  EXPECT_EQ(tt.grid_size(), 4u);
+}
+
+TEST(TransitionTimes, RejectsBadArguments) {
+  const auto nl = netlist::gen::make_c17();
+  const auto cells = lib::bind_cells(nl, lib::default_library());
+  EXPECT_THROW((void)TransitionTimes(nl, cells, 0.0), Error);
+  EXPECT_THROW((void)TransitionTimes(nl, {}, 50.0), Error);
+}
+
+}  // namespace
+}  // namespace iddq::est

@@ -1,0 +1,71 @@
+// Executable record of the Table 1 c6288 deviation (EXPERIMENTS.md):
+//
+// On a homogeneous array whose transition-time sets are dense, the
+// pessimistic estimator makes the summed per-module peak current — and with
+// it the BIC sensor area — essentially partition-invariant: there exists a
+// time slot t* where most gates may switch, so for any balanced cover
+//   Sum_m max_t I_m(t)  ~  Sum_m I_m(t*)  =  I(t*)  =  global peak,
+// the provable lower bound. The paper reports a 25.9% evolution-vs-standard
+// gap on the real C6288; our faithful implementation of the published
+// estimator cannot produce one, and this test pins that analysis down so a
+// future estimator change that *does* differentiate partitions will surface
+// here.
+#include <gtest/gtest.h>
+
+#include "core/start_partition.hpp"
+#include "estimators/current_profile.hpp"
+#include "library/cell_library.hpp"
+#include "netlist/gen/iscas_profiles.hpp"
+#include "netlist/gen/multiplier.hpp"
+#include "support/rng.hpp"
+
+namespace iddq {
+namespace {
+
+TEST(C6288Invariance, SummedModulePeaksPinnedToGlobalPeak) {
+  const auto nl = netlist::gen::make_multiplier(16, "c6288");
+  const auto library = lib::default_library();
+  const auto cells = lib::bind_cells(nl, library);
+  const est::TransitionTimes tt(nl, cells, 45.0);
+  const double global_peak =
+      est::circuit_profile(nl, tt, cells).max_current_ua();
+
+  Rng rng(21);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto p = core::make_start_partition(nl, 5, rng);
+    double sum = 0.0;
+    for (std::uint32_t m = 0; m < 5; ++m)
+      sum += est::profile_of(tt, cells, p.module(m)).max_current_ua();
+    // Lower bound is exact; the slack above it stays within ~2% for any
+    // balanced partition — hence no method can beat another by 25.9% here.
+    EXPECT_GE(sum, global_peak - 1e-6);
+    EXPECT_LE(sum, global_peak * 1.02)
+        << "partition found with differentiable area: the estimator "
+           "changed — revisit EXPERIMENTS.md's c6288 note";
+  }
+}
+
+TEST(C6288Invariance, HeterogeneousCircuitsAreNotPinned) {
+  // The contrast that makes Table 1 work everywhere else: on the
+  // cone-structured stand-ins, partitions differ by far more than 2%.
+  const auto nl = netlist::gen::make_iscas_like("c1908");
+  const auto library = lib::default_library();
+  const auto cells = lib::bind_cells(nl, library);
+  const est::TransitionTimes tt(nl, cells, 45.0);
+  const double global_peak =
+      est::circuit_profile(nl, tt, cells).max_current_ua();
+
+  Rng rng(22);
+  double worst_sum = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto p = core::make_start_partition(nl, 2, rng);
+    double sum = 0.0;
+    for (std::uint32_t m = 0; m < 2; ++m)
+      sum += est::profile_of(tt, cells, p.module(m)).max_current_ua();
+    worst_sum = std::max(worst_sum, sum);
+  }
+  EXPECT_GT(worst_sum, global_peak * 1.10);
+}
+
+}  // namespace
+}  // namespace iddq

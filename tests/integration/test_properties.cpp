@@ -1,0 +1,169 @@
+// Cross-circuit property sweeps: invariants that must hold on *every*
+// supported circuit family, exercised through TEST_P over generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/size_planner.hpp"
+#include "core/start_partition.hpp"
+#include "estimators/current_profile.hpp"
+#include "estimators/delay_estimator.hpp"
+#include "estimators/leakage.hpp"
+#include "library/cell_library.hpp"
+#include "netlist/gen/array_cut.hpp"
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/iscas_profiles.hpp"
+#include "netlist/gen/multiplier.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "netlist/levelize.hpp"
+#include "partition/evaluator.hpp"
+#include "support/rng.hpp"
+
+namespace iddq {
+namespace {
+
+netlist::Netlist make_circuit(const std::string& spec) {
+  if (spec == "c17") return netlist::gen::make_c17();
+  if (spec == "mult8") return netlist::gen::make_multiplier(8);
+  if (spec == "array") return netlist::gen::make_array_cut(6, 9).netlist;
+  if (spec == "dag-small")
+    return netlist::gen::make_random_dag(
+        netlist::gen::DagProfile::basic("ps", 120, 10, 5));
+  if (spec == "dag-wide")
+    return netlist::gen::make_random_dag(
+        netlist::gen::DagProfile::basic("pw", 600, 8, 6));
+  if (spec == "dag-deep")
+    return netlist::gen::make_random_dag(
+        netlist::gen::DagProfile::basic("pd", 600, 60, 7));
+  return netlist::gen::make_iscas_like(spec);
+}
+
+class CircuitProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  netlist::Netlist nl = make_circuit(GetParam());
+  lib::CellLibrary library = lib::default_library();
+};
+
+TEST_P(CircuitProperty, StructuralSanity) {
+  EXPECT_TRUE(netlist::is_acyclic(nl));
+  EXPECT_GE(nl.primary_outputs().size(), 1u);
+  for (const auto id : nl.logic_gates())
+    EXPECT_GE(nl.gate(id).fanins.size(), 1u);
+  // Fanout lists mirror fanin lists.
+  for (netlist::GateId id = 0; id < nl.gate_count(); ++id)
+    for (const auto f : nl.gate(id).fanins) {
+      const auto& fo = nl.gate(f).fanouts;
+      EXPECT_NE(std::find(fo.begin(), fo.end(), id), fo.end());
+    }
+}
+
+TEST_P(CircuitProperty, TransitionTimeBoundsAreDepths) {
+  const est::TransitionTimes tt(nl);  // unit grid
+  const auto lv = netlist::levelize(nl);
+  for (const auto id : nl.logic_gates()) {
+    EXPECT_EQ(tt.at(id).find_first(), lv.min_depth[id]);
+    EXPECT_EQ(tt.at(id).find_last(), lv.depth[id]);
+    EXPECT_GE(tt.count(id), 1u);
+  }
+}
+
+TEST_P(CircuitProperty, CurrentEstimatorSuperadditivity) {
+  // Splitting a module can only raise the summed peak:
+  //   max(A u B) <= max(A) + max(B), for any disjoint A, B.
+  const auto cells = lib::bind_cells(nl, library);
+  const est::TransitionTimes tt(nl, cells, 45.0);
+  Rng rng(3);
+  const auto logic = nl.logic_gates();
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<netlist::GateId> a;
+    std::vector<netlist::GateId> b;
+    std::vector<netlist::GateId> both;
+    for (const auto g : logic) {
+      both.push_back(g);
+      (rng.chance(0.5) ? a : b).push_back(g);
+    }
+    if (a.empty() || b.empty()) continue;
+    const double peak_union =
+        est::profile_of(tt, cells, both).max_current_ua();
+    const double split_sum = est::profile_of(tt, cells, a).max_current_ua() +
+                             est::profile_of(tt, cells, b).max_current_ua();
+    EXPECT_LE(peak_union, split_sum + 1e-6);
+  }
+}
+
+TEST_P(CircuitProperty, EvaluatorInvariantsAcrossModuleCounts) {
+  const part::EvalContext ctx(nl, library, elec::SensorSpec{},
+                              part::CostWeights{});
+  Rng rng(7);
+  const std::size_t n = nl.logic_gate_count();
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    if (k > n) continue;
+    part::PartitionEvaluator eval(
+        ctx, core::make_start_partition(nl, k, rng));
+    const auto costs = eval.costs();
+    EXPECT_TRUE(std::isfinite(costs.c1));
+    EXPECT_GE(costs.c2, 0.0);
+    EXPECT_GE(costs.c4, costs.c2);
+    EXPECT_DOUBLE_EQ(costs.c5, static_cast<double>(k));
+    // Every module's sensor honours the rail-perturbation limit.
+    for (std::uint32_t m = 0; m < k; ++m) {
+      const auto r = eval.module_report(m);
+      EXPECT_LE(r.rail_perturbation_mv, ctx.sensor.r_max_mv + 1e-9);
+      EXPECT_GT(r.rs_kohm, 0.0);
+    }
+  }
+}
+
+TEST_P(CircuitProperty, MoreModulesMonotonicallyReduceWorstLeakage) {
+  const auto cells = lib::bind_cells(nl, library);
+  Rng rng(11);
+  const std::size_t n = nl.logic_gate_count();
+  double previous_worst = std::numeric_limits<double>::infinity();
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    if (k > n) break;
+    const auto p = core::make_start_partition(nl, k, rng);
+    double worst = 0.0;
+    for (std::uint32_t m = 0; m < k; ++m)
+      worst = std::max(worst,
+                       est::module_leakage_ua(cells, p.module(m)));
+    // Balanced start partitions: worst module leakage shrinks with K.
+    EXPECT_LE(worst, previous_worst * 1.05);
+    previous_worst = worst;
+  }
+}
+
+TEST_P(CircuitProperty, DegradedDelayNeverBelowNominal) {
+  const part::EvalContext ctx(nl, library, elec::SensorSpec{},
+                              part::CostWeights{});
+  Rng rng(13);
+  const std::size_t k = std::min<std::size_t>(3, nl.logic_gate_count());
+  part::PartitionEvaluator eval(ctx, core::make_start_partition(nl, k, rng));
+  EXPECT_GE(eval.d_bic_ps(), ctx.d_nominal_ps - 1e-9);
+}
+
+TEST_P(CircuitProperty, SizePlannerAlwaysFeasible) {
+  const part::EvalContext ctx(nl, library, elec::SensorSpec{},
+                              part::CostWeights{});
+  const auto plan = core::plan_module_size(ctx);
+  EXPECT_GE(plan.module_count, 1u);
+  EXPECT_LE(plan.module_count, nl.logic_gate_count());
+  Rng rng(17);
+  part::PartitionEvaluator eval(
+      ctx, core::make_start_partition(nl, plan.module_count, rng));
+  // The planner's margin must make chain-clustered starts feasible.
+  EXPECT_DOUBLE_EQ(eval.violation(), 0.0) << "K=" << plan.module_count;
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, CircuitProperty,
+                         ::testing::Values("c17", "mult8", "array",
+                                           "dag-small", "dag-wide",
+                                           "dag-deep", "c1908"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace iddq

@@ -1,0 +1,117 @@
+#include "library/cell_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "support/error.hpp"
+
+namespace iddq::lib {
+namespace {
+
+TEST(CellLibrary, DefaultLibraryCoversCommonCells) {
+  const CellLibrary lib = default_library();
+  EXPECT_TRUE(lib.has(CellType{netlist::GateKind::kNot, 1}));
+  EXPECT_TRUE(lib.has(CellType{netlist::GateKind::kBuf, 1}));
+  for (const auto kind :
+       {netlist::GateKind::kAnd, netlist::GateKind::kNand,
+        netlist::GateKind::kOr, netlist::GateKind::kNor,
+        netlist::GateKind::kXor, netlist::GateKind::kXnor}) {
+    for (std::uint8_t fanin = 2; fanin <= 9; ++fanin)
+      EXPECT_TRUE(lib.has(CellType{kind, fanin}))
+          << to_string(CellType{kind, fanin});
+  }
+}
+
+TEST(CellLibrary, DefaultLibraryIsSelfConsistent) {
+  const CellLibrary lib = default_library();
+  constexpr double kLn2 = 0.6931471805599453;
+  for (const auto& type : lib.cell_types()) {
+    const CellParams& p = lib.params(type);
+    // D ~ ln2 * Rg * Cg by construction.
+    EXPECT_NEAR(p.delay_ps, kLn2 * p.rg_kohm * p.cout_ff, 1e-6)
+        << to_string(type);
+    // ipeak ~ 0.75 * VDD / Rg.
+    EXPECT_NEAR(p.ipeak_ua, 0.75 * lib.vdd_mv() / p.rg_kohm, 1e-6);
+    EXPECT_GT(p.ileak_na, 0.0);
+    EXPECT_GT(p.area, 0.0);
+  }
+}
+
+TEST(CellLibrary, FaninScalingIsMonotone) {
+  const CellLibrary lib = default_library();
+  for (std::uint8_t fanin = 3; fanin <= 9; ++fanin) {
+    const auto& small =
+        lib.params(CellType{netlist::GateKind::kNand,
+                            static_cast<std::uint8_t>(fanin - 1)});
+    const auto& large = lib.params(CellType{netlist::GateKind::kNand, fanin});
+    EXPECT_GT(large.delay_ps, small.delay_ps);
+    EXPECT_GT(large.area, small.area);
+    EXPECT_GT(large.ileak_na, small.ileak_na);
+  }
+}
+
+TEST(CellLibrary, MissingCellThrows) {
+  const CellLibrary lib = default_library();
+  EXPECT_THROW((void)lib.params(CellType{netlist::GateKind::kNand, 15}),
+               LookupError);
+}
+
+TEST(CellLibrary, AddRejectsNonPositiveParams) {
+  CellLibrary lib("t", 5000.0);
+  CellParams p;  // all zero
+  EXPECT_THROW(lib.add(CellType{netlist::GateKind::kNand, 2}, p), Error);
+}
+
+TEST(CellLibrary, AddRejectsInputPads) {
+  CellLibrary lib("t", 5000.0);
+  CellParams p;
+  p.delay_ps = p.cout_ff = p.rg_kohm = p.area = p.ipeak_ua = p.ileak_na = 1.0;
+  EXPECT_THROW(lib.add(CellType{netlist::GateKind::kInput, 1}, p), Error);
+}
+
+TEST(CellLibrary, AddReplacesExisting) {
+  CellLibrary lib("t", 5000.0);
+  CellParams p;
+  p.delay_ps = p.cout_ff = p.rg_kohm = p.area = p.ipeak_ua = p.ileak_na = 1.0;
+  lib.add(CellType{netlist::GateKind::kNand, 2}, p);
+  p.area = 42.0;
+  lib.add(CellType{netlist::GateKind::kNand, 2}, p);
+  EXPECT_EQ(lib.size(), 1u);
+  EXPECT_DOUBLE_EQ(lib.params(CellType{netlist::GateKind::kNand, 2}).area,
+                   42.0);
+}
+
+TEST(BindCells, BindsEveryLogicGate) {
+  const auto nl = netlist::gen::make_c17();
+  const CellLibrary lib = default_library();
+  const auto bound = bind_cells(nl, lib);
+  ASSERT_EQ(bound.size(), nl.gate_count());
+  for (const auto id : nl.logic_gates()) EXPECT_GT(bound[id].delay_ps, 0.0);
+}
+
+TEST(BindCells, InputsGetZeroParams) {
+  const auto nl = netlist::gen::make_c17();
+  const auto bound = bind_cells(nl, default_library());
+  for (const auto id : nl.primary_inputs()) {
+    EXPECT_DOUBLE_EQ(bound[id].delay_ps, 0.0);
+    EXPECT_DOUBLE_EQ(bound[id].ileak_na, 0.0);
+  }
+}
+
+TEST(BindCells, ThrowsOnMissingCell) {
+  CellLibrary lib("tiny", 5000.0);
+  CellParams p;
+  p.delay_ps = p.cout_ff = p.rg_kohm = p.area = p.ipeak_ua = p.ileak_na = 1.0;
+  lib.add(CellType{netlist::GateKind::kNot, 1}, p);  // NAND2 missing
+  const auto nl = netlist::gen::make_c17();
+  EXPECT_THROW((void)bind_cells(nl, lib), LookupError);
+}
+
+TEST(CellType, ToStringFormat) {
+  EXPECT_EQ(to_string(CellType{netlist::GateKind::kNand, 3}), "nand3");
+  EXPECT_EQ(to_string(CellType{netlist::GateKind::kNot, 1}), "not");
+}
+
+}  // namespace
+}  // namespace iddq::lib

@@ -1,0 +1,147 @@
+#include "library/lib_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace iddq::lib {
+namespace {
+
+constexpr const char* kTinyLib = R"(
+# test library
+library demo
+vdd_mv 3300
+cell nand 2
+  delay_ps 260
+  ipeak_ua 230
+  ileak_na 0.2
+  cin_ff 6
+  cout_ff 15
+  rg_kohm 25
+  cvr_ff 3.5
+  area 8
+end
+cell not 1
+  delay_ps 180
+  ipeak_ua 300
+  ileak_na 0.12
+  cin_ff 6
+  cout_ff 12
+  rg_kohm 21
+  cvr_ff 2.5
+  area 4
+end
+)";
+
+TEST(LibIo, ParsesHeaderAndCells) {
+  const CellLibrary lib = read_library_text(kTinyLib);
+  EXPECT_EQ(lib.name(), "demo");
+  EXPECT_DOUBLE_EQ(lib.vdd_mv(), 3300.0);
+  EXPECT_EQ(lib.size(), 2u);
+  const auto& p = lib.params(CellType{netlist::GateKind::kNand, 2});
+  EXPECT_DOUBLE_EQ(p.delay_ps, 260.0);
+  EXPECT_DOUBLE_EQ(p.cvr_ff, 3.5);
+}
+
+TEST(LibIo, RoundTripPreservesEverything) {
+  const CellLibrary original = default_library();
+  const CellLibrary reparsed = read_library_text(to_library_string(original));
+  EXPECT_EQ(reparsed.name(), original.name());
+  EXPECT_DOUBLE_EQ(reparsed.vdd_mv(), original.vdd_mv());
+  EXPECT_EQ(reparsed.size(), original.size());
+  for (const auto& type : original.cell_types()) {
+    const auto& a = original.params(type);
+    const auto& b = reparsed.params(type);
+    EXPECT_NEAR(a.delay_ps, b.delay_ps, 1e-6 * a.delay_ps);
+    EXPECT_NEAR(a.ipeak_ua, b.ipeak_ua, 1e-6 * a.ipeak_ua);
+    EXPECT_NEAR(a.ileak_na, b.ileak_na, 1e-6 * a.ileak_na);
+    EXPECT_NEAR(a.rg_kohm, b.rg_kohm, 1e-6 * a.rg_kohm);
+    EXPECT_NEAR(a.area, b.area, 1e-6 * a.area);
+  }
+}
+
+TEST(LibIo, RejectsUnknownAttribute) {
+  EXPECT_THROW((void)read_library_text(R"(
+library x
+cell nand 2
+  frobnication 3
+end
+)"),
+               ParseError);
+}
+
+TEST(LibIo, RejectsUnterminatedCell) {
+  EXPECT_THROW((void)read_library_text(R"(
+library x
+cell nand 2
+  delay_ps 100
+)"),
+               ParseError);
+}
+
+TEST(LibIo, RejectsNestedCell) {
+  EXPECT_THROW((void)read_library_text(R"(
+library x
+cell nand 2
+cell nor 2
+end
+)"),
+               ParseError);
+}
+
+TEST(LibIo, RejectsBadKind) {
+  EXPECT_THROW((void)read_library_text("cell frob 2\nend\n"), ParseError);
+}
+
+TEST(LibIo, RejectsIncompleteCellParams) {
+  // Missing most attributes -> CellLibrary::add validation fails.
+  EXPECT_THROW((void)read_library_text(R"(
+library x
+cell nand 2
+  delay_ps 100
+end
+)"),
+               ParseError);
+}
+
+TEST(LibIo, RejectsVddAfterCells) {
+  EXPECT_THROW((void)read_library_text(R"(
+library x
+cell nand 2
+  delay_ps 260
+  ipeak_ua 230
+  ileak_na 0.2
+  cin_ff 6
+  cout_ff 15
+  rg_kohm 25
+  cvr_ff 3.5
+  area 8
+end
+vdd_mv 3300
+)"),
+               ParseError);
+}
+
+TEST(LibIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_library_file("/nonexistent/lib.txt"), Error);
+}
+
+TEST(LibIo, FileRoundTrip) {
+  const CellLibrary original = default_library();
+  const std::string path = ::testing::TempDir() + "iddqsyn_lib.txt";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.is_open());
+    write_library(out, original);
+  }
+  const CellLibrary reloaded = read_library_file(path);
+  EXPECT_EQ(reloaded.size(), original.size());
+  EXPECT_DOUBLE_EQ(reloaded.vdd_mv(), original.vdd_mv());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace iddq::lib

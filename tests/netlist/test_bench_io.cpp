@@ -1,0 +1,172 @@
+#include "netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "netlist/gen/c17.hpp"
+#include "support/error.hpp"
+
+namespace iddq::netlist {
+namespace {
+
+constexpr const char* kC17Text = R"(
+# ISCAS85 c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+TEST(BenchIo, ParsesC17) {
+  const Netlist nl = read_bench_text(kC17Text, "c17");
+  EXPECT_EQ(nl.primary_inputs().size(), 5u);
+  EXPECT_EQ(nl.primary_outputs().size(), 2u);
+  EXPECT_EQ(nl.logic_gate_count(), 6u);
+  EXPECT_EQ(nl.gate(nl.at("22")).kind, GateKind::kNand);
+}
+
+TEST(BenchIo, ParsedC17MatchesGenerator) {
+  const Netlist parsed = read_bench_text(kC17Text, "c17");
+  const Netlist generated = gen::make_c17();
+  EXPECT_EQ(parsed.gate_count(), generated.gate_count());
+  for (const GateId id : generated.logic_gates()) {
+    const auto& g = generated.gate(id);
+    const GateId pid = parsed.at(g.name);
+    EXPECT_EQ(parsed.gate(pid).kind, g.kind);
+    EXPECT_EQ(parsed.gate(pid).fanins.size(), g.fanins.size());
+  }
+}
+
+TEST(BenchIo, ForwardReferencesResolve) {
+  const Netlist nl = read_bench_text(R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(z)
+z = BUF(a)
+)",
+                                     "fwd");
+  EXPECT_EQ(nl.gate(nl.at("y")).fanins[0], nl.at("z"));
+}
+
+TEST(BenchIo, OutputBeforeDefinition) {
+  const Netlist nl = read_bench_text(R"(
+OUTPUT(y)
+INPUT(a)
+y = NOT(a)
+)",
+                                     "out-first");
+  EXPECT_TRUE(nl.is_primary_output(nl.at("y")));
+}
+
+TEST(BenchIo, CommentsAndBlankLinesIgnored)
+{
+  const Netlist nl = read_bench_text(R"(
+# full comment line
+INPUT(a)   # trailing comment
+
+OUTPUT(y)
+y = NOT(a)
+)",
+                                     "comments");
+  EXPECT_EQ(nl.logic_gate_count(), 1u);
+}
+
+TEST(BenchIo, RejectsUndefinedSignal) {
+  EXPECT_THROW(
+      (void)read_bench_text("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", "bad"),
+      ParseError);
+}
+
+TEST(BenchIo, RejectsUndefinedOutput) {
+  EXPECT_THROW(
+      (void)read_bench_text("INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)\n", "bad"),
+      ParseError);
+}
+
+TEST(BenchIo, RejectsDoubleDefinition) {
+  EXPECT_THROW((void)read_bench_text(
+                   "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n", "bad"),
+               ParseError);
+}
+
+TEST(BenchIo, RejectsDff) {
+  try {
+    (void)read_bench_text("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n", "seq");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("DFF"), std::string::npos);
+  }
+}
+
+TEST(BenchIo, RejectsUnknownKind) {
+  EXPECT_THROW(
+      (void)read_bench_text("INPUT(a)\nOUTPUT(y)\ny = FROB(a, a)\n", "bad"),
+      ParseError);
+}
+
+TEST(BenchIo, RejectsMalformedLine) {
+  EXPECT_THROW((void)read_bench_text("INPUT(a)\nOUTPUT(y)\ny equals NOT(a)\n",
+                                     "bad"),
+               ParseError);
+}
+
+TEST(BenchIo, ParseErrorCarriesLineNumber) {
+  try {
+    (void)read_bench_text("INPUT(a)\nOUTPUT(y)\ny = NOT()\n", "lined");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(BenchIo, RoundTripPreservesStructure) {
+  const Netlist original = gen::make_c17();
+  const std::string text = to_bench_string(original);
+  const Netlist reparsed = read_bench_text(text, "c17");
+  EXPECT_EQ(reparsed.gate_count(), original.gate_count());
+  EXPECT_EQ(reparsed.primary_outputs().size(),
+            original.primary_outputs().size());
+  for (const GateId id : original.logic_gates()) {
+    const auto& g = original.gate(id);
+    const auto& r = reparsed.gate(reparsed.at(g.name));
+    EXPECT_EQ(r.kind, g.kind);
+    ASSERT_EQ(r.fanins.size(), g.fanins.size());
+    for (std::size_t i = 0; i < g.fanins.size(); ++i)
+      EXPECT_EQ(reparsed.gate(r.fanins[i]).name,
+                original.gate(g.fanins[i]).name);
+  }
+}
+
+TEST(BenchIo, ReadFileErrorsOnMissingPath) {
+  EXPECT_THROW((void)read_bench_file("/nonexistent/foo.bench"), Error);
+}
+
+TEST(BenchIo, FileRoundTrip) {
+  const Netlist original = gen::make_c17();
+  const std::string path = ::testing::TempDir() + "iddqsyn_c17.bench";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.is_open());
+    write_bench(out, original);
+  }
+  const Netlist reloaded = read_bench_file(path);
+  EXPECT_EQ(reloaded.name(), "iddqsyn_c17");  // name derives from the stem
+  EXPECT_EQ(reloaded.gate_count(), original.gate_count());
+  EXPECT_EQ(reloaded.primary_outputs().size(),
+            original.primary_outputs().size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace iddq::netlist

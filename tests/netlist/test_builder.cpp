@@ -1,0 +1,140 @@
+#include "netlist/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace iddq::netlist {
+namespace {
+
+Netlist tiny() {
+  NetlistBuilder b("tiny");
+  const auto a = b.add_input("a");
+  const auto c = b.add_input("c");
+  const auto g = b.add_gate(GateKind::kNand, "g", {a, c});
+  const auto h = b.add_gate(GateKind::kNot, "h", {g});
+  b.mark_output(h);
+  return std::move(b).build();
+}
+
+TEST(Builder, BuildsValidNetlist) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.name(), "tiny");
+  EXPECT_EQ(nl.gate_count(), 4u);
+  EXPECT_EQ(nl.logic_gate_count(), 2u);
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+}
+
+TEST(Builder, FanoutsMirrorFanins) {
+  const Netlist nl = tiny();
+  const auto a = nl.at("a");
+  const auto g = nl.at("g");
+  const auto h = nl.at("h");
+  ASSERT_EQ(nl.gate(a).fanouts.size(), 1u);
+  EXPECT_EQ(nl.gate(a).fanouts[0], g);
+  ASSERT_EQ(nl.gate(g).fanouts.size(), 1u);
+  EXPECT_EQ(nl.gate(g).fanouts[0], h);
+  EXPECT_TRUE(nl.gate(h).fanouts.empty());
+}
+
+TEST(Builder, FindAndAt) {
+  const Netlist nl = tiny();
+  EXPECT_TRUE(nl.find("g").has_value());
+  EXPECT_FALSE(nl.find("nope").has_value());
+  EXPECT_THROW((void)nl.at("nope"), LookupError);
+}
+
+TEST(Builder, IsPrimaryOutput) {
+  const Netlist nl = tiny();
+  EXPECT_TRUE(nl.is_primary_output(nl.at("h")));
+  EXPECT_FALSE(nl.is_primary_output(nl.at("g")));
+}
+
+TEST(Builder, LogicGatesExcludeInputs) {
+  const Netlist nl = tiny();
+  for (const GateId id : nl.logic_gates())
+    EXPECT_TRUE(is_logic(nl.gate(id).kind));
+}
+
+TEST(Builder, RejectsDuplicateNames) {
+  NetlistBuilder b("dup");
+  b.add_input("x");
+  EXPECT_THROW(b.add_input("x"), Error);
+}
+
+TEST(Builder, RejectsUnaryGateWithTwoFanins) {
+  NetlistBuilder b("bad");
+  const auto x = b.add_input("x");
+  const auto y = b.add_input("y");
+  EXPECT_THROW(b.add_gate(GateKind::kNot, "n", {x, y}), Error);
+}
+
+TEST(Builder, RejectsBinaryGateWithOneFanin) {
+  NetlistBuilder b("bad");
+  const auto x = b.add_input("x");
+  EXPECT_THROW(b.add_gate(GateKind::kNand, "n", {x}), Error);
+}
+
+TEST(Builder, RejectsSelfLoop) {
+  NetlistBuilder b("bad");
+  b.add_input("x");
+  const auto g = b.declare_gate(GateKind::kNot, "g");
+  EXPECT_THROW(b.set_fanins(g, {g}), Error);
+}
+
+TEST(Builder, RejectsMissingOutputs) {
+  NetlistBuilder b("noout");
+  const auto x = b.add_input("x");
+  b.add_gate(GateKind::kNot, "n", {x});
+  EXPECT_THROW((void)std::move(b).build(), Error);
+}
+
+TEST(Builder, RejectsUnconnectedDeclaredGate) {
+  NetlistBuilder b("dangling");
+  const auto x = b.add_input("x");
+  const auto g = b.add_gate(GateKind::kNot, "g", {x});
+  b.declare_gate(GateKind::kNand, "never_wired");
+  b.mark_output(g);
+  EXPECT_THROW((void)std::move(b).build(), Error);
+}
+
+TEST(Builder, RejectsDoubleConnection) {
+  NetlistBuilder b("twice");
+  const auto x = b.add_input("x");
+  const auto g = b.declare_gate(GateKind::kNot, "g");
+  b.set_fanins(g, {x});
+  EXPECT_THROW(b.set_fanins(g, {x}), Error);
+}
+
+TEST(Builder, MarkOutputIsIdempotent) {
+  NetlistBuilder b("idem");
+  const auto x = b.add_input("x");
+  const auto g = b.add_gate(GateKind::kNot, "g", {x});
+  b.mark_output(g);
+  b.mark_output(g);
+  const Netlist nl = std::move(b).build();
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+}
+
+TEST(Builder, GateKindRoundTrip) {
+  for (const auto kind :
+       {GateKind::kBuf, GateKind::kNot, GateKind::kAnd, GateKind::kNand,
+        GateKind::kOr, GateKind::kNor, GateKind::kXor, GateKind::kXnor}) {
+    GateKind parsed{};
+    ASSERT_TRUE(gate_kind_from_string(to_string(kind), parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+}
+
+TEST(Builder, GateKindAliases) {
+  GateKind k{};
+  EXPECT_TRUE(gate_kind_from_string("BUFF", k));
+  EXPECT_EQ(k, GateKind::kBuf);
+  EXPECT_TRUE(gate_kind_from_string("INV", k));
+  EXPECT_EQ(k, GateKind::kNot);
+  EXPECT_FALSE(gate_kind_from_string("DFF", k));
+}
+
+}  // namespace
+}  // namespace iddq::netlist

@@ -1,0 +1,78 @@
+#include "netlist/distance_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "netlist/graph.hpp"
+
+namespace iddq::netlist {
+namespace {
+
+TEST(DistanceOracle, MatchesBfsWithinRadius) {
+  const Netlist nl =
+      gen::make_random_dag(gen::DagProfile::basic("rand", 100, 10, 21));
+  const std::uint32_t rho = 4;
+  const DistanceOracle oracle(nl, rho);
+  const UndirectedGraph graph(nl);
+  for (GateId a = 0; a < nl.gate_count(); ++a) {
+    const auto dist = bfs_within(graph, a, rho);
+    for (GateId b = 0; b < nl.gate_count(); ++b) {
+      if (a == b) continue;
+      const std::uint32_t expected =
+          (dist[b] == kUnreached || dist[b] >= rho) ? rho : dist[b];
+      ASSERT_EQ(oracle.separation(a, b), expected)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(DistanceOracle, SeparationIsSymmetric) {
+  const Netlist nl = gen::make_c17();
+  const DistanceOracle oracle(nl, 5);
+  for (GateId a = 0; a < nl.gate_count(); ++a)
+    for (GateId b = a + 1; b < nl.gate_count(); ++b)
+      EXPECT_EQ(oracle.separation(a, b), oracle.separation(b, a));
+}
+
+TEST(DistanceOracle, AdjacentGatesHaveSeparationOne) {
+  const Netlist nl = gen::make_c17();
+  const DistanceOracle oracle(nl, 5);
+  for (const GateId id : nl.logic_gates())
+    for (const GateId f : nl.gate(id).fanins)
+      EXPECT_EQ(oracle.separation(id, f), 1u);
+}
+
+TEST(DistanceOracle, SaturatesAtRho) {
+  const Netlist nl = gen::make_c17();
+  const DistanceOracle oracle(nl, 2);
+  // 10 to 19: 10-22-16-19 or 10-1?-...: shortest is 3 hops (10,22,16,19)
+  // or via inputs; with rho=2 everything >= 2 saturates.
+  EXPECT_EQ(oracle.separation(nl.at("10"), nl.at("19")), 2u);
+}
+
+TEST(DistanceOracle, RhoOneStoresNothing) {
+  const Netlist nl = gen::make_c17();
+  const DistanceOracle oracle(nl, 1);
+  EXPECT_EQ(oracle.entry_count(), 0u);
+  EXPECT_EQ(oracle.separation(nl.at("10"), nl.at("22")), 1u);  // saturated
+}
+
+TEST(DistanceOracle, NearListsExcludeSelfAndAreSorted) {
+  const Netlist nl =
+      gen::make_random_dag(gen::DagProfile::basic("rand", 80, 8, 31));
+  const DistanceOracle oracle(nl, 4);
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    GateId prev = kNoGate;
+    for (const auto& e : oracle.near(g)) {
+      EXPECT_NE(e.gate, g);
+      EXPECT_GE(e.distance, 1u);
+      EXPECT_LT(e.distance, 4u);
+      if (prev != kNoGate) EXPECT_GT(e.gate, prev);
+      prev = e.gate;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iddq::netlist

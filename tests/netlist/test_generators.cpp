@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "netlist/gen/array_cut.hpp"
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/iscas_profiles.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/stats.hpp"
+#include "support/error.hpp"
+
+namespace iddq::netlist::gen {
+namespace {
+
+TEST(C17, ExactStructure) {
+  const Netlist nl = make_c17();
+  EXPECT_EQ(nl.name(), "c17");
+  EXPECT_EQ(nl.primary_inputs().size(), 5u);
+  EXPECT_EQ(nl.primary_outputs().size(), 2u);
+  EXPECT_EQ(nl.logic_gate_count(), 6u);
+  for (const GateId id : nl.logic_gates()) {
+    EXPECT_EQ(nl.gate(id).kind, GateKind::kNand);
+    EXPECT_EQ(nl.gate(id).fanins.size(), 2u);
+  }
+}
+
+TEST(RandomDag, ExactGateCountAndDepth) {
+  for (const std::uint64_t seed : {1ull, 2ull, 77ull}) {
+    const auto profile = DagProfile::basic("t", 200, 15, seed);
+    const Netlist nl = make_random_dag(profile);
+    EXPECT_EQ(nl.logic_gate_count(), 200u);
+    EXPECT_EQ(levelize(nl).max_depth, 15u);
+  }
+}
+
+TEST(RandomDag, Deterministic) {
+  const auto profile = DagProfile::basic("t", 150, 12, 5);
+  const Netlist a = make_random_dag(profile);
+  const Netlist b = make_random_dag(profile);
+  ASSERT_EQ(a.gate_count(), b.gate_count());
+  for (GateId id = 0; id < a.gate_count(); ++id) {
+    EXPECT_EQ(a.gate(id).kind, b.gate(id).kind);
+    EXPECT_EQ(a.gate(id).fanins, b.gate(id).fanins);
+  }
+}
+
+TEST(RandomDag, DifferentSeedsDiffer) {
+  const Netlist a = make_random_dag(DagProfile::basic("t", 150, 12, 5));
+  const Netlist b = make_random_dag(DagProfile::basic("t", 150, 12, 6));
+  bool any_difference = a.gate_count() != b.gate_count();
+  for (GateId id = 0; !any_difference && id < a.gate_count(); ++id)
+    any_difference = a.gate(id).fanins != b.gate(id).fanins ||
+                     a.gate(id).kind != b.gate(id).kind;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RandomDag, EveryInputDrivesSomething) {
+  const Netlist nl = make_random_dag(DagProfile::basic("t", 300, 18, 9));
+  for (const GateId id : nl.primary_inputs())
+    EXPECT_FALSE(nl.gate(id).fanouts.empty())
+        << "dangling input " << nl.gate(id).name;
+}
+
+TEST(RandomDag, AllSinksAreOutputs) {
+  const Netlist nl = make_random_dag(DagProfile::basic("t", 300, 18, 13));
+  for (const GateId id : nl.logic_gates())
+    if (nl.gate(id).fanouts.empty())
+      EXPECT_TRUE(nl.is_primary_output(id));
+}
+
+TEST(RandomDag, RejectsInfeasibleProfiles) {
+  auto p = DagProfile::basic("t", 5, 10, 1);  // depth > gates
+  EXPECT_THROW((void)make_random_dag(p), Error);
+  p = DagProfile::basic("t", 50, 5, 1);
+  p.kind_weights = {};  // all zero
+  EXPECT_THROW((void)make_random_dag(p), Error);
+}
+
+TEST(IscasProfiles, Table1NamesComplete) {
+  const auto names = table1_circuit_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "c1908");
+  EXPECT_EQ(names[5], "c7552");
+}
+
+TEST(IscasProfiles, PublishedSizes) {
+  const struct {
+    const char* name;
+    std::size_t inputs, gates, depth;
+  } expected[] = {
+      {"c1908", 33, 880, 40},  {"c2670", 233, 1193, 32},
+      {"c3540", 50, 1669, 47}, {"c5315", 178, 2307, 49},
+      {"c7552", 207, 3512, 43},
+  };
+  for (const auto& e : expected) {
+    const auto p = iscas_profile(e.name);
+    EXPECT_EQ(p.inputs, e.inputs) << e.name;
+    EXPECT_EQ(p.gates, e.gates) << e.name;
+    EXPECT_EQ(p.depth, e.depth) << e.name;
+  }
+}
+
+TEST(IscasProfiles, GeneratedCircuitsMatchProfiles) {
+  const Netlist nl = make_iscas_like("c2670");
+  EXPECT_EQ(nl.logic_gate_count(), 1193u);
+  EXPECT_EQ(nl.primary_inputs().size(), 233u);
+  EXPECT_EQ(levelize(nl).max_depth, 32u);
+}
+
+TEST(IscasProfiles, C6288IsStructural) {
+  EXPECT_THROW((void)iscas_profile("c6288"), LookupError);
+  const Netlist nl = make_iscas_like("c6288");
+  EXPECT_EQ(nl.primary_inputs().size(), 32u);
+  EXPECT_EQ(nl.primary_outputs().size(), 32u);
+  // ~2400 gates, depth ~120: the published C6288 shape.
+  EXPECT_NEAR(static_cast<double>(nl.logic_gate_count()), 2406.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(levelize(nl).max_depth), 124.0, 10.0);
+}
+
+TEST(IscasProfiles, UnknownNameThrows) {
+  EXPECT_THROW((void)make_iscas_like("c9999"), LookupError);
+}
+
+TEST(IscasProfiles, CaseInsensitive) {
+  const Netlist nl = make_iscas_like("C1908");
+  EXPECT_EQ(nl.logic_gate_count(), 880u);
+}
+
+TEST(ArrayCut, StructureAndDepths) {
+  const auto cut = make_array_cut(4, 6);
+  EXPECT_EQ(cut.netlist.logic_gate_count(), 24u);
+  const auto lv = levelize(cut.netlist);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 6; ++c)
+      EXPECT_EQ(lv.depth[cut.cell[r][c]], c + 1)
+          << "cell " << r << "," << c;
+}
+
+TEST(ArrayCut, ThreeCellTypesCycle) {
+  const auto cut = make_array_cut(2, 6);
+  const auto& nl = cut.netlist;
+  EXPECT_EQ(nl.gate(cut.cell[0][0]).kind, GateKind::kNand);
+  EXPECT_EQ(nl.gate(cut.cell[0][1]).kind, GateKind::kNor);
+  EXPECT_EQ(nl.gate(cut.cell[0][2]).kind, GateKind::kAnd);
+  EXPECT_EQ(nl.gate(cut.cell[0][3]).kind, GateKind::kNand);
+}
+
+TEST(ArrayCut, RowBandPartitionGroupsRows) {
+  const auto cut = make_array_cut(6, 4);
+  const auto groups = row_band_partition(cut, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  for (const auto& g : groups) EXPECT_EQ(g.size(), 8u);  // 2 rows x 4 cols
+}
+
+TEST(ArrayCut, ColumnBandPartitionGroupsColumns) {
+  const auto cut = make_array_cut(6, 4);
+  const auto groups = column_band_partition(cut, 2);
+  ASSERT_EQ(groups.size(), 2u);
+  for (const auto& g : groups) EXPECT_EQ(g.size(), 12u);  // 6 rows x 2 cols
+}
+
+TEST(ArrayCut, PartitionsCoverAllCells) {
+  const auto cut = make_array_cut(5, 7);
+  for (const auto& groups :
+       {row_band_partition(cut, 5), column_band_partition(cut, 7)}) {
+    std::size_t total = 0;
+    for (const auto& g : groups) total += g.size();
+    EXPECT_EQ(total, 35u);
+  }
+}
+
+}  // namespace
+}  // namespace iddq::netlist::gen

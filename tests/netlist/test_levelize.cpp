@@ -1,0 +1,73 @@
+#include "netlist/levelize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/random_dag.hpp"
+
+namespace iddq::netlist {
+namespace {
+
+TEST(Levelize, TopologicalOrderRespectsEdges) {
+  const Netlist nl = gen::make_c17();
+  const auto order = topological_order(nl);
+  ASSERT_EQ(order.size(), nl.gate_count());
+  std::vector<std::size_t> position(nl.gate_count());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (GateId id = 0; id < nl.gate_count(); ++id)
+    for (const GateId f : nl.gate(id).fanins)
+      EXPECT_LT(position[f], position[id]);
+}
+
+TEST(Levelize, C17Depths) {
+  const Netlist nl = gen::make_c17();
+  const auto lv = levelize(nl);
+  EXPECT_EQ(lv.depth[nl.at("1")], 0u);
+  EXPECT_EQ(lv.depth[nl.at("10")], 1u);
+  EXPECT_EQ(lv.depth[nl.at("11")], 1u);
+  EXPECT_EQ(lv.depth[nl.at("16")], 2u);
+  EXPECT_EQ(lv.depth[nl.at("19")], 2u);
+  EXPECT_EQ(lv.depth[nl.at("22")], 3u);
+  EXPECT_EQ(lv.depth[nl.at("23")], 3u);
+  EXPECT_EQ(lv.max_depth, 3u);
+}
+
+TEST(Levelize, MinDepthDiffersOnReconvergence) {
+  // y's paths: a -> y (short) and a -> m -> y (long).
+  NetlistBuilder b("reconv");
+  const auto a = b.add_input("a");
+  const auto m = b.add_gate(GateKind::kNot, "m", {a});
+  const auto y = b.add_gate(GateKind::kNand, "y", {a, m});
+  b.mark_output(y);
+  const Netlist nl = std::move(b).build();
+  const auto lv = levelize(nl);
+  EXPECT_EQ(lv.min_depth[y], 1u);
+  EXPECT_EQ(lv.depth[y], 2u);
+}
+
+TEST(Levelize, IsAcyclicTrueForBuilderOutput) {
+  EXPECT_TRUE(is_acyclic(gen::make_c17()));
+}
+
+TEST(Levelize, DepthIsMonotoneAlongEdges) {
+  const Netlist nl =
+      gen::make_random_dag(gen::DagProfile::basic("rand", 150, 12, 3));
+  const auto lv = levelize(nl);
+  for (GateId id = 0; id < nl.gate_count(); ++id)
+    for (const GateId f : nl.gate(id).fanins)
+      EXPECT_LT(lv.depth[f], lv.depth[id]);
+}
+
+TEST(Levelize, InputsAtDepthZero) {
+  const Netlist nl =
+      gen::make_random_dag(gen::DagProfile::basic("rand", 80, 8, 5));
+  const auto lv = levelize(nl);
+  for (const GateId id : nl.primary_inputs()) {
+    EXPECT_EQ(lv.depth[id], 0u);
+    EXPECT_EQ(lv.min_depth[id], 0u);
+  }
+}
+
+}  // namespace
+}  // namespace iddq::netlist

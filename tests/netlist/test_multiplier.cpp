@@ -1,0 +1,91 @@
+#include "netlist/gen/multiplier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/levelize.hpp"
+#include "sim/logic_sim.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::netlist::gen {
+namespace {
+
+std::uint64_t multiply_via_netlist(const Netlist& nl, std::uint64_t a,
+                                   std::uint64_t b, std::size_t n) {
+  sim::LogicSim simulator(nl);
+  std::vector<bool> in(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = (a >> i) & 1;
+    in[n + i] = (b >> i) & 1;
+  }
+  const auto values = simulator.run_single(in);
+  std::uint64_t p = 0;
+  const auto outs = nl.primary_outputs();
+  for (std::size_t w = 0; w < outs.size(); ++w)
+    if (values[outs[w]]) p |= std::uint64_t{1} << w;
+  return p;
+}
+
+class MultiplierWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MultiplierWidth, MultipliesCorrectlyOnRandomOperands) {
+  const std::size_t n = GetParam();
+  const Netlist nl = make_multiplier(n);
+  Rng rng(1234 + n);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t a = rng.below(std::uint64_t{1} << n);
+    const std::uint64_t b = rng.below(std::uint64_t{1} << n);
+    ASSERT_EQ(multiply_via_netlist(nl, a, b, n), a * b)
+        << n << "x" << n << ": " << a << " * " << b;
+  }
+}
+
+TEST_P(MultiplierWidth, EdgeOperands) {
+  const std::size_t n = GetParam();
+  const Netlist nl = make_multiplier(n);
+  const std::uint64_t maxv = (std::uint64_t{1} << n) - 1;
+  for (const auto [a, b] : {std::pair<std::uint64_t, std::uint64_t>{0, 0},
+                            {0, maxv},
+                            {maxv, 0},
+                            {1, maxv},
+                            {maxv, maxv}}) {
+    EXPECT_EQ(multiply_via_netlist(nl, a, b, n), a * b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MultiplierWidth,
+                         ::testing::Values(2, 3, 4, 5, 8, 16));
+
+TEST(Multiplier, C6288LikeShape) {
+  const Netlist nl = make_multiplier(16, "c6288");
+  EXPECT_EQ(nl.name(), "c6288");
+  EXPECT_EQ(nl.primary_inputs().size(), 32u);
+  EXPECT_EQ(nl.primary_outputs().size(), 32u);
+  EXPECT_GT(nl.logic_gate_count(), 2300u);
+  EXPECT_LT(nl.logic_gate_count(), 2500u);
+  const auto depth = levelize(nl).max_depth;
+  EXPECT_GT(depth, 110u);
+  EXPECT_LT(depth, 135u);
+}
+
+TEST(Multiplier, MostlyNorCells) {
+  const Netlist nl = make_multiplier(16);
+  std::size_t nor_count = 0;
+  for (const GateId id : nl.logic_gates())
+    if (nl.gate(id).kind == GateKind::kNor) ++nor_count;
+  // The adder array is NOR-only (like the real C6288); only the partial
+  // products (AND) and half-adder sums (NOT) differ.
+  EXPECT_GT(nor_count, nl.logic_gate_count() * 8 / 10);
+}
+
+TEST(Multiplier, RejectsBadWidths) {
+  EXPECT_THROW((void)make_multiplier(1), Error);
+  EXPECT_THROW((void)make_multiplier(33), Error);
+}
+
+TEST(Multiplier, DefaultNameEncodesWidth) {
+  EXPECT_EQ(make_multiplier(4).name(), "mult4x4");
+}
+
+}  // namespace
+}  // namespace iddq::netlist::gen

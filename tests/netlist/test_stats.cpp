@@ -1,0 +1,60 @@
+#include "netlist/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/iscas_profiles.hpp"
+
+namespace iddq::netlist {
+namespace {
+
+TEST(Stats, C17ByHand) {
+  const auto s = compute_stats(gen::make_c17());
+  EXPECT_EQ(s.inputs, 5u);
+  EXPECT_EQ(s.outputs, 2u);
+  EXPECT_EQ(s.logic_gates, 6u);
+  EXPECT_EQ(s.max_depth, 3u);
+  EXPECT_DOUBLE_EQ(s.avg_fanin, 2.0);  // all NAND2
+  EXPECT_EQ(s.by_kind[static_cast<std::size_t>(GateKind::kNand)], 6u);
+  EXPECT_EQ(s.by_kind[static_cast<std::size_t>(GateKind::kInput)], 5u);
+  // Gate 3 drives 10 and 11; gate 16 drives 22 and 23; max fanout = 2.
+  EXPECT_EQ(s.max_fanout, 2u);
+}
+
+TEST(Stats, KindCountsSumToGateCount) {
+  const auto nl = gen::make_iscas_like("c1908");
+  const auto s = compute_stats(nl);
+  std::size_t sum = 0;
+  for (const auto c : s.by_kind) sum += c;
+  EXPECT_EQ(sum, nl.gate_count());
+}
+
+TEST(Stats, FanoutConservation) {
+  // Total fanout endpoints == total fanin endpoints.
+  const auto nl = gen::make_iscas_like("c2670");
+  std::size_t fanins = 0;
+  std::size_t fanouts = 0;
+  for (const auto& g : nl.gates()) {
+    fanins += g.fanins.size();
+    fanouts += g.fanouts.size();
+  }
+  EXPECT_EQ(fanins, fanouts);
+  const auto s = compute_stats(nl);
+  EXPECT_NEAR(s.avg_fanout * static_cast<double>(nl.gate_count()),
+              static_cast<double>(fanouts), 1e-6);
+}
+
+TEST(Stats, PrintIncludesHeadlineNumbers) {
+  std::ostringstream os;
+  print_stats(os, gen::make_c17());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("c17"), std::string::npos);
+  EXPECT_NE(text.find("5 PI"), std::string::npos);
+  EXPECT_NE(text.find("6 gates"), std::string::npos);
+  EXPECT_NE(text.find("nand=6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iddq::netlist

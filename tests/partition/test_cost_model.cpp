@@ -1,0 +1,56 @@
+#include "partition/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iddq::part {
+namespace {
+
+TEST(CostModel, PaperDefaultWeights) {
+  const CostWeights w;
+  EXPECT_DOUBLE_EQ(w.a1, 9.0);
+  EXPECT_DOUBLE_EQ(w.a2, 1.0e5);
+  EXPECT_DOUBLE_EQ(w.a3, 1.0);
+  EXPECT_DOUBLE_EQ(w.a4, 1.0);
+  EXPECT_DOUBLE_EQ(w.a5, 10.0);
+}
+
+TEST(CostModel, TotalIsWeightedSum) {
+  const CostWeights w{2.0, 3.0, 5.0, 7.0, 11.0};
+  const Costs c{1.0, 10.0, 100.0, 1000.0, 2.0};
+  EXPECT_DOUBLE_EQ(c.total(w), 2.0 + 30.0 + 500.0 + 7000.0 + 22.0);
+}
+
+TEST(CostModel, AsArrayOrder) {
+  const Costs c{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto a = c.as_array();
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  EXPECT_DOUBLE_EQ(a[4], 5.0);
+}
+
+TEST(Fitness, FeasibleBeatsInfeasibleRegardlessOfCost) {
+  const Fitness feasible{0.0, 1.0e9};
+  const Fitness infeasible{0.1, 0.0};
+  EXPECT_TRUE(feasible < infeasible);
+  EXPECT_FALSE(infeasible < feasible);
+}
+
+TEST(Fitness, SmallerViolationWinsAmongInfeasible) {
+  const Fitness a{0.5, 100.0};
+  const Fitness b{0.6, 1.0};
+  EXPECT_TRUE(a < b);
+}
+
+TEST(Fitness, CostBreaksTiesAmongFeasible) {
+  const Fitness a{0.0, 10.0};
+  const Fitness b{0.0, 20.0};
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+TEST(Fitness, FeasibleFlag) {
+  EXPECT_TRUE((Fitness{0.0, 5.0}).feasible());
+  EXPECT_FALSE((Fitness{0.01, 5.0}).feasible());
+}
+
+}  // namespace
+}  // namespace iddq::part

@@ -1,0 +1,154 @@
+#include "partition/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/start_partition.hpp"
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::part {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl = netlist::gen::make_c17();
+  lib::CellLibrary library = lib::default_library();
+  EvalContext ctx{nl, library, elec::SensorSpec{}, CostWeights{}};
+
+  Partition two_module() const {
+    return Partition::from_groups(
+        nl, std::vector<std::vector<netlist::GateId>>{
+                {nl.at("10"), nl.at("16"), nl.at("22")},
+                {nl.at("11"), nl.at("19"), nl.at("23")}});
+  }
+};
+
+TEST(Evaluator, ContextPrecomputesNominalDelay) {
+  const Fixture f;
+  const double nand2 = f.ctx.cells[f.nl.at("10")].delay_ps;
+  EXPECT_NEAR(f.ctx.d_nominal_ps, 3 * nand2, 1e-9);
+  EXPECT_GT(f.ctx.type_count, 0u);
+  EXPECT_DOUBLE_EQ(f.ctx.leak_cap_ua,
+                   f.ctx.sensor.iddq_th_ua / f.ctx.sensor.d_min);
+}
+
+TEST(Evaluator, CostsAreFiniteAndOrdered) {
+  Fixture f;
+  PartitionEvaluator eval(f.ctx, f.two_module());
+  const Costs c = eval.costs();
+  EXPECT_TRUE(std::isfinite(c.c1));
+  EXPECT_GE(c.c2, 0.0);  // sensors never speed the circuit up
+  EXPECT_TRUE(std::isfinite(c.c3));
+  EXPECT_GE(c.c4, c.c2);  // test time includes the delay overhead
+  EXPECT_DOUBLE_EQ(c.c5, 2.0);
+}
+
+TEST(Evaluator, C17IsFeasible) {
+  Fixture f;
+  PartitionEvaluator eval(f.ctx, f.two_module());
+  EXPECT_DOUBLE_EQ(eval.violation(), 0.0);
+  EXPECT_TRUE(eval.fitness().feasible());
+}
+
+TEST(Evaluator, ModuleReportConsistency) {
+  Fixture f;
+  PartitionEvaluator eval(f.ctx, f.two_module());
+  for (std::uint32_t m = 0; m < 2; ++m) {
+    const ModuleReport r = eval.module_report(m);
+    EXPECT_EQ(r.gates, 3u);
+    EXPECT_GT(r.idd_max_ua, 0.0);
+    EXPECT_GT(r.leakage_ua, 0.0);
+    EXPECT_GT(r.rs_kohm, 0.0);
+    EXPECT_GT(r.area, f.ctx.sensor.a0_area);
+    EXPECT_NEAR(r.tau_ps, r.rs_kohm * r.cs_ff, 1e-9);
+    // Sensor sizing keeps the perturbation within the limit.
+    EXPECT_LE(r.rail_perturbation_mv, f.ctx.sensor.r_max_mv + 1e-9);
+    EXPECT_GE(r.discriminability, f.ctx.sensor.d_min);
+  }
+}
+
+TEST(Evaluator, TotalAreaIsSumOfModuleAreas) {
+  Fixture f;
+  PartitionEvaluator eval(f.ctx, f.two_module());
+  double sum = 0.0;
+  for (std::uint32_t m = 0; m < 2; ++m) sum += eval.module_report(m).area;
+  EXPECT_NEAR(eval.total_sensor_area(), sum, 1e-9);
+}
+
+TEST(Evaluator, C1EqualsLogArea) {
+  Fixture f;
+  PartitionEvaluator eval(f.ctx, f.two_module());
+  EXPECT_NEAR(eval.costs().c1, std::log(eval.total_sensor_area()), 1e-12);
+}
+
+TEST(Evaluator, MoveGateUpdatesPartition) {
+  Fixture f;
+  PartitionEvaluator eval(f.ctx, f.two_module());
+  eval.move_gate(f.nl.at("16"), 1);
+  EXPECT_EQ(eval.partition().module_of(f.nl.at("16")), 1u);
+  EXPECT_NO_THROW(eval.self_check());
+}
+
+TEST(Evaluator, MoveToSameModuleIsNoop) {
+  Fixture f;
+  PartitionEvaluator eval(f.ctx, f.two_module());
+  const Costs before = eval.costs();
+  eval.move_gate(f.nl.at("16"), 0);
+  const Costs after = eval.costs();
+  EXPECT_DOUBLE_EQ(before.total(CostWeights{}), after.total(CostWeights{}));
+}
+
+TEST(Evaluator, EmptyingModuleShrinksK) {
+  Fixture f;
+  PartitionEvaluator eval(f.ctx, f.two_module());
+  eval.move_gate(f.nl.at("10"), 1);
+  eval.move_gate(f.nl.at("16"), 1);
+  eval.move_gate(f.nl.at("22"), 1);
+  EXPECT_EQ(eval.partition().module_count(), 1u);
+  EXPECT_DOUBLE_EQ(eval.costs().c5, 1.0);
+  EXPECT_NO_THROW(eval.self_check());
+}
+
+TEST(Evaluator, SingleModuleOfBigCircuitViolatesDiscriminability) {
+  // ~900 gates leak far beyond IDDQ_th / d: the constraint must fire.
+  const auto nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("big", 900, 20, 3));
+  const auto library = lib::default_library();
+  const EvalContext ctx(nl, library, elec::SensorSpec{}, CostWeights{});
+  Rng rng(1);
+  PartitionEvaluator eval(ctx, core::make_start_partition(nl, 1, rng));
+  EXPECT_GT(eval.violation(), 0.0);
+  EXPECT_FALSE(eval.fitness().feasible());
+}
+
+TEST(Evaluator, MoreModulesRestoreFeasibility) {
+  const auto nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("big", 900, 20, 3));
+  const auto library = lib::default_library();
+  const EvalContext ctx(nl, library, elec::SensorSpec{}, CostWeights{});
+  Rng rng(1);
+  PartitionEvaluator eval(ctx, core::make_start_partition(nl, 4, rng));
+  EXPECT_DOUBLE_EQ(eval.violation(), 0.0);
+}
+
+TEST(Evaluator, RejectsNonCoveringPartition) {
+  Fixture f;
+  Partition p(f.nl.gate_count(), 2);
+  p.assign(f.nl.at("10"), 0);  // everything else unassigned
+  p.assign(f.nl.at("11"), 1);
+  EXPECT_THROW((PartitionEvaluator(f.ctx, p)), Error);
+}
+
+TEST(Evaluator, DelayOverheadInPlausibleBand) {
+  // The 1995 table reports delay overheads in the percent range.
+  Fixture f;
+  PartitionEvaluator eval(f.ctx, f.two_module());
+  const double c2 = eval.costs().c2;
+  EXPECT_GT(c2, 0.0);
+  EXPECT_LT(c2, 0.25);
+}
+
+}  // namespace
+}  // namespace iddq::part

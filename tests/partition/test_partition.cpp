@@ -1,0 +1,134 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/gen/c17.hpp"
+#include "support/error.hpp"
+
+namespace iddq::part {
+namespace {
+
+std::vector<std::vector<netlist::GateId>> c17_groups(
+    const netlist::Netlist& nl) {
+  return {{nl.at("10"), nl.at("16"), nl.at("22")},
+          {nl.at("11"), nl.at("19"), nl.at("23")}};
+}
+
+TEST(Partition, FromGroupsBuildsCover) {
+  const auto nl = netlist::gen::make_c17();
+  const auto p = Partition::from_groups(nl, c17_groups(nl));
+  EXPECT_EQ(p.module_count(), 2u);
+  EXPECT_EQ(p.assigned_count(), 6u);
+  EXPECT_TRUE(p.covers(nl));
+  EXPECT_EQ(p.module_of(nl.at("16")), 0u);
+  EXPECT_EQ(p.module_of(nl.at("19")), 1u);
+}
+
+TEST(Partition, InputsStayUnassigned) {
+  const auto nl = netlist::gen::make_c17();
+  const auto p = Partition::from_groups(nl, c17_groups(nl));
+  for (const auto id : nl.primary_inputs())
+    EXPECT_EQ(p.module_of(id), kUnassigned);
+}
+
+TEST(Partition, MoveRelocatesGate) {
+  const auto nl = netlist::gen::make_c17();
+  auto p = Partition::from_groups(nl, c17_groups(nl));
+  p.move(nl.at("16"), 1);
+  EXPECT_EQ(p.module_of(nl.at("16")), 1u);
+  EXPECT_EQ(p.module_size(0), 2u);
+  EXPECT_EQ(p.module_size(1), 4u);
+  EXPECT_TRUE(p.covers(nl));
+}
+
+TEST(Partition, MoveToSameModuleIsNoop) {
+  const auto nl = netlist::gen::make_c17();
+  auto p = Partition::from_groups(nl, c17_groups(nl));
+  const auto before = p;
+  p.move(nl.at("16"), 0);
+  EXPECT_EQ(p, before);
+}
+
+TEST(Partition, ModuleMembershipConsistentAfterMoves) {
+  const auto nl = netlist::gen::make_c17();
+  auto p = Partition::from_groups(nl, c17_groups(nl));
+  p.move(nl.at("10"), 1);
+  p.move(nl.at("23"), 0);
+  p.move(nl.at("10"), 0);
+  for (std::uint32_t m = 0; m < p.module_count(); ++m)
+    for (const auto g : p.module(m)) EXPECT_EQ(p.module_of(g), m);
+}
+
+TEST(Partition, EraseEmptyModuleSwapsLast) {
+  const auto nl = netlist::gen::make_c17();
+  const std::vector<std::vector<netlist::GateId>> groups = {
+      {nl.at("10")},
+      {nl.at("11"), nl.at("16")},
+      {nl.at("19"), nl.at("22"), nl.at("23")}};
+  auto p = Partition::from_groups(nl, groups);
+  p.move(nl.at("10"), 1);  // module 0 now empty
+  const auto moved_from = p.erase_empty_module(0);
+  EXPECT_EQ(moved_from, 2u);
+  EXPECT_EQ(p.module_count(), 2u);
+  // The former module 2 now sits in slot 0.
+  EXPECT_EQ(p.module_of(nl.at("22")), 0u);
+  EXPECT_TRUE(p.covers(nl));
+}
+
+TEST(Partition, EraseLastModuleSlot) {
+  const auto nl = netlist::gen::make_c17();
+  const std::vector<std::vector<netlist::GateId>> groups = {
+      {nl.at("10"), nl.at("11"), nl.at("16"), nl.at("19"), nl.at("22")},
+      {nl.at("23")}};
+  auto p = Partition::from_groups(nl, groups);
+  p.move(nl.at("23"), 0);
+  const auto moved_from = p.erase_empty_module(1);
+  EXPECT_EQ(moved_from, 1u);  // nothing had to move
+  EXPECT_EQ(p.module_count(), 1u);
+}
+
+TEST(Partition, EraseNonEmptyModuleThrows) {
+  const auto nl = netlist::gen::make_c17();
+  auto p = Partition::from_groups(nl, c17_groups(nl));
+  EXPECT_THROW((void)p.erase_empty_module(0), Error);
+}
+
+TEST(Partition, FromGroupsRejectsDuplicates) {
+  const auto nl = netlist::gen::make_c17();
+  const std::vector<std::vector<netlist::GateId>> groups = {
+      {nl.at("10"), nl.at("11")}, {nl.at("11"), nl.at("16")}};
+  EXPECT_THROW((void)Partition::from_groups(nl, groups), Error);
+}
+
+TEST(Partition, FromGroupsRejectsIncompleteCover) {
+  const auto nl = netlist::gen::make_c17();
+  const std::vector<std::vector<netlist::GateId>> groups = {
+      {nl.at("10"), nl.at("11")}};
+  EXPECT_THROW((void)Partition::from_groups(nl, groups), Error);
+}
+
+TEST(Partition, FromGroupsRejectsPrimaryInputs) {
+  const auto nl = netlist::gen::make_c17();
+  auto groups = c17_groups(nl);
+  groups[0].push_back(nl.at("1"));
+  EXPECT_THROW((void)Partition::from_groups(nl, groups), Error);
+}
+
+TEST(Partition, FromGroupsRejectsEmptyModule) {
+  const auto nl = netlist::gen::make_c17();
+  auto groups = c17_groups(nl);
+  groups.emplace_back();
+  EXPECT_THROW((void)Partition::from_groups(nl, groups), Error);
+}
+
+TEST(Partition, CoversDetectsEmptyModule) {
+  const auto nl = netlist::gen::make_c17();
+  auto p = Partition::from_groups(nl, c17_groups(nl));
+  p.move(nl.at("10"), 1);
+  p.move(nl.at("16"), 1);
+  p.move(nl.at("22"), 1);  // module 0 empty but not erased
+  EXPECT_FALSE(p.covers(nl));
+}
+
+}  // namespace
+}  // namespace iddq::part

@@ -1,0 +1,73 @@
+#include "partition/partition_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/gen/c17.hpp"
+#include "support/error.hpp"
+
+namespace iddq::part {
+namespace {
+
+Partition two_module(const netlist::Netlist& nl) {
+  return Partition::from_groups(
+      nl, std::vector<std::vector<netlist::GateId>>{
+              {nl.at("10"), nl.at("16"), nl.at("22")},
+              {nl.at("11"), nl.at("19"), nl.at("23")}});
+}
+
+TEST(PartitionIo, RoundTrip) {
+  const auto nl = netlist::gen::make_c17();
+  const auto p = two_module(nl);
+  const std::string text = to_partition_string(nl, p);
+  const Partition reparsed = read_partition_text(text, nl);
+  EXPECT_EQ(reparsed.module_count(), p.module_count());
+  for (const auto g : nl.logic_gates())
+    EXPECT_EQ(reparsed.module_of(g), p.module_of(g));
+}
+
+TEST(PartitionIo, TextFormatIsReadable) {
+  const auto nl = netlist::gen::make_c17();
+  const std::string text = to_partition_string(nl, two_module(nl));
+  EXPECT_NE(text.find("partition c17 modules 2"), std::string::npos);
+  EXPECT_NE(text.find("module 0:"), std::string::npos);
+}
+
+TEST(PartitionIo, RejectsUnknownGate) {
+  const auto nl = netlist::gen::make_c17();
+  EXPECT_THROW((void)read_partition_text(
+                   "partition c17 modules 1\nmodule 0: 10 11 16 19 22 ghost\n",
+                   nl),
+               ParseError);
+}
+
+TEST(PartitionIo, RejectsMissingHeader) {
+  const auto nl = netlist::gen::make_c17();
+  EXPECT_THROW((void)read_partition_text("module 0: 10\n", nl), ParseError);
+}
+
+TEST(PartitionIo, RejectsModuleCountMismatch) {
+  const auto nl = netlist::gen::make_c17();
+  EXPECT_THROW(
+      (void)read_partition_text(
+          "partition c17 modules 3\nmodule 0: 10 11 16 19 22 23\n", nl),
+      ParseError);
+}
+
+TEST(PartitionIo, RejectsIncompleteCover) {
+  const auto nl = netlist::gen::make_c17();
+  EXPECT_THROW((void)read_partition_text(
+                   "partition c17 modules 1\nmodule 0: 10 11\n", nl),
+               Error);
+}
+
+TEST(PartitionIo, IgnoresComments) {
+  const auto nl = netlist::gen::make_c17();
+  const Partition p = read_partition_text(
+      "# saved by the flow\npartition c17 modules 1\n"
+      "module 0: 10 11 16 19 22 23  # everything\n",
+      nl);
+  EXPECT_EQ(p.module_count(), 1u);
+}
+
+}  // namespace
+}  // namespace iddq::part

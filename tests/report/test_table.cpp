@@ -1,0 +1,72 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace iddq::report {
+namespace {
+
+TEST(Table, PrintAlignsColumns) {
+  TextTable t({"circuit", "area"});
+  t.add_row({"c17", "1.0E+5"});
+  t.add_row({"c7552", "5.65E+6"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("circuit"), std::string::npos);
+  EXPECT_NE(text.find("c7552"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, MarkdownShape) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  TextTable t({"name", "note"});
+  t.add_row({"x,y", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RowArityEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, Counts) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.column_count(), 1u);
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Format, EngineeringNotationLikePaper) {
+  EXPECT_EQ(format_eng(1.08e6), "1.08E+6");
+  EXPECT_EQ(format_eng(5.67e5), "5.67E+5");
+  EXPECT_EQ(format_eng(5.94e-2), "5.94E-2");
+}
+
+TEST(Format, Percentages) {
+  EXPECT_EQ(format_pct(0.306), "30.6%");
+  EXPECT_EQ(format_pct(14.5, /*already_pct=*/true), "14.5%");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace iddq::report

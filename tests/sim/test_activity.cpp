@@ -1,0 +1,116 @@
+#include "sim/activity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "estimators/current_profile.hpp"
+#include "library/cell_library.hpp"
+#include "netlist/gen/array_cut.hpp"
+#include "netlist/gen/c17.hpp"
+#include "partition/partition.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::sim {
+namespace {
+
+std::vector<std::uint32_t> module_map(const netlist::Netlist& nl,
+                                      const part::Partition& p) {
+  std::vector<std::uint32_t> mof(nl.gate_count(),
+                                 static_cast<std::uint32_t>(-1));
+  for (const auto g : nl.logic_gates()) mof[g] = p.module_of(g);
+  return mof;
+}
+
+TEST(Activity, MeasuredNeverExceedsPessimisticEstimate) {
+  // The paper's section 3.1 claim: the estimator is an upper bound.
+  const auto nl = netlist::gen::make_c17();
+  const auto library = lib::default_library();
+  const auto cells = lib::bind_cells(nl, library);
+  const est::TransitionTimes tt(nl);  // unit grid matches depth-based sim
+  const auto p = part::Partition::from_groups(
+      nl, std::vector<std::vector<netlist::GateId>>{
+              {nl.at("10"), nl.at("16"), nl.at("22")},
+              {nl.at("11"), nl.at("19"), nl.at("23")}});
+  const auto mof = module_map(nl, p);
+
+  const ActivityAnalyzer analyzer(nl, tt, cells);
+  const auto patterns = exhaustive_patterns(nl);
+  const auto measured = analyzer.measure(patterns, mof, 2);
+
+  for (std::uint32_t m = 0; m < 2; ++m) {
+    const auto estimate =
+        est::profile_of(tt, cells, p.module(m)).max_current_ua();
+    EXPECT_LE(measured.peak_current_ua[m], estimate + 1e-9);
+    EXPECT_GT(measured.peak_current_ua[m], 0.0);  // something does switch
+  }
+}
+
+TEST(Activity, ArrayCutMeasurementBoundedByStructure) {
+  // Column-band modules of the braided array: at most `rows` cells of a
+  // module share a time slot, so no measured peak can exceed the estimator
+  // and no switching count can exceed the row count.
+  const auto cut = netlist::gen::make_array_cut(4, 3);
+  const auto& nl = cut.netlist;
+  const auto library = lib::default_library();
+  const auto cells = lib::bind_cells(nl, library);
+  const est::TransitionTimes tt(nl);
+  const auto groups = netlist::gen::column_band_partition(cut, 3);
+  const auto p = part::Partition::from_groups(nl, groups);
+  const auto mof = module_map(nl, p);
+
+  const auto patterns = exhaustive_patterns(nl);  // 4 PIs -> 16 patterns
+  const ActivityAnalyzer analyzer(nl, tt, cells);
+  const auto measured = analyzer.measure(patterns, mof, 3);
+
+  bool any_activity = false;
+  for (std::uint32_t m = 0; m < 3; ++m) {
+    const auto estimate =
+        est::profile_of(tt, cells, groups[m]).max_current_ua();
+    EXPECT_LE(measured.peak_current_ua[m], estimate + 1e-9);
+    EXPECT_LE(measured.peak_switching[m], 4u);
+    any_activity |= measured.peak_switching[m] > 0;
+  }
+  EXPECT_TRUE(any_activity);
+}
+
+TEST(Activity, NoTogglesNoCurrent) {
+  const auto nl = netlist::gen::make_c17();
+  const auto library = lib::default_library();
+  const auto cells = lib::bind_cells(nl, library);
+  const est::TransitionTimes tt(nl);
+  std::vector<std::uint32_t> mof = module_map(
+      nl, part::Partition::from_groups(
+              nl, std::vector<std::vector<netlist::GateId>>{
+                      {nl.at("10"), nl.at("11"), nl.at("16"), nl.at("19"),
+                       nl.at("22"), nl.at("23")}}));
+  // Two identical patterns: nothing toggles.
+  PatternBatch batch;
+  batch.pattern_count = 2;
+  batch.words.assign(nl.primary_inputs().size(), 0b11);
+  const ActivityAnalyzer analyzer(nl, tt, cells);
+  const auto measured =
+      analyzer.measure(std::vector<PatternBatch>{batch}, mof, 1);
+  EXPECT_DOUBLE_EQ(measured.peak_current_ua[0], 0.0);
+  EXPECT_EQ(measured.peak_switching[0], 0u);
+}
+
+TEST(Activity, SingleLaneBatchesAreSkipped) {
+  const auto nl = netlist::gen::make_c17();
+  const auto library = lib::default_library();
+  const auto cells = lib::bind_cells(nl, library);
+  const est::TransitionTimes tt(nl);
+  const auto mof = module_map(
+      nl, part::Partition::from_groups(
+              nl, std::vector<std::vector<netlist::GateId>>{
+                      {nl.at("10"), nl.at("11"), nl.at("16"), nl.at("19"),
+                       nl.at("22"), nl.at("23")}}));
+  PatternBatch batch;
+  batch.pattern_count = 1;  // no consecutive pair
+  batch.words.assign(nl.primary_inputs().size(), 1);
+  const ActivityAnalyzer analyzer(nl, tt, cells);
+  const auto measured =
+      analyzer.measure(std::vector<PatternBatch>{batch}, mof, 1);
+  EXPECT_DOUBLE_EQ(measured.peak_current_ua[0], 0.0);
+}
+
+}  // namespace
+}  // namespace iddq::sim

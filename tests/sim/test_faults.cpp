@@ -1,0 +1,87 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "support/error.hpp"
+
+namespace iddq::sim {
+namespace {
+
+TEST(Faults, RandomFaultsRespectCounts) {
+  const auto nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("f", 200, 12, 1));
+  Rng rng(3);
+  const auto faults = random_faults(nl, 40, 25, rng);
+  EXPECT_EQ(faults.bridges.size(), 40u);
+  EXPECT_EQ(faults.shorts.size(), 25u);
+  EXPECT_EQ(faults.size(), 65u);
+}
+
+TEST(Faults, BridgesConnectDistinctLogicGates) {
+  const auto nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("f", 150, 10, 5));
+  Rng rng(7);
+  const auto faults = random_faults(nl, 60, 0, rng);
+  for (const auto& f : faults.bridges) {
+    EXPECT_NE(f.a, f.b);
+    EXPECT_TRUE(netlist::is_logic(nl.gate(f.a).kind));
+    EXPECT_TRUE(netlist::is_logic(nl.gate(f.b).kind));
+    EXPECT_GT(f.r_bridge_kohm, 0.0);
+  }
+}
+
+TEST(Faults, ShortsReferenceValidPins) {
+  const auto nl = netlist::gen::make_c17();
+  Rng rng(11);
+  const auto faults = random_faults(nl, 0, 30, rng);
+  for (const auto& f : faults.shorts) {
+    EXPECT_TRUE(netlist::is_logic(nl.gate(f.gate).kind));
+    EXPECT_LT(f.pin, nl.gate(f.gate).fanins.size());
+  }
+}
+
+TEST(Faults, Deterministic) {
+  const auto nl = netlist::gen::make_c17();
+  Rng a(9);
+  Rng b(9);
+  const auto fa = random_faults(nl, 10, 10, a);
+  const auto fb = random_faults(nl, 10, 10, b);
+  for (std::size_t i = 0; i < fa.bridges.size(); ++i) {
+    EXPECT_EQ(fa.bridges[i].a, fb.bridges[i].a);
+    EXPECT_EQ(fa.bridges[i].b, fb.bridges[i].b);
+  }
+}
+
+TEST(Faults, BridgeCurrentOhmsLaw) {
+  Bridge f;
+  f.r_bridge_kohm = 5.0;
+  // 5 V across 5 + 2.5 + 2.5 kOhm = 500 uA.
+  EXPECT_NEAR(bridge_current_ua(f, 5000.0, 2.5, 2.5), 500.0, 1e-9);
+}
+
+TEST(Faults, BridgeCurrentDecreasesWithResistance) {
+  Bridge weak;
+  weak.r_bridge_kohm = 50.0;
+  Bridge strong;
+  strong.r_bridge_kohm = 0.5;
+  EXPECT_GT(bridge_current_ua(strong, 5000.0, 2.0, 2.0),
+            bridge_current_ua(weak, 5000.0, 2.0, 2.0));
+}
+
+TEST(Faults, ShortCurrentOhmsLaw) {
+  GateOxideShort f;
+  f.r_short_kohm = 8.0;
+  EXPECT_NEAR(short_current_ua(f, 5000.0, 2.0), 500.0, 1e-9);
+}
+
+TEST(Faults, CurrentsRejectNonPositiveVdd) {
+  Bridge f;
+  EXPECT_THROW((void)bridge_current_ua(f, 0.0, 1.0, 1.0), Error);
+  GateOxideShort s;
+  EXPECT_THROW((void)short_current_ua(s, -5.0, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace iddq::sim

@@ -1,0 +1,137 @@
+#include "sim/iddq_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::sim {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl = netlist::gen::make_c17();
+  lib::CellLibrary library = lib::default_library();
+  IddqSimulator simulator{nl, library, IddqSimConfig{}};
+
+  part::Partition two_module() const {
+    return part::Partition::from_groups(
+        nl, std::vector<std::vector<netlist::GateId>>{
+                {nl.at("10"), nl.at("16"), nl.at("22")},
+                {nl.at("11"), nl.at("19"), nl.at("23")}});
+  }
+};
+
+TEST(IddqSim, FaultFreeCurrentsAreLeakageSums) {
+  Fixture f;
+  const auto currents =
+      f.simulator.fault_free_module_current(f.two_module());
+  ASSERT_EQ(currents.size(), 2u);
+  // Each module: 3 NAND2 leakages, far below the 1.5 uA threshold.
+  for (const double c : currents) {
+    EXPECT_GT(c, 0.0);
+    EXPECT_LT(c, IddqSimConfig{}.iddq_th_ua);
+  }
+}
+
+TEST(IddqSim, DetectsActivatedBridge) {
+  Fixture f;
+  // Bridge gates 10 and 11; with inputs 1=1,3=1,6=0: 10=0, 11=1 -> active.
+  Bridge bridge;
+  bridge.a = f.nl.at("10");
+  bridge.b = f.nl.at("11");
+  bridge.r_bridge_kohm = 5.0;  // ~hundreds of uA, far above threshold
+  const auto patterns = exhaustive_patterns(f.nl);
+  EXPECT_TRUE(f.simulator.detects_bridge(f.two_module(), bridge, patterns));
+}
+
+TEST(IddqSim, MissesBridgeWithoutActivation) {
+  Fixture f;
+  Bridge bridge;
+  bridge.a = f.nl.at("10");
+  bridge.b = f.nl.at("11");
+  bridge.r_bridge_kohm = 5.0;
+  // Single pattern where both nets carry the same value: all inputs 0
+  // gives 10 = 11 = 1 (NAND of zeros).
+  PatternBatch batch;
+  batch.pattern_count = 1;
+  batch.words.assign(f.nl.primary_inputs().size(), 0);
+  const std::vector<PatternBatch> patterns = {batch};
+  EXPECT_FALSE(f.simulator.detects_bridge(f.two_module(), bridge, patterns));
+}
+
+TEST(IddqSim, MissesHighResistanceBridge) {
+  Fixture f;
+  Bridge bridge;
+  bridge.a = f.nl.at("10");
+  bridge.b = f.nl.at("11");
+  bridge.r_bridge_kohm = 1.0e7;  // defect current below IDDQ_th
+  const auto patterns = exhaustive_patterns(f.nl);
+  EXPECT_FALSE(f.simulator.detects_bridge(f.two_module(), bridge, patterns));
+}
+
+TEST(IddqSim, DetectsGateOxideShort) {
+  Fixture f;
+  GateOxideShort s;
+  s.gate = f.nl.at("16");
+  s.pin = 1;  // driven by gate 11
+  s.r_short_kohm = 10.0;
+  const auto patterns = exhaustive_patterns(f.nl);
+  EXPECT_TRUE(f.simulator.detects_short(f.two_module(), s, patterns));
+}
+
+TEST(IddqSim, CoverageCountsDetections) {
+  Fixture f;
+  Rng rng(13);
+  const auto faults = random_faults(f.nl, 20, 10, rng);
+  const auto patterns = exhaustive_patterns(f.nl);
+  const auto result =
+      f.simulator.coverage(f.two_module(), faults, patterns);
+  EXPECT_EQ(result.total, 30u);
+  EXPECT_GT(result.detected, 0u);
+  EXPECT_LE(result.detected, result.total);
+  EXPECT_GT(result.coverage(), 0.0);
+  EXPECT_LE(result.coverage(), 1.0);
+}
+
+TEST(IddqSim, PartitioningRescuesDiscriminability) {
+  // The motivating experiment: a large CUT monitored by a single sensor
+  // has a fault-free current near/above the threshold, so a small defect
+  // disappears in the background leakage; partitioned sensors see it.
+  const auto nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("big", 3000, 25, 77));
+  const auto library = lib::default_library();
+  // Threshold chosen between: single-module leakage (above) and
+  // per-module leakage of an 8-way split (below).
+  IddqSimConfig cfg;
+  cfg.iddq_th_ua = 0.45;
+  const IddqSimulator simulator(nl, library, cfg);
+
+  std::vector<std::vector<netlist::GateId>> one(1);
+  std::vector<std::vector<netlist::GateId>> eight(8);
+  std::size_t i = 0;
+  for (const auto g : nl.logic_gates()) {
+    one[0].push_back(g);
+    eight[i++ % 8].push_back(g);
+  }
+  const auto p1 = part::Partition::from_groups(nl, one);
+  const auto p8 = part::Partition::from_groups(nl, eight);
+
+  // Single module: fault-free current alone exceeds the threshold -> the
+  // monolithic "sensor" cannot discriminate at all (always FAIL).
+  EXPECT_GT(simulator.fault_free_module_current(p1)[0], cfg.iddq_th_ua);
+  for (const double c : simulator.fault_free_module_current(p8))
+    EXPECT_LT(c, cfg.iddq_th_ua * 0.8);
+
+  // A moderate bridge inside module 0 of the split is detected there.
+  Bridge bridge;
+  bridge.a = eight[0][0];
+  bridge.b = eight[0][1];
+  bridge.r_bridge_kohm = 10.0;
+  Rng rng(5);
+  const auto patterns = random_patterns(nl, 256, rng);
+  EXPECT_TRUE(simulator.detects_bridge(p8, bridge, patterns));
+}
+
+}  // namespace
+}  // namespace iddq::sim

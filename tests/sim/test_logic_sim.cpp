@@ -1,0 +1,103 @@
+#include "sim/logic_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "netlist/gen/c17.hpp"
+#include "support/error.hpp"
+
+namespace iddq::sim {
+namespace {
+
+netlist::Netlist all_kinds() {
+  netlist::NetlistBuilder b("kinds");
+  const auto a = b.add_input("a");
+  const auto c = b.add_input("c");
+  b.mark_output(b.add_gate(netlist::GateKind::kBuf, "buf", {a}));
+  b.mark_output(b.add_gate(netlist::GateKind::kNot, "not", {a}));
+  b.mark_output(b.add_gate(netlist::GateKind::kAnd, "and", {a, c}));
+  b.mark_output(b.add_gate(netlist::GateKind::kNand, "nand", {a, c}));
+  b.mark_output(b.add_gate(netlist::GateKind::kOr, "or", {a, c}));
+  b.mark_output(b.add_gate(netlist::GateKind::kNor, "nor", {a, c}));
+  b.mark_output(b.add_gate(netlist::GateKind::kXor, "xor", {a, c}));
+  b.mark_output(b.add_gate(netlist::GateKind::kXnor, "xnor", {a, c}));
+  return std::move(b).build();
+}
+
+TEST(LogicSim, AllGateKindsTruthTables) {
+  const auto nl = all_kinds();
+  const LogicSim sim(nl);
+  for (const bool a : {false, true}) {
+    for (const bool c : {false, true}) {
+      const auto v = sim.run_single({a, c});
+      EXPECT_EQ(v[nl.at("buf")], a);
+      EXPECT_EQ(v[nl.at("not")], !a);
+      EXPECT_EQ(v[nl.at("and")], a && c);
+      EXPECT_EQ(v[nl.at("nand")], !(a && c));
+      EXPECT_EQ(v[nl.at("or")], a || c);
+      EXPECT_EQ(v[nl.at("nor")], !(a || c));
+      EXPECT_EQ(v[nl.at("xor")], a != c);
+      EXPECT_EQ(v[nl.at("xnor")], a == c);
+    }
+  }
+}
+
+TEST(LogicSim, ThreeInputGates) {
+  netlist::NetlistBuilder b("three");
+  const auto x = b.add_input("x");
+  const auto y = b.add_input("y");
+  const auto z = b.add_input("z");
+  b.mark_output(b.add_gate(netlist::GateKind::kNand, "n3", {x, y, z}));
+  b.mark_output(b.add_gate(netlist::GateKind::kXor, "x3", {x, y, z}));
+  const auto nl = std::move(b).build();
+  const LogicSim sim(nl);
+  for (int p = 0; p < 8; ++p) {
+    const bool x_v = p & 1;
+    const bool y_v = p & 2;
+    const bool z_v = p & 4;
+    const auto v = sim.run_single({x_v, y_v, z_v});
+    EXPECT_EQ(v[nl.at("n3")], !(x_v && y_v && z_v));
+    EXPECT_EQ(v[nl.at("x3")], (x_v != y_v) != z_v);
+  }
+}
+
+TEST(LogicSim, C17KnownVectors) {
+  const auto nl = netlist::gen::make_c17();
+  const LogicSim sim(nl);
+  // Inputs in declaration order: 1, 2, 3, 6, 7.
+  // All zeros: 10 = NAND(0,0)=1, 11=1, 16=NAND(0,1)=1, 19=NAND(1,0)=1,
+  // 22=NAND(1,1)=0, 23=NAND(1,1)=0.
+  auto v = sim.run_single({false, false, false, false, false});
+  EXPECT_FALSE(v[nl.at("22")]);
+  EXPECT_FALSE(v[nl.at("23")]);
+  // 1=1, 3=1 -> 10=0 -> 22=1 regardless of 16.
+  v = sim.run_single({true, false, true, false, false});
+  EXPECT_TRUE(v[nl.at("22")]);
+}
+
+TEST(LogicSim, WordParallelMatchesSingle) {
+  const auto nl = netlist::gen::make_c17();
+  const LogicSim sim(nl);
+  // 32 patterns packed into one word per input.
+  std::vector<PatternWord> words(5);
+  for (std::size_t i = 0; i < 5; ++i) words[i] = 0xDEADBEEFCAFEF00Dull >> i;
+  const auto packed = sim.run(words);
+  for (int lane = 0; lane < 32; ++lane) {
+    std::vector<bool> single(5);
+    for (std::size_t i = 0; i < 5; ++i) single[i] = (words[i] >> lane) & 1;
+    const auto v = sim.run_single(single);
+    for (const auto g : nl.logic_gates())
+      ASSERT_EQ(v[g], static_cast<bool>((packed[g] >> lane) & 1))
+          << "lane " << lane << " gate " << nl.gate(g).name;
+  }
+}
+
+TEST(LogicSim, InputWordCountMismatchThrows) {
+  const auto nl = netlist::gen::make_c17();
+  const LogicSim sim(nl);
+  std::vector<PatternWord> words(3);
+  EXPECT_THROW((void)sim.run(words), Error);
+}
+
+}  // namespace
+}  // namespace iddq::sim

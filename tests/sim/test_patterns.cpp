@@ -1,0 +1,70 @@
+#include "sim/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/gen/c17.hpp"
+#include "support/error.hpp"
+
+namespace iddq::sim {
+namespace {
+
+TEST(Patterns, RandomPatternsBatchShapes) {
+  const auto nl = netlist::gen::make_c17();
+  Rng rng(1);
+  const auto batches = random_patterns(nl, 130, rng);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].pattern_count, 64u);
+  EXPECT_EQ(batches[1].pattern_count, 64u);
+  EXPECT_EQ(batches[2].pattern_count, 2u);
+  for (const auto& b : batches)
+    EXPECT_EQ(b.words.size(), nl.primary_inputs().size());
+}
+
+TEST(Patterns, PartialBatchMasksUnusedLanes) {
+  const auto nl = netlist::gen::make_c17();
+  Rng rng(2);
+  const auto batches = random_patterns(nl, 3, rng);
+  ASSERT_EQ(batches.size(), 1u);
+  for (const auto w : batches[0].words) EXPECT_EQ(w & ~0x7ull, 0u);
+}
+
+TEST(Patterns, RandomPatternsDeterministic) {
+  const auto nl = netlist::gen::make_c17();
+  Rng a(42);
+  Rng b(42);
+  const auto ba = random_patterns(nl, 64, a);
+  const auto bb = random_patterns(nl, 64, b);
+  EXPECT_EQ(ba[0].words, bb[0].words);
+}
+
+TEST(Patterns, ExhaustiveCoversAllCombinations) {
+  const auto nl = netlist::gen::make_c17();  // 5 inputs -> 32 patterns
+  const auto batches = exhaustive_patterns(nl);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].pattern_count, 32u);
+  // Each lane must be a distinct input combination.
+  std::set<std::uint32_t> combos;
+  for (std::size_t lane = 0; lane < 32; ++lane) {
+    std::uint32_t combo = 0;
+    for (std::size_t i = 0; i < 5; ++i)
+      if ((batches[0].words[i] >> lane) & 1) combo |= 1u << i;
+    combos.insert(combo);
+  }
+  EXPECT_EQ(combos.size(), 32u);
+}
+
+TEST(Patterns, ExhaustiveRefusesWideCircuits) {
+  const auto nl = netlist::gen::make_c17();
+  EXPECT_THROW((void)exhaustive_patterns(nl, 4), Error);
+}
+
+TEST(Patterns, ZeroPatternCountRejected) {
+  const auto nl = netlist::gen::make_c17();
+  Rng rng(1);
+  EXPECT_THROW((void)random_patterns(nl, 0, rng), Error);
+}
+
+}  // namespace
+}  // namespace iddq::sim

@@ -1,0 +1,177 @@
+#include "support/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace iddq {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.find_first(), 100u);
+  EXPECT_EQ(b.find_last(), 100u);
+}
+
+TEST(DynamicBitset, SetTestReset) {
+  DynamicBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitset, FindFirstNextLast) {
+  DynamicBitset b(200);
+  b.set(5);
+  b.set(64);
+  b.set(130);
+  EXPECT_EQ(b.find_first(), 5u);
+  EXPECT_EQ(b.find_next(5), 64u);
+  EXPECT_EQ(b.find_next(64), 130u);
+  EXPECT_EQ(b.find_next(130), 200u);
+  EXPECT_EQ(b.find_last(), 130u);
+}
+
+TEST(DynamicBitset, FindNextAtWordBoundary) {
+  DynamicBitset b(128);
+  b.set(63);
+  b.set(64);
+  EXPECT_EQ(b.find_next(62), 63u);
+  EXPECT_EQ(b.find_next(63), 64u);
+  EXPECT_EQ(b.find_next(64), 128u);
+}
+
+TEST(DynamicBitset, OrAssign) {
+  DynamicBitset a(80);
+  DynamicBitset b(80);
+  a.set(3);
+  b.set(70);
+  a |= b;
+  EXPECT_TRUE(a.test(3));
+  EXPECT_TRUE(a.test(70));
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(DynamicBitset, OrShiftedBasic) {
+  DynamicBitset src(100);
+  DynamicBitset dst(100);
+  src.set(0);
+  src.set(10);
+  dst.or_shifted(src, 5);
+  EXPECT_TRUE(dst.test(5));
+  EXPECT_TRUE(dst.test(15));
+  EXPECT_EQ(dst.count(), 2u);
+}
+
+TEST(DynamicBitset, OrShiftedAcrossWordBoundary) {
+  DynamicBitset src(130);
+  DynamicBitset dst(130);
+  src.set(60);
+  src.set(62);
+  dst.or_shifted(src, 7);  // 67 and 69, crossing the first word
+  EXPECT_TRUE(dst.test(67));
+  EXPECT_TRUE(dst.test(69));
+  EXPECT_EQ(dst.count(), 2u);
+}
+
+TEST(DynamicBitset, OrShiftedDropsBitsBeyondSize) {
+  DynamicBitset src(64);
+  DynamicBitset dst(64);
+  src.set(60);
+  dst.or_shifted(src, 10);  // 70 > 63: dropped
+  EXPECT_TRUE(dst.none());
+}
+
+TEST(DynamicBitset, OrShiftedByWholeWords) {
+  DynamicBitset src(256);
+  DynamicBitset dst(256);
+  src.set(1);
+  dst.or_shifted(src, 128);
+  EXPECT_TRUE(dst.test(129));
+  EXPECT_EQ(dst.count(), 1u);
+}
+
+TEST(DynamicBitset, OrShiftedZeroShiftIsOr) {
+  DynamicBitset src(40);
+  DynamicBitset dst(40);
+  src.set(8);
+  dst.set(9);
+  dst.or_shifted(src, 0);
+  EXPECT_TRUE(dst.test(8));
+  EXPECT_TRUE(dst.test(9));
+}
+
+TEST(DynamicBitset, ForEachVisitsInOrder) {
+  DynamicBitset b(300);
+  const std::vector<std::size_t> bits = {0, 1, 63, 64, 65, 200, 299};
+  for (const auto i : bits) b.set(i);
+  std::vector<std::size_t> seen;
+  b.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, bits);
+}
+
+TEST(DynamicBitset, ClearKeepsSize) {
+  DynamicBitset b(66);
+  b.set(65);
+  b.clear();
+  EXPECT_EQ(b.size(), 66u);
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynamicBitset, EqualityComparesContent) {
+  DynamicBitset a(50);
+  DynamicBitset b(50);
+  EXPECT_EQ(a, b);
+  a.set(17);
+  EXPECT_NE(a, b);
+  b.set(17);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DynamicBitset, OrShiftedMatchesNaiveReference) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t size = 1 + rng.index(300);
+    DynamicBitset src(size);
+    std::vector<bool> ref(size, false);
+    for (std::size_t i = 0; i < size; ++i)
+      if (rng.chance(0.3)) src.set(i);
+    const std::size_t shift = rng.index(size + 10);
+    DynamicBitset dst(size);
+    dst.or_shifted(src, shift);
+    src.for_each([&](std::size_t i) {
+      if (i + shift < size) ref[i + shift] = true;
+    });
+    for (std::size_t i = 0; i < size; ++i)
+      ASSERT_EQ(dst.test(i), ref[i]) << "size=" << size << " shift=" << shift
+                                     << " bit=" << i;
+  }
+}
+
+TEST(DynamicBitset, CountMatchesForEach) {
+  Rng rng(7);
+  DynamicBitset b(500);
+  for (std::size_t i = 0; i < 500; ++i)
+    if (rng.chance(0.2)) b.set(i);
+  std::size_t visited = 0;
+  b.for_each([&](std::size_t) { ++visited; });
+  EXPECT_EQ(visited, b.count());
+}
+
+}  // namespace
+}  // namespace iddq

@@ -1,0 +1,76 @@
+#include "support/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace iddq::math {
+namespace {
+
+TEST(Math, MeanAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(Math, StddevOfSingleValueIsZero) {
+  const std::vector<double> xs{3.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Math, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.5};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.5);
+}
+
+TEST(Math, PercentileEndpointsAndMedian) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+}
+
+TEST(Math, PercentileUnsortedInput) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 5.0);
+}
+
+TEST(Math, LinearFitRecoversLine) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 3.0, 5.0, 7.0};
+  const auto [a, b] = linear_fit(xs, ys);
+  EXPECT_NEAR(a, 1.0, 1e-12);
+  EXPECT_NEAR(b, 2.0, 1e-12);
+}
+
+TEST(Math, LinearFitWithNoise) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{0.1, 0.9, 2.1, 2.9, 4.1};
+  const auto [a, b] = linear_fit(xs, ys);
+  EXPECT_NEAR(a, 0.0, 0.1);
+  EXPECT_NEAR(b, 1.0, 0.05);
+}
+
+TEST(Math, Clamp) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(Math, RelDiff) {
+  EXPECT_DOUBLE_EQ(rel_diff(1.0, 1.0), 0.0);
+  EXPECT_NEAR(rel_diff(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_DOUBLE_EQ(rel_diff(0.0, 0.0), 0.0);
+}
+
+TEST(Math, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mean(empty), Error);
+  EXPECT_THROW((void)min(empty), Error);
+}
+
+}  // namespace
+}  // namespace iddq::math

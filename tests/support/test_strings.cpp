@@ -1,0 +1,87 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iddq::str {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc \t"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, SplitKeepsEmptyPieces) {
+  const auto parts = split("a, b,, c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitSingleToken) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitWsDropsEmptyRuns) {
+  const auto parts = split_ws("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitWsEmptyInput) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(to_lower("NaNd2"), "nand2");
+  EXPECT_EQ(to_upper("NaNd2"), "NAND2");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("INPUT(x)", "INPUT"));
+  EXPECT_FALSE(starts_with("IN", "INPUT"));
+}
+
+TEST(Strings, ParseDoubleAcceptsValid) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("3.25", v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(parse_double(" -1e3 ", v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+}
+
+TEST(Strings, ParseDoubleRejectsJunk) {
+  double v = 0.0;
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double("abc", v));
+  EXPECT_FALSE(parse_double("1.5x", v));
+}
+
+TEST(Strings, ParseSizeAcceptsValid) {
+  std::size_t v = 0;
+  EXPECT_TRUE(parse_size("42", v));
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(Strings, ParseSizeRejectsNegativeAndJunk) {
+  std::size_t v = 0;
+  EXPECT_FALSE(parse_size("-1", v));
+  EXPECT_FALSE(parse_size("12.5", v));
+  EXPECT_FALSE(parse_size("", v));
+}
+
+TEST(Strings, FormatSig) {
+  EXPECT_EQ(format_sig(1234.5678, 3), "1.23e+03");
+  EXPECT_EQ(format_sig(1.0, 3), "1");
+}
+
+}  // namespace
+}  // namespace iddq::str

@@ -1,0 +1,200 @@
+// iddqsyn — command-line driver for the BIC-sensor partitioning flow.
+//
+// Usage:
+//   iddqsyn [options] <circuit>
+//
+//   <circuit>             path to an ISCAS85 .bench file, or one of the
+//                         built-in generators: c17, c1908, c2670, c3540,
+//                         c5315, c6288, c7552
+//
+// Options:
+//   -o FILE               write the resulting partition to FILE
+//   --lib FILE            load a cell library (default: built-in 5V CMOS)
+//   --rail MV             virtual-rail perturbation limit r (default 200)
+//   --disc D              required discriminability d (default 10)
+//   --seed N              evolution-strategy seed (default 42)
+//   --generations N       ES generation cap (default 350)
+//   --retime              run partition-aware wave retiming afterwards
+//   --quiet               only print the summary line
+//   --help                this text
+//
+// Exit code 0 on success, 1 on bad usage, 2 on flow errors.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "core/resynth.hpp"
+#include "library/cell_library.hpp"
+#include "library/lib_io.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/iscas_profiles.hpp"
+#include "netlist/stats.hpp"
+#include "partition/partition_io.hpp"
+#include "report/table.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace iddq;
+
+struct CliOptions {
+  std::string circuit;
+  std::optional<std::string> output_path;
+  std::optional<std::string> lib_path;
+  double rail_mv = 200.0;
+  double disc = 10.0;
+  std::uint64_t seed = 42;
+  std::size_t generations = 350;
+  bool retime = false;
+  bool quiet = false;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: iddqsyn [options] <circuit.bench | c17 | c1908 | c2670 | "
+        "c3540 | c5315 | c6288 | c7552>\n"
+        "  -o FILE          write the partition to FILE\n"
+        "  --lib FILE       cell library file (default: built-in 5V CMOS)\n"
+        "  --rail MV        rail perturbation limit r in mV (default 200)\n"
+        "  --disc D         required discriminability d (default 10)\n"
+        "  --seed N         evolution seed (default 42)\n"
+        "  --generations N  ES generation cap (default 350)\n"
+        "  --retime         partition-aware wave retiming after the flow\n"
+        "  --quiet          summary line only\n";
+}
+
+std::optional<CliOptions> parse(int argc, char** argv) {
+  CliOptions opts;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::optional<std::string> {
+      if (i + 1 >= argc) {
+        std::cerr << "iddqsyn: " << flag << " needs a value\n";
+        return std::nullopt;
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      std::exit(0);
+    } else if (arg == "-o") {
+      const auto v = need_value("-o");
+      if (!v) return std::nullopt;
+      opts.output_path = *v;
+    } else if (arg == "--lib") {
+      const auto v = need_value("--lib");
+      if (!v) return std::nullopt;
+      opts.lib_path = *v;
+    } else if (arg == "--rail") {
+      const auto v = need_value("--rail");
+      if (!v || !str::parse_double(*v, opts.rail_mv)) return std::nullopt;
+    } else if (arg == "--disc") {
+      const auto v = need_value("--disc");
+      if (!v || !str::parse_double(*v, opts.disc)) return std::nullopt;
+    } else if (arg == "--seed") {
+      const auto v = need_value("--seed");
+      std::size_t seed = 0;
+      if (!v || !str::parse_size(*v, seed)) return std::nullopt;
+      opts.seed = seed;
+    } else if (arg == "--generations") {
+      const auto v = need_value("--generations");
+      if (!v || !str::parse_size(*v, opts.generations)) return std::nullopt;
+    } else if (arg == "--retime") {
+      opts.retime = true;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "iddqsyn: unknown option '" << arg << "'\n";
+      return std::nullopt;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 1) {
+    std::cerr << "iddqsyn: exactly one circuit argument expected\n";
+    return std::nullopt;
+  }
+  opts.circuit = positional[0];
+  return opts;
+}
+
+netlist::Netlist load_circuit(const std::string& spec) {
+  const std::string lower = str::to_lower(spec);
+  if (lower == "c17") return netlist::gen::make_c17();
+  for (const auto name : netlist::gen::table1_circuit_names())
+    if (lower == name) return netlist::gen::make_iscas_like(name);
+  return netlist::read_bench_file(spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse(argc, argv);
+  if (!opts) {
+    print_usage(std::cerr);
+    return 1;
+  }
+  try {
+    const auto nl = load_circuit(opts->circuit);
+    const auto library = opts->lib_path
+                             ? lib::read_library_file(*opts->lib_path)
+                             : lib::default_library();
+    if (!opts->quiet) netlist::print_stats(std::cout, nl);
+
+    core::FlowConfig config;
+    config.sensor.r_max_mv = opts->rail_mv;
+    config.sensor.d_min = opts->disc;
+    config.es.seed = opts->seed;
+    config.es.max_generations = opts->generations;
+    const auto result = core::run_flow(nl, library, config);
+
+    auto partition = result.evolution.partition;
+    const netlist::Netlist* final_nl = &nl;
+    netlist::Netlist retimed_nl;  // populated only with --retime
+    if (opts->retime) {
+      std::vector<std::vector<netlist::GateId>> groups(
+          partition.module_count());
+      for (std::uint32_t m = 0; m < partition.module_count(); ++m) {
+        const auto gates = partition.module(m);
+        groups[m].assign(gates.begin(), gates.end());
+      }
+      auto rt = core::retime_for_iddq_partitioned(nl, library, groups);
+      retimed_nl = std::move(rt.netlist);
+      partition = part::Partition::from_groups(retimed_nl, rt.groups);
+      final_nl = &retimed_nl;
+      if (!opts->quiet)
+        std::cout << "retiming: " << rt.buffers_added
+                  << " buffers, sum-of-peaks "
+                  << report::format_fixed(rt.sum_peak_before_ua / 1000.0, 1)
+                  << " -> "
+                  << report::format_fixed(rt.sum_peak_after_ua / 1000.0, 1)
+                  << " mA\n";
+    }
+
+    std::cout << nl.name() << ": K=" << partition.module_count()
+              << " sensor_area=" << report::format_eng(result.evolution.sensor_area)
+              << " delay_ovh=" << report::format_pct(result.evolution.delay_overhead)
+              << " test_ovh=" << report::format_pct(result.evolution.test_overhead)
+              << " vs_standard=+"
+              << report::format_pct(result.standard_area_overhead_pct(), true)
+              << " feasible="
+              << (result.evolution.fitness.feasible() ? "yes" : "NO") << "\n";
+
+    if (opts->output_path) {
+      std::ofstream out(*opts->output_path);
+      if (!out) throw Error("cannot open '" + *opts->output_path + "'");
+      part::write_partition(out, *final_nl, partition);
+      if (!opts->quiet)
+        std::cout << "partition written to " << *opts->output_path << "\n";
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "iddqsyn: " << e.what() << "\n";
+    return 2;
+  }
+}
