@@ -2,31 +2,29 @@
 // simulated annealing, Monte Carlo, genetic" as candidate heuristics before
 // adopting the evolution strategy).
 //
-// All optimizers run under the same cost model on the same circuit with a
-// comparable evaluation budget:
+// All optimizers come from the OptimizerRegistry and run under the same
+// cost model on the same circuit with a comparable evaluation budget:
 //   * evolution strategy (the paper's choice)
 //   * simulated annealing (boundary moves, geometric cooling)
 //   * random search (best of many chain-clustered starts)
 //   * greedy refinement (first-improvement hill climb from one start)
-//   * standard partitioning (the paper's section-5 baseline; deterministic)
+//   * evolution+greedy (registry-composed polish pipeline)
+//   * standard partitioning (the paper's section-5 baseline; deterministic,
+//     clustered at the module sizes the evolution strategy discovered)
 #include <chrono>
 #include <iostream>
+#include <string>
 
-#include "core/annealing.hpp"
-#include "core/evolution.hpp"
-#include "core/flow.hpp"
-#include "core/random_search.hpp"
-#include "core/refiner.hpp"
-#include "core/size_planner.hpp"
-#include "core/standard_partition.hpp"
-#include "core/start_partition.hpp"
+#include "core/flow_engine.hpp"
+#include "core/optimizer_registry.hpp"
 #include "library/cell_library.hpp"
 #include "netlist/gen/iscas_profiles.hpp"
 #include "report/table.hpp"
 
 int main() {
   using namespace iddq;
-  std::cout << "=== Ablation: evolution strategy vs alternative optimizers ===\n\n";
+  std::cout
+      << "=== Ablation: evolution strategy vs alternative optimizers ===\n\n";
 
   const auto library = lib::default_library();
   report::TextTable table({"circuit", "method", "cost", "area", "c2", "K",
@@ -34,80 +32,49 @@ int main() {
 
   for (const auto name : {"c1908", "c3540"}) {
     const auto nl = netlist::gen::make_iscas_like(name);
-    const part::EvalContext ctx(nl, library, elec::SensorSpec{},
-                                part::CostWeights{});
-    const auto plan = core::plan_module_size(ctx);
-    const std::size_t k = plan.module_count;
 
-    const auto report_row = [&](const std::string& method,
-                                const part::Partition& p, std::size_t evals,
-                                double seconds) {
-      part::PartitionEvaluator eval(ctx, p);
-      const auto costs = eval.costs();
-      table.add_row({std::string(name), method,
-                     report::format_fixed(eval.fitness().cost, 1),
-                     report::format_eng(eval.total_sensor_area()),
-                     report::format_eng(costs.c2),
-                     std::to_string(p.module_count()),
-                     std::to_string(evals),
-                     report::format_fixed(seconds, 2) + "s"});
-    };
-    const auto timed = [](auto&& fn) {
+    core::FlowEngineConfig config;
+    config.optimizers.es.max_generations = 200;
+    config.optimizers.es.stall_generations = 50;
+    core::FlowEngine engine(nl, library, config);
+
+    const auto timed_method = [&](const std::string& spec,
+                                  const core::FlowEngine::RunOptions& opts) {
       const auto t0 = std::chrono::steady_clock::now();
-      auto value = fn();
+      auto result = engine.run_method(spec, opts);
       const double s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
-      return std::make_pair(std::move(value), s);
+      part::PartitionEvaluator eval(engine.context(), result.partition);
+      table.add_row({std::string(name), spec,
+                     report::format_fixed(result.fitness.cost, 1),
+                     report::format_eng(eval.total_sensor_area()),
+                     report::format_eng(result.costs.c2),
+                     std::to_string(result.module_count),
+                     std::to_string(result.evaluations),
+                     report::format_fixed(s, 2) + "s"});
+      return result;
     };
 
-    // Evolution strategy.
-    core::EsParams es;
-    es.max_generations = 200;
-    es.stall_generations = 50;
-    es.seed = 42;
-    core::EvolutionEngine engine(ctx, es);
-    const auto [es_result, es_time] =
-        timed([&] { return engine.run_with_module_count(k); });
-    report_row("evolution", es_result.best_partition, es_result.evaluations,
-               es_time);
-    const std::size_t budget = es_result.evaluations;
+    // Evolution strategy first; its evaluation count sets the budget the
+    // other stochastic methods get.
+    core::FlowEngine::RunOptions es_opts;
+    es_opts.seed = 42;
+    const auto es = timed_method("evolution", es_opts);
 
-    // Simulated annealing at the same budget.
-    core::SaParams sa;
-    sa.steps = budget;
-    sa.seed = 42;
-    Rng sa_rng(1);
-    const auto sa_start = core::make_start_partition(nl, k, sa_rng);
-    const auto [sa_result, sa_time] =
-        timed([&] { return core::simulated_annealing(ctx, sa_start, sa); });
-    report_row("annealing", sa_result.best_partition, sa_result.evaluations,
-               sa_time);
+    core::FlowEngine::RunOptions budgeted;
+    budgeted.seed = 42;
+    budgeted.max_evaluations = es.evaluations;
+    (void)timed_method("annealing", budgeted);
+    (void)timed_method("random", budgeted);
+    (void)timed_method("greedy", budgeted);
+    (void)timed_method("evolution+greedy", es_opts);
 
-    // Random search at the same budget.
-    const auto [rs_result, rs_time] = timed(
-        [&] { return core::random_search(ctx, k, budget, 42); });
-    report_row("random", rs_result.best_partition, rs_result.evaluations,
-               rs_time);
-
-    // Greedy refinement from one start.
-    Rng gr_rng(1);
-    const auto [gr_eval, gr_time] = timed([&] {
-      part::PartitionEvaluator eval(ctx,
-                                    core::make_start_partition(nl, k, gr_rng));
-      core::greedy_refine(eval, budget);
-      return eval;
-    });
-    report_row("greedy", gr_eval.partition(), budget, gr_time);
-
-    // Standard partitioning at the ES module sizes.
-    std::vector<std::size_t> sizes;
-    for (std::uint32_t m = 0; m < es_result.best_partition.module_count();
-         ++m)
-      sizes.push_back(es_result.best_partition.module_size(m));
-    const auto [std_partition, std_time] = timed(
-        [&] { return core::standard_partition(nl, ctx.oracle, sizes); });
-    report_row("standard", std_partition, 1, std_time);
+    // Standard partitioning at the ES module sizes (paper section 5).
+    core::FlowEngine::RunOptions std_opts;
+    std_opts.seed = 42;
+    std_opts.start = &es.partition;
+    (void)timed_method("standard", std_opts);
   }
   table.print(std::cout);
   std::cout <<

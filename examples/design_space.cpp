@@ -13,7 +13,7 @@
 // as CSV for plotting.
 #include <iostream>
 
-#include "core/flow.hpp"
+#include "core/flow_engine.hpp"
 #include "library/cell_library.hpp"
 #include "netlist/gen/iscas_profiles.hpp"
 #include "report/table.hpp"
@@ -28,19 +28,24 @@ int main() {
 
   for (const double r_mv : {100.0, 200.0, 300.0}) {
     for (const double d_min : {5.0, 10.0, 20.0}) {
-      core::FlowConfig config;
+      // Each (r, d) point is its own engine: the constraints live in the
+      // precomputed EvalContext. The optimizer itself is a registry spec —
+      // swap "evolution" for any other method to sweep it instead.
+      core::FlowEngineConfig config;
       config.sensor.r_max_mv = r_mv;
       config.sensor.d_min = d_min;
-      config.es.max_generations = 100;
-      config.es.stall_generations = 25;
-      config.es.seed = 42;
-      const auto result = core::run_flow(nl, library, config);
+      config.optimizers.es.max_generations = 100;
+      config.optimizers.es.stall_generations = 25;
+      core::FlowEngine engine(nl, library, config);
+      core::FlowEngine::RunOptions opts;
+      opts.seed = 42;
+      const auto result = engine.run_method("evolution", opts);
       table.add_row({report::format_fixed(r_mv, 0),
                      report::format_fixed(d_min, 0),
-                     std::to_string(result.evolution.module_count),
-                     report::format_eng(result.evolution.sensor_area),
-                     report::format_pct(result.evolution.delay_overhead),
-                     report::format_pct(result.evolution.test_overhead)});
+                     std::to_string(result.module_count),
+                     report::format_eng(result.sensor_area),
+                     report::format_pct(result.delay_overhead),
+                     report::format_pct(result.test_overhead)});
     }
   }
 

@@ -1,73 +1,89 @@
-// Full synthesis flow on a benchmark-scale circuit.
+// Full synthesis flow on a benchmark-scale circuit, method by method.
 //
-//   $ ./iddq_flow [circuit]        circuit in {c1908, c2670, c3540, c5315,
-//                                              c6288, c7552}, default c1908
+//   $ ./iddq_flow [circuit] [method ...]
+//       circuit in {c17, c1908, c2670, c3540, c5315, c6288, c7552} or a
+//       .bench path, default c1908; methods are registry specs, default
+//       "evolution annealing standard"
 //
-// Demonstrates the complete pipeline a downstream user would run: circuit
-// statistics, module-size planning, evolution-based partitioning with
-// convergence trace, the standard-partitioning comparison, and a per-module
-// electrical report (sensor sizing, time constants, settle times).
+// Demonstrates the registry-driven pipeline a downstream user would run:
+// circuit statistics, module-size planning, any set of optimizers from the
+// OptimizerRegistry (with a convergence trace for the evolution strategy),
+// and a per-module electrical report for the best method.
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "core/flow.hpp"
+#include "core/flow_engine.hpp"
+#include "core/optimizer_registry.hpp"
 #include "library/cell_library.hpp"
-#include "netlist/gen/iscas_profiles.hpp"
+#include "netlist/circuit_loader.hpp"
 #include "netlist/stats.hpp"
 #include "report/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace iddq;
   const std::string name = argc > 1 ? argv[1] : "c1908";
+  std::vector<std::string> methods;
+  for (int i = 2; i < argc; ++i) methods.emplace_back(argv[i]);
+  if (methods.empty()) methods = {"evolution", "annealing", "standard"};
 
-  const auto nl = netlist::gen::make_iscas_like(name);
+  const auto nl = netlist::load_circuit(name);
   netlist::print_stats(std::cout, nl);
 
   const auto library = lib::default_library();
-  core::FlowConfig config;
-  config.es.max_generations = 250;
-  config.es.stall_generations = 50;
-  config.es.seed = 42;
-  config.es.record_trace = true;
+  core::FlowEngineConfig config;
+  config.optimizers.es.max_generations = 250;
+  config.optimizers.es.stall_generations = 50;
+  core::FlowEngine engine(nl, library, config);
 
-  const auto result = core::run_flow(nl, library, config);
+  const auto& plan = engine.plan();
+  std::cout << "\nsize plan: K = " << plan.module_count
+            << " (leakage lower bound " << plan.k_min_leakage
+            << "), target module size " << plan.target_module_size << "\n";
 
-  std::cout << "\nsize plan: K = " << result.plan.module_count
-            << " (leakage lower bound " << result.plan.k_min_leakage
-            << "), target module size " << result.plan.target_module_size
-            << "\n";
-  std::cout << "evolution: " << result.es_detail.generations
-            << " generations, " << result.es_detail.evaluations
-            << " evaluations\n";
-  if (!result.es_detail.trace.empty()) {
-    std::cout << "cost trace: ";
-    const auto& trace = result.es_detail.trace;
-    for (std::size_t i = 0; i < trace.size();
-         i += std::max<std::size_t>(1, trace.size() / 8))
-      std::cout << trace[i].best.cost << " ";
-    std::cout << "-> " << result.evolution.fitness.cost << "\n";
+  std::vector<core::MethodResult> results;
+  results.reserve(methods.size());
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    core::FlowEngine::RunOptions opts;
+    opts.seed = 42;
+    opts.record_trace = true;
+    // Paper section 5: the standard baseline clusters at the sizes the
+    // first optimizer discovered.
+    if (methods[i] == "standard" && !results.empty())
+      opts.start = &results.front().partition;
+    results.push_back(engine.run_method(methods[i], opts));
+    const auto& r = results.back();
+    std::cout << r.method << ": " << r.iterations << " iterations, "
+              << r.evaluations << " evaluations\n";
+    if (!r.trace.empty()) {
+      std::cout << "  cost trace: ";
+      for (std::size_t t = 0; t < r.trace.size();
+           t += std::max<std::size_t>(1, r.trace.size() / 8))
+        std::cout << r.trace[t].best.cost << " ";
+      std::cout << "-> " << r.fitness.cost << "\n";
+    }
   }
 
   std::cout << "\nmethod comparison:\n";
-  report::TextTable cmp({"method", "sensor area", "delay ovh", "test ovh",
-                         "cost"});
-  for (const auto* m : {&result.evolution, &result.standard}) {
-    cmp.add_row({m->method, report::format_eng(m->sensor_area),
-                 report::format_pct(m->delay_overhead),
-                 report::format_pct(m->test_overhead),
-                 report::format_fixed(m->fitness.cost, 1)});
+  report::TextTable cmp(
+      {"method", "sensor area", "delay ovh", "test ovh", "cost"});
+  const core::MethodResult* best = &results.front();
+  for (const auto& m : results) {
+    if (m.fitness < best->fitness) best = &m;
+    cmp.add_row({m.method, report::format_eng(m.sensor_area),
+                 report::format_pct(m.delay_overhead),
+                 report::format_pct(m.test_overhead),
+                 report::format_fixed(m.fitness.cost, 1)});
   }
   cmp.print(std::cout);
-  std::cout << "standard partitioning needs "
-            << report::format_pct(result.standard_area_overhead_pct(), true)
-            << " more BIC-sensor area.\n";
 
-  std::cout << "\nper-module electrical report (evolution result):\n";
+  std::cout << "\nper-module electrical report (" << best->method
+            << " result):\n";
   report::TextTable mods({"module", "gates", "iDD_max [uA]", "Rs [kOhm]",
                           "Cs [fF]", "tau [ps]", "settle [ps]", "area",
                           "S(M)", "d(M)"});
-  for (std::size_t m = 0; m < result.evolution.modules.size(); ++m) {
-    const auto& r = result.evolution.modules[m];
+  for (std::size_t m = 0; m < best->modules.size(); ++m) {
+    const auto& r = best->modules[m];
     mods.add_row({std::to_string(m), std::to_string(r.gates),
                   report::format_fixed(r.idd_max_ua, 0),
                   report::format_fixed(r.rs_kohm, 4),

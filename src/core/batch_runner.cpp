@@ -1,0 +1,70 @@
+#include "core/batch_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "netlist/circuit_loader.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::core {
+
+BatchRunner::BatchRunner(const lib::CellLibrary& library,
+                         FlowEngineConfig config,
+                         const OptimizerRegistry& registry)
+    : library_(&library),
+      config_(std::move(config)),
+      registry_(&registry),
+      loader_([](const std::string& spec) {
+        return netlist::load_circuit(spec);
+      }) {}
+
+void BatchRunner::set_circuit_loader(CircuitLoader loader) {
+  loader_ = std::move(loader);
+}
+
+std::vector<BatchItem> BatchRunner::run(std::span<const std::string> circuits,
+                                        std::span<const std::string> methods,
+                                        std::uint64_t base_seed,
+                                        std::size_t jobs) const {
+  std::vector<BatchItem> items(circuits.size());
+  const std::vector<std::string> specs(methods.begin(), methods.end());
+
+  const auto run_task = [&](std::size_t index) {
+    BatchItem& item = items[index];
+    item.circuit = circuits[index];
+    try {
+      const netlist::Netlist nl = loader_(circuits[index]);
+      FlowEngine engine(nl, *library_, config_, *registry_);
+      item.plan = engine.plan();
+      item.methods =
+          engine.run_methods(specs, Rng::mix_seed(base_seed, index));
+    } catch (const std::exception& e) {
+      item.error = e.what();
+    }
+  };
+
+  const std::size_t workers =
+      jobs == 0 ? 1 : std::min(jobs, circuits.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < circuits.size(); ++i) run_task(i);
+    return items;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < items.size();
+           i = next.fetch_add(1))
+        run_task(i);
+    });
+  }
+  for (auto& t : pool) t.join();
+  return items;
+}
+
+}  // namespace iddq::core

@@ -1,0 +1,62 @@
+// BatchRunner: fan a method set out over many circuits on a thread pool.
+//
+// Each (circuit, method-list) pair is one task. Tasks are independent —
+// every worker loads its circuit, builds its own FlowEngine (EvalContext,
+// size plan), and runs the methods sequentially — so the only shared state
+// is the read-only config/library/registry. Per-task seeds are derived from
+// the base seed and the task *index* alone (Rng::mix_seed), never from
+// scheduling order, so results are byte-identical for any job count
+// (tests/core/test_batch_runner.cpp pins jobs=1 == jobs=4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/flow_engine.hpp"
+
+namespace iddq::core {
+
+/// One circuit's batch outcome, in task order.
+struct BatchItem {
+  std::string circuit;
+  SizePlan plan;
+  std::vector<MethodResult> methods;  // one per requested spec, in order
+  std::string error;                  // non-empty when the task failed
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+class BatchRunner {
+ public:
+  /// Resolves a circuit spec to a netlist. Defaults to
+  /// netlist::load_circuit (builtin generators + .bench files).
+  using CircuitLoader = std::function<netlist::Netlist(const std::string&)>;
+
+  /// `library` and `registry` must outlive the runner.
+  explicit BatchRunner(
+      const lib::CellLibrary& library, FlowEngineConfig config = {},
+      const OptimizerRegistry& registry = OptimizerRegistry::global());
+
+  /// Replaces the circuit loader (tests inject synthetic circuits).
+  void set_circuit_loader(CircuitLoader loader);
+
+  /// Runs every method over every circuit on min(jobs, #circuits) worker
+  /// threads (jobs == 0 or 1 runs inline). A task failure (unknown
+  /// circuit, infeasible flow, ...) is captured in BatchItem::error; the
+  /// remaining tasks still run.
+  [[nodiscard]] std::vector<BatchItem> run(
+      std::span<const std::string> circuits,
+      std::span<const std::string> methods, std::uint64_t base_seed,
+      std::size_t jobs = 1) const;
+
+ private:
+  const lib::CellLibrary* library_;
+  FlowEngineConfig config_;
+  const OptimizerRegistry* registry_;
+  CircuitLoader loader_;
+};
+
+}  // namespace iddq::core

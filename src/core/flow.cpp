@@ -1,58 +1,50 @@
 #include "core/flow.hpp"
 
-#include <vector>
-
-#include "core/refiner.hpp"
-#include "core/standard_partition.hpp"
+#include <utility>
 
 namespace iddq::core {
-
-MethodResult evaluate_method(const part::EvalContext& ctx, std::string method,
-                             const part::Partition& partition) {
-  part::PartitionEvaluator eval(ctx, partition);
-  MethodResult r;
-  r.method = std::move(method);
-  r.partition = partition;
-  r.costs = eval.costs();
-  r.fitness = eval.fitness();
-  r.sensor_area = eval.total_sensor_area();
-  r.delay_overhead = r.costs.c2;
-  r.test_overhead = r.costs.c4;
-  r.module_count = partition.module_count();
-  r.modules.reserve(r.module_count);
-  for (std::uint32_t m = 0; m < r.module_count; ++m)
-    r.modules.push_back(eval.module_report(m));
-  return r;
-}
 
 FlowResult run_flow(const netlist::Netlist& nl,
                     const lib::CellLibrary& library,
                     const FlowConfig& config) {
-  part::EvalContext ctx(nl, library, config.sensor, config.weights,
-                        config.rho);
+  FlowEngineConfig engine_config;
+  engine_config.sensor = config.sensor;
+  engine_config.weights = config.weights;
+  engine_config.rho = config.rho;
+  engine_config.optimizers.es = config.es;
+  FlowEngine engine(nl, library, std::move(engine_config));
+
   FlowResult result;
-  result.plan = plan_module_size(ctx);
+  result.plan = engine.plan();
 
-  EvolutionEngine engine(ctx, config.es);
-  result.es_detail = engine.run_with_module_count(result.plan.module_count);
+  FlowEngine::RunOptions es_options;
+  es_options.seed = config.es.seed;
+  es_options.record_trace = config.es.record_trace;
+  MethodResult evolution = engine.run_method("evolution", es_options);
 
-  part::Partition es_best = result.es_detail.best_partition;
+  result.es_detail.best_partition = evolution.partition;
+  result.es_detail.best_fitness = evolution.fitness;
+  result.es_detail.best_costs = evolution.costs;
+  result.es_detail.generations = evolution.iterations;
+  result.es_detail.evaluations = evolution.evaluations;
+  result.es_detail.trace = evolution.trace;
+
   if (config.refine_result) {
-    part::PartitionEvaluator eval(ctx, es_best);
-    greedy_refine(eval);
-    es_best = eval.partition();
+    FlowEngine::RunOptions polish;
+    polish.seed = config.es.seed;
+    polish.start = &evolution.partition;
+    evolution = engine.run_method("greedy", polish);
+    evolution.method = "evolution";  // historical row label
   }
-  result.evolution = evaluate_method(ctx, "evolution", es_best);
+  result.evolution = std::move(evolution);
 
   // The standard baseline clusters to the module sizes the ES discovered
   // (section 5: "in our case we take the numbers obtained by the evolution
   // based algorithm").
-  std::vector<std::size_t> sizes;
-  sizes.reserve(es_best.module_count());
-  for (std::uint32_t m = 0; m < es_best.module_count(); ++m)
-    sizes.push_back(es_best.module_size(m));
-  result.standard = evaluate_method(
-      ctx, "standard", standard_partition(nl, ctx.oracle, sizes));
+  FlowEngine::RunOptions std_options;
+  std_options.seed = config.es.seed;
+  std_options.start = &result.evolution.partition;
+  result.standard = engine.run_method("standard", std_options);
   return result;
 }
 

@@ -1,4 +1,4 @@
-// End-to-end synthesis flow: the public entry point of the library.
+// End-to-end synthesis flow: the paper-shaped public entry point.
 //
 //   netlist + cell library
 //     -> EvalContext (estimator precomputation)
@@ -6,12 +6,17 @@
 //     -> evolution strategy (section 4)
 //     -> standard-partitioning baseline at the ES module sizes (section 5)
 //     -> per-method cost/constraint reports (Table 1 rows)
+//
+// run_flow is a compatibility wrapper over the registry-driven FlowEngine
+// (core/flow_engine.hpp): it runs the registry's "evolution" and "standard"
+// methods with the paper's section-5 coupling and keeps the historical
+// FlowResult accessors. New code that wants other method sets, explicit
+// budgets, or multi-circuit sweeps should use FlowEngine / BatchRunner
+// directly.
 #pragma once
 
-#include <string>
-#include <vector>
-
 #include "core/evolution.hpp"
+#include "core/flow_engine.hpp"
 #include "core/size_planner.hpp"
 #include "library/cell_library.hpp"
 #include "partition/evaluator.hpp"
@@ -27,28 +32,25 @@ struct FlowConfig {
   bool refine_result = false;
 };
 
-/// One partitioning method's outcome on one circuit.
-struct MethodResult {
-  std::string method;
-  part::Partition partition{1, 1};
-  part::Costs costs;
-  part::Fitness fitness;
-  double sensor_area = 0.0;
-  double delay_overhead = 0.0;    // c2
-  double test_overhead = 0.0;     // c4
-  std::size_t module_count = 0;
-  std::vector<part::ModuleReport> modules;
-};
-
 struct FlowResult {
   SizePlan plan;
   MethodResult evolution;
   MethodResult standard;
   EsResult es_detail;
 
+  /// True when the headline comparison below is meaningful: the evolution
+  /// result carries sensor area to compare against. False for degenerate
+  /// plans (e.g. a single zero-area module), where the overhead is
+  /// reported as 0 instead of inf/NaN.
+  [[nodiscard]] bool overhead_comparable() const {
+    return evolution.sensor_area > 0.0;
+  }
+
   /// The paper's headline metric: extra BIC-sensor area the standard
   /// baseline needs relative to the evolution result, in percent.
+  /// Returns 0 when !overhead_comparable().
   [[nodiscard]] double standard_area_overhead_pct() const {
+    if (!overhead_comparable()) return 0.0;
     return (standard.sensor_area / evolution.sensor_area - 1.0) * 100.0;
   }
 };
@@ -58,11 +60,5 @@ struct FlowResult {
 [[nodiscard]] FlowResult run_flow(const netlist::Netlist& nl,
                                   const lib::CellLibrary& library,
                                   const FlowConfig& config);
-
-/// Evaluates an externally produced partition under the same cost model
-/// (used by the figure-2 bench and the examples).
-[[nodiscard]] MethodResult evaluate_method(const part::EvalContext& ctx,
-                                           std::string method,
-                                           const part::Partition& partition);
 
 }  // namespace iddq::core

@@ -1,0 +1,103 @@
+// Registry-driven flow engine.
+//
+// FlowEngine owns the per-circuit state the paper's flow precomputes once —
+// the EvalContext (estimators, distance oracle, settling model) and the
+// section-4.2 module-size plan — and runs any registered optimizer spec
+// against it, returning uniform MethodResult rows. run_flow (core/flow.hpp)
+// is a thin compatibility wrapper over this engine; the CLI, the benches,
+// and BatchRunner use it directly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/optimizer_registry.hpp"
+#include "core/size_planner.hpp"
+#include "library/cell_library.hpp"
+#include "partition/evaluator.hpp"
+
+namespace iddq::core {
+
+/// One optimizer spec's outcome on one circuit (a Table 1 row).
+struct MethodResult {
+  std::string method;
+  part::Partition partition{1, 1};
+  part::Costs costs;
+  part::Fitness fitness;
+  double sensor_area = 0.0;
+  double delay_overhead = 0.0;  // c2
+  double test_overhead = 0.0;   // c4
+  std::size_t module_count = 0;
+  std::vector<part::ModuleReport> modules;
+  std::size_t iterations = 0;   // optimizer-specific major steps
+  std::size_t evaluations = 0;  // cost-function evaluations spent
+  std::vector<GenerationStats> trace;  // recorded only on request
+};
+
+/// Evaluates an externally produced partition under the flow's cost model
+/// (used by the figure-2 bench and the examples).
+[[nodiscard]] MethodResult evaluate_method(const part::EvalContext& ctx,
+                                           std::string method,
+                                           const part::Partition& partition);
+
+struct FlowEngineConfig {
+  elec::SensorSpec sensor;
+  part::CostWeights weights;
+  OptimizerConfig optimizers;
+  std::uint32_t rho = 4;  // separation saturation distance
+};
+
+/// Per-run knobs for FlowEngine::run_method.
+struct FlowRunOptions {
+  std::uint64_t seed = 1;
+  /// Explicit start partition (e.g. a previous method's result); the
+  /// planned module count is used when null.
+  const part::Partition* start = nullptr;
+  std::size_t max_evaluations = 0;  // 0 = optimizer default budget
+  bool record_trace = false;
+  ProgressCallback on_progress;
+};
+
+class FlowEngine {
+ public:
+  using RunOptions = FlowRunOptions;
+
+  /// Precomputes the EvalContext and the module-size plan. `nl` and
+  /// `library` must outlive the engine; `registry` defaults to the global
+  /// registry and must also outlive the engine.
+  FlowEngine(const netlist::Netlist& nl, const lib::CellLibrary& library,
+             FlowEngineConfig config = {},
+             const OptimizerRegistry& registry = OptimizerRegistry::global());
+
+  [[nodiscard]] const SizePlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const part::EvalContext& context() const noexcept {
+    return ctx_;
+  }
+  [[nodiscard]] const netlist::Netlist& netlist() const noexcept {
+    return *nl_;
+  }
+
+  /// Runs one optimizer spec (a registered name or '+'-composed pipeline).
+  [[nodiscard]] MethodResult run_method(std::string_view spec,
+                                        const RunOptions& options = {});
+
+  /// Runs every spec in order at per-method derived seeds
+  /// (Rng::mix_seed(base_seed, index)). Special case, after the paper's
+  /// section 5: a "standard" spec that follows at least one other method
+  /// clusters at the module sizes of the first preceding method's result
+  /// ("we take the numbers obtained by the evolution based algorithm").
+  [[nodiscard]] std::vector<MethodResult> run_methods(
+      std::span<const std::string> specs, std::uint64_t base_seed);
+
+ private:
+  const netlist::Netlist* nl_;
+  FlowEngineConfig config_;
+  const OptimizerRegistry* registry_;
+  part::EvalContext ctx_;
+  SizePlan plan_;
+};
+
+}  // namespace iddq::core

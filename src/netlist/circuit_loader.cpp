@@ -1,0 +1,64 @@
+#include "netlist/circuit_loader.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <sstream>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/iscas_profiles.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace iddq::netlist {
+
+namespace {
+
+// A bare "c<digits>" token is how users name generators; anything with a
+// path separator or an extension is clearly meant as a file.
+bool looks_like_builtin_name(std::string_view spec) {
+  if (spec.size() < 2 || (spec[0] != 'c' && spec[0] != 'C')) return false;
+  return std::all_of(spec.begin() + 1, spec.end(), [](unsigned char ch) {
+    return std::isdigit(ch) != 0;
+  });
+}
+
+}  // namespace
+
+std::vector<std::string> builtin_circuit_names() {
+  std::vector<std::string> names{"c17"};
+  for (const auto name : gen::table1_circuit_names())
+    names.emplace_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool is_builtin_circuit(std::string_view spec) {
+  const std::string lower = str::to_lower(spec);
+  if (lower == "c17") return true;
+  const auto table1 = gen::table1_circuit_names();
+  return std::find(table1.begin(), table1.end(), lower) != table1.end();
+}
+
+Netlist load_circuit(const std::string& spec) {
+  const std::string lower = str::to_lower(spec);
+  if (lower == "c17") return gen::make_c17();
+  if (is_builtin_circuit(lower)) return gen::make_iscas_like(lower);
+
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(spec, ec);
+  if (!exists && looks_like_builtin_name(spec)) {
+    std::ostringstream os;
+    os << "unknown builtin circuit '" << spec << "'; valid builtins:";
+    for (const auto& name : builtin_circuit_names()) os << ' ' << name;
+    os << " (or pass a .bench file path)";
+    throw Error(os.str());
+  }
+  if (!exists)
+    throw Error("cannot open circuit file '" + spec +
+                "' (not a builtin name either)");
+  return read_bench_file(spec);
+}
+
+}  // namespace iddq::netlist

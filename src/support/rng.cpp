@@ -98,6 +98,14 @@ std::size_t Rng::index(std::size_t size) {
   return static_cast<std::size_t>(below(size));
 }
 
+std::uint64_t Rng::mix_seed(std::uint64_t base, std::uint64_t salt) {
+  // Two splitmix64 steps over a combined state: adjacent salts map to
+  // uncorrelated seeds (splitmix64 is the same expander reseed() uses).
+  std::uint64_t sm = base ^ (salt * 0x9E3779B97F4A7C15ull);
+  (void)splitmix64(sm);
+  return splitmix64(sm);
+}
+
 Rng Rng::split() {
   Rng child(0);
   std::uint64_t sm = next();

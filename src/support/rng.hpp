@@ -65,6 +65,11 @@ class Rng {
   /// Derives an independent child generator (for parallel components).
   Rng split();
 
+  /// Deterministically combines a base seed with a salt (task index, method
+  /// index, ...) into a well-mixed derived seed. Used by the flow engine and
+  /// batch runner so per-task streams are independent of scheduling order.
+  static std::uint64_t mix_seed(std::uint64_t base, std::uint64_t salt);
+
  private:
   std::uint64_t next();
 

@@ -1,0 +1,110 @@
+#include "core/flow_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "netlist/gen/random_dag.hpp"
+
+namespace iddq::core {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("engine", 260, 12, 11));
+  lib::CellLibrary library = lib::default_library();
+
+  FlowEngineConfig config() const {
+    FlowEngineConfig cfg;
+    cfg.optimizers.es.mu = 3;
+    cfg.optimizers.es.lambda = 3;
+    cfg.optimizers.es.chi = 1;
+    cfg.optimizers.es.max_generations = 12;
+    cfg.optimizers.es.stall_generations = 6;
+    cfg.optimizers.random_samples = 40;
+    return cfg;
+  }
+};
+
+TEST(FlowEngine, RunMethodsReturnsOneResultPerSpecInOrder) {
+  Fixture f;
+  FlowEngine engine(f.nl, f.library, f.config());
+  const std::vector<std::string> specs{"evolution", "annealing", "random",
+                                       "standard"};
+  const auto results = engine.run_methods(specs, 42);
+  ASSERT_EQ(results.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(results[i].method, specs[i]);
+    EXPECT_TRUE(results[i].partition.covers(f.nl));
+    EXPECT_GT(results[i].evaluations, 0u);
+    EXPECT_EQ(results[i].modules.size(), results[i].module_count);
+  }
+}
+
+TEST(FlowEngine, StandardAfterAnotherMethodReusesItsModuleSizes) {
+  Fixture f;
+  FlowEngine engine(f.nl, f.library, f.config());
+  const std::vector<std::string> specs{"evolution", "standard"};
+  const auto results = engine.run_methods(specs, 42);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_EQ(results[0].module_count, results[1].module_count);
+  for (std::uint32_t m = 0; m < results[0].module_count; ++m)
+    EXPECT_EQ(results[0].partition.module_size(m),
+              results[1].partition.module_size(m));
+}
+
+TEST(FlowEngine, StandardAloneUsesEvenSplitOfThePlannedCount) {
+  Fixture f;
+  FlowEngine engine(f.nl, f.library, f.config());
+  FlowEngine::RunOptions opts;
+  const auto result = engine.run_method("standard", opts);
+  EXPECT_EQ(result.module_count, engine.plan().module_count);
+  std::size_t lo = f.nl.logic_gate_count();
+  std::size_t hi = 0;
+  for (std::uint32_t m = 0; m < result.module_count; ++m) {
+    lo = std::min(lo, result.partition.module_size(m));
+    hi = std::max(hi, result.partition.module_size(m));
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(FlowEngine, RecordTraceIsPerRun) {
+  Fixture f;
+  FlowEngine engine(f.nl, f.library, f.config());
+  FlowEngine::RunOptions plain;
+  EXPECT_TRUE(engine.run_method("evolution", plain).trace.empty());
+  FlowEngine::RunOptions traced;
+  traced.record_trace = true;
+  EXPECT_FALSE(engine.run_method("evolution", traced).trace.empty());
+}
+
+TEST(FlowEngine, ProgressCallbackFires) {
+  Fixture f;
+  FlowEngine engine(f.nl, f.library, f.config());
+  std::size_t calls = 0;
+  FlowEngine::RunOptions opts;
+  opts.on_progress = [&](const OptimizerProgress&) { ++calls; };
+  (void)engine.run_method("random", opts);
+  EXPECT_GE(calls, 1u);
+}
+
+TEST(FlowResultOverhead, DegenerateZeroAreaReportsZeroWithFlag) {
+  FlowResult result;
+  result.evolution.sensor_area = 0.0;  // e.g. single-module degenerate plan
+  result.standard.sensor_area = 5.0;
+  EXPECT_FALSE(result.overhead_comparable());
+  EXPECT_EQ(result.standard_area_overhead_pct(), 0.0);
+}
+
+TEST(FlowResultOverhead, NormalCaseMatchesFormula) {
+  FlowResult result;
+  result.evolution.sensor_area = 4.0;
+  result.standard.sensor_area = 5.0;
+  EXPECT_TRUE(result.overhead_comparable());
+  EXPECT_DOUBLE_EQ(result.standard_area_overhead_pct(), 25.0);
+}
+
+}  // namespace
+}  // namespace iddq::core

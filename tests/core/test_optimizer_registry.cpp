@@ -1,0 +1,105 @@
+#include "core/optimizer_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace iddq::core {
+namespace {
+
+TEST(OptimizerRegistry, GlobalHasBuiltins) {
+  auto& reg = OptimizerRegistry::global();
+  for (const auto* name :
+       {"evolution", "annealing", "random", "greedy", "standard"})
+    EXPECT_TRUE(reg.contains(name)) << name;
+  EXPECT_FALSE(reg.contains("does-not-exist"));
+}
+
+TEST(OptimizerRegistry, NamesAreSorted) {
+  const auto names = OptimizerRegistry::global().names();
+  EXPECT_GE(names.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(OptimizerRegistry, MakeKnownName) {
+  const auto opt = OptimizerRegistry::global().make("evolution");
+  ASSERT_NE(opt, nullptr);
+  EXPECT_EQ(opt->name(), "evolution");
+}
+
+TEST(OptimizerRegistry, MakeUnknownNameListsValidOnes) {
+  try {
+    (void)OptimizerRegistry::global().make("bogus");
+    FAIL() << "expected LookupError";
+  } catch (const LookupError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("valid names"), std::string::npos);
+    EXPECT_NE(what.find("evolution"), std::string::npos);
+  }
+}
+
+TEST(OptimizerRegistry, MakeComposedSpec) {
+  const auto opt = OptimizerRegistry::global().make("evolution+greedy");
+  ASSERT_NE(opt, nullptr);
+  EXPECT_EQ(opt->name(), "evolution+greedy");
+}
+
+TEST(OptimizerRegistry, ComposedSpecNormalizesWhitespace) {
+  const auto opt = OptimizerRegistry::global().make(" evolution + greedy ");
+  ASSERT_NE(opt, nullptr);
+  EXPECT_EQ(opt->name(), "evolution+greedy");
+}
+
+TEST(OptimizerRegistry, ComposedSpecRejectsUnknownStage) {
+  EXPECT_THROW((void)OptimizerRegistry::global().make("evolution+bogus"),
+               LookupError);
+}
+
+TEST(OptimizerRegistry, EmptyAndDanglingSpecsRejected) {
+  auto& reg = OptimizerRegistry::global();
+  EXPECT_THROW((void)reg.make(""), LookupError);
+  EXPECT_THROW((void)reg.make("evolution+"), LookupError);
+  EXPECT_THROW((void)reg.make("+greedy"), LookupError);
+}
+
+TEST(OptimizerRegistry, DuplicateRegistrationThrows) {
+  OptimizerRegistry reg;
+  register_builtin_optimizers(reg);
+  EXPECT_THROW(
+      reg.add("evolution",
+              [](const OptimizerConfig& cfg) {
+                return OptimizerRegistry::global().make("greedy", cfg);
+              }),
+      Error);
+}
+
+TEST(OptimizerRegistry, InvalidNamesRejected) {
+  OptimizerRegistry reg;
+  const auto factory = [](const OptimizerConfig& cfg) {
+    return OptimizerRegistry::global().make("greedy", cfg);
+  };
+  EXPECT_THROW(reg.add("", factory), Error);
+  EXPECT_THROW(reg.add("a+b", factory), Error);
+  EXPECT_THROW(reg.add("ok", nullptr), Error);
+}
+
+TEST(OptimizerRegistry, CustomRegistrationIsUsable) {
+  OptimizerRegistry reg;
+  register_builtin_optimizers(reg);
+  reg.add("mygreedy", [](const OptimizerConfig& cfg) {
+    return OptimizerRegistry::global().make("greedy", cfg);
+  });
+  EXPECT_TRUE(reg.contains("mygreedy"));
+  const auto opt = reg.make("mygreedy");
+  ASSERT_NE(opt, nullptr);
+  EXPECT_EQ(opt->name(), "greedy");  // factory delegates to the builtin
+  const auto composed = reg.make("random+mygreedy");
+  ASSERT_NE(composed, nullptr);
+  EXPECT_EQ(composed->name(), "random+mygreedy");
+}
+
+}  // namespace
+}  // namespace iddq::core

@@ -1,0 +1,68 @@
+#include "netlist/circuit_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace iddq::netlist {
+namespace {
+
+TEST(CircuitLoader, BuiltinNamesAreTheSevenGenerators) {
+  const auto names = builtin_circuit_names();
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.front(), "c17");
+  for (const auto& name : names) EXPECT_TRUE(is_builtin_circuit(name));
+}
+
+TEST(CircuitLoader, LoadsBuiltinsCaseInsensitively) {
+  const auto lower = load_circuit("c17");
+  const auto upper = load_circuit("C17");
+  EXPECT_EQ(lower.logic_gate_count(), 6u);
+  EXPECT_EQ(upper.logic_gate_count(), 6u);
+  EXPECT_GT(load_circuit("c1908").logic_gate_count(), 100u);
+}
+
+TEST(CircuitLoader, UnknownBuiltinLikeNameListsValidBuiltins) {
+  try {
+    (void)load_circuit("c432");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown builtin circuit 'c432'"), std::string::npos);
+    EXPECT_NE(what.find("c17"), std::string::npos);
+    EXPECT_NE(what.find("c7552"), std::string::npos);
+  }
+}
+
+TEST(CircuitLoader, MissingFilePathReportsFileError) {
+  try {
+    (void)load_circuit("does/not/exist.bench");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
+}
+
+TEST(CircuitLoader, LoadsBenchFiles) {
+  const std::string path = "circuit_loader_test.bench";
+  {
+    std::ofstream out(path);
+    out << "INPUT(1)\nINPUT(2)\nOUTPUT(3)\n3 = NAND(1, 2)\n";
+  }
+  const auto nl = load_circuit(path);
+  EXPECT_EQ(nl.logic_gate_count(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CircuitLoader, IsBuiltinRejectsNonBuiltins) {
+  EXPECT_FALSE(is_builtin_circuit("c432"));
+  EXPECT_FALSE(is_builtin_circuit("foo.bench"));
+  EXPECT_TRUE(is_builtin_circuit("C6288"));
+}
+
+}  // namespace
+}  // namespace iddq::netlist

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Tier-1 verification, runnable locally and from CI:
+#   configure + build (warnings-as-errors for src/) + full ctest.
+#
+#   $ tools/ci.sh [build-dir]        default build dir: build-ci
+set -eu
+
+BUILD_DIR="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." -DIDDQ_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

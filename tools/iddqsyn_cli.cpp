@@ -1,23 +1,33 @@
 // iddqsyn — command-line driver for the BIC-sensor partitioning flow.
 //
 // Usage:
-//   iddqsyn [options] <circuit>
+//   iddqsyn [options] <circuit> [<circuit> ...]
 //
 //   <circuit>             path to an ISCAS85 .bench file, or one of the
 //                         built-in generators: c17, c1908, c2670, c3540,
 //                         c5315, c6288, c7552
 //
 // Options:
-//   -o FILE               write the resulting partition to FILE
+//   --method NAMES        comma-separated optimizer specs from the registry
+//                         (default: evolution,standard). Specs may compose
+//                         stages with '+', e.g. evolution+greedy.
+//   --jobs N              run circuits on N worker threads (default 1);
+//                         results are identical for any N
+//   --list-methods        print the registered optimizer names and exit
+//   -o FILE               write the first method's partition to FILE
+//                         (single-circuit runs only)
 //   --lib FILE            load a cell library (default: built-in 5V CMOS)
 //   --rail MV             virtual-rail perturbation limit r (default 200)
 //   --disc D              required discriminability d (default 10)
-//   --seed N              evolution-strategy seed (default 42)
-//   --generations N       ES generation cap (default 350)
+//   --seed N              base seed (default 42); per-circuit/method seeds
+//                         are derived deterministically from it
+//   --generations N       ES generation cap (default 350, must be >= 1)
 //   --retime              run partition-aware wave retiming afterwards
-//   --quiet               only print the summary line
+//                         (single-circuit runs only)
+//   --quiet               only print the summary rows
 //   --help                this text
 //
+// One summary row is printed per (circuit, method) pair, in argument order.
 // Exit code 0 on success, 1 on bad usage, 2 on flow errors.
 #include <fstream>
 #include <iostream>
@@ -25,17 +35,17 @@
 #include <string>
 #include <vector>
 
-#include "core/flow.hpp"
+#include "core/batch_runner.hpp"
+#include "core/flow_engine.hpp"
 #include "core/resynth.hpp"
 #include "library/cell_library.hpp"
 #include "library/lib_io.hpp"
-#include "netlist/bench_io.hpp"
-#include "netlist/gen/c17.hpp"
-#include "netlist/gen/iscas_profiles.hpp"
+#include "netlist/circuit_loader.hpp"
 #include "netlist/stats.hpp"
 #include "partition/partition_io.hpp"
 #include "report/table.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -43,7 +53,9 @@ namespace {
 using namespace iddq;
 
 struct CliOptions {
-  std::string circuit;
+  std::vector<std::string> circuits;
+  std::vector<std::string> methods{"evolution", "standard"};
+  std::size_t jobs = 1;
   std::optional<std::string> output_path;
   std::optional<std::string> lib_path;
   double rail_mv = 200.0;
@@ -56,20 +68,33 @@ struct CliOptions {
 
 void print_usage(std::ostream& os) {
   os << "usage: iddqsyn [options] <circuit.bench | c17 | c1908 | c2670 | "
-        "c3540 | c5315 | c6288 | c7552>\n"
-        "  -o FILE          write the partition to FILE\n"
+        "c3540 | c5315 | c6288 | c7552> [<circuit> ...]\n"
+        "  --method NAMES   comma-separated optimizer specs "
+        "(default: evolution,standard)\n"
+        "  --jobs N         worker threads over circuits (default 1)\n"
+        "  --list-methods   print registered optimizer names and exit\n"
+        "  -o FILE          write the first method's partition to FILE "
+        "(one circuit only)\n"
         "  --lib FILE       cell library file (default: built-in 5V CMOS)\n"
-        "  --rail MV        rail perturbation limit r in mV (default 200)\n"
-        "  --disc D         required discriminability d (default 10)\n"
-        "  --seed N         evolution seed (default 42)\n"
-        "  --generations N  ES generation cap (default 350)\n"
-        "  --retime         partition-aware wave retiming after the flow\n"
-        "  --quiet          summary line only\n";
+        "  --rail MV        rail perturbation limit r in mV (default 200, "
+        "> 0)\n"
+        "  --disc D         required discriminability d (default 10, > 0)\n"
+        "  --seed N         base seed (default 42)\n"
+        "  --generations N  ES generation cap (default 350, >= 1)\n"
+        "  --retime         partition-aware wave retiming (one circuit "
+        "only)\n"
+        "  --quiet          summary rows only\n";
+}
+
+void print_methods(std::ostream& os) {
+  os << "registered optimizers:";
+  for (const auto& name : core::OptimizerRegistry::global().names())
+    os << ' ' << name;
+  os << "\ncompose polish stages with '+', e.g. evolution+greedy\n";
 }
 
 std::optional<CliOptions> parse(int argc, char** argv) {
   CliOptions opts;
-  std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto need_value = [&](const char* flag) -> std::optional<std::string> {
@@ -82,6 +107,25 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);
       std::exit(0);
+    } else if (arg == "--list-methods") {
+      print_methods(std::cout);
+      std::exit(0);
+    } else if (arg == "--method") {
+      const auto v = need_value("--method");
+      if (!v) return std::nullopt;
+      opts.methods.clear();
+      for (const auto piece : str::split(*v, ','))
+        if (!piece.empty()) opts.methods.emplace_back(piece);
+      if (opts.methods.empty()) {
+        std::cerr << "iddqsyn: --method needs at least one name\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--jobs") {
+      const auto v = need_value("--jobs");
+      if (!v || !str::parse_size(*v, opts.jobs) || opts.jobs == 0) {
+        std::cerr << "iddqsyn: --jobs must be a positive integer\n";
+        return std::nullopt;
+      }
     } else if (arg == "-o") {
       const auto v = need_value("-o");
       if (!v) return std::nullopt;
@@ -93,9 +137,17 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     } else if (arg == "--rail") {
       const auto v = need_value("--rail");
       if (!v || !str::parse_double(*v, opts.rail_mv)) return std::nullopt;
+      if (opts.rail_mv <= 0.0) {
+        std::cerr << "iddqsyn: --rail must be > 0 mV (got " << *v << ")\n";
+        return std::nullopt;
+      }
     } else if (arg == "--disc") {
       const auto v = need_value("--disc");
       if (!v || !str::parse_double(*v, opts.disc)) return std::nullopt;
+      if (opts.disc <= 0.0) {
+        std::cerr << "iddqsyn: --disc must be > 0 (got " << *v << ")\n";
+        return std::nullopt;
+      }
     } else if (arg == "--seed") {
       const auto v = need_value("--seed");
       std::size_t seed = 0;
@@ -103,7 +155,11 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       opts.seed = seed;
     } else if (arg == "--generations") {
       const auto v = need_value("--generations");
-      if (!v || !str::parse_size(*v, opts.generations)) return std::nullopt;
+      if (!v || !str::parse_size(*v, opts.generations) ||
+          opts.generations == 0) {
+        std::cerr << "iddqsyn: --generations must be >= 1\n";
+        return std::nullopt;
+      }
     } else if (arg == "--retime") {
       opts.retime = true;
     } else if (arg == "--quiet") {
@@ -112,23 +168,77 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       std::cerr << "iddqsyn: unknown option '" << arg << "'\n";
       return std::nullopt;
     } else {
-      positional.push_back(arg);
+      opts.circuits.push_back(arg);
     }
   }
-  if (positional.size() != 1) {
-    std::cerr << "iddqsyn: exactly one circuit argument expected\n";
+  if (opts.circuits.empty()) {
+    std::cerr << "iddqsyn: at least one circuit argument expected\n";
     return std::nullopt;
   }
-  opts.circuit = positional[0];
+  if (opts.circuits.size() > 1 && (opts.output_path || opts.retime)) {
+    std::cerr << "iddqsyn: -o/--retime need exactly one circuit\n";
+    return std::nullopt;
+  }
+  // Validate method specs up front so typos report the registry's names
+  // instead of failing mid-batch.
+  for (const auto& spec : opts.methods) {
+    try {
+      (void)core::OptimizerRegistry::global().make(spec);
+    } catch (const Error& e) {
+      std::cerr << "iddqsyn: " << e.what() << "\n";
+      return std::nullopt;
+    }
+  }
   return opts;
 }
 
-netlist::Netlist load_circuit(const std::string& spec) {
-  const std::string lower = str::to_lower(spec);
-  if (lower == "c17") return netlist::gen::make_c17();
-  for (const auto name : netlist::gen::table1_circuit_names())
-    if (lower == name) return netlist::gen::make_iscas_like(name);
-  return netlist::read_bench_file(spec);
+void print_method_row(std::ostream& os, const std::string& circuit,
+                      const core::MethodResult& r) {
+  os << circuit << ": method=" << r.method << " K=" << r.module_count
+     << " cost=" << report::format_fixed(r.fitness.cost, 1)
+     << " sensor_area=" << report::format_eng(r.sensor_area)
+     << " delay_ovh=" << report::format_pct(r.delay_overhead)
+     << " test_ovh=" << report::format_pct(r.test_overhead)
+     << " evals=" << r.evaluations
+     << " feasible=" << (r.fitness.feasible() ? "yes" : "NO") << "\n";
+}
+
+// Retiming + partition writing only apply to single-circuit runs; they act
+// on the first method's partition, matching the historical CLI.
+int finish_single_circuit(const CliOptions& opts, const core::BatchItem& item,
+                          const lib::CellLibrary& library) {
+  if (!opts.output_path && !opts.retime) return 0;  // nothing left to do
+  const auto nl = netlist::load_circuit(opts.circuits.front());
+  auto partition = item.methods.front().partition;
+  const netlist::Netlist* final_nl = &nl;
+  netlist::Netlist retimed_nl;  // populated only with --retime
+  if (opts.retime) {
+    std::vector<std::vector<netlist::GateId>> groups(
+        partition.module_count());
+    for (std::uint32_t m = 0; m < partition.module_count(); ++m) {
+      const auto gates = partition.module(m);
+      groups[m].assign(gates.begin(), gates.end());
+    }
+    auto rt = core::retime_for_iddq_partitioned(nl, library, groups);
+    retimed_nl = std::move(rt.netlist);
+    partition = part::Partition::from_groups(retimed_nl, rt.groups);
+    final_nl = &retimed_nl;
+    if (!opts.quiet)
+      std::cout << "retiming: " << rt.buffers_added
+                << " buffers, sum-of-peaks "
+                << report::format_fixed(rt.sum_peak_before_ua / 1000.0, 1)
+                << " -> "
+                << report::format_fixed(rt.sum_peak_after_ua / 1000.0, 1)
+                << " mA\n";
+  }
+  if (opts.output_path) {
+    std::ofstream out(*opts.output_path);
+    if (!out) throw Error("cannot open '" + *opts.output_path + "'");
+    part::write_partition(out, *final_nl, partition);
+    if (!opts.quiet)
+      std::cout << "partition written to " << *opts.output_path << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -140,58 +250,39 @@ int main(int argc, char** argv) {
     return 1;
   }
   try {
-    const auto nl = load_circuit(opts->circuit);
     const auto library = opts->lib_path
                              ? lib::read_library_file(*opts->lib_path)
                              : lib::default_library();
-    if (!opts->quiet) netlist::print_stats(std::cout, nl);
 
-    core::FlowConfig config;
+    core::FlowEngineConfig config;
     config.sensor.r_max_mv = opts->rail_mv;
     config.sensor.d_min = opts->disc;
-    config.es.seed = opts->seed;
-    config.es.max_generations = opts->generations;
-    const auto result = core::run_flow(nl, library, config);
+    config.optimizers.es.max_generations = opts->generations;
 
-    auto partition = result.evolution.partition;
-    const netlist::Netlist* final_nl = &nl;
-    netlist::Netlist retimed_nl;  // populated only with --retime
-    if (opts->retime) {
-      std::vector<std::vector<netlist::GateId>> groups(
-          partition.module_count());
-      for (std::uint32_t m = 0; m < partition.module_count(); ++m) {
-        const auto gates = partition.module(m);
-        groups[m].assign(gates.begin(), gates.end());
+    const core::BatchRunner runner(library, config);
+    const auto items =
+        runner.run(opts->circuits, opts->methods, opts->seed, opts->jobs);
+
+    bool failed = false;
+    for (const auto& item : items) {
+      if (!item.ok()) {
+        failed = true;
+        std::cerr << "iddqsyn: " << item.circuit << ": " << item.error
+                  << "\n";
+        continue;
       }
-      auto rt = core::retime_for_iddq_partitioned(nl, library, groups);
-      retimed_nl = std::move(rt.netlist);
-      partition = part::Partition::from_groups(retimed_nl, rt.groups);
-      final_nl = &retimed_nl;
       if (!opts->quiet)
-        std::cout << "retiming: " << rt.buffers_added
-                  << " buffers, sum-of-peaks "
-                  << report::format_fixed(rt.sum_peak_before_ua / 1000.0, 1)
-                  << " -> "
-                  << report::format_fixed(rt.sum_peak_after_ua / 1000.0, 1)
-                  << " mA\n";
+        std::cout << item.circuit << ": K=" << item.plan.module_count
+                  << " planned (leakage bound " << item.plan.k_min_leakage
+                  << ", target module size " << item.plan.target_module_size
+                  << ")\n";
+      for (const auto& r : item.methods)
+        print_method_row(std::cout, item.circuit, r);
     }
+    if (failed) return 2;
 
-    std::cout << nl.name() << ": K=" << partition.module_count()
-              << " sensor_area=" << report::format_eng(result.evolution.sensor_area)
-              << " delay_ovh=" << report::format_pct(result.evolution.delay_overhead)
-              << " test_ovh=" << report::format_pct(result.evolution.test_overhead)
-              << " vs_standard=+"
-              << report::format_pct(result.standard_area_overhead_pct(), true)
-              << " feasible="
-              << (result.evolution.fitness.feasible() ? "yes" : "NO") << "\n";
-
-    if (opts->output_path) {
-      std::ofstream out(*opts->output_path);
-      if (!out) throw Error("cannot open '" + *opts->output_path + "'");
-      part::write_partition(out, *final_nl, partition);
-      if (!opts->quiet)
-        std::cout << "partition written to " << *opts->output_path << "\n";
-    }
+    if (opts->circuits.size() == 1)
+      return finish_single_circuit(*opts, items.front(), library);
     return 0;
   } catch (const Error& e) {
     std::cerr << "iddqsyn: " << e.what() << "\n";
