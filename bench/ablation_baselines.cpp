@@ -45,10 +45,9 @@ int main() {
       const double s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
-      part::PartitionEvaluator eval(engine.context(), result.partition);
       table.add_row({std::string(name), spec,
                      report::format_fixed(result.fitness.cost, 1),
-                     report::format_eng(eval.total_sensor_area()),
+                     report::format_eng(result.sensor_area),
                      report::format_eng(result.costs.c2),
                      std::to_string(result.module_count),
                      std::to_string(result.evaluations),

@@ -4,50 +4,10 @@
 #include <cmath>
 #include <vector>
 
+#include "core/neighborhood.hpp"
 #include "support/error.hpp"
 
 namespace iddq::core {
-
-namespace {
-
-double scalar_objective(part::PartitionEvaluator& eval, double penalty) {
-  return eval.costs().total(eval.context().weights) +
-         penalty * eval.violation();
-}
-
-/// A reversible candidate move: gate g from its module to `target`.
-struct Move {
-  netlist::GateId gate = netlist::kNoGate;
-  std::uint32_t target = 0;
-};
-
-/// Samples a boundary-gate move that cannot empty a module (K preserved).
-Move sample_move(const part::PartitionEvaluator& eval, Rng& rng) {
-  const auto& p = eval.partition();
-  const auto& nl = eval.context().nl;
-  for (int attempt = 0; attempt < 32; ++attempt) {
-    const auto src = static_cast<std::uint32_t>(rng.index(p.module_count()));
-    if (p.module_size(src) <= 1) continue;  // would empty the module
-    const auto boundary = EvolutionEngine::boundary_gates(eval, src);
-    if (boundary.empty()) continue;
-    const netlist::GateId g = boundary[rng.index(boundary.size())];
-    std::vector<std::uint32_t> targets;
-    const auto consider = [&](netlist::GateId f) {
-      if (!netlist::is_logic(nl.gate(f).kind)) return;
-      const std::uint32_t m = p.module_of(f);
-      if (m != src &&
-          std::find(targets.begin(), targets.end(), m) == targets.end())
-        targets.push_back(m);
-    };
-    for (const netlist::GateId f : nl.gate(g).fanins) consider(f);
-    for (const netlist::GateId f : nl.gate(g).fanouts) consider(f);
-    if (targets.empty()) continue;
-    return Move{g, targets[rng.index(targets.size())]};
-  }
-  return Move{};
-}
-
-}  // namespace
 
 SaResult simulated_annealing(const part::EvalContext& ctx,
                              const part::Partition& start,
@@ -59,7 +19,7 @@ SaResult simulated_annealing(const part::EvalContext& ctx,
   part::PartitionEvaluator eval(ctx, start);
 
   SaResult result;
-  double current = scalar_objective(eval, params.violation_penalty);
+  double current = penalized_objective(eval, params.violation_penalty);
   ++result.evaluations;
   double best_obj = current;
   result.best_partition = eval.partition();
@@ -73,11 +33,11 @@ SaResult simulated_annealing(const part::EvalContext& ctx,
     std::vector<double> uphill;
     part::PartitionEvaluator probe = eval;
     for (int i = 0; i < 24; ++i) {
-      const Move mv = sample_move(probe, rng);
-      if (mv.gate == netlist::kNoGate) continue;
+      const GateMove mv = sample_boundary_move(probe, rng);
+      if (!mv.valid()) continue;
       const std::uint32_t src = probe.partition().module_of(mv.gate);
       probe.move_gate(mv.gate, mv.target);
-      const double obj = scalar_objective(probe, params.violation_penalty);
+      const double obj = penalized_objective(probe, params.violation_penalty);
       if (obj > current) uphill.push_back(obj - current);
       probe.move_gate(mv.gate, src);  // revert (module cannot have vanished)
     }
@@ -93,11 +53,12 @@ SaResult simulated_annealing(const part::EvalContext& ctx,
   for (std::size_t step = 0; step < params.steps; ++step) {
     if (step > 0 && step % params.stage_length == 0)
       temperature *= params.cooling;
-    const Move mv = sample_move(eval, rng);
-    if (mv.gate == netlist::kNoGate) continue;
+    const GateMove mv = sample_boundary_move(eval, rng);
+    if (!mv.valid()) continue;
     const std::uint32_t src = eval.partition().module_of(mv.gate);
     eval.move_gate(mv.gate, mv.target);
-    const double proposed = scalar_objective(eval, params.violation_penalty);
+    const double proposed =
+        penalized_objective(eval, params.violation_penalty);
     ++result.evaluations;
     const double delta = proposed - current;
     const bool accept =

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "library/fingerprint.hpp"
+#include "netlist/fingerprint.hpp"
+#include "support/error.hpp"
 #include "support/rng.hpp"
 
 namespace iddq::core {
@@ -32,10 +35,54 @@ FlowEngine::FlowEngine(const netlist::Netlist& nl,
       config_(std::move(config)),
       registry_(&registry),
       ctx_(nl, library, config_.sensor, config_.weights, config_.rho),
-      plan_(plan_module_size(ctx_)) {}
+      plan_(plan_module_size(ctx_)),
+      context_fp_(cache_context_fingerprint(
+          netlist::structural_fingerprint(nl), lib::library_fingerprint(library),
+          config_.sensor, config_.weights, config_.rho, config_.optimizers)) {}
+
+MethodResult FlowEngine::from_cache_record(const CacheRecord& record) {
+  // Replaying the stored partition through the same deterministic
+  // evaluation that produced the original MethodResult reproduces the
+  // module reports and sensor area byte-for-byte; the optimizer-trajectory
+  // fields come straight from the record.
+  require(record.gate_count == nl_->gate_count(),
+          "result cache: record does not match this circuit");
+  // from_groups validates coverage/duplicates/ranges and preserves the
+  // stored intra-module gate order.
+  MethodResult result = evaluate_method(
+      ctx_, record.method,
+      part::Partition::from_groups(*nl_, record.modules));
+  result.fitness = record.fitness;
+  result.costs = record.costs;
+  result.delay_overhead = record.costs.c2;
+  result.test_overhead = record.costs.c4;
+  result.iterations = record.iterations;
+  result.evaluations = record.evaluations;
+  return result;
+}
 
 MethodResult FlowEngine::run_method(std::string_view spec,
                                     const RunOptions& options) {
+  // Traced runs bypass the cache: the trace is not persisted, so a hit
+  // could not reproduce it. Tracing can be requested per run or through
+  // the ES config (EvolutionOptimizer ORs the two flags).
+  const bool traced =
+      options.record_trace || config_.optimizers.es.record_trace;
+  const bool cacheable = config_.cache != nullptr && !traced;
+  std::uint64_t key = 0;
+  if (cacheable) {
+    key = cache_key(context_fp_, spec, options.seed, options.max_evaluations,
+                    options.start);
+    if (const auto hit = config_.cache->lookup(key)) {
+      try {
+        return from_cache_record(*hit);
+      } catch (const Error&) {
+        // A mismatched record (key collision, foreign cache file) is
+        // treated as a miss and overwritten below.
+      }
+    }
+  }
+
   const auto optimizer = registry_->make(spec, config_.optimizers);
 
   OptimizerRequest request;
@@ -45,7 +92,8 @@ MethodResult FlowEngine::run_method(std::string_view spec,
   request.max_evaluations = options.max_evaluations;
   request.seed = options.seed;
   request.record_trace = options.record_trace;
-  request.on_progress = options.on_progress;
+  request.on_progress =
+      options.on_progress ? options.on_progress : config_.on_progress;
 
   OptimizerOutcome outcome = optimizer->run(request);
   MethodResult result =
@@ -60,6 +108,22 @@ MethodResult FlowEngine::run_method(std::string_view spec,
   result.iterations = outcome.iterations;
   result.evaluations = outcome.evaluations;
   result.trace = std::move(outcome.trace);
+
+  if (cacheable) {
+    CacheRecord record;
+    record.method = result.method;
+    record.gate_count = result.partition.gate_count();
+    record.modules.reserve(result.partition.module_count());
+    for (std::uint32_t m = 0; m < result.partition.module_count(); ++m) {
+      const auto gates = result.partition.module(m);
+      record.modules.emplace_back(gates.begin(), gates.end());
+    }
+    record.fitness = result.fitness;
+    record.costs = result.costs;
+    record.iterations = result.iterations;
+    record.evaluations = result.evaluations;
+    config_.cache->store(key, record);
+  }
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/optimizer_registry.hpp"
+#include "core/result_cache.hpp"
 #include "core/size_planner.hpp"
 #include "library/cell_library.hpp"
 #include "partition/evaluator.hpp"
@@ -48,6 +49,17 @@ struct FlowEngineConfig {
   part::CostWeights weights;
   OptimizerConfig optimizers;
   std::uint32_t rho = 4;  // separation saturation distance
+
+  /// Shared content-addressed result cache, consulted before every
+  /// optimizer dispatch and populated after (core/result_cache.hpp).
+  /// Not owned; may be null (no caching). ResultCache is thread-safe, so
+  /// BatchRunner workers share one instance.
+  ResultCache* cache = nullptr;
+
+  /// Default progress sink for runs whose RunOptions::on_progress is empty
+  /// (how the CLI's --progress reaches BatchRunner-driven runs). Cache
+  /// hits skip the optimizer and therefore do not report progress.
+  ProgressCallback on_progress;
 };
 
 /// Per-run knobs for FlowEngine::run_method.
@@ -92,12 +104,22 @@ class FlowEngine {
   [[nodiscard]] std::vector<MethodResult> run_methods(
       std::span<const std::string> specs, std::uint64_t base_seed);
 
+  /// Fingerprint of everything constant per engine (circuit, library,
+  /// sensor/weights/rho, optimizer tuning); combined with per-run inputs
+  /// into cache keys. Exposed for tests.
+  [[nodiscard]] std::uint64_t context_fingerprint() const noexcept {
+    return context_fp_;
+  }
+
  private:
+  [[nodiscard]] MethodResult from_cache_record(const CacheRecord& record);
+
   const netlist::Netlist* nl_;
   FlowEngineConfig config_;
   const OptimizerRegistry* registry_;
   part::EvalContext ctx_;
   SizePlan plan_;
+  std::uint64_t context_fp_ = 0;
 };
 
 }  // namespace iddq::core

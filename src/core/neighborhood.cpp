@@ -1,0 +1,42 @@
+#include "core/neighborhood.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/evolution.hpp"
+
+namespace iddq::core {
+
+double penalized_objective(part::PartitionEvaluator& eval,
+                           double violation_penalty) {
+  return eval.costs().total(eval.context().weights) +
+         violation_penalty * eval.violation();
+}
+
+GateMove sample_boundary_move(const part::PartitionEvaluator& eval,
+                              Rng& rng) {
+  const auto& p = eval.partition();
+  const auto& nl = eval.context().nl;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const auto src = static_cast<std::uint32_t>(rng.index(p.module_count()));
+    if (p.module_size(src) <= 1) continue;  // would empty the module
+    const auto boundary = EvolutionEngine::boundary_gates(eval, src);
+    if (boundary.empty()) continue;
+    const netlist::GateId g = boundary[rng.index(boundary.size())];
+    std::vector<std::uint32_t> targets;
+    const auto consider = [&](netlist::GateId f) {
+      if (!netlist::is_logic(nl.gate(f).kind)) return;
+      const std::uint32_t m = p.module_of(f);
+      if (m != src &&
+          std::find(targets.begin(), targets.end(), m) == targets.end())
+        targets.push_back(m);
+    };
+    for (const netlist::GateId f : nl.gate(g).fanins) consider(f);
+    for (const netlist::GateId f : nl.gate(g).fanouts) consider(f);
+    if (targets.empty()) continue;
+    return GateMove{g, targets[rng.index(targets.size())]};
+  }
+  return GateMove{};
+}
+
+}  // namespace iddq::core

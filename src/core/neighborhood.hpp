@@ -1,0 +1,39 @@
+// Shared move neighbourhood of the local-search optimizers.
+//
+// Simulated annealing (core/annealing.hpp) and tabu search (core/tabu.hpp)
+// explore the same neighbourhood as the ES mutation: relocate a boundary
+// gate of one module into a neighbouring module it is wired to. Module
+// deletion is excluded — a move never empties a module, so K stays fixed at
+// the start partition's value and both refiners stay comparable to the ES
+// at matched budgets.
+#pragma once
+
+#include "partition/evaluator.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::core {
+
+/// A reversible candidate move: gate `gate` from its current module to
+/// `target`. `gate == netlist::kNoGate` means "no move found".
+struct GateMove {
+  netlist::GateId gate = netlist::kNoGate;
+  std::uint32_t target = 0;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return gate != netlist::kNoGate;
+  }
+};
+
+/// Combined violation-penalized scalar objective used by the local-search
+/// optimizers (the Metropolis criterion and the tabu candidate ranking both
+/// need a single number).
+[[nodiscard]] double penalized_objective(part::PartitionEvaluator& eval,
+                                         double violation_penalty);
+
+/// Samples a boundary-gate move that cannot empty a module (K preserved).
+/// Returns an invalid move when no candidate is found within the internal
+/// attempt limit (e.g. single-module partitions).
+[[nodiscard]] GateMove sample_boundary_move(
+    const part::PartitionEvaluator& eval, Rng& rng);
+
+}  // namespace iddq::core

@@ -23,6 +23,7 @@
 
 #include "core/annealing.hpp"
 #include "core/evolution.hpp"
+#include "core/tabu.hpp"
 #include "partition/evaluator.hpp"
 
 namespace iddq::core {
@@ -81,6 +82,8 @@ struct OptimizerOutcome {
 struct OptimizerConfig {
   EsParams es;  // seed/record_trace fields are overridden per request
   SaParams sa;
+  TabuParams tabu;  // seed field is overridden per request
+  std::size_t force_passes = 60;  // force-directed relaxation sweeps
   std::size_t random_samples = 2000;
   std::size_t greedy_max_evaluations = 100000;
 };

@@ -5,15 +5,18 @@
 // direct call bit-for-bit (tests/core/test_optimizer_equivalence.cpp). Best
 // fitness/costs are taken from the wrapped result rather than re-evaluated,
 // preserving the incremental evaluator's exact floating-point trajectory.
+#include <algorithm>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/annealing.hpp"
 #include "core/evolution.hpp"
+#include "core/force_directed.hpp"
 #include "core/optimizer_registry.hpp"
 #include "core/random_search.hpp"
 #include "core/refiner.hpp"
+#include "core/tabu.hpp"
 #include "core/size_planner.hpp"
 #include "core/standard_partition.hpp"
 #include "core/start_partition.hpp"
@@ -168,6 +171,71 @@ class GreedyOptimizer final : public Optimizer {
   std::size_t max_evaluations_;
 };
 
+class TabuOptimizer final : public Optimizer {
+ public:
+  explicit TabuOptimizer(TabuParams params) : params_(params) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "tabu";
+  }
+
+  [[nodiscard]] OptimizerOutcome run(
+      const OptimizerRequest& req) const override {
+    TabuParams params = params_;
+    params.seed = req.seed;
+    // The evaluation budget maps to rounds: every round spends up to
+    // `candidates` evaluations on the sampled neighbourhood.
+    if (req.max_evaluations > 0)
+      params.iterations =
+          std::max<std::size_t>(1, req.max_evaluations / params.candidates);
+    TabuResult tabu = tabu_search(context_of(req), resolve_start(req), params);
+    OptimizerOutcome out;
+    out.method = std::string(name());
+    out.partition = std::move(tabu.best_partition);
+    out.fitness = tabu.best_fitness;
+    out.costs = tabu.best_costs;
+    out.iterations = tabu.iterations;
+    out.evaluations = tabu.evaluations;
+    report_final(req, out);
+    return out;
+  }
+
+ private:
+  TabuParams params_;
+};
+
+class ForceDirectedOptimizer final : public Optimizer {
+ public:
+  explicit ForceDirectedOptimizer(std::size_t passes) : passes_(passes) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "force";
+  }
+
+  [[nodiscard]] OptimizerOutcome run(
+      const OptimizerRequest& req) const override {
+    // Deterministic and seed-independent: the construction has no random
+    // choices (position ties sort by GateId). A `start` only contributes
+    // its module count, like "random".
+    part::PartitionEvaluator eval(
+        context_of(req),
+        force_directed_partition(context_of(req).nl,
+                                 resolve_module_count(req), passes_));
+    OptimizerOutcome out;
+    out.method = std::string(name());
+    out.fitness = eval.fitness();
+    out.costs = eval.costs();
+    out.partition = eval.partition();
+    out.iterations = passes_;
+    out.evaluations = 1;
+    report_final(req, out);
+    return out;
+  }
+
+ private:
+  std::size_t passes_;
+};
+
 class StandardOptimizer final : public Optimizer {
  public:
   [[nodiscard]] std::string_view name() const noexcept override {
@@ -223,6 +291,12 @@ void register_builtin_optimizers(OptimizerRegistry& registry) {
   });
   registry.add("standard", [](const OptimizerConfig&) {
     return std::make_unique<StandardOptimizer>();
+  });
+  registry.add("tabu", [](const OptimizerConfig& cfg) {
+    return std::make_unique<TabuOptimizer>(cfg.tabu);
+  });
+  registry.add("force", [](const OptimizerConfig& cfg) {
+    return std::make_unique<ForceDirectedOptimizer>(cfg.force_passes);
   });
 }
 

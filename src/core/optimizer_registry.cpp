@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/portfolio.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -96,8 +97,35 @@ std::vector<std::string> OptimizerRegistry::names() const {
   return out;  // std::map iterates in sorted order
 }
 
+std::unique_ptr<Optimizer> OptimizerRegistry::make_portfolio(
+    std::string_view spec, const OptimizerConfig& config) const {
+  const auto members_spec = spec.substr(kPortfolioPrefix.size());
+  std::vector<std::unique_ptr<Optimizer>> members;
+  std::string normalized{kPortfolioPrefix};
+  for (const auto member : str::split(members_spec, ',')) {
+    if (member.empty())
+      throw LookupError("empty method in portfolio spec '" +
+                        std::string(spec) + "'");
+    if (str::starts_with(member, kPortfolioPrefix))
+      throw Error("portfolio members cannot nest: '" + std::string(spec) +
+                  "'");
+    members.push_back(make(member, config));
+    if (members.size() > 1) normalized += ',';
+    normalized.append(members.back()->name());
+  }
+  if (members.empty())
+    throw LookupError("portfolio spec '" + std::string(spec) +
+                      "' needs a comma-separated method list, e.g. "
+                      "portfolio:evolution,annealing");
+  return std::make_unique<PortfolioOptimizer>(std::move(normalized),
+                                              std::move(members));
+}
+
 std::unique_ptr<Optimizer> OptimizerRegistry::make(
     std::string_view spec, const OptimizerConfig& config) const {
+  const auto trimmed = str::trim(spec);
+  if (str::starts_with(trimmed, kPortfolioPrefix))
+    return make_portfolio(trimmed, config);
   const auto parts = str::split(spec, '+');
   std::vector<std::unique_ptr<Optimizer>> stages;
   std::string normalized;

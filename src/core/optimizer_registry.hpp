@@ -2,12 +2,17 @@
 //
 // The registry maps method names to factories producing Optimizer instances
 // configured from an OptimizerConfig. Built-ins: "evolution", "annealing",
-// "random", "greedy", "standard". Specs may compose stages with '+'
-// ("evolution+greedy"): each later stage starts from the partition the
-// previous stage produced — the idiomatic way to express a polish pass.
+// "random", "greedy", "standard", "tabu", "force". Specs may compose stages
+// with '+' ("evolution+greedy"): each later stage starts from the partition
+// the previous stage produced — the idiomatic way to express a polish pass.
 // The pipeline returns the best result any stage reached, a request
 // budget is shared across the stages, and a stage that ignores its start
 // beyond the module count (e.g. "random") cannot make the result worse.
+//
+// A spec starting with "portfolio:" races a comma-separated method list on
+// a shared budget and returns the best outcome ("portfolio:evolution,
+// annealing"); members may themselves be '+' pipelines, but portfolios do
+// not nest and cannot appear as a stage inside a '+' pipeline.
 //
 // The global() registry is preloaded with the built-ins; callers (plugins,
 // tests) may add their own factories under new names.
@@ -41,17 +46,21 @@ class OptimizerRegistry {
   /// Registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
 
-  /// Instantiates `spec`: either a registered name or a '+'-composed
-  /// pipeline of registered names. Throws iddq::LookupError for unknown or
-  /// empty components, listing the valid names in the message.
+  /// Instantiates `spec`: a registered name, a '+'-composed pipeline of
+  /// registered names, or a "portfolio:<m1,m2,...>" race. Throws
+  /// iddq::LookupError for unknown or empty components, listing the valid
+  /// names in the message, and iddq::Error for nested portfolios.
   [[nodiscard]] std::unique_ptr<Optimizer> make(
       std::string_view spec, const OptimizerConfig& config = {}) const;
 
  private:
+  [[nodiscard]] std::unique_ptr<Optimizer> make_portfolio(
+      std::string_view spec, const OptimizerConfig& config) const;
+
   std::map<std::string, Factory, std::less<>> factories_;
 };
 
-/// Registers the five built-in adapters into `registry` (what global() runs
+/// Registers the built-in adapters into `registry` (what global() runs
 /// once on first use). Exposed so tests can build isolated registries.
 void register_builtin_optimizers(OptimizerRegistry& registry);
 

@@ -1,0 +1,53 @@
+#include "core/portfolio.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::core {
+
+PortfolioOptimizer::PortfolioOptimizer(
+    std::string spec, std::vector<std::unique_ptr<Optimizer>> members)
+    : spec_(std::move(spec)), members_(std::move(members)) {
+  require(!members_.empty(), "portfolio: needs at least one member");
+}
+
+std::string_view PortfolioOptimizer::name() const noexcept { return spec_; }
+
+OptimizerOutcome PortfolioOptimizer::run(
+    const OptimizerRequest& request) const {
+  const std::size_t count = members_.size();
+  OptimizerOutcome best;
+  std::size_t evaluations = 0;
+  std::size_t iterations = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    OptimizerRequest member_request = request;
+    member_request.seed = Rng::mix_seed(request.seed, i);
+    if (request.max_evaluations > 0) {
+      // Never hand a member share 0: the adapters read 0 as "use your
+      // configured default budget", which would blow the shared cap.
+      member_request.max_evaluations =
+          std::max<std::size_t>(1, request.max_evaluations / count +
+                                       (i < request.max_evaluations % count
+                                            ? 1
+                                            : 0));
+    }
+    OptimizerOutcome outcome = members_[i]->run(member_request);
+    evaluations += outcome.evaluations;
+    iterations += outcome.iterations;
+    // Strict improvement only: ties resolve to the earliest member, so the
+    // winner is independent of evaluation noise in later members.
+    if (i == 0 || outcome.fitness < best.fitness) best = std::move(outcome);
+  }
+  best.method = spec_;
+  best.evaluations = evaluations;
+  best.iterations = iterations;
+  if (request.on_progress)
+    request.on_progress({spec_, best.iterations, best.evaluations,
+                         best.fitness});
+  return best;
+}
+
+}  // namespace iddq::core

@@ -1,0 +1,44 @@
+// Portfolio optimizer: race a method list on a shared budget.
+//
+// A "portfolio:" spec (e.g. "portfolio:evolution,annealing") instantiates
+// every member method and runs them on the same request; the best outcome
+// (lexicographic Fitness) wins and is returned under the full portfolio
+// spec name, with evaluations/iterations accumulated over all members.
+// When the request carries an evaluation budget it is split evenly across
+// the members (remainder to the leading ones), so the portfolio as a whole
+// respects the same budget a single method would get — the "race on a
+// shared budget" from the ROADMAP. Members run sequentially with seeds
+// derived from the request seed and the member index (Rng::mix_seed), so a
+// portfolio is exactly as deterministic as its members.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/optimizer.hpp"
+
+namespace iddq::core {
+
+/// Spec prefix that OptimizerRegistry::make treats as a portfolio.
+inline constexpr std::string_view kPortfolioPrefix = "portfolio:";
+
+class PortfolioOptimizer final : public Optimizer {
+ public:
+  /// `spec` is the normalized full spec ("portfolio:a,b"); `members` must
+  /// be non-empty (the registry validates this).
+  PortfolioOptimizer(std::string spec,
+                     std::vector<std::unique_ptr<Optimizer>> members);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+
+  [[nodiscard]] OptimizerOutcome run(
+      const OptimizerRequest& request) const override;
+
+ private:
+  std::string spec_;
+  std::vector<std::unique_ptr<Optimizer>> members_;
+};
+
+}  // namespace iddq::core

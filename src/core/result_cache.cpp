@@ -1,0 +1,366 @@
+#include "core/result_cache.hpp"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace iddq::core {
+
+namespace {
+
+void append_u64_hex(std::string& out, std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  out += buf;
+}
+
+// 17 significant digits round-trip any finite IEEE-754 double exactly.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+// Minimal cursor over the flat JSON grammar serialize() emits: one object
+// of string/number/array-of-number/array-of-array-of-number values.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view s) : s_(s) {}
+
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\r'))
+      ++i_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (i_ >= s_.size() || s_[i_] != c) return false;
+    ++i_;
+    return true;
+  }
+
+  [[nodiscard]] bool peek(char c) {
+    skip_ws();
+    return i_ < s_.size() && s_[i_] == c;
+  }
+
+  [[nodiscard]] bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (i_ < s_.size() && s_[i_] != '"') {
+      char c = s_[i_++];
+      if (c == '\\') {
+        if (i_ >= s_.size()) return false;
+        c = s_[i_++];
+        if (c != '"' && c != '\\') return false;
+      }
+      out += c;
+    }
+    return i_ < s_.size() && s_[i_++] == '"';
+  }
+
+  [[nodiscard]] bool parse_u64(std::uint64_t& out) {
+    skip_ws();
+    const auto* first = s_.data() + i_;
+    const auto* last = s_.data() + s_.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    if (ec != std::errc{}) return false;
+    i_ += static_cast<std::size_t>(ptr - first);
+    return true;
+  }
+
+  [[nodiscard]] bool parse_double(double& out) {
+    skip_ws();
+    const auto* first = s_.data() + i_;
+    const auto* last = s_.data() + s_.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    if (ec != std::errc{}) return false;
+    i_ += static_cast<std::size_t>(ptr - first);
+    return true;
+  }
+
+  [[nodiscard]] bool at_object_end() {
+    skip_ws();
+    return i_ < s_.size() && s_[i_] == '}';
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+std::string ResultCache::serialize(std::uint64_t key,
+                                   const CacheRecord& record) {
+  std::string out;
+  out.reserve(256 + 8 * record.gate_count);
+  out += "{\"key\":\"";
+  append_u64_hex(out, key);
+  out += "\",\"method\":";
+  append_json_string(out, record.method);
+  out += ",\"gates\":";
+  out += std::to_string(record.gate_count);
+  out += ",\"violation\":";
+  append_double(out, record.fitness.violation);
+  out += ",\"cost\":";
+  append_double(out, record.fitness.cost);
+  out += ",\"c\":[";
+  const auto costs = record.costs.as_array();
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    if (i > 0) out += ',';
+    append_double(out, costs[i]);
+  }
+  out += "],\"iters\":";
+  out += std::to_string(record.iterations);
+  out += ",\"evals\":";
+  out += std::to_string(record.evaluations);
+  out += ",\"modules\":[";
+  for (std::size_t m = 0; m < record.modules.size(); ++m) {
+    if (m > 0) out += ',';
+    out += '[';
+    for (std::size_t i = 0; i < record.modules[m].size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(record.modules[m][i]);
+    }
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+bool ResultCache::parse(std::string_view line, std::uint64_t& key,
+                        CacheRecord& out) {
+  JsonCursor cur(line);
+  out = CacheRecord{};
+  bool have_key = false;
+  bool have_modules = false;
+  if (!cur.consume('{')) return false;
+  while (!cur.at_object_end()) {
+    std::string field;
+    if (!cur.parse_string(field) || !cur.consume(':')) return false;
+    if (field == "key") {
+      std::string hex;
+      if (!cur.parse_string(hex)) return false;
+      const auto [ptr, ec] =
+          std::from_chars(hex.data(), hex.data() + hex.size(), key, 16);
+      if (ec != std::errc{} || ptr != hex.data() + hex.size()) return false;
+      have_key = true;
+    } else if (field == "method") {
+      if (!cur.parse_string(out.method)) return false;
+    } else if (field == "gates") {
+      std::uint64_t v = 0;
+      if (!cur.parse_u64(v)) return false;
+      out.gate_count = static_cast<std::size_t>(v);
+    } else if (field == "violation") {
+      if (!cur.parse_double(out.fitness.violation)) return false;
+    } else if (field == "cost") {
+      if (!cur.parse_double(out.fitness.cost)) return false;
+    } else if (field == "c") {
+      if (!cur.consume('[')) return false;
+      double* terms[] = {&out.costs.c1, &out.costs.c2, &out.costs.c3,
+                         &out.costs.c4, &out.costs.c5};
+      for (std::size_t i = 0; i < 5; ++i) {
+        if (i > 0 && !cur.consume(',')) return false;
+        if (!cur.parse_double(*terms[i])) return false;
+      }
+      if (!cur.consume(']')) return false;
+    } else if (field == "iters") {
+      std::uint64_t v = 0;
+      if (!cur.parse_u64(v)) return false;
+      out.iterations = static_cast<std::size_t>(v);
+    } else if (field == "evals") {
+      std::uint64_t v = 0;
+      if (!cur.parse_u64(v)) return false;
+      out.evaluations = static_cast<std::size_t>(v);
+    } else if (field == "modules") {
+      if (!cur.consume('[')) return false;
+      while (!cur.peek(']')) {
+        if (!out.modules.empty() && !cur.consume(',')) return false;
+        if (!cur.consume('[')) return false;
+        std::vector<netlist::GateId>& module = out.modules.emplace_back();
+        while (!cur.peek(']')) {
+          if (!module.empty() && !cur.consume(',')) return false;
+          std::uint64_t v = 0;
+          if (!cur.parse_u64(v)) return false;
+          module.push_back(static_cast<netlist::GateId>(v));
+        }
+        if (!cur.consume(']')) return false;
+      }
+      if (!cur.consume(']')) return false;
+      have_modules = true;
+    } else {
+      return false;  // unknown field: not one of our lines
+    }
+    if (!cur.consume(',')) break;
+  }
+  if (!cur.consume('}')) return false;
+  return have_key && have_modules && !out.method.empty() &&
+         out.gate_count > 0 && !out.modules.empty();
+}
+
+void ResultCache::attach_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec)
+    throw Error("result cache: cannot create directory '" + dir +
+                "': " + ec.message());
+
+  const std::scoped_lock lock(mutex_);
+  file_path_ = (fs::path(dir) / "results.jsonl").string();
+  std::ifstream in(file_path_);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::uint64_t key = 0;
+    CacheRecord record;
+    if (parse(line, key, record)) entries_[key] = std::move(record);
+    // Unparseable lines (truncated writes, foreign content) are skipped:
+    // the entry degrades to a miss and is rewritten on the next store.
+  }
+  if (!in.is_open()) {
+    // Create the file now so a cache dir attached read-only fails here,
+    // not in the middle of a sweep.
+    std::ofstream create(file_path_, std::ios::app);
+    if (!create)
+      throw Error("result cache: cannot create '" + file_path_ + "'");
+  }
+}
+
+std::optional<CacheRecord> ResultCache::lookup(std::uint64_t key) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void ResultCache::store(std::uint64_t key, const CacheRecord& record) {
+  const std::scoped_lock lock(mutex_);
+  entries_[key] = record;
+  if (file_path_.empty()) return;
+  std::ofstream out(file_path_, std::ios::app);
+  if (!out)
+    throw Error("result cache: cannot append to '" + file_path_ + "'");
+  out << serialize(key, record) << '\n';
+}
+
+std::size_t ResultCache::size() const {
+  const std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  const std::scoped_lock lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  const std::scoped_lock lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t cache_context_fingerprint(std::uint64_t netlist_fp,
+                                        std::uint64_t library_fp,
+                                        const elec::SensorSpec& sensor,
+                                        const part::CostWeights& weights,
+                                        std::uint32_t rho,
+                                        const OptimizerConfig& optimizers) {
+  Hash64 h;
+  h.mix_string("iddq-result-cache-v1");  // format version: bump to flush
+  h.mix_u64(netlist_fp);
+  h.mix_u64(library_fp);
+
+  h.mix_double(sensor.r_max_mv);
+  h.mix_double(sensor.a0_area);
+  h.mix_double(sensor.a1_area_kohm);
+  h.mix_double(sensor.rs_cap_kohm);
+  h.mix_double(sensor.c_sensor_ff);
+  h.mix_double(sensor.t_detect_ps);
+  h.mix_double(sensor.iddq_th_ua);
+  h.mix_double(sensor.d_min);
+
+  h.mix_double(weights.a1);
+  h.mix_double(weights.a2);
+  h.mix_double(weights.a3);
+  h.mix_double(weights.a4);
+  h.mix_double(weights.a5);
+  h.mix_u64(rho);
+
+  // Optimizer tuning knobs; the per-request seed/record_trace fields are
+  // request inputs (cache_key), not configuration.
+  const EsParams& es = optimizers.es;
+  h.mix_size(es.mu);
+  h.mix_size(es.lambda);
+  h.mix_size(es.chi);
+  h.mix_size(es.kappa);
+  h.mix_u64(es.m0);
+  h.mix_u64(es.m_max);
+  h.mix_double(es.epsilon);
+  h.mix_size(es.max_generations);
+  h.mix_size(es.stall_generations);
+
+  const SaParams& sa = optimizers.sa;
+  h.mix_size(sa.steps);
+  h.mix_double(sa.initial_acceptance);
+  h.mix_double(sa.cooling);
+  h.mix_size(sa.stage_length);
+  h.mix_double(sa.violation_penalty);
+
+  const TabuParams& tabu = optimizers.tabu;
+  h.mix_size(tabu.iterations);
+  h.mix_size(tabu.candidates);
+  h.mix_size(tabu.tenure);
+  h.mix_size(tabu.stall_iterations);
+  h.mix_double(tabu.violation_penalty);
+
+  h.mix_size(optimizers.force_passes);
+  h.mix_size(optimizers.random_samples);
+  h.mix_size(optimizers.greedy_max_evaluations);
+  return h.value();
+}
+
+std::uint64_t cache_key(std::uint64_t context_fp,
+                        std::string_view method_spec, std::uint64_t seed,
+                        std::size_t max_evaluations,
+                        const part::Partition* start) {
+  Hash64 h;
+  h.mix_u64(context_fp);
+  h.mix_string(method_spec);
+  h.mix_u64(seed);
+  h.mix_size(max_evaluations);
+  if (start == nullptr) {
+    h.mix_byte(0);
+  } else {
+    h.mix_byte(1);
+    h.mix_size(start->gate_count());
+    h.mix_size(start->module_count());
+    for (std::uint32_t m = 0; m < start->module_count(); ++m) {
+      const auto gates = start->module(m);
+      h.mix_size(gates.size());
+      for (const netlist::GateId g : gates) h.mix_u64(g);
+    }
+  }
+  return h.value();
+}
+
+}  // namespace iddq::core

@@ -1,0 +1,113 @@
+// Content-addressed result cache for optimizer runs.
+//
+// A MethodResult is a pure function of (netlist structure, cell library,
+// sensor/weight config, optimizer tuning, method spec, seed, budget, start
+// partition): every optimizer draws from an explicitly seeded Rng and the
+// evaluator is deterministic. The cache exploits that: the inputs are
+// folded into a stable 64-bit key (support/hash.hpp; see docs/caching.md
+// for the exact recipe) and the outcome is stored under it, in memory and
+// — when a cache directory is attached — as one JSON line per entry in
+// `<dir>/results.jsonl`. Repeated sweeps and the Table 1 bench then only
+// pay for the (circuit, method, seed, budget) points they have not seen.
+//
+// The cache stores the partition (intra-module gate order preserved) plus
+// the optimizer's own fitness/costs/counters; module reports and sensor
+// area are recomputed from the partition on a hit, which reproduces the
+// original MethodResult byte-for-byte (tests/core/test_result_cache.cpp).
+//
+// Thread-safe: BatchRunner workers share one instance. Unparseable lines
+// in the cache file are skipped, so a truncated write (crash mid-append)
+// degrades to a miss, never to corruption.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "partition/cost_model.hpp"
+
+namespace iddq::core {
+
+/// What one cache entry stores — enough to reconstruct a MethodResult
+/// without rerunning the optimizer.
+struct CacheRecord {
+  std::string method;
+  std::size_t gate_count = 0;
+  /// Modules with intra-module gate order preserved: per-module floating-
+  /// point accumulation on a hit replays the original summation order.
+  std::vector<std::vector<netlist::GateId>> modules;
+  part::Fitness fitness;
+  part::Costs costs;
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;
+};
+
+class ResultCache {
+ public:
+  /// In-memory only cache.
+  ResultCache() = default;
+
+  /// Cache backed by `dir` (created when missing): existing entries are
+  /// loaded from `<dir>/results.jsonl`, every store appends to it.
+  explicit ResultCache(const std::string& dir) { attach_dir(dir); }
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Attaches the disk backing (see the constructor). Throws iddq::Error
+  /// when the directory or file cannot be created.
+  void attach_dir(const std::string& dir);
+
+  /// Returns the record stored under `key`, counting a hit or a miss.
+  [[nodiscard]] std::optional<CacheRecord> lookup(std::uint64_t key) const;
+
+  /// Stores (replacing any previous record under the same key) and appends
+  /// to the backing file when one is attached.
+  void store(std::uint64_t key, const CacheRecord& record);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+  /// One JSON line (no trailing newline). Doubles are written with 17
+  /// significant digits, which round-trips IEEE-754 exactly.
+  [[nodiscard]] static std::string serialize(std::uint64_t key,
+                                             const CacheRecord& record);
+
+  /// Parses a line produced by serialize (any key order is accepted).
+  /// Returns false on malformed input.
+  [[nodiscard]] static bool parse(std::string_view line, std::uint64_t& key,
+                                  CacheRecord& out);
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, CacheRecord> entries_;
+  std::string file_path_;  // empty = in-memory only
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+/// Fingerprint of everything that is constant per FlowEngine: circuit and
+/// library content, sensor spec, cost weights, rho, and the optimizer
+/// tuning knobs (per-request seed/record_trace fields excluded).
+[[nodiscard]] std::uint64_t cache_context_fingerprint(
+    std::uint64_t netlist_fp, std::uint64_t library_fp,
+    const elec::SensorSpec& sensor, const part::CostWeights& weights,
+    std::uint32_t rho, const OptimizerConfig& optimizers);
+
+/// Final cache key: context fingerprint + per-run inputs. `start` is the
+/// explicit start partition, or nullptr when the engine plans the module
+/// count (the plan is derived from the context, so it needs no extra
+/// hashing).
+[[nodiscard]] std::uint64_t cache_key(std::uint64_t context_fp,
+                                      std::string_view method_spec,
+                                      std::uint64_t seed,
+                                      std::size_t max_evaluations,
+                                      const part::Partition* start);
+
+}  // namespace iddq::core

@@ -1,0 +1,98 @@
+#include "core/tabu.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/neighborhood.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::core {
+
+TabuResult tabu_search(const part::EvalContext& ctx,
+                       const part::Partition& start,
+                       const TabuParams& params) {
+  require(params.iterations >= 1, "tabu: need at least one iteration");
+  require(params.candidates >= 1, "tabu: need at least one candidate");
+  Rng rng(params.seed);
+  part::PartitionEvaluator eval(ctx, start);
+
+  TabuResult result;
+  double current = penalized_objective(eval, params.violation_penalty);
+  ++result.evaluations;
+  double best_obj = current;
+  result.best_partition = eval.partition();
+  result.best_fitness = eval.fitness();
+  result.best_costs = eval.costs();
+
+  // tabu_until[g]: first round in which gate g may move again.
+  std::vector<std::size_t> tabu_until(ctx.nl.gate_count(), 0);
+
+  struct Candidate {
+    GateMove move;
+    double objective = 0.0;
+  };
+
+  std::size_t stall = 0;
+  for (std::size_t round = 1; round <= params.iterations; ++round) {
+    // Sample and evaluate the candidate neighbourhood (moves deduplicated
+    // by gate: one gate appears at most once per round).
+    std::vector<Candidate> candidates;
+    candidates.reserve(params.candidates);
+    for (std::size_t c = 0; c < params.candidates; ++c) {
+      const GateMove mv = sample_boundary_move(eval, rng);
+      if (!mv.valid()) continue;
+      const bool seen =
+          std::any_of(candidates.begin(), candidates.end(),
+                      [&](const Candidate& cd) {
+                        return cd.move.gate == mv.gate &&
+                               cd.move.target == mv.target;
+                      });
+      if (seen) continue;
+      const std::uint32_t src = eval.partition().module_of(mv.gate);
+      eval.move_gate(mv.gate, mv.target);
+      const double obj = penalized_objective(eval, params.violation_penalty);
+      ++result.evaluations;
+      eval.move_gate(mv.gate, src);  // revert (K is preserved)
+      candidates.push_back({mv, obj});
+    }
+    if (candidates.empty()) {
+      ++result.iterations;
+      if (++stall > params.stall_iterations) break;
+      continue;
+    }
+
+    // Admissible: not tabu, or aspiration (beats the global best). Pick
+    // the lowest objective; ties resolve to the earliest sampled candidate
+    // so the choice is deterministic.
+    const Candidate* chosen = nullptr;
+    for (const Candidate& cd : candidates) {
+      const bool tabu = tabu_until[cd.move.gate] >= round;
+      if (tabu && cd.objective >= best_obj) continue;
+      if (chosen == nullptr || cd.objective < chosen->objective) chosen = &cd;
+    }
+    ++result.iterations;
+    if (chosen == nullptr) {
+      if (++stall > params.stall_iterations) break;
+      continue;
+    }
+
+    eval.move_gate(chosen->move.gate, chosen->move.target);
+    // Blocked for exactly `tenure` subsequent rounds (the admissibility
+    // check treats tabu_until as inclusive).
+    tabu_until[chosen->move.gate] = round + params.tenure;
+    current = chosen->objective;
+    if (current < best_obj) {
+      best_obj = current;
+      result.best_partition = eval.partition();
+      result.best_fitness = eval.fitness();
+      result.best_costs = eval.costs();
+      stall = 0;
+    } else if (++stall > params.stall_iterations) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace iddq::core

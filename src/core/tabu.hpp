@@ -1,0 +1,44 @@
+// Tabu search over partition moves.
+//
+// Best-of-neighbourhood local search with a recency-based tabu attribute:
+// each iteration samples a small candidate set of boundary-gate moves
+// (core/neighborhood.hpp — the same neighbourhood as the ES mutation and
+// the annealer), evaluates every candidate, and applies the best one whose
+// gate is not tabu. A gate that just moved may not move again for `tenure`
+// iterations, which lets the search climb out of the local optima that trap
+// the greedy refiner; the aspiration criterion overrides the tabu when a
+// candidate beats the best objective seen so far. K stays fixed at the
+// start partition's value (moves never empty a module).
+//
+// Fully deterministic at a fixed seed: candidate sampling is the only
+// stochastic element and draws from the explicit Rng.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/evaluator.hpp"
+
+namespace iddq::core {
+
+struct TabuParams {
+  std::size_t iterations = 400;        // move rounds (best-of-candidates)
+  std::size_t candidates = 8;          // sampled neighbourhood per round
+  std::size_t tenure = 12;             // rounds a moved gate stays tabu
+  std::size_t stall_iterations = 120;  // stop after this many without gain
+  double violation_penalty = 1.0e4;
+  std::uint64_t seed = 1;
+};
+
+struct TabuResult {
+  part::Partition best_partition{1, 1};
+  part::Fitness best_fitness;
+  part::Costs best_costs;
+  std::size_t iterations = 0;   // rounds actually executed
+  std::size_t evaluations = 0;  // cost-function evaluations spent
+};
+
+[[nodiscard]] TabuResult tabu_search(const part::EvalContext& ctx,
+                                     const part::Partition& start,
+                                     const TabuParams& params);
+
+}  // namespace iddq::core

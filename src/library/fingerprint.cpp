@@ -1,0 +1,37 @@
+#include "library/fingerprint.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace iddq::lib {
+
+std::uint64_t library_fingerprint(const CellLibrary& lib) {
+  std::vector<CellType> types = lib.cell_types();
+  std::sort(types.begin(), types.end(), [](const CellType& a,
+                                           const CellType& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.fanin < b.fanin;
+  });
+
+  Hash64 h;
+  h.mix_double(lib.vdd_mv());
+  h.mix_size(types.size());
+  for (const CellType& t : types) {
+    h.mix_byte(static_cast<std::uint8_t>(t.kind));
+    h.mix_byte(t.fanin);
+    const CellParams& p = lib.params(t);
+    h.mix_double(p.delay_ps);
+    h.mix_double(p.ipeak_ua);
+    h.mix_double(p.ileak_na);
+    h.mix_double(p.cin_ff);
+    h.mix_double(p.cout_ff);
+    h.mix_double(p.rg_kohm);
+    h.mix_double(p.cvr_ff);
+    h.mix_double(p.area);
+  }
+  return h.value();
+}
+
+}  // namespace iddq::lib

@@ -1,0 +1,19 @@
+// Cell-library fingerprinting for the content-addressed result cache.
+//
+// Covers everything the estimators read: VDD and, per registered cell, the
+// (kind, fanin) identity and all eight electrical parameters. Cells are
+// hashed in sorted (kind, fanin) order so the digest is independent of
+// registration order. The library *name* is excluded — it never enters a
+// computation.
+#pragma once
+
+#include <cstdint>
+
+#include "library/cell_library.hpp"
+
+namespace iddq::lib {
+
+/// Stable 64-bit digest of a library's electrical content.
+[[nodiscard]] std::uint64_t library_fingerprint(const CellLibrary& lib);
+
+}  // namespace iddq::lib

@@ -1,0 +1,20 @@
+#include "netlist/fingerprint.hpp"
+
+#include "support/hash.hpp"
+
+namespace iddq::netlist {
+
+std::uint64_t structural_fingerprint(const Netlist& nl) {
+  Hash64 h;
+  h.mix_size(nl.gate_count());
+  for (const Gate& g : nl.gates()) {
+    h.mix_byte(static_cast<std::uint8_t>(g.kind));
+    h.mix_size(g.fanins.size());
+    for (const GateId f : g.fanins) h.mix_u64(f);
+  }
+  h.mix_size(nl.primary_outputs().size());
+  for (const GateId o : nl.primary_outputs()) h.mix_u64(o);
+  return h.value();
+}
+
+}  // namespace iddq::netlist

@@ -1,0 +1,20 @@
+// Structural netlist fingerprinting for the content-addressed result cache.
+//
+// The fingerprint covers exactly what the partitioning flow can observe:
+// per-gate function and fan-in wiring (by dense GateId) plus the primary
+// output set. Gate and circuit *names* are deliberately excluded — two
+// netlists that differ only in labels produce identical MethodResults, so
+// they share cache entries. Fan-outs are derived from fan-ins and carry no
+// extra information.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace iddq::netlist {
+
+/// Stable 64-bit structural digest (see docs/caching.md for the recipe).
+[[nodiscard]] std::uint64_t structural_fingerprint(const Netlist& nl);
+
+}  // namespace iddq::netlist

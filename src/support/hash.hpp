@@ -1,0 +1,50 @@
+// Streaming 64-bit content hashing for cache fingerprints.
+//
+// FNV-1a over an explicit little-endian byte stream: the digest depends only
+// on the sequence of mixed values, never on host endianness, padding, or
+// standard-library hash implementations — a fingerprint written into a cache
+// file on one machine must match the one recomputed on another. Doubles are
+// mixed by IEEE-754 bit pattern (with -0.0 normalized to +0.0 so the two
+// representations of zero cannot split cache entries).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace iddq {
+
+class Hash64 {
+ public:
+  void mix_byte(std::uint8_t b) noexcept {
+    state_ = (state_ ^ b) * kPrime;
+  }
+
+  void mix_u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i)
+      mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void mix_size(std::size_t v) noexcept {
+    mix_u64(static_cast<std::uint64_t>(v));
+  }
+
+  void mix_double(double v) noexcept {
+    mix_u64(std::bit_cast<std::uint64_t>(v == 0.0 ? 0.0 : v));
+  }
+
+  /// Length-prefixed so that ("ab","c") and ("a","bc") cannot collide.
+  void mix_string(std::string_view s) noexcept {
+    mix_u64(s.size());
+    for (const char c : s) mix_byte(static_cast<std::uint8_t>(c));
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
+
+ private:
+  static constexpr std::uint64_t kOffset = 0xCBF29CE484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001B3ull;
+  std::uint64_t state_ = kOffset;
+};
+
+}  // namespace iddq

@@ -1,0 +1,94 @@
+#include "core/force_directed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer_registry.hpp"
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "support/error.hpp"
+
+namespace iddq::core {
+namespace {
+
+netlist::Netlist test_dag() {
+  return netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("force", 160, 10, 4));
+}
+
+TEST(ForceDirected, ProducesValidBalancedPartition) {
+  const auto nl = test_dag();
+  const auto partition = force_directed_partition(nl, 4);
+  EXPECT_EQ(partition.module_count(), 4u);
+  EXPECT_TRUE(partition.covers(nl));
+  const std::size_t n = nl.logic_gate_count();
+  for (std::uint32_t m = 0; m < 4; ++m) {
+    EXPECT_GE(partition.module_size(m), n / 4);
+    EXPECT_LE(partition.module_size(m), n / 4 + 1);
+  }
+}
+
+TEST(ForceDirected, FullyDeterministic) {
+  const auto nl = test_dag();
+  EXPECT_EQ(force_directed_partition(nl, 3), force_directed_partition(nl, 3));
+}
+
+TEST(ForceDirected, GroupsConnectedGates) {
+  // On c17 with 2 modules, the relaxation should keep at least one wired
+  // pair together — a sanity check that positions reflect connectivity.
+  const auto nl = netlist::gen::make_c17();
+  const auto partition = force_directed_partition(nl, 2);
+  std::size_t internal_edges = 0;
+  for (const netlist::GateId g : nl.logic_gates())
+    for (const netlist::GateId f : nl.gate(g).fanins)
+      if (netlist::is_logic(nl.gate(f).kind) &&
+          partition.module_of(f) == partition.module_of(g))
+        ++internal_edges;
+  EXPECT_GT(internal_edges, 0u);
+}
+
+TEST(ForceDirected, RejectsBadModuleCount) {
+  const auto nl = netlist::gen::make_c17();
+  EXPECT_THROW((void)force_directed_partition(nl, 0), Error);
+  EXPECT_THROW(
+      (void)force_directed_partition(nl, nl.logic_gate_count() + 1), Error);
+}
+
+TEST(ForceDirected, RegistryAdapterIsSeedIndependent) {
+  const auto nl = test_dag();
+  const auto library = lib::default_library();
+  part::EvalContext ctx{nl, library, elec::SensorSpec{}, part::CostWeights{}};
+
+  const auto optimizer = OptimizerRegistry::global().make("force");
+  OptimizerRequest request;
+  request.ctx = &ctx;
+  request.module_count = 3;
+  request.seed = 1;
+  const auto a = optimizer->run(request);
+  request.seed = 99;
+  const auto b = optimizer->run(request);
+  EXPECT_EQ(a.partition, b.partition);
+  EXPECT_EQ(a.fitness.cost, b.fitness.cost);
+  EXPECT_EQ(a.method, "force");
+  EXPECT_EQ(a.partition.module_count(), 3u);
+}
+
+TEST(ForceDirected, ComposesAsSeedingStage) {
+  const auto nl = test_dag();
+  const auto library = lib::default_library();
+  part::EvalContext ctx{nl, library, elec::SensorSpec{}, part::CostWeights{}};
+
+  const auto seed_only = OptimizerRegistry::global().make("force");
+  const auto polished = OptimizerRegistry::global().make("force+greedy");
+  OptimizerRequest request;
+  request.ctx = &ctx;
+  request.module_count = 3;
+  const auto raw = seed_only->run(request);
+  const auto refined = polished->run(request);
+  // The pipeline returns the best stage result (lexicographic fitness),
+  // so the polish stage cannot lose.
+  EXPECT_FALSE(raw.fitness < refined.fitness);
+  EXPECT_EQ(refined.method, "force+greedy");
+}
+
+}  // namespace
+}  // namespace iddq::core

@@ -1,0 +1,321 @@
+#include "core/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/flow_engine.hpp"
+#include "netlist/gen/random_dag.hpp"
+
+namespace iddq::core {
+namespace {
+
+CacheRecord sample_record() {
+  CacheRecord r;
+  r.method = "evolution+greedy";
+  r.gate_count = 9;
+  r.modules = {{3, 5, 4}, {6, 7}, {8}};
+  r.fitness.violation = 0.0;
+  r.fitness.cost = 3307.1927303185653;
+  r.costs = {11.608089185189689, 0.031854938377842958, 3.2958368660043291,
+             3.9302530015577775, 1.0};
+  r.iterations = 10;
+  r.evaluations = 728;
+  return r;
+}
+
+void expect_record_eq(const CacheRecord& a, const CacheRecord& b) {
+  EXPECT_EQ(a.method, b.method);
+  EXPECT_EQ(a.gate_count, b.gate_count);
+  EXPECT_EQ(a.modules, b.modules);
+  // Bit-pattern comparison: the cache must round-trip doubles exactly.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.fitness.violation),
+            std::bit_cast<std::uint64_t>(b.fitness.violation));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.fitness.cost),
+            std::bit_cast<std::uint64_t>(b.fitness.cost));
+  const auto ca = a.costs.as_array();
+  const auto cb = b.costs.as_array();
+  for (std::size_t i = 0; i < ca.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(ca[i]),
+              std::bit_cast<std::uint64_t>(cb[i]));
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+std::string fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(testing::TempDir()) /
+                   ("iddq_cache_test_" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(ResultCacheSerialization, RoundTripsExactly) {
+  const CacheRecord record = sample_record();
+  const std::string line = ResultCache::serialize(0xDEADBEEF12345678ull,
+                                                  record);
+  std::uint64_t key = 0;
+  CacheRecord parsed;
+  ASSERT_TRUE(ResultCache::parse(line, key, parsed)) << line;
+  EXPECT_EQ(key, 0xDEADBEEF12345678ull);
+  expect_record_eq(record, parsed);
+}
+
+TEST(ResultCacheSerialization, RoundTripsAwkwardDoubles) {
+  CacheRecord record = sample_record();
+  record.fitness.violation = 1.0 / 3.0;
+  record.fitness.cost = 1e-300;
+  record.costs.c1 = -0.0;  // normalized to +0.0 on the wire; both read 0.0
+  record.costs.c2 = 6.02214076e23;
+  const std::string line = ResultCache::serialize(7, record);
+  std::uint64_t key = 0;
+  CacheRecord parsed;
+  ASSERT_TRUE(ResultCache::parse(line, key, parsed));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed.fitness.violation),
+            std::bit_cast<std::uint64_t>(1.0 / 3.0));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed.fitness.cost),
+            std::bit_cast<std::uint64_t>(1e-300));
+  EXPECT_EQ(parsed.costs.c1, 0.0);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed.costs.c2),
+            std::bit_cast<std::uint64_t>(6.02214076e23));
+}
+
+TEST(ResultCacheSerialization, RejectsMalformedLines) {
+  std::uint64_t key = 0;
+  CacheRecord out;
+  EXPECT_FALSE(ResultCache::parse("", key, out));
+  EXPECT_FALSE(ResultCache::parse("not json", key, out));
+  EXPECT_FALSE(ResultCache::parse("{}", key, out));
+  EXPECT_FALSE(ResultCache::parse("{\"key\":\"12\"}", key, out));  // no modules
+  const std::string good = ResultCache::serialize(1, sample_record());
+  EXPECT_FALSE(
+      ResultCache::parse(good.substr(0, good.size() / 2), key, out));
+  EXPECT_TRUE(ResultCache::parse(good, key, out));
+}
+
+TEST(ResultCache, InMemoryStoreAndCounters) {
+  ResultCache cache;
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.store(1, sample_record());
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  expect_record_eq(*hit, sample_record());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, PersistsAcrossInstances) {
+  const std::string dir = fresh_dir("persist");
+  {
+    ResultCache cache(dir);
+    cache.store(42, sample_record());
+  }
+  ResultCache reloaded(dir);
+  EXPECT_EQ(reloaded.size(), 1u);
+  const auto hit = reloaded.lookup(42);
+  ASSERT_TRUE(hit.has_value());
+  expect_record_eq(*hit, sample_record());
+}
+
+TEST(ResultCache, SkipsCorruptLines) {
+  const std::string dir = fresh_dir("corrupt");
+  {
+    ResultCache cache(dir);
+    cache.store(42, sample_record());
+  }
+  {
+    std::ofstream out(dir + "/results.jsonl", std::ios::app);
+    out << "garbage line\n";
+    out << ResultCache::serialize(43, sample_record()).substr(0, 40) << "\n";
+  }
+  ResultCache reloaded(dir);
+  EXPECT_EQ(reloaded.size(), 1u);  // the two bad lines degrade to misses
+  EXPECT_TRUE(reloaded.lookup(42).has_value());
+}
+
+TEST(CacheKey, SensitiveToEveryRunInput) {
+  const std::uint64_t ctx_fp = 0x1234;
+  const auto base = cache_key(ctx_fp, "evolution", 42, 0, nullptr);
+  EXPECT_EQ(base, cache_key(ctx_fp, "evolution", 42, 0, nullptr));
+  EXPECT_NE(base, cache_key(ctx_fp, "annealing", 42, 0, nullptr));
+  EXPECT_NE(base, cache_key(ctx_fp, "evolution", 43, 0, nullptr));
+  EXPECT_NE(base, cache_key(ctx_fp, "evolution", 42, 1000, nullptr));
+  EXPECT_NE(base, cache_key(ctx_fp ^ 1, "evolution", 42, 0, nullptr));
+
+  part::Partition start(4, 2);
+  start.assign(2, 0);
+  start.assign(3, 1);
+  const auto with_start = cache_key(ctx_fp, "evolution", 42, 0, &start);
+  EXPECT_NE(base, with_start);
+  part::Partition other(4, 2);
+  other.assign(2, 1);
+  other.assign(3, 0);
+  EXPECT_NE(with_start, cache_key(ctx_fp, "evolution", 42, 0, &other));
+}
+
+TEST(CacheKey, ContextFingerprintCoversConfig) {
+  const elec::SensorSpec sensor;
+  const part::CostWeights weights;
+  const OptimizerConfig optimizers;
+  const auto base =
+      cache_context_fingerprint(1, 2, sensor, weights, 4, optimizers);
+  EXPECT_EQ(base,
+            cache_context_fingerprint(1, 2, sensor, weights, 4, optimizers));
+  EXPECT_NE(base,
+            cache_context_fingerprint(9, 2, sensor, weights, 4, optimizers));
+  EXPECT_NE(base,
+            cache_context_fingerprint(1, 9, sensor, weights, 4, optimizers));
+  EXPECT_NE(base,
+            cache_context_fingerprint(1, 2, sensor, weights, 5, optimizers));
+
+  elec::SensorSpec sensor2 = sensor;
+  sensor2.d_min = 12.0;
+  EXPECT_NE(base,
+            cache_context_fingerprint(1, 2, sensor2, weights, 4, optimizers));
+
+  part::CostWeights weights2 = weights;
+  weights2.a2 = 7.0;
+  EXPECT_NE(base,
+            cache_context_fingerprint(1, 2, sensor, weights2, 4, optimizers));
+
+  OptimizerConfig optimizers2 = optimizers;
+  optimizers2.es.max_generations += 1;
+  EXPECT_NE(base,
+            cache_context_fingerprint(1, 2, sensor, weights, 4, optimizers2));
+
+  // The per-request seed is keyed by cache_key, not the context.
+  OptimizerConfig optimizers3 = optimizers;
+  optimizers3.es.seed = 999;
+  EXPECT_EQ(base,
+            cache_context_fingerprint(1, 2, sensor, weights, 4, optimizers3));
+}
+
+struct EngineFixture {
+  netlist::Netlist nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("cache", 150, 10, 5));
+  lib::CellLibrary library = lib::default_library();
+
+  FlowEngineConfig config(ResultCache* cache = nullptr) {
+    FlowEngineConfig cfg;
+    cfg.optimizers.es.mu = 3;
+    cfg.optimizers.es.lambda = 3;
+    cfg.optimizers.es.chi = 1;
+    cfg.optimizers.es.max_generations = 8;
+    cfg.optimizers.es.stall_generations = 4;
+    cfg.cache = cache;
+    return cfg;
+  }
+};
+
+void expect_method_result_identical(const MethodResult& a,
+                                    const MethodResult& b) {
+  EXPECT_EQ(a.method, b.method);
+  EXPECT_EQ(a.partition, b.partition);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.fitness.cost),
+            std::bit_cast<std::uint64_t>(b.fitness.cost));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.fitness.violation),
+            std::bit_cast<std::uint64_t>(b.fitness.violation));
+  const auto ca = a.costs.as_array();
+  const auto cb = b.costs.as_array();
+  for (std::size_t i = 0; i < ca.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(ca[i]),
+              std::bit_cast<std::uint64_t>(cb[i]));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.sensor_area),
+            std::bit_cast<std::uint64_t>(b.sensor_area));
+  EXPECT_EQ(a.module_count, b.module_count);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  ASSERT_EQ(a.modules.size(), b.modules.size());
+  for (std::size_t m = 0; m < a.modules.size(); ++m) {
+    EXPECT_EQ(a.modules[m].gates, b.modules[m].gates);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.modules[m].leakage_ua),
+              std::bit_cast<std::uint64_t>(b.modules[m].leakage_ua));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.modules[m].area),
+              std::bit_cast<std::uint64_t>(b.modules[m].area));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.modules[m].tau_ps),
+              std::bit_cast<std::uint64_t>(b.modules[m].tau_ps));
+  }
+}
+
+TEST(ResultCacheFlow, HitReturnsByteIdenticalMethodResult) {
+  EngineFixture f;
+  ResultCache cache;
+  FlowEngine engine(f.nl, f.library, f.config(&cache));
+
+  FlowEngine::RunOptions options;
+  options.seed = 42;
+  const auto cold = engine.run_method("evolution", options);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto warm = engine.run_method("evolution", options);
+  EXPECT_EQ(cache.hits(), 1u);
+  expect_method_result_identical(cold, warm);
+
+  // A different seed is a different point: miss, then computed.
+  options.seed = 43;
+  const auto other = engine.run_method("evolution", options);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(other.method, cold.method);
+}
+
+TEST(ResultCacheFlow, DiskBackedSweepIsFullyCachedOnSecondRun) {
+  EngineFixture f;
+  const std::string dir = fresh_dir("sweep");
+  const std::vector<std::string> specs{"evolution", "random", "standard"};
+
+  std::vector<MethodResult> first;
+  {
+    ResultCache cache(dir);
+    FlowEngine engine(f.nl, f.library, f.config(&cache));
+    first = engine.run_methods(specs, 42);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), specs.size());
+  }
+  {
+    ResultCache cache(dir);  // fresh process: entries come from disk
+    FlowEngine engine(f.nl, f.library, f.config(&cache));
+    const auto second = engine.run_methods(specs, 42);
+    EXPECT_EQ(cache.hits(), specs.size());
+    EXPECT_EQ(cache.misses(), 0u);
+    ASSERT_EQ(second.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      SCOPED_TRACE(specs[i]);
+      expect_method_result_identical(first[i], second[i]);
+    }
+  }
+}
+
+TEST(ResultCacheFlow, TracedRunsBypassTheCache) {
+  EngineFixture f;
+  ResultCache cache;
+  FlowEngine engine(f.nl, f.library, f.config(&cache));
+  FlowEngine::RunOptions options;
+  options.seed = 42;
+  options.record_trace = true;
+  const auto traced = engine.run_method("evolution", options);
+  EXPECT_FALSE(traced.trace.empty());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 0u);
+}
+
+TEST(ResultCacheFlow, ConfigChangeChangesEngineFingerprint) {
+  EngineFixture f;
+  FlowEngine a(f.nl, f.library, f.config());
+  FlowEngine b(f.nl, f.library, f.config());
+  EXPECT_EQ(a.context_fingerprint(), b.context_fingerprint());
+
+  auto cfg = f.config();
+  cfg.sensor.r_max_mv = 150.0;
+  FlowEngine c(f.nl, f.library, cfg);
+  EXPECT_NE(a.context_fingerprint(), c.context_fingerprint());
+}
+
+}  // namespace
+}  // namespace iddq::core

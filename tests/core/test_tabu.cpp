@@ -1,0 +1,120 @@
+#include "core/tabu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer_registry.hpp"
+#include "core/start_partition.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::core {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("tabu", 180, 12, 4));
+  lib::CellLibrary library = lib::default_library();
+  part::EvalContext ctx{nl, library, elec::SensorSpec{},
+                        part::CostWeights{}};
+
+  part::Partition start() {
+    Rng rng(2);
+    return make_start_partition(nl, 3, rng);
+  }
+};
+
+TEST(Tabu, ImprovesOverStart) {
+  Fixture f;
+  part::PartitionEvaluator start_eval(f.ctx, f.start());
+  const double start_cost = start_eval.fitness().cost;
+  TabuParams params;
+  params.iterations = 150;
+  params.seed = 7;
+  const auto result = tabu_search(f.ctx, f.start(), params);
+  EXPECT_LE(result.best_fitness.cost, start_cost);
+  EXPECT_GT(result.evaluations, 1u);
+}
+
+TEST(Tabu, KeepsModuleCountFixed) {
+  Fixture f;
+  TabuParams params;
+  params.iterations = 100;
+  params.seed = 3;
+  const auto result = tabu_search(f.ctx, f.start(), params);
+  EXPECT_EQ(result.best_partition.module_count(), 3u);
+  EXPECT_TRUE(result.best_partition.covers(f.nl));
+}
+
+TEST(Tabu, DeterministicForSeed) {
+  Fixture f;
+  TabuParams params;
+  params.iterations = 120;
+  params.seed = 11;
+  const auto a = tabu_search(f.ctx, f.start(), params);
+  const auto b = tabu_search(f.ctx, f.start(), params);
+  EXPECT_EQ(a.best_fitness.cost, b.best_fitness.cost);
+  EXPECT_EQ(a.best_partition, b.best_partition);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Tabu, BestCostsMatchReEvaluation) {
+  Fixture f;
+  TabuParams params;
+  params.iterations = 80;
+  params.seed = 5;
+  const auto result = tabu_search(f.ctx, f.start(), params);
+  part::PartitionEvaluator check(f.ctx, result.best_partition);
+  EXPECT_NEAR(check.fitness().cost, result.best_fitness.cost,
+              1e-9 * result.best_fitness.cost);
+}
+
+TEST(Tabu, RejectsBadParams) {
+  Fixture f;
+  TabuParams params;
+  params.iterations = 0;
+  EXPECT_THROW((void)tabu_search(f.ctx, f.start(), params), Error);
+  params = TabuParams{};
+  params.candidates = 0;
+  EXPECT_THROW((void)tabu_search(f.ctx, f.start(), params), Error);
+}
+
+TEST(Tabu, RegistryAdapterMatchesDirectCall) {
+  Fixture f;
+  OptimizerConfig config;
+  config.tabu.iterations = 90;
+
+  const auto optimizer = OptimizerRegistry::global().make("tabu", config);
+  OptimizerRequest request;
+  request.ctx = &f.ctx;
+  request.start = f.start();
+  request.seed = 17;
+  const auto outcome = optimizer->run(request);
+
+  TabuParams params = config.tabu;
+  params.seed = 17;
+  const auto direct = tabu_search(f.ctx, f.start(), params);
+  EXPECT_EQ(outcome.partition, direct.best_partition);
+  EXPECT_EQ(outcome.fitness.cost, direct.best_fitness.cost);
+  EXPECT_EQ(outcome.evaluations, direct.evaluations);
+  EXPECT_EQ(outcome.method, "tabu");
+}
+
+TEST(Tabu, BudgetBoundsEvaluations) {
+  Fixture f;
+  OptimizerConfig config;
+  const auto optimizer = OptimizerRegistry::global().make("tabu", config);
+  OptimizerRequest request;
+  request.ctx = &f.ctx;
+  request.start = f.start();
+  request.seed = 17;
+  request.max_evaluations = 200;
+  const auto outcome = optimizer->run(request);
+  // rounds = budget / candidates; each round spends at most `candidates`
+  // evaluations, plus one for the start evaluation.
+  EXPECT_LE(outcome.evaluations, 200u + 1u);
+}
+
+}  // namespace
+}  // namespace iddq::core

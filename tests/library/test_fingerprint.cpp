@@ -1,0 +1,62 @@
+#include "library/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iddq::lib {
+namespace {
+
+CellParams params(double delay) {
+  CellParams p;
+  p.delay_ps = delay;
+  p.ipeak_ua = 100.0;
+  p.ileak_na = 1.0;
+  p.cin_ff = 2.0;
+  p.cout_ff = 4.0;
+  p.rg_kohm = 5.0;
+  p.cvr_ff = 3.0;
+  p.area = 10.0;
+  return p;
+}
+
+TEST(LibraryFingerprint, DefaultLibraryIsStable) {
+  EXPECT_EQ(library_fingerprint(default_library()),
+            library_fingerprint(default_library()));
+}
+
+TEST(LibraryFingerprint, RegistrationOrderIrrelevant) {
+  CellLibrary a("a");
+  a.add({netlist::GateKind::kNand, 2}, params(100.0));
+  a.add({netlist::GateKind::kNor, 3}, params(150.0));
+  CellLibrary b("b");  // same content, different name and insertion order
+  b.add({netlist::GateKind::kNor, 3}, params(150.0));
+  b.add({netlist::GateKind::kNand, 2}, params(100.0));
+  EXPECT_EQ(library_fingerprint(a), library_fingerprint(b));
+}
+
+TEST(LibraryFingerprint, ParameterChangesHash) {
+  CellLibrary a("l");
+  a.add({netlist::GateKind::kNand, 2}, params(100.0));
+  CellLibrary b("l");
+  b.add({netlist::GateKind::kNand, 2}, params(101.0));
+  EXPECT_NE(library_fingerprint(a), library_fingerprint(b));
+}
+
+TEST(LibraryFingerprint, ExtraCellChangesHash) {
+  CellLibrary a("l");
+  a.add({netlist::GateKind::kNand, 2}, params(100.0));
+  CellLibrary b("l");
+  b.add({netlist::GateKind::kNand, 2}, params(100.0));
+  b.add({netlist::GateKind::kNand, 3}, params(100.0));
+  EXPECT_NE(library_fingerprint(a), library_fingerprint(b));
+}
+
+TEST(LibraryFingerprint, VddChangesHash) {
+  CellLibrary a("l", 5000.0);
+  a.add({netlist::GateKind::kNand, 2}, params(100.0));
+  CellLibrary b("l", 3300.0);
+  b.add({netlist::GateKind::kNand, 2}, params(100.0));
+  EXPECT_NE(library_fingerprint(a), library_fingerprint(b));
+}
+
+}  // namespace
+}  // namespace iddq::lib

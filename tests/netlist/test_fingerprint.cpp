@@ -1,0 +1,68 @@
+#include "netlist/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "netlist/gen/c17.hpp"
+#include "netlist/gen/random_dag.hpp"
+
+namespace iddq::netlist {
+namespace {
+
+Netlist tiny(std::string_view name, std::string_view prefix,
+             GateKind top_kind = GateKind::kNand, bool extra_output = false) {
+  NetlistBuilder b(name);
+  const auto i1 = b.add_input(std::string(prefix) + "1");
+  const auto i2 = b.add_input(std::string(prefix) + "2");
+  const auto g1 =
+      b.add_gate(GateKind::kNand, std::string(prefix) + "g1", {i1, i2});
+  const auto g2 = b.add_gate(top_kind, std::string(prefix) + "g2", {g1, i2});
+  b.mark_output(g2);
+  if (extra_output) b.mark_output(g1);
+  return std::move(b).build();
+}
+
+TEST(StructuralFingerprint, SameCircuitBuiltTwiceMatches) {
+  EXPECT_EQ(structural_fingerprint(gen::make_c17()),
+            structural_fingerprint(gen::make_c17()));
+  const auto profile = gen::DagProfile::basic("fp", 150, 10, 3);
+  EXPECT_EQ(structural_fingerprint(gen::make_random_dag(profile)),
+            structural_fingerprint(gen::make_random_dag(profile)));
+}
+
+TEST(StructuralFingerprint, NamesAreExcluded) {
+  // Content-addressing: two structurally identical netlists share cache
+  // entries even when every label differs.
+  EXPECT_EQ(structural_fingerprint(tiny("a", "x")),
+            structural_fingerprint(tiny("b", "y")));
+}
+
+TEST(StructuralFingerprint, GateKindChangesHash) {
+  EXPECT_NE(structural_fingerprint(tiny("a", "x", GateKind::kNand)),
+            structural_fingerprint(tiny("a", "x", GateKind::kNor)));
+}
+
+TEST(StructuralFingerprint, OutputSetChangesHash) {
+  EXPECT_NE(structural_fingerprint(tiny("a", "x", GateKind::kNand, false)),
+            structural_fingerprint(tiny("a", "x", GateKind::kNand, true)));
+}
+
+TEST(StructuralFingerprint, WiringChangesHash) {
+  NetlistBuilder b("w");
+  const auto i1 = b.add_input("1");
+  const auto i2 = b.add_input("2");
+  const auto g1 = b.add_gate(GateKind::kNand, "g1", {i1, i2});
+  const auto g2 = b.add_gate(GateKind::kNand, "g2", {i1, g1});  // vs {g1, i2}
+  b.mark_output(g2);
+  EXPECT_NE(structural_fingerprint(std::move(b).build()),
+            structural_fingerprint(tiny("a", "x")));
+}
+
+TEST(StructuralFingerprint, DistinctCircuitsDiffer) {
+  const auto a = gen::make_random_dag(gen::DagProfile::basic("a", 120, 8, 1));
+  const auto b = gen::make_random_dag(gen::DagProfile::basic("b", 120, 8, 2));
+  EXPECT_NE(structural_fingerprint(a), structural_fingerprint(b));
+}
+
+}  // namespace
+}  // namespace iddq::netlist

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Checks that docs/methods.md and the optimizer registry cannot drift:
+#  * every name printed by `iddqsyn --list-methods` has a `## `name``
+#    section in docs/methods.md;
+#  * every `## `name`` section (except the `portfolio:` spec family)
+#    names a registered optimizer.
+#
+#   $ tools/check_docs.sh path/to/iddqsyn
+set -eu
+
+exe="$1"
+docs="$(dirname "$0")/../docs/methods.md"
+[ -f "$docs" ] || { echo "check_docs: $docs not found"; exit 1; }
+
+names="$("$exe" --list-methods | sed -n 's/^registered optimizers: *//p')"
+[ -n "$names" ] || { echo "check_docs: --list-methods printed no names"; exit 1; }
+
+status=0
+for name in $names; do
+  if ! grep -q "^## \`$name\`" "$docs"; then
+    echo "check_docs: docs/methods.md is missing a section for '$name'"
+    status=1
+  fi
+done
+
+for doc in $(sed -n 's/^## `\([a-z:+]*\)`.*/\1/p' "$docs"); do
+  case "$doc" in
+    portfolio:*|portfolio:) continue ;;  # spec family, not a registry name
+  esac
+  if ! printf '%s\n' $names | grep -qx "$doc"; then
+    echo "check_docs: docs/methods.md documents '$doc', which is not registered"
+    status=1
+  fi
+done
+
+[ "$status" -eq 0 ] && echo "check_docs: docs/methods.md matches --list-methods"
+exit $status

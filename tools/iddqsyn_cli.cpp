@@ -10,9 +10,21 @@
 // Options:
 //   --method NAMES        comma-separated optimizer specs from the registry
 //                         (default: evolution,standard). Specs may compose
-//                         stages with '+', e.g. evolution+greedy.
+//                         stages with '+', e.g. evolution+greedy, or race a
+//                         list on a shared budget with portfolio:, e.g.
+//                         portfolio:evolution,annealing. Because portfolio
+//                         specs contain commas, use ';' to separate methods
+//                         when mixing them: --method "evolution;portfolio:
+//                         evolution,annealing".
 //   --jobs N              run circuits on N worker threads (default 1);
 //                         results are identical for any N
+//   --cache-dir DIR       content-addressed result cache: look up every
+//                         (circuit, method, seed, budget) point in DIR
+//                         before running it and store new results there
+//                         (see docs/caching.md); prints hit/miss stats to
+//                         stderr at the end
+//   --no-cache            disable the cache even when --cache-dir is given
+//   --progress            stream optimizer progress to stderr
 //   --list-methods        print the registered optimizer names and exit
 //   -o FILE               write the first method's partition to FILE
 //                         (single-circuit runs only)
@@ -31,6 +43,7 @@
 // Exit code 0 on success, 1 on bad usage, 2 on flow errors.
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -56,6 +69,9 @@ struct CliOptions {
   std::vector<std::string> circuits;
   std::vector<std::string> methods{"evolution", "standard"};
   std::size_t jobs = 1;
+  std::optional<std::string> cache_dir;
+  bool no_cache = false;
+  bool progress = false;
   std::optional<std::string> output_path;
   std::optional<std::string> lib_path;
   double rail_mv = 200.0;
@@ -72,6 +88,9 @@ void print_usage(std::ostream& os) {
         "  --method NAMES   comma-separated optimizer specs "
         "(default: evolution,standard)\n"
         "  --jobs N         worker threads over circuits (default 1)\n"
+        "  --cache-dir DIR  content-addressed result cache (docs/caching.md)\n"
+        "  --no-cache       disable the cache even with --cache-dir\n"
+        "  --progress       stream optimizer progress to stderr\n"
         "  --list-methods   print registered optimizer names and exit\n"
         "  -o FILE          write the first method's partition to FILE "
         "(one circuit only)\n"
@@ -90,7 +109,9 @@ void print_methods(std::ostream& os) {
   os << "registered optimizers:";
   for (const auto& name : core::OptimizerRegistry::global().names())
     os << ' ' << name;
-  os << "\ncompose polish stages with '+', e.g. evolution+greedy\n";
+  os << "\ncompose polish stages with '+', e.g. evolution+greedy\n"
+        "race methods on a shared budget with 'portfolio:', e.g. "
+        "portfolio:evolution,annealing\n";
 }
 
 std::optional<CliOptions> parse(int argc, char** argv) {
@@ -114,7 +135,16 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       const auto v = need_value("--method");
       if (!v) return std::nullopt;
       opts.methods.clear();
-      for (const auto piece : str::split(*v, ','))
+      // Portfolio specs contain commas, so ';' separates methods when
+      // present; a ';'-free value containing a portfolio is one spec.
+      std::vector<std::string_view> pieces;
+      if (v->find(';') != std::string::npos)
+        pieces = str::split(*v, ';');
+      else if (v->find("portfolio:") != std::string::npos)
+        pieces.push_back(str::trim(*v));
+      else
+        pieces = str::split(*v, ',');
+      for (const auto piece : pieces)
         if (!piece.empty()) opts.methods.emplace_back(piece);
       if (opts.methods.empty()) {
         std::cerr << "iddqsyn: --method needs at least one name\n";
@@ -126,6 +156,14 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         std::cerr << "iddqsyn: --jobs must be a positive integer\n";
         return std::nullopt;
       }
+    } else if (arg == "--cache-dir") {
+      const auto v = need_value("--cache-dir");
+      if (!v) return std::nullopt;
+      opts.cache_dir = *v;
+    } else if (arg == "--no-cache") {
+      opts.no_cache = true;
+    } else if (arg == "--progress") {
+      opts.progress = true;
     } else if (arg == "-o") {
       const auto v = need_value("-o");
       if (!v) return std::nullopt;
@@ -259,6 +297,23 @@ int main(int argc, char** argv) {
     config.sensor.d_min = opts->disc;
     config.optimizers.es.max_generations = opts->generations;
 
+    std::optional<core::ResultCache> cache;
+    if (opts->cache_dir && !opts->no_cache) {
+      cache.emplace(*opts->cache_dir);
+      config.cache = &*cache;
+    }
+    if (opts->progress) {
+      // Worker threads report concurrently; serialize the ticker lines.
+      static std::mutex progress_mutex;
+      config.on_progress = [](const core::OptimizerProgress& p) {
+        const std::scoped_lock lock(progress_mutex);
+        std::cerr << "[progress] " << p.method << ": iter=" << p.iteration
+                  << " evals=" << p.evaluations
+                  << " cost=" << report::format_fixed(p.best.cost, 1)
+                  << (p.best.feasible() ? "" : " (infeasible)") << "\n";
+      };
+    }
+
     const core::BatchRunner runner(library, config);
     const auto items =
         runner.run(opts->circuits, opts->methods, opts->seed, opts->jobs);
@@ -278,6 +333,20 @@ int main(int argc, char** argv) {
                   << ")\n";
       for (const auto& r : item.methods)
         print_method_row(std::cout, item.circuit, r);
+    }
+    if (cache) {
+      const auto hits = cache->hits();
+      const auto misses = cache->misses();
+      const auto total = hits + misses;
+      std::cerr << "cache: " << hits << " hits, " << misses << " misses";
+      if (total > 0)
+        std::cerr << " ("
+                  << report::format_pct(
+                         static_cast<double>(hits) /
+                             static_cast<double>(total) * 100.0,
+                         /*already_pct=*/true)
+                  << " hit rate, " << cache->size() << " entries)";
+      std::cerr << "\n";
     }
     if (failed) return 2;
 
