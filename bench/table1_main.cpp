@@ -10,6 +10,13 @@
 // from the content-addressed result cache when it was computed before —
 // a repeated run completes in seconds with identical numbers.
 //
+// `--service N` drives the same workload through the core::JobService
+// path instead (one job per circuit, N workers, rows streamed) — the
+// exact dispatch the batch server uses. Seeds there follow the job
+// convention (per-method derived from the job's base seed), so the
+// numbers are a deterministic job-path variant of the direct run, not a
+// byte-for-byte replay of it.
+//
 // Paper-reported reference values (where the 1995 scan is legible):
 //   #modules:            2 / 3 / 4 / 6 / 5 / 6
 //   std-vs-evo area:     +30.6% / +14.5% / +22.9% / +25.3% / +25.9% / +19.7%
@@ -17,11 +24,15 @@
 //                        methods essentially identical)
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "core/flow_engine.hpp"
+#include "core/job_service.hpp"
 #include "core/result_cache.hpp"
 #include "library/cell_library.hpp"
 #include "netlist/gen/iscas_profiles.hpp"
@@ -32,14 +43,30 @@ int main(int argc, char** argv) {
   std::cout << "=== Table 1: evolution-based vs standard partitioning ===\n";
   std::cout << "(paper: Wunderlich et al., ED&TC 1995, section 5.1)\n\n";
 
-  const char* cache_dir =
-      argc > 1 ? argv[1] : std::getenv("IDDQ_CACHE_DIR");
+  const char* cache_dir = std::getenv("IDDQ_CACHE_DIR");
+  std::size_t service_workers = 0;  // 0 = direct FlowEngine path
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--service") == 0) {
+      const long workers = i + 1 < argc ? std::atol(argv[++i]) : 0;
+      if (workers <= 0) {
+        std::cerr << "bench_table1: --service needs a worker count >= 1\n"
+                     "usage: bench_table1 [cache-dir] [--service N]\n";
+        return 1;
+      }
+      service_workers = static_cast<std::size_t>(workers);
+    } else {
+      cache_dir = argv[i];
+    }
+  }
   std::optional<core::ResultCache> cache;
   if (cache_dir != nullptr) {
     cache.emplace(cache_dir);
     std::cout << "(result cache: " << cache_dir << ", " << cache->size()
               << " entries loaded)\n\n";
   }
+  if (service_workers > 0)
+    std::cout << "(job-service path: " << service_workers
+              << " workers, per-method derived seeds)\n\n";
 
   const auto library = lib::default_library();
   const double paper_overhead_pct[] = {30.6, 14.5, 22.9, 25.3, 25.9, 19.7};
@@ -50,34 +77,77 @@ int main(int argc, char** argv) {
        "std ovh", "ovh(paper)", "c2(evo)", "c2(std)", "c4(evo)", "c4(std)",
        "time"});
 
+  const auto cfg = bench::paper_flow_config();
+  core::FlowEngineConfig engine_config;
+  engine_config.sensor = cfg.sensor;
+  engine_config.weights = cfg.weights;
+  engine_config.rho = cfg.rho;
+  engine_config.optimizers.es = cfg.es;
+  if (cache) engine_config.cache = &*cache;
+
+  // Job-service path: one job per circuit, all submitted up front, sharded
+  // over the worker pool; rows come back through the same JobService the
+  // batch server dispatches on. The loop below then waits in table order.
+  std::optional<core::JobService> service;
+  std::vector<core::JobHandle> handles;
+  const auto sweep_start = std::chrono::steady_clock::now();
+  if (service_workers > 0) {
+    core::JobServiceConfig service_config;
+    service_config.workers = service_workers;
+    service_config.flow = engine_config;
+    service.emplace(library, std::move(service_config));
+    // Builtin table-1 circuits are statistical stand-ins produced by
+    // make_iscas_like, not the CLI loader's builtins.
+    service->set_circuit_loader([](const std::string& spec) {
+      return netlist::gen::make_iscas_like(spec);
+    });
+    for (const auto name : netlist::gen::table1_circuit_names()) {
+      core::JobSpec spec;
+      spec.circuit = std::string(name);
+      spec.methods = {"evolution", "standard"};
+      spec.base_seed = cfg.es.seed;
+      handles.push_back(service->submit(std::move(spec)));
+    }
+  }
+
   std::size_t idx = 0;
   for (const auto name : netlist::gen::table1_circuit_names()) {
-    const auto nl = netlist::gen::make_iscas_like(name);
-    const auto cfg = bench::paper_flow_config();
     const auto t0 = std::chrono::steady_clock::now();
 
-    // Same runs and seeds as core::run_flow, but through a cache-aware
-    // engine: evolution first, then the standard baseline clustered at the
-    // module sizes the ES discovered (paper section 5).
-    core::FlowEngineConfig engine_config;
-    engine_config.sensor = cfg.sensor;
-    engine_config.weights = cfg.weights;
-    engine_config.rho = cfg.rho;
-    engine_config.optimizers.es = cfg.es;
-    if (cache) engine_config.cache = &*cache;
-    core::FlowEngine engine(nl, library, engine_config);
+    core::MethodResult evolution;
+    core::MethodResult standard;
+    std::size_t gate_count = 0;
+    if (service_workers > 0) {
+      const core::JobResult& job = handles[idx].wait();
+      if (!job.ok()) {
+        std::cerr << "table1: " << name << ": " << job.error << "\n";
+        return 1;
+      }
+      evolution = job.rows.at(0);
+      standard = job.rows.at(1);
+      gate_count = netlist::gen::make_iscas_like(name).logic_gate_count();
+    } else {
+      const auto nl = netlist::gen::make_iscas_like(name);
+      gate_count = nl.logic_gate_count();
+      // Same runs and seeds as core::run_flow, but through a cache-aware
+      // engine: evolution first, then the standard baseline clustered at
+      // the module sizes the ES discovered (paper section 5).
+      core::FlowEngine engine(nl, library, engine_config);
 
-    core::FlowEngine::RunOptions es_options;
-    es_options.seed = cfg.es.seed;
-    const auto evolution = engine.run_method("evolution", es_options);
+      core::FlowEngine::RunOptions es_options;
+      es_options.seed = cfg.es.seed;
+      evolution = engine.run_method("evolution", es_options);
 
-    core::FlowEngine::RunOptions std_options;
-    std_options.seed = cfg.es.seed;
-    std_options.start = &evolution.partition;
-    const auto standard = engine.run_method("standard", std_options);
+      core::FlowEngine::RunOptions std_options;
+      std_options.seed = cfg.es.seed;
+      std_options.start = &evolution.partition;
+      standard = engine.run_method("standard", std_options);
+    }
 
     const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() -
+            (service_workers > 0 ? sweep_start : t0))
             .count();
     const double overhead_pct =
         evolution.sensor_area > 0.0
@@ -85,7 +155,7 @@ int main(int argc, char** argv) {
             : 0.0;
 
     table.add_row({std::string(name),
-                   std::to_string(nl.logic_gate_count()),
+                   std::to_string(gate_count),
                    std::to_string(evolution.module_count),
                    std::to_string(paper_modules[idx]),
                    report::format_eng(evolution.sensor_area),

@@ -53,6 +53,9 @@ SaResult simulated_annealing(const part::EvalContext& ctx,
   for (std::size_t step = 0; step < params.steps; ++step) {
     if (step > 0 && step % params.stage_length == 0)
       temperature *= params.cooling;
+    if (params.on_step && params.progress_every > 0 && step > 0 &&
+        step % params.progress_every == 0)
+      params.on_step(step, result.evaluations, result.best_fitness);
     const GateMove mv = sample_boundary_move(eval, rng);
     if (!mv.valid()) continue;
     const std::uint32_t src = eval.partition().module_of(mv.gate);

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "core/evolution.hpp"
+#include "core/step_callback.hpp"
 #include "partition/evaluator.hpp"
 #include "support/rng.hpp"
 
@@ -27,6 +28,10 @@ struct SaParams {
   std::size_t stage_length = 100;   // steps per temperature stage
   double violation_penalty = 1.0e4;
   std::uint64_t seed = 1;
+  /// Per-run progress fields (like seed, not hashed into cache keys):
+  /// on_step fires every `progress_every` steps when set (0 disables).
+  std::size_t progress_every = 1000;
+  StepCallback on_step;
 };
 
 struct SaResult {

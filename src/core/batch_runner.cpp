@@ -1,12 +1,8 @@
 #include "core/batch_runner.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <thread>
 #include <utility>
 
-#include "netlist/circuit_loader.hpp"
 #include "support/rng.hpp"
 
 namespace iddq::core {
@@ -16,10 +12,7 @@ BatchRunner::BatchRunner(const lib::CellLibrary& library,
                          const OptimizerRegistry& registry)
     : library_(&library),
       config_(std::move(config)),
-      registry_(&registry),
-      loader_([](const std::string& spec) {
-        return netlist::load_circuit(spec);
-      }) {}
+      registry_(&registry) {}
 
 void BatchRunner::set_circuit_loader(CircuitLoader loader) {
   loader_ = std::move(loader);
@@ -30,40 +23,37 @@ std::vector<BatchItem> BatchRunner::run(std::span<const std::string> circuits,
                                         std::uint64_t base_seed,
                                         std::size_t jobs) const {
   std::vector<BatchItem> items(circuits.size());
+  if (circuits.empty()) return items;
+
+  JobService::Config service_config;
+  service_config.workers =
+      std::max<std::size_t>(1, std::min(jobs, circuits.size()));
+  service_config.flow = config_;
+  JobService service(*library_, std::move(service_config), *registry_);
+  if (loader_) service.set_circuit_loader(loader_);
+
   const std::vector<std::string> specs(methods.begin(), methods.end());
-
-  const auto run_task = [&](std::size_t index) {
-    BatchItem& item = items[index];
-    item.circuit = circuits[index];
-    try {
-      const netlist::Netlist nl = loader_(circuits[index]);
-      FlowEngine engine(nl, *library_, config_, *registry_);
-      item.plan = engine.plan();
-      item.methods =
-          engine.run_methods(specs, Rng::mix_seed(base_seed, index));
-    } catch (const std::exception& e) {
-      item.error = e.what();
-    }
-  };
-
-  const std::size_t workers =
-      jobs == 0 ? 1 : std::min(jobs, circuits.size());
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < circuits.size(); ++i) run_task(i);
-    return items;
+  std::vector<JobHandle> handles;
+  handles.reserve(circuits.size());
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    JobSpec spec;
+    spec.circuit = circuits[i];
+    spec.methods = specs;
+    // The task-index seed invariant: scheduling order never matters.
+    spec.base_seed = Rng::mix_seed(base_seed, i);
+    handles.push_back(service.submit(std::move(spec)));
   }
 
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1); i < items.size();
-           i = next.fetch_add(1))
-        run_task(i);
-    });
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    const JobResult& result = handles[i].wait();
+    BatchItem& item = items[i];
+    item.circuit = result.circuit;
+    item.plan = result.plan;
+    item.error = result.error;
+    // Historical contract: a failed task reports no rows, even when a
+    // prefix of its methods had finished before the error.
+    if (result.ok()) item.methods = result.rows;
   }
-  for (auto& t : pool) t.join();
   return items;
 }
 

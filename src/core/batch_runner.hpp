@@ -1,21 +1,32 @@
-// BatchRunner: fan a method set out over many circuits on a thread pool.
+// BatchRunner: fan a method set out over many circuits.
 //
-// Each (circuit, method-list) pair is one task. Tasks are independent —
-// every worker loads its circuit, builds its own FlowEngine (EvalContext,
-// size plan), and runs the methods sequentially — so the only shared state
-// is the read-only config/library/registry. Per-task seeds are derived from
-// the base seed and the task *index* alone (Rng::mix_seed), never from
-// scheduling order, so results are byte-identical for any job count
-// (tests/core/test_batch_runner.cpp pins jobs=1 == jobs=4).
+// Since the JobService redesign this is a thin synchronous shim: run()
+// submits one JobSpec per circuit to a private JobService whose worker
+// count is min(jobs, #circuits), waits for every handle, and maps the
+// JobResults back into BatchItems in task order. The historical contract
+// is preserved bit-for-bit:
+//
+//  * per-task seeds derive from the base seed and the task *index* alone
+//    (Rng::mix_seed), never from scheduling order, so results are
+//    byte-identical for any job count;
+//  * a task failure (unknown circuit, infeasible flow, ...) is captured in
+//    BatchItem::error with the plan already set when the flow got that
+//    far, and an empty method list;
+//  * the only shared state is the read-only config/library/registry (and
+//    the thread-safe ResultCache when one is attached).
+//
+// tests/core/test_job_service.cpp pins the shim against a direct
+// per-circuit FlowEngine::run_methods loop at fixed seeds. Callers that
+// want streaming, cancellation, or a long-lived pool should use
+// core::JobService directly.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <string>
 #include <vector>
 
-#include "core/flow_engine.hpp"
+#include "core/job_service.hpp"
 
 namespace iddq::core {
 
@@ -31,9 +42,7 @@ struct BatchItem {
 
 class BatchRunner {
  public:
-  /// Resolves a circuit spec to a netlist. Defaults to
-  /// netlist::load_circuit (builtin generators + .bench files).
-  using CircuitLoader = std::function<netlist::Netlist(const std::string&)>;
+  using CircuitLoader = JobService::CircuitLoader;
 
   /// `library` and `registry` must outlive the runner.
   explicit BatchRunner(
@@ -43,10 +52,8 @@ class BatchRunner {
   /// Replaces the circuit loader (tests inject synthetic circuits).
   void set_circuit_loader(CircuitLoader loader);
 
-  /// Runs every method over every circuit on min(jobs, #circuits) worker
-  /// threads (jobs == 0 or 1 runs inline). A task failure (unknown
-  /// circuit, infeasible flow, ...) is captured in BatchItem::error; the
-  /// remaining tasks still run.
+  /// Runs every method over every circuit on min(jobs, #circuits) workers
+  /// (jobs == 0 behaves like 1); blocks until all tasks are terminal.
   [[nodiscard]] std::vector<BatchItem> run(
       std::span<const std::string> circuits,
       std::span<const std::string> methods, std::uint64_t base_seed,

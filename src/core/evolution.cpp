@@ -196,7 +196,7 @@ EsResult EvolutionEngine::run(std::span<const part::Partition> starts) {
     }
     result.generations = gen + 1;
 
-    if (params_.record_trace) {
+    if (params_.record_trace || params_.on_generation) {
       GenerationStats stats;
       stats.generation = gen + 1;
       stats.best = best.fitness;
@@ -205,7 +205,9 @@ EsResult EvolutionEngine::run(std::span<const part::Partition> starts) {
       stats.mean_cost = sum / static_cast<double>(parents.size());
       stats.module_count = best.eval.partition().module_count();
       stats.best_step_width = parents.front().step_width;
-      result.trace.push_back(stats);
+      stats.evaluations = result.evaluations;
+      if (params_.on_generation) params_.on_generation(stats);
+      if (params_.record_trace) result.trace.push_back(stats);
     }
     if (stall >= params_.stall_generations) break;
   }

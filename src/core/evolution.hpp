@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -32,6 +33,13 @@
 #include "support/rng.hpp"
 
 namespace iddq::core {
+
+struct GenerationStats;
+
+/// Per-generation observer (live --progress, JobEvent::progress). Called
+/// after selection, every generation; must not mutate anything the search
+/// reads — it cannot affect the trajectory, only report it.
+using GenerationCallback = std::function<void(const GenerationStats&)>;
 
 struct EsParams {
   std::size_t mu = 8;        // parents
@@ -45,6 +53,9 @@ struct EsParams {
   std::size_t stall_generations = 40;  // stop after this many without gain
   std::uint64_t seed = 1;
   bool record_trace = false;
+  /// Like seed/record_trace, a per-run field, not a tuning knob: excluded
+  /// from the result-cache context fingerprint.
+  GenerationCallback on_generation;
 };
 
 struct GenerationStats {
@@ -53,6 +64,7 @@ struct GenerationStats {
   double mean_cost = 0.0;      // over surviving parents
   std::size_t module_count = 0;  // of the best individual
   std::uint32_t best_step_width = 0;
+  std::size_t evaluations = 0;  // cumulative, whole run
 };
 
 struct EsResult {

@@ -129,14 +129,44 @@ MethodResult FlowEngine::run_method(std::string_view spec,
 
 std::vector<MethodResult> FlowEngine::run_methods(
     std::span<const std::string> specs, std::uint64_t base_seed) {
+  return run_methods(specs, base_seed, FlowSequenceOptions{});
+}
+
+std::vector<MethodResult> FlowEngine::run_methods(
+    std::span<const std::string> specs, std::uint64_t base_seed,
+    const FlowSequenceOptions& sequence) {
+  const auto check_cancelled = [&sequence] {
+    if (sequence.cancelled && sequence.cancelled())
+      throw CancelledError("job cancelled");
+  };
+  // Cancellation rides on the progress stream: ticks are the only safe
+  // preemption points inside an optimizer, and polling there costs nothing
+  // when no cancellation hook is installed. The wrapper forwards to the
+  // sequence sink or, when none is set, to the config default — installing
+  // a cancellation hook alone must not silence FlowEngineConfig's sink
+  // (run_method gives any per-run callback precedence over it).
+  ProgressCallback on_progress = sequence.on_progress;
+  if (sequence.cancelled) {
+    const ProgressCallback forward =
+        sequence.on_progress ? sequence.on_progress : config_.on_progress;
+    on_progress = [forward, check_cancelled](const OptimizerProgress& p) {
+      check_cancelled();
+      if (forward) forward(p);
+    };
+  }
+
   std::vector<MethodResult> results;
   results.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
+    check_cancelled();
     RunOptions options;
     options.seed = Rng::mix_seed(base_seed, i);
+    options.max_evaluations = sequence.max_evaluations;
+    options.on_progress = on_progress;
     if (specs[i] == "standard" && !results.empty())
       options.start = &results.front().partition;
     results.push_back(run_method(specs[i], options));
+    if (sequence.on_row) sequence.on_row(i, results.back());
   }
   return results;
 }

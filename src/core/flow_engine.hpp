@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -73,6 +74,24 @@ struct FlowRunOptions {
   ProgressCallback on_progress;
 };
 
+/// Per-sequence knobs for the streaming FlowEngine::run_methods overload.
+/// The default-constructed value reproduces the plain overload exactly —
+/// this is what keeps the BatchRunner shim and the job server byte-
+/// identical to direct run_methods calls.
+struct FlowSequenceOptions {
+  std::size_t max_evaluations = 0;  // per-method budget, 0 = default
+  /// Forwarded into every method's run (overrides the config default).
+  ProgressCallback on_progress;
+  /// Streamed one call per finished method, in spec order, before the
+  /// next method starts: (spec index, result).
+  std::function<void(std::size_t, const MethodResult&)> on_row;
+  /// Cooperative cancellation: polled before each method and at every
+  /// progress tick. When it returns true the sequence throws
+  /// iddq::CancelledError (already-completed rows were delivered via
+  /// on_row). Cache hits between ticks cannot be interrupted.
+  std::function<bool()> cancelled;
+};
+
 class FlowEngine {
  public:
   using RunOptions = FlowRunOptions;
@@ -103,6 +122,14 @@ class FlowEngine {
   /// ("we take the numbers obtained by the evolution based algorithm").
   [[nodiscard]] std::vector<MethodResult> run_methods(
       std::span<const std::string> specs, std::uint64_t base_seed);
+
+  /// Streaming variant: same sequence semantics (same seeds, same
+  /// standard-coupling), plus per-row delivery, live progress, and
+  /// cooperative cancellation. With a default-constructed `sequence` this
+  /// is exactly the plain overload.
+  [[nodiscard]] std::vector<MethodResult> run_methods(
+      std::span<const std::string> specs, std::uint64_t base_seed,
+      const FlowSequenceOptions& sequence);
 
   /// Fingerprint of everything constant per engine (circuit, library,
   /// sensor/weights/rho, optimizer tuning); combined with per-run inputs

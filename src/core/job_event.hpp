@@ -1,0 +1,84 @@
+// Job lifecycle vocabulary shared by JobService, its handles, and the
+// line-protocol server (core/job_protocol.hpp).
+//
+// A job walks queued -> running -> one terminal state (done / failed /
+// cancelled). Every transition — plus mid-run progress ticks and each
+// completed MethodResult row — is published to the job's event sink as a
+// JobEvent, in order, from the worker thread executing the job. Sinks are
+// how results stream: a server connection serializes events to its client
+// as they happen instead of waiting for the whole sweep.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/flow_engine.hpp"
+
+namespace iddq::core {
+
+/// Coarse job state, also readable synchronously via JobHandle::status().
+enum class JobState {
+  queued,
+  running,
+  done,       // all rows produced
+  failed,     // loader / flow / optimizer error (JobResult::error)
+  cancelled,  // cooperative cancel honoured before completion
+};
+
+[[nodiscard]] constexpr bool is_terminal(JobState s) noexcept {
+  return s == JobState::done || s == JobState::failed ||
+         s == JobState::cancelled;
+}
+
+[[nodiscard]] constexpr const char* to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::queued: return "queued";
+    case JobState::running: return "running";
+    case JobState::done: return "done";
+    case JobState::failed: return "failed";
+    case JobState::cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+/// One streamed notification. `kind` selects which payload fields are
+/// meaningful; the rest stay default-initialized.
+struct JobEvent {
+  enum class Kind {
+    queued,    // accepted by the service
+    running,   // a worker picked the job up
+    progress,  // live optimizer tick (method/iteration/evaluations/best)
+    row,       // one method finished (row_index + row)
+    done,      // terminal: every method finished
+    failed,    // terminal: error carries what()
+    cancelled  // terminal: cancel honoured
+  };
+
+  Kind kind = Kind::queued;
+  std::uint64_t job = 0;     // JobService-assigned id
+  std::string circuit;       // the job's circuit spec
+
+  // Kind::progress payload.
+  std::string method;
+  std::size_t iteration = 0;
+  std::size_t evaluations = 0;
+  part::Fitness best;
+
+  // Kind::row payload. Shared so sinks can retain rows without copying
+  // the module lists.
+  std::size_t row_index = 0;
+  std::shared_ptr<const MethodResult> row;
+
+  // Kind::failed payload.
+  std::string error;
+};
+
+/// Invoked from the worker thread running the job; events of one job are
+/// ordered, events of different jobs interleave. Must not call back into
+/// JobHandle::wait() (deadlock by design: the worker is the thread being
+/// waited for) — JobHandle::cancel() is safe.
+using JobEventSink = std::function<void(const JobEvent&)>;
+
+}  // namespace iddq::core

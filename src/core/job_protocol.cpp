@@ -1,0 +1,281 @@
+#include "core/job_protocol.hpp"
+
+#include <utility>
+
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace iddq::core {
+
+/// A parsed submit op (declared in the header as an opaque parameter).
+struct SubmitRequest {
+  std::string id;
+  std::vector<std::string> circuits;
+  std::vector<std::string> methods{"evolution", "standard"};
+  std::uint64_t seed = 1;
+  std::size_t budget = 0;
+  bool use_cache = true;
+};
+
+namespace {
+
+using json::JsonWriter;
+
+const char* event_name(JobEvent::Kind kind) {
+  switch (kind) {
+    case JobEvent::Kind::queued: return "queued";
+    case JobEvent::Kind::running: return "running";
+    case JobEvent::Kind::progress: return "progress";
+    case JobEvent::Kind::row: return "row";
+    case JobEvent::Kind::done: return "done";
+    case JobEvent::Kind::failed: return "failed";
+    case JobEvent::Kind::cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+std::string event_json(const std::string& sweep_id, const JobEvent& e) {
+  JsonWriter w;
+  w.field("event", event_name(e.kind))
+      .field("id", sweep_id)
+      .field("circuit", e.circuit)
+      .field("job", e.job);
+  switch (e.kind) {
+    case JobEvent::Kind::progress:
+      w.field("method", e.method)
+          .field("iteration", e.iteration)
+          .field("evaluations", e.evaluations)
+          .field("violation", e.best.violation)
+          .field("cost", e.best.cost);
+      break;
+    case JobEvent::Kind::row: {
+      const MethodResult& row = *e.row;
+      JsonWriter costs(JsonWriter::Kind::Array);
+      for (const double c : row.costs.as_array()) costs.element(c);
+      w.field("index", e.row_index)
+          .field("method", row.method)
+          .field("modules", row.module_count)
+          .field("violation", row.fitness.violation)
+          .field("cost", row.fitness.cost)
+          .field_raw("c", std::move(costs).str())
+          .field("sensor_area", row.sensor_area)
+          .field("delay_overhead", row.delay_overhead)
+          .field("test_overhead", row.test_overhead)
+          .field("iterations", row.iterations)
+          .field("evaluations", row.evaluations)
+          .field("feasible", row.fitness.feasible());
+      break;
+    }
+    case JobEvent::Kind::failed:
+      w.field("error", e.error);
+      break;
+    default:
+      break;
+  }
+  return std::move(w).str();
+}
+
+}  // namespace
+
+JobProtocolSession::JobProtocolSession(JobService& service,
+                                       support::LineChannel& channel,
+                                       Options options)
+    : service_(&service), channel_(&channel), options_(options) {}
+
+bool JobProtocolSession::run() {
+  if (options_.emit_hello)
+    send(JsonWriter()
+             .field("event", "hello")
+             .field("protocol", std::uint64_t{1})
+             .field("workers", service_->worker_count())
+             .str());
+
+  bool shutdown_requested = false;
+  std::string line;
+  while (channel_->read_line(line)) {
+    if (str::trim(line).empty()) continue;
+    if (handle_line(line)) {
+      shutdown_requested = true;
+      break;
+    }
+  }
+  // EOF and shutdown both drain: every submitted job reaches a terminal
+  // state and has streamed its events before the session ends.
+  drain();
+  if (shutdown_requested) send(JsonWriter().field("event", "bye").str());
+  return shutdown_requested;
+}
+
+bool JobProtocolSession::handle_line(const std::string& line) {
+  const auto request = json::JsonValue::parse(line);
+  if (!request || !request->is_object()) {
+    send_error("malformed request: not a JSON object");
+    return false;
+  }
+  const std::string op = request->get_string("op");
+  if (op == "shutdown") return true;
+  if (op == "stats") {
+    send_stats();
+    return false;
+  }
+  if (op == "cancel") {
+    const std::string id = request->get_string("id");
+    std::vector<JobHandle> to_cancel;
+    {
+      const std::scoped_lock lock(state_mutex_);
+      const auto it = sweeps_.find(id);
+      if (it != sweeps_.end()) to_cancel = it->second->handles;
+    }
+    if (to_cancel.empty()) {
+      send_error("cancel: unknown sweep id '" + id + "'");
+      return false;
+    }
+    for (auto& handle : to_cancel) handle.cancel();
+    return false;
+  }
+  if (op == "submit") {
+    SubmitRequest submit;
+    submit.id = request->get_string("id");
+    if (submit.id.empty()) submit.id = "job-" + std::to_string(++auto_id_);
+    if (const json::JsonValue* circuits = request->find("circuits")) {
+      for (const auto& c : circuits->items())
+        if (c.is_string()) submit.circuits.push_back(c.as_string());
+    } else if (const json::JsonValue* one = request->find("circuit")) {
+      if (one->is_string()) submit.circuits.push_back(one->as_string());
+    }
+    if (const json::JsonValue* methods = request->find("methods")) {
+      submit.methods.clear();
+      for (const auto& m : methods->items())
+        if (m.is_string()) submit.methods.push_back(m.as_string());
+    }
+    submit.seed = request->get_u64("seed", 1);
+    submit.budget = static_cast<std::size_t>(request->get_u64("budget", 0));
+    submit.use_cache = request->get_bool("cache", true);
+    if (submit.circuits.empty()) {
+      send_error("submit: needs \"circuits\" (or \"circuit\")");
+      return false;
+    }
+    if (submit.methods.empty()) {
+      send_error("submit: needs at least one method");
+      return false;
+    }
+    handle_submit(submit);
+    return false;
+  }
+  send_error("unknown op '" + op + "'");
+  return false;
+}
+
+void JobProtocolSession::handle_submit(const SubmitRequest& request) {
+  auto sweep = std::make_shared<Sweep>();
+  sweep->id = request.id;
+  sweep->remaining = request.circuits.size();
+  {
+    const std::scoped_lock lock(state_mutex_);
+    const auto it = sweeps_.find(request.id);
+    if (it != sweeps_.end() && it->second->remaining > 0) {
+      send_error("submit: sweep id '" + request.id + "' is still active");
+      return;
+    }
+    sweeps_[request.id] = sweep;
+  }
+  send(JsonWriter()
+           .field("event", "accepted")
+           .field("id", request.id)
+           .field("jobs", request.circuits.size())
+           .str());
+
+  for (std::size_t shard = 0; shard < request.circuits.size(); ++shard) {
+    JobSpec spec;
+    spec.circuit = request.circuits[shard];
+    spec.methods = request.methods;
+    // Same derivation as BatchRunner: shard-index seeds keep a server
+    // sweep byte-identical to `iddqsyn --jobs N` at the same base seed.
+    spec.base_seed = Rng::mix_seed(request.seed, shard);
+    spec.max_evaluations = request.budget;
+    spec.cache_policy = request.use_cache ? JobSpec::CachePolicy::use
+                                          : JobSpec::CachePolicy::bypass;
+    JobHandle handle = service_->submit(
+        std::move(spec),
+        [this, sweep](const JobEvent& event) { on_event(sweep, event); });
+    const std::scoped_lock lock(state_mutex_);
+    sweep->handles.push_back(handle);
+    handles_.push_back(std::move(handle));
+  }
+}
+
+void JobProtocolSession::on_event(const std::shared_ptr<Sweep>& sweep,
+                                  const JobEvent& event) {
+  send(event_json(sweep->id, event));
+  if (event.kind != JobEvent::Kind::done &&
+      event.kind != JobEvent::Kind::failed &&
+      event.kind != JobEvent::Kind::cancelled)
+    return;
+
+  bool sweep_finished = false;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  {
+    const std::scoped_lock lock(state_mutex_);
+    if (event.kind == JobEvent::Kind::done) ++sweep->ok;
+    if (event.kind == JobEvent::Kind::failed) ++sweep->failed;
+    if (event.kind == JobEvent::Kind::cancelled) ++sweep->cancelled;
+    if (--sweep->remaining == 0) {
+      sweep_finished = true;
+      ok = sweep->ok;
+      failed = sweep->failed;
+      cancelled = sweep->cancelled;
+    }
+  }
+  if (sweep_finished)
+    send(JsonWriter()
+             .field("event", "sweep_done")
+             .field("id", sweep->id)
+             .field("ok", ok)
+             .field("failed", failed)
+             .field("cancelled", cancelled)
+             .str());
+}
+
+void JobProtocolSession::send(const std::string& json) {
+  const std::scoped_lock lock(write_mutex_);
+  (void)channel_->write_line(json);  // a gone peer just stops the stream
+}
+
+void JobProtocolSession::send_error(const std::string& message) {
+  send(JsonWriter()
+           .field("event", "error")
+           .field("message", message)
+           .str());
+}
+
+void JobProtocolSession::send_stats() {
+  JsonWriter w;
+  w.field("event", "stats")
+      .field("workers", service_->worker_count())
+      .field("submitted", service_->submitted())
+      .field("completed", service_->completed())
+      .field("failed", service_->failed())
+      .field("cancelled", service_->cancelled());
+  if (const ResultCache* cache = service_->flow_config().cache;
+      cache != nullptr) {
+    w.field("cache_hits", cache->hits())
+        .field("cache_misses", cache->misses())
+        .field("cache_entries", cache->size())
+        .field("cache_corrupt_lines", cache->corrupt_lines());
+  }
+  send(std::move(w).str());
+}
+
+void JobProtocolSession::drain() {
+  std::vector<JobHandle> handles;
+  {
+    const std::scoped_lock lock(state_mutex_);
+    handles = handles_;
+  }
+  for (const auto& handle : handles) (void)handle.wait();
+}
+
+}  // namespace iddq::core

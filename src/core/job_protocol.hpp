@@ -1,0 +1,91 @@
+// Line-delimited JSON job protocol — the wire format of iddqsyn_server
+// (docs/server.md has the full spec and a worked session).
+//
+// One JobProtocolSession serves one client connection: it reads request
+// objects line by line from a support::LineChannel, shards submits across
+// the shared JobService (per-shard seeds mix_seed(seed, shard) — the same
+// derivation as BatchRunner, so server results are byte-identical to
+// `iddqsyn --jobs N` at the same base seed), and streams every JobEvent
+// back as it happens. Worker threads emit concurrently; the session
+// serializes channel writes internally.
+//
+// Requests (one JSON object per line):
+//   {"op":"submit","id":"t1","circuits":["c17","c1908"],
+//    "methods":["evolution","standard"],"seed":42,"budget":0,"cache":true}
+//   {"op":"cancel","id":"t1"}
+//   {"op":"stats"}
+//   {"op":"shutdown"}
+//
+// Responses/events: hello, accepted, queued, running, progress, row, done,
+// failed, cancelled, sweep_done, stats, error, bye. Every job event
+// carries the client-chosen sweep "id" plus the shard's "circuit".
+//
+// End of session: a shutdown op or channel EOF. Both drain — every
+// submitted job reaches a terminal state and its events are flushed
+// before run() returns (shutdown additionally answers "bye").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/job_service.hpp"
+#include "support/transport.hpp"
+
+namespace iddq::core {
+
+/// Session knobs; namespace-scope so it can be a default argument.
+struct JobProtocolOptions {
+  bool emit_hello = true;  // announce protocol/workers on session start
+};
+
+class JobProtocolSession {
+ public:
+  using Options = JobProtocolOptions;
+
+  /// `service` and `channel` must outlive the session. The service is
+  /// shared: several sessions (server connections) may submit to it
+  /// concurrently.
+  JobProtocolSession(JobService& service, support::LineChannel& channel,
+                     Options options = {});
+
+  /// Serves the connection until EOF or a shutdown op; drains outstanding
+  /// jobs before returning. Returns true when the client asked the whole
+  /// server to shut down (the caller decides what that means).
+  bool run();
+
+ private:
+  /// One submit's fan-out state; counters guarded by state_mutex_.
+  struct Sweep {
+    std::string id;
+    std::size_t remaining = 0;
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t cancelled = 0;
+    std::vector<JobHandle> handles;
+  };
+
+  /// Returns true when the line was a shutdown op.
+  bool handle_line(const std::string& line);
+  void handle_submit(const struct SubmitRequest& request);
+  void on_event(const std::shared_ptr<Sweep>& sweep, const JobEvent& event);
+  void send(const std::string& json);
+  void send_error(const std::string& message);
+  void send_stats();
+  void drain();
+
+  JobService* service_;
+  support::LineChannel* channel_;
+  Options options_;
+
+  std::mutex write_mutex_;  // serializes channel writes across threads
+  std::mutex state_mutex_;  // guards sweeps_ / handles_
+  std::unordered_map<std::string, std::shared_ptr<Sweep>> sweeps_;
+  std::vector<JobHandle> handles_;  // every job this session submitted
+  std::uint64_t auto_id_ = 0;       // for submits without an "id"
+};
+
+}  // namespace iddq::core

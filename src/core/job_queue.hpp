@@ -1,0 +1,65 @@
+// Closeable MPMC FIFO between JobService::submit and the worker pool.
+//
+// Deliberately minimal: a mutex + condition variable around a deque. The
+// service's throughput is bounded by optimizer runs (milliseconds to
+// minutes each), so lock-free cleverness would buy nothing; what matters
+// is the close() contract, which is what makes shutdown race-free:
+// after close(), push() refuses new work and pop() drains the remaining
+// items before returning nullopt to every blocked worker.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace iddq::core {
+
+template <typename T>
+class JobQueue {
+ public:
+  /// Enqueues `item`; returns false (dropping it) when the queue is closed.
+  bool push(T item) {
+    {
+      const std::scoped_lock lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item in FIFO order. Returns std::nullopt only
+  /// when the queue is closed AND drained.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops intake and wakes every blocked pop(). Idempotent.
+  void close() {
+    {
+      const std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace iddq::core

@@ -28,10 +28,13 @@
 
 namespace iddq::core {
 
-/// Snapshot handed to OptimizerRequest::on_progress. The built-in adapters
-/// wrap implementations that have no mid-run hook, so they report once, on
-/// completion; live per-iteration reporting is up to future optimizers
-/// (see ROADMAP "Progress streaming").
+/// Snapshot handed to OptimizerRequest::on_progress. The evolution,
+/// annealing, and tabu adapters report live (per generation / every
+/// progress_every steps) plus once on completion; the single-shot methods
+/// (standard, force, random, greedy) report on completion only. Callbacks
+/// may be invoked from worker threads and must never mutate search state —
+/// they can also throw (e.g. CancelledError) to abort the run, which is
+/// how JobService implements mid-run cancellation.
 struct OptimizerProgress {
   std::string_view method;
   std::size_t iteration = 0;  // method-specific major step (see Outcome)

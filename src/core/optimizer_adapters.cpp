@@ -62,6 +62,12 @@ class EvolutionOptimizer final : public Optimizer {
     EsParams params = params_;
     params.seed = req.seed;
     params.record_trace = params.record_trace || req.record_trace;
+    if (req.on_progress)
+      // Live per-generation ticks (ROADMAP progress item); the callback
+      // only observes, so the trajectory is unchanged.
+      params.on_generation = [&req](const GenerationStats& g) {
+        req.on_progress({"evolution", g.generation, g.evaluations, g.best});
+      };
     EvolutionEngine engine(context_of(req), params);
     EsResult es =
         req.start ? engine.run({&*req.start, 1})
@@ -95,6 +101,11 @@ class AnnealingOptimizer final : public Optimizer {
     SaParams params = params_;
     params.seed = req.seed;
     if (req.max_evaluations > 0) params.steps = req.max_evaluations;
+    if (req.on_progress)
+      params.on_step = [&req](std::size_t step, std::size_t evals,
+                              const part::Fitness& best) {
+        req.on_progress({"annealing", step, evals, best});
+      };
     SaResult sa =
         simulated_annealing(context_of(req), resolve_start(req), params);
     OptimizerOutcome out;
@@ -188,6 +199,11 @@ class TabuOptimizer final : public Optimizer {
     if (req.max_evaluations > 0)
       params.iterations =
           std::max<std::size_t>(1, req.max_evaluations / params.candidates);
+    if (req.on_progress)
+      params.on_round = [&req](std::size_t round, std::size_t evals,
+                               const part::Fitness& best) {
+        req.on_progress({"tabu", round, evals, best});
+      };
     TabuResult tabu = tabu_search(context_of(req), resolve_start(req), params);
     OptimizerOutcome out;
     out.method = std::string(name());

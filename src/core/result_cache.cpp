@@ -228,11 +228,16 @@ void ResultCache::attach_dir(const std::string& dir) {
   std::ifstream in(file_path_);
   std::string line;
   while (std::getline(in, line)) {
+    if (line.empty()) continue;
     std::uint64_t key = 0;
     CacheRecord record;
-    if (parse(line, key, record)) entries_[key] = std::move(record);
-    // Unparseable lines (truncated writes, foreign content) are skipped:
-    // the entry degrades to a miss and is rewritten on the next store.
+    if (parse(line, key, record))
+      entries_[key] = std::move(record);
+    else
+      // Unparseable lines (truncated writes, foreign content) are skipped:
+      // the entry degrades to a miss and is rewritten on the next store.
+      // The count is kept so callers can surface the degradation.
+      ++corrupt_lines_;
   }
   if (!in.is_open()) {
     // Create the file now so a cache dir attached read-only fails here,
@@ -277,6 +282,112 @@ std::uint64_t ResultCache::hits() const {
 std::uint64_t ResultCache::misses() const {
   const std::scoped_lock lock(mutex_);
   return misses_;
+}
+
+std::size_t ResultCache::corrupt_lines() const {
+  const std::scoped_lock lock(mutex_);
+  return corrupt_lines_;
+}
+
+namespace {
+
+std::string cache_file_of(const std::string& dir) {
+  return (std::filesystem::path(dir) / "results.jsonl").string();
+}
+
+/// Per-line scan shared by inspect and compact: key (when parseable), the
+/// raw line, and its index among non-empty lines.
+struct ScannedLine {
+  std::uint64_t key = 0;
+  bool parsed = false;
+  std::string raw;
+};
+
+std::vector<ScannedLine> scan_cache_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("result cache: cannot open '" + path + "'");
+  std::vector<ScannedLine> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ScannedLine scanned;
+    CacheRecord record;
+    scanned.parsed = ResultCache::parse(line, scanned.key, record);
+    scanned.raw = std::move(line);
+    lines.push_back(std::move(scanned));
+  }
+  return lines;
+}
+
+}  // namespace
+
+CacheFileStats inspect_cache_file(const std::string& dir) {
+  const auto lines = scan_cache_file(cache_file_of(dir));
+
+  CacheFileStats stats;
+  stats.total_lines = lines.size();
+  // Last write per key wins (the lookup semantics of attach_dir).
+  std::unordered_map<std::uint64_t, std::size_t> last_index;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!lines[i].parsed) {
+      ++stats.corrupt_lines;
+      continue;
+    }
+    const auto [it, inserted] = last_index.insert_or_assign(lines[i].key, i);
+    (void)it;
+    if (!inserted) ++stats.duplicate_lines;
+  }
+  stats.unique_keys = last_index.size();
+  for (const auto& [key, index] : last_index) {
+    (void)key;
+    // Age 1 = the file's last line. Bucket by floor(log2(age)).
+    const std::size_t age = lines.size() - index;
+    std::size_t bucket = 0;
+    while ((std::size_t{2} << bucket) <= age) ++bucket;
+    if (stats.age_histogram.size() <= bucket)
+      stats.age_histogram.resize(bucket + 1, 0);
+    ++stats.age_histogram[bucket];
+  }
+  return stats;
+}
+
+CacheCompaction compact_cache_file(const std::string& dir) {
+  const std::string path = cache_file_of(dir);
+  const auto lines = scan_cache_file(path);
+
+  CacheCompaction result;
+  std::unordered_map<std::uint64_t, std::size_t> last_index;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!lines[i].parsed) {
+      ++result.dropped_corrupt;
+      continue;
+    }
+    const auto [it, inserted] = last_index.insert_or_assign(lines[i].key, i);
+    (void)it;
+    if (!inserted) ++result.dropped_duplicates;
+  }
+
+  // Keep the surviving lines in their original (last-write) file order so
+  // a compacted file replays identically, then swap in atomically.
+  const std::string tmp_path = path + ".compact.tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out)
+      throw Error("result cache: cannot write '" + tmp_path + "'");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (!lines[i].parsed || last_index.at(lines[i].key) != i) continue;
+      out << lines[i].raw << '\n';
+      ++result.kept;
+    }
+    if (!out)
+      throw Error("result cache: write to '" + tmp_path + "' failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec)
+    throw Error("result cache: cannot replace '" + path +
+                "': " + ec.message());
+  return result;
 }
 
 std::uint64_t cache_context_fingerprint(std::uint64_t netlist_fp,

@@ -74,6 +74,11 @@ class ResultCache {
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
 
+  /// Non-empty lines of the attached file that failed to parse (each one
+  /// silently degraded to a miss). Surfaced by the CLI's cache stats so a
+  /// corrupted sweep directory is visible instead of just slow.
+  [[nodiscard]] std::size_t corrupt_lines() const;
+
   /// One JSON line (no trailing newline). Doubles are written with 17
   /// significant digits, which round-trips IEEE-754 exactly.
   [[nodiscard]] static std::string serialize(std::uint64_t key,
@@ -90,7 +95,38 @@ class ResultCache {
   std::string file_path_;  // empty = in-memory only
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  std::size_t corrupt_lines_ = 0;
 };
+
+/// What `iddqsyn --cache-stats` reports about a results.jsonl file.
+struct CacheFileStats {
+  std::size_t total_lines = 0;      // non-empty lines
+  std::size_t corrupt_lines = 0;    // unparseable (degrade to misses)
+  std::size_t unique_keys = 0;
+  std::size_t duplicate_lines = 0;  // parsed lines shadowed by a later write
+  /// Age histogram over the *surviving* (last-write) line of every unique
+  /// key: bucket b counts keys whose last write is [2^b, 2^(b+1)) lines
+  /// from the file end — a quick view of how stale a long-lived sweep
+  /// directory's useful entries are.
+  std::vector<std::size_t> age_histogram;
+};
+
+/// Scans `<dir>/results.jsonl` without loading records into memory beyond
+/// their keys. Throws iddq::Error when the file cannot be opened.
+[[nodiscard]] CacheFileStats inspect_cache_file(const std::string& dir);
+
+/// Outcome of compact_cache_file.
+struct CacheCompaction {
+  std::size_t kept = 0;                // lines in the rewritten file
+  std::size_t dropped_duplicates = 0;  // earlier writes of a rewritten key
+  std::size_t dropped_corrupt = 0;     // unparseable lines removed
+};
+
+/// Rewrites `<dir>/results.jsonl` keeping only the last line per key (in
+/// last-write order), atomically via a temp file + rename. Byte-preserving
+/// for the surviving lines. Throws iddq::Error on IO failure. Must not run
+/// concurrently with writers appending to the same directory.
+[[nodiscard]] CacheCompaction compact_cache_file(const std::string& dir);
 
 /// Fingerprint of everything that is constant per FlowEngine: circuit and
 /// library content, sensor spec, cost weights, rho, and the optimizer

@@ -1,0 +1,22 @@
+// Shared progress-callback vocabulary for the step-driven local searches.
+//
+// Split out of the optimizer headers so annealing and tabu (and any
+// future step-driven search) can share the alias without including each
+// other; core/optimizer.hpp cannot host it because it includes those
+// headers (cycle).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "partition/cost_model.hpp"
+
+namespace iddq::core {
+
+/// Mid-run observer for step-driven searches: (steps done, evaluations
+/// spent, best fitness so far). Reporting only — the callback cannot
+/// alter the search trajectory.
+using StepCallback =
+    std::function<void(std::size_t, std::size_t, const part::Fitness&)>;
+
+}  // namespace iddq::core

@@ -35,6 +35,9 @@ TabuResult tabu_search(const part::EvalContext& ctx,
 
   std::size_t stall = 0;
   for (std::size_t round = 1; round <= params.iterations; ++round) {
+    if (params.on_round && params.progress_every > 0 && round > 1 &&
+        (round - 1) % params.progress_every == 0)
+      params.on_round(round - 1, result.evaluations, result.best_fitness);
     // Sample and evaluate the candidate neighbourhood (moves deduplicated
     // by gate: one gate appears at most once per round).
     std::vector<Candidate> candidates;

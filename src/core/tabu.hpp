@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "core/step_callback.hpp"
 #include "partition/evaluator.hpp"
 
 namespace iddq::core {
@@ -27,6 +28,10 @@ struct TabuParams {
   std::size_t stall_iterations = 120;  // stop after this many without gain
   double violation_penalty = 1.0e4;
   std::uint64_t seed = 1;
+  /// Per-run progress fields (like seed, not hashed into cache keys):
+  /// on_round fires every `progress_every` rounds when set (0 disables).
+  std::size_t progress_every = 25;
+  StepCallback on_round;
 };
 
 struct TabuResult {

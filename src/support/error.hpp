@@ -43,6 +43,14 @@ class LookupError : public Error {
   using Error::Error;
 };
 
+/// Thrown to unwind a cooperatively cancelled run (core::JobService). Kept
+/// in the Error hierarchy so generic catch sites still clean up, while job
+/// executors can distinguish "cancelled" from "failed".
+class CancelledError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line) {

@@ -1,0 +1,160 @@
+#include "support/transport.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace iddq::support {
+
+namespace {
+
+// A peer that disconnects mid-stream must surface as write_line() == false,
+// not as a process-killing SIGPIPE. MSG_NOSIGNAL covers the socket sends;
+// this covers any remaining pipe writes (pipe-mode stdout).
+void ignore_sigpipe_once() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw Error("unix socket path too long: '" + path + "'");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+bool StreamChannel::read_line(std::string& out) {
+  ignore_sigpipe_once();
+  return static_cast<bool>(std::getline(*in_, out));
+}
+
+bool StreamChannel::write_line(std::string_view line) {
+  ignore_sigpipe_once();
+  (*out_) << line << '\n';
+  out_->flush();
+  return static_cast<bool>(*out_);
+}
+
+FdChannel::~FdChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool FdChannel::read_line(std::string& out) {
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) {
+      // EOF: a final unterminated line is delivered once.
+      if (buffer_.empty()) return false;
+      out = std::move(buffer_);
+      buffer_.clear();
+      return true;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool FdChannel::write_line(std::string_view line) {
+  std::string framed(line);
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+UnixSocketListener::UnixSocketListener(const std::string& path)
+    : path_(path) {
+  ignore_sigpipe_once();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw Error(std::string("unix socket: ") + std::strerror(errno));
+  const sockaddr_un addr = make_address(path_);
+  ::unlink(path_.c_str());  // a stale socket file from a dead server
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw Error("unix socket: cannot bind '" + path_ + "': " + reason);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    ::unlink(path_.c_str());
+    throw Error("unix socket: cannot listen on '" + path_ + "': " + reason);
+  }
+  fd_.store(fd);
+}
+
+UnixSocketListener::~UnixSocketListener() { close(); }
+
+std::unique_ptr<FdChannel> UnixSocketListener::accept() {
+  while (true) {
+    const int fd = fd_.load();
+    if (fd < 0) return nullptr;
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0) return std::make_unique<FdChannel>(conn);
+    if (errno == EINTR) continue;
+    return nullptr;  // closed under us, or unrecoverable
+  }
+}
+
+void UnixSocketListener::close() {
+  // Exactly one caller wins the exchange, so a shutdown-requesting session
+  // thread and the destructor can both call close() without double-closing
+  // (and without ever closing an fd number the kernel has recycled).
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() unblocks a concurrent accept() before the close.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+    ::unlink(path_.c_str());
+  }
+}
+
+std::unique_ptr<FdChannel> connect_unix_socket(const std::string& path) {
+  ignore_sigpipe_once();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw Error(std::string("unix socket: ") + std::strerror(errno));
+  const sockaddr_un addr = make_address(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw Error("unix socket: cannot connect to '" + path + "': " + reason);
+  }
+  return std::make_unique<FdChannel>(fd);
+}
+
+}  // namespace iddq::support

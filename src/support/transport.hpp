@@ -1,0 +1,103 @@
+// Line-delimited transports for the job server (docs/server.md).
+//
+// The protocol is newline-framed JSON, so the only transport contract is
+// "read a line / write a line". Two implementations:
+//
+//  * StreamChannel — wraps std::istream/std::ostream. Used for the server's
+//    pipe mode (stdin/stdout), and by tests over stringstreams.
+//  * Unix-domain sockets — UnixSocketListener accepts FdChannel
+//    connections; connect_unix_socket() opens the client side. Local-only
+//    by construction (filesystem permissions gate access), which is the
+//    right scope for a per-host sweep server.
+//
+// write_line is NOT internally synchronized: concurrent writers (worker
+// threads streaming events) must serialize through their own mutex, which
+// the protocol session does.
+#pragma once
+
+#include <atomic>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace iddq::support {
+
+class LineChannel {
+ public:
+  virtual ~LineChannel() = default;
+
+  /// Blocks for the next '\n'-terminated line (terminator stripped).
+  /// Returns false on EOF or a broken connection.
+  virtual bool read_line(std::string& out) = 0;
+
+  /// Writes `line` plus a terminating '\n' and flushes. Returns false when
+  /// the peer is gone; the caller stops streaming to this channel.
+  virtual bool write_line(std::string_view line) = 0;
+};
+
+/// iostream-backed channel (pipe mode, tests).
+class StreamChannel final : public LineChannel {
+ public:
+  StreamChannel(std::istream& in, std::ostream& out) : in_(&in), out_(&out) {}
+
+  bool read_line(std::string& out) override;
+  bool write_line(std::string_view line) override;
+
+ private:
+  std::istream* in_;
+  std::ostream* out_;
+};
+
+/// File-descriptor channel (one accepted socket connection). Owns the fd.
+class FdChannel final : public LineChannel {
+ public:
+  explicit FdChannel(int fd) : fd_(fd) {}
+  ~FdChannel() override;
+
+  FdChannel(const FdChannel&) = delete;
+  FdChannel& operator=(const FdChannel&) = delete;
+
+  bool read_line(std::string& out) override;
+  bool write_line(std::string_view line) override;
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+/// Listening unix-domain socket. The constructor unlinks a stale socket
+/// file at `path`, binds, and listens; the destructor closes and unlinks.
+/// Throws iddq::Error on any socket-API failure.
+class UnixSocketListener {
+ public:
+  explicit UnixSocketListener(const std::string& path);
+  ~UnixSocketListener();
+
+  UnixSocketListener(const UnixSocketListener&) = delete;
+  UnixSocketListener& operator=(const UnixSocketListener&) = delete;
+
+  /// Blocks for the next connection; returns nullptr once close() was
+  /// called (or the listener failed).
+  [[nodiscard]] std::unique_ptr<FdChannel> accept();
+
+  /// Unblocks accept(). Safe to call from another thread and repeatedly.
+  void close();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  /// Owned listening fd; -1 once closed. Atomic because close() may be
+  /// called from a session thread while accept() runs in the accept loop
+  /// (exchange also makes double-close impossible).
+  std::atomic<int> fd_{-1};
+};
+
+/// Connects to a UnixSocketListener at `path`. Throws iddq::Error when the
+/// socket does not exist or refuses the connection.
+[[nodiscard]] std::unique_ptr<FdChannel> connect_unix_socket(
+    const std::string& path);
+
+}  // namespace iddq::support

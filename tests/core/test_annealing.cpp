@@ -55,6 +55,32 @@ TEST(Annealing, DeterministicForSeed) {
   EXPECT_EQ(a.accepted, b.accepted);
 }
 
+TEST(Annealing, OnStepTicksLiveWithoutChangingTheRun) {
+  Fixture f;
+  SaParams params;
+  params.steps = 2000;
+  params.seed = 5;
+  const auto expected = simulated_annealing(f.ctx, f.start(), params);
+
+  params.progress_every = 250;
+  std::size_t ticks = 0;
+  std::size_t last_step = 0;
+  params.on_step = [&](std::size_t step, std::size_t evaluations,
+                       const part::Fitness& best) {
+    ++ticks;
+    EXPECT_GT(step, last_step);
+    EXPECT_GT(evaluations, 0u);
+    EXPECT_LE(best.cost, 1e12);
+    last_step = step;
+  };
+  const auto observed = simulated_annealing(f.ctx, f.start(), params);
+
+  EXPECT_EQ(ticks, (params.steps - 1) / params.progress_every);
+  EXPECT_EQ(observed.best_fitness.cost, expected.best_fitness.cost);
+  EXPECT_EQ(observed.best_partition, expected.best_partition);
+  EXPECT_EQ(observed.evaluations, expected.evaluations);
+}
+
 TEST(Annealing, BestCostsMatchReEvaluation) {
   Fixture f;
   SaParams params;

@@ -79,6 +79,35 @@ TEST(Evolution, DeterministicForSeed) {
   EXPECT_EQ(ra.evaluations, rb.evaluations);
 }
 
+TEST(Evolution, OnGenerationTicksLiveWithoutChangingTheRun) {
+  Fixture f;
+  EvolutionEngine plain(f.ctx, f.quick_params());
+  const auto expected = plain.run_with_module_count(3);
+
+  auto params = f.quick_params();
+  std::size_t ticks = 0;
+  std::size_t last_generation = 0;
+  std::size_t last_evaluations = 0;
+  params.on_generation = [&](const GenerationStats& g) {
+    ++ticks;
+    EXPECT_EQ(g.generation, last_generation + 1);  // every generation, in order
+    EXPECT_GT(g.evaluations, last_evaluations);    // cumulative counter
+    last_generation = g.generation;
+    last_evaluations = g.evaluations;
+  };
+  EvolutionEngine observed(f.ctx, params);
+  const auto result = observed.run_with_module_count(3);
+
+  // The observer reported every generation and never perturbed the search.
+  EXPECT_EQ(ticks, result.generations);
+  EXPECT_EQ(last_evaluations, result.evaluations);
+  EXPECT_EQ(result.best_partition, expected.best_partition);
+  EXPECT_EQ(result.best_fitness.cost, expected.best_fitness.cost);
+  EXPECT_EQ(result.evaluations, expected.evaluations);
+  // The callback alone does not record a trace.
+  EXPECT_TRUE(result.trace.empty());
+}
+
 TEST(Evolution, BestPartitionCoversCircuit) {
   Fixture f;
   EvolutionEngine engine(f.ctx, f.quick_params());

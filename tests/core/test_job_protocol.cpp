@@ -1,0 +1,277 @@
+// Pipe-mode protocol round trip: a JobProtocolSession driven over string
+// streams, with streamed rows checked field-for-field against direct
+// FlowEngine::run_methods calls (the ISSUE acceptance contract: the
+// server path is byte-identical to the engine, including cache replays —
+// doubles travel as 17-significant-digit tokens, which round-trip
+// IEEE-754 exactly).
+#include "core/job_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/flow_engine.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/transport.hpp"
+
+namespace iddq::core {
+namespace {
+
+netlist::Netlist synthetic_circuit(const std::string& spec) {
+  if (spec == "bad") throw Error("synthetic loader: bad circuit");
+  const std::size_t gates = 120 + 40 * (spec.back() - 'a');
+  return netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic(spec, gates, 10, 5));
+}
+
+FlowEngineConfig quick_config() {
+  FlowEngineConfig config;
+  config.optimizers.es.mu = 3;
+  config.optimizers.es.lambda = 3;
+  config.optimizers.es.chi = 1;
+  config.optimizers.es.max_generations = 10;
+  config.optimizers.es.stall_generations = 5;
+  config.optimizers.random_samples = 50;
+  return config;
+}
+
+std::unique_ptr<JobService> make_service(const lib::CellLibrary& library,
+                                         std::size_t workers,
+                                         FlowEngineConfig config) {
+  JobServiceConfig service_config;
+  service_config.workers = workers;
+  service_config.flow = std::move(config);
+  auto service =
+      std::make_unique<JobService>(library, std::move(service_config));
+  service->set_circuit_loader(synthetic_circuit);
+  return service;
+}
+
+/// Runs one pipe-mode session over the given request lines and returns
+/// every emitted event, parsed.
+std::vector<json::JsonValue> run_session(JobService& service,
+                                         const std::string& input,
+                                         bool* shutdown_requested = nullptr) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  support::StreamChannel channel(in, out);
+  JobProtocolSession session(service, channel);
+  const bool requested = session.run();
+  if (shutdown_requested != nullptr) *shutdown_requested = requested;
+
+  std::vector<json::JsonValue> events;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    auto event = json::JsonValue::parse(line);
+    EXPECT_TRUE(event.has_value()) << "unparseable event: " << line;
+    if (event) events.push_back(std::move(*event));
+  }
+  return events;
+}
+
+std::vector<const json::JsonValue*> events_of_kind(
+    const std::vector<json::JsonValue>& events, const std::string& kind) {
+  std::vector<const json::JsonValue*> out;
+  for (const auto& e : events)
+    if (e.get_string("event") == kind) out.push_back(&e);
+  return out;
+}
+
+void expect_bits_eq(double got, double want, const char* field) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+            std::bit_cast<std::uint64_t>(want))
+      << field << ": " << got << " vs " << want;
+}
+
+void expect_row_matches(const json::JsonValue& event,
+                        const MethodResult& want) {
+  EXPECT_EQ(event.get_string("method"), want.method);
+  EXPECT_EQ(event.get_u64("modules"), want.module_count);
+  expect_bits_eq(event.get_double("violation"), want.fitness.violation,
+                 "violation");
+  expect_bits_eq(event.get_double("cost"), want.fitness.cost, "cost");
+  const json::JsonValue* c = event.find("c");
+  ASSERT_NE(c, nullptr);
+  const auto want_c = want.costs.as_array();
+  ASSERT_EQ(c->items().size(), want_c.size());
+  for (std::size_t i = 0; i < want_c.size(); ++i)
+    expect_bits_eq(c->items()[i].as_double(), want_c[i], "c[i]");
+  expect_bits_eq(event.get_double("sensor_area"), want.sensor_area,
+                 "sensor_area");
+  expect_bits_eq(event.get_double("delay_overhead"), want.delay_overhead,
+                 "delay_overhead");
+  expect_bits_eq(event.get_double("test_overhead"), want.test_overhead,
+                 "test_overhead");
+  EXPECT_EQ(event.get_u64("iterations"), want.iterations);
+  EXPECT_EQ(event.get_u64("evaluations"), want.evaluations);
+  EXPECT_EQ(event.get_bool("feasible", false), want.fitness.feasible());
+}
+
+TEST(JobProtocol, PipeRoundTripMatchesRunMethods) {
+  // The ISSUE round trip: 2 circuits x 3 methods through the pipe-mode
+  // protocol; every streamed row must match a direct run_methods call at
+  // the shard-derived seed.
+  const auto library = lib::default_library();
+  const auto config = quick_config();
+  const auto service = make_service(library, 2, config);
+
+  const std::vector<std::string> circuits{"ca", "cb"};
+  const std::vector<std::string> methods{"evolution", "random", "standard"};
+  const std::uint64_t seed = 42;
+
+  const auto events = run_session(
+      *service,
+      R"({"op":"submit","id":"t1","circuits":["ca","cb"],)"
+      R"("methods":["evolution","random","standard"],"seed":42})"
+      "\n");
+
+  ASSERT_EQ(events_of_kind(events, "accepted").size(), 1u);
+  ASSERT_EQ(events_of_kind(events, "done").size(), 2u);
+  ASSERT_EQ(events_of_kind(events, "failed").size(), 0u);
+  const auto sweep_done = events_of_kind(events, "sweep_done");
+  ASSERT_EQ(sweep_done.size(), 1u);
+  EXPECT_EQ(sweep_done[0]->get_u64("ok"), 2u);
+
+  // Group row events per circuit; within one circuit they must arrive in
+  // method order (jobs interleave, a job's rows do not).
+  std::map<std::string, std::vector<const json::JsonValue*>> rows;
+  for (const auto* row : events_of_kind(events, "row"))
+    rows[row->get_string("circuit")].push_back(row);
+  ASSERT_EQ(rows.size(), circuits.size());
+
+  for (std::size_t shard = 0; shard < circuits.size(); ++shard) {
+    SCOPED_TRACE(circuits[shard]);
+    const netlist::Netlist nl = synthetic_circuit(circuits[shard]);
+    FlowEngine engine(nl, library, config);
+    const auto expected =
+        engine.run_methods(methods, Rng::mix_seed(seed, shard));
+
+    const auto& got = rows[circuits[shard]];
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t m = 0; m < expected.size(); ++m) {
+      SCOPED_TRACE(methods[m]);
+      EXPECT_EQ(got[m]->get_u64("index"), m);
+      expect_row_matches(*got[m], expected[m]);
+    }
+  }
+}
+
+TEST(JobProtocol, CacheHitReplayStreamsIdenticalRows) {
+  const auto library = lib::default_library();
+  ResultCache cache;
+  FlowEngineConfig config = quick_config();
+  config.cache = &cache;
+  const auto service = make_service(library, 2, config);
+
+  const std::string submit =
+      R"({"op":"submit","id":"s","circuits":["ca"],)"
+      R"("methods":["evolution","standard"],"seed":7})"
+      "\n";
+  const auto first = run_session(*service, submit);
+  const auto misses = cache.misses();
+  EXPECT_GT(misses, 0u);
+  const auto second = run_session(*service, submit);
+  EXPECT_EQ(cache.misses(), misses);  // second sweep: all hits
+  EXPECT_GE(cache.hits(), 2u);
+
+  const auto rows_first = events_of_kind(first, "row");
+  const auto rows_second = events_of_kind(second, "row");
+  ASSERT_EQ(rows_first.size(), 2u);
+  ASSERT_EQ(rows_second.size(), rows_first.size());
+  for (std::size_t i = 0; i < rows_first.size(); ++i) {
+    // Field-for-field identical (the "job" id necessarily differs).
+    EXPECT_EQ(rows_second[i]->get_string("method"),
+              rows_first[i]->get_string("method"));
+    expect_bits_eq(rows_second[i]->get_double("cost"),
+                   rows_first[i]->get_double("cost"), "cost");
+    expect_bits_eq(rows_second[i]->get_double("sensor_area"),
+                   rows_first[i]->get_double("sensor_area"), "sensor_area");
+    EXPECT_EQ(rows_second[i]->get_u64("evaluations"),
+              rows_first[i]->get_u64("evaluations"));
+    EXPECT_EQ(rows_second[i]->get_u64("modules"),
+              rows_first[i]->get_u64("modules"));
+  }
+}
+
+TEST(JobProtocol, CancelOpCancelsTheSweep) {
+  const auto library = lib::default_library();
+  FlowEngineConfig config = quick_config();
+  config.optimizers.es.max_generations = 1000000;
+  config.optimizers.es.stall_generations = 1000000;
+  const auto service = make_service(library, 1, config);
+
+  // The cancel op lands while the unbounded job is queued or mid-run;
+  // either way the sweep must terminate as cancelled (EOF then drains).
+  const auto events = run_session(
+      *service,
+      R"({"op":"submit","id":"c","circuits":["ca"],"methods":["evolution"]})"
+      "\n"
+      R"({"op":"cancel","id":"c"})"
+      "\n");
+
+  ASSERT_EQ(events_of_kind(events, "cancelled").size(), 1u);
+  const auto sweep_done = events_of_kind(events, "sweep_done");
+  ASSERT_EQ(sweep_done.size(), 1u);
+  EXPECT_EQ(sweep_done[0]->get_u64("cancelled"), 1u);
+  EXPECT_EQ(events_of_kind(events, "row").size(), 0u);
+}
+
+TEST(JobProtocol, ReportsProtocolErrorsAndStats) {
+  const auto library = lib::default_library();
+  const auto service = make_service(library, 1, quick_config());
+
+  bool shutdown_requested = false;
+  const auto events = run_session(*service,
+                                  "this is not json\n"
+                                  R"({"op":"frobnicate"})"
+                                  "\n"
+                                  R"({"op":"submit","id":"x"})"
+                                  "\n"
+                                  R"({"op":"cancel","id":"nope"})"
+                                  "\n"
+                                  R"({"op":"stats"})"
+                                  "\n"
+                                  R"({"op":"shutdown"})"
+                                  "\n",
+                                  &shutdown_requested);
+
+  EXPECT_TRUE(shutdown_requested);
+  EXPECT_EQ(events_of_kind(events, "error").size(), 4u);
+  const auto stats = events_of_kind(events, "stats");
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0]->get_u64("submitted"), 0u);
+  ASSERT_EQ(events_of_kind(events, "hello").size(), 1u);
+  ASSERT_EQ(events_of_kind(events, "bye").size(), 1u);
+}
+
+TEST(JobProtocol, FailedShardIsReportedAndCounted) {
+  const auto library = lib::default_library();
+  const auto service = make_service(library, 2, quick_config());
+  const auto events = run_session(
+      *service,
+      R"({"op":"submit","id":"f","circuits":["ca","bad"],)"
+      R"("methods":["standard"]})"
+      "\n");
+  const auto failed = events_of_kind(events, "failed");
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0]->get_string("circuit"), "bad");
+  EXPECT_NE(failed[0]->get_string("error").find("bad circuit"),
+            std::string::npos);
+  const auto sweep_done = events_of_kind(events, "sweep_done");
+  ASSERT_EQ(sweep_done.size(), 1u);
+  EXPECT_EQ(sweep_done[0]->get_u64("ok"), 1u);
+  EXPECT_EQ(sweep_done[0]->get_u64("failed"), 1u);
+}
+
+}  // namespace
+}  // namespace iddq::core

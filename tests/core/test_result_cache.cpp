@@ -11,6 +11,7 @@
 
 #include "core/flow_engine.hpp"
 #include "netlist/gen/random_dag.hpp"
+#include "support/error.hpp"
 
 namespace iddq::core {
 namespace {
@@ -137,6 +138,74 @@ TEST(ResultCache, SkipsCorruptLines) {
   ResultCache reloaded(dir);
   EXPECT_EQ(reloaded.size(), 1u);  // the two bad lines degrade to misses
   EXPECT_TRUE(reloaded.lookup(42).has_value());
+  // ... and the degradation is counted, not silent (the CLI surfaces it).
+  EXPECT_EQ(reloaded.corrupt_lines(), 2u);
+}
+
+TEST(ResultCacheMaintenance, InspectCountsKeysDuplicatesAndCorruption) {
+  const std::string dir = fresh_dir("inspect");
+  {
+    ResultCache cache(dir);
+    cache.store(1, sample_record());
+    cache.store(2, sample_record());
+    cache.store(1, sample_record());  // duplicate key, appended again
+  }
+  {
+    std::ofstream out(dir + "/results.jsonl", std::ios::app);
+    out << "not json\n";
+  }
+  const CacheFileStats stats = inspect_cache_file(dir);
+  EXPECT_EQ(stats.total_lines, 4u);
+  EXPECT_EQ(stats.corrupt_lines, 1u);
+  EXPECT_EQ(stats.unique_keys, 2u);
+  EXPECT_EQ(stats.duplicate_lines, 1u);
+  // Histogram covers every unique key exactly once.
+  std::size_t histogram_total = 0;
+  for (const std::size_t count : stats.age_histogram)
+    histogram_total += count;
+  EXPECT_EQ(histogram_total, stats.unique_keys);
+}
+
+TEST(ResultCacheMaintenance, CompactKeepsLastWritePerKey) {
+  const std::string dir = fresh_dir("compact");
+  CacheRecord newer = sample_record();
+  newer.evaluations = 999;  // distinguish last write from first
+  {
+    ResultCache cache(dir);
+    cache.store(1, sample_record());
+    cache.store(2, sample_record());
+    cache.store(1, newer);
+  }
+  {
+    std::ofstream out(dir + "/results.jsonl", std::ios::app);
+    out << "truncated garbage\n";
+  }
+
+  const CacheCompaction compaction = compact_cache_file(dir);
+  EXPECT_EQ(compaction.kept, 2u);
+  EXPECT_EQ(compaction.dropped_duplicates, 1u);
+  EXPECT_EQ(compaction.dropped_corrupt, 1u);
+
+  // The compacted file reloads with identical lookup results: key 1 maps
+  // to the LAST write.
+  ResultCache reloaded(dir);
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_EQ(reloaded.corrupt_lines(), 0u);
+  const auto hit = reloaded.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  expect_record_eq(*hit, newer);
+  EXPECT_TRUE(reloaded.lookup(2).has_value());
+
+  // Compacting an already-compact file is a no-op.
+  const CacheCompaction again = compact_cache_file(dir);
+  EXPECT_EQ(again.kept, 2u);
+  EXPECT_EQ(again.dropped_duplicates, 0u);
+  EXPECT_EQ(again.dropped_corrupt, 0u);
+}
+
+TEST(ResultCacheMaintenance, InspectThrowsWithoutCacheFile) {
+  const std::string dir = fresh_dir("missing");
+  EXPECT_THROW((void)inspect_cache_file(dir), Error);
 }
 
 TEST(CacheKey, SensitiveToEveryRunInput) {

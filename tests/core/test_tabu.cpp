@@ -59,6 +59,33 @@ TEST(Tabu, DeterministicForSeed) {
   EXPECT_EQ(a.iterations, b.iterations);
 }
 
+TEST(Tabu, OnRoundTicksLiveWithoutChangingTheRun) {
+  Fixture f;
+  TabuParams params;
+  params.iterations = 120;
+  params.seed = 11;
+  const auto expected = tabu_search(f.ctx, f.start(), params);
+
+  params.progress_every = 25;
+  std::size_t ticks = 0;
+  std::size_t last_round = 0;
+  params.on_round = [&](std::size_t round, std::size_t evaluations,
+                        const part::Fitness& best) {
+    ++ticks;
+    EXPECT_GT(round, last_round);
+    EXPECT_GT(evaluations, 0u);
+    EXPECT_TRUE(best.cost == best.cost);  // populated (not NaN)
+    last_round = round;
+  };
+  const auto observed = tabu_search(f.ctx, f.start(), params);
+
+  EXPECT_EQ(ticks, (params.iterations - 1) / params.progress_every);
+  EXPECT_EQ(observed.best_fitness.cost, expected.best_fitness.cost);
+  EXPECT_EQ(observed.best_partition, expected.best_partition);
+  EXPECT_EQ(observed.evaluations, expected.evaluations);
+  EXPECT_EQ(observed.iterations, expected.iterations);
+}
+
 TEST(Tabu, BestCostsMatchReEvaluation) {
   Fixture f;
   TabuParams params;

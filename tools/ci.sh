@@ -3,11 +3,41 @@
 #   configure + build (warnings-as-errors for src/) + full ctest.
 #
 #   $ tools/ci.sh [build-dir]        default build dir: build-ci
+#
+# Server smoke (what the CI server-smoke job runs): build only the job
+# server, start it in pipe mode, submit a builtin-circuit job, and assert
+# a result row streams back.
+#
+#   $ tools/ci.sh smoke [build-dir]  default build dir: build-smoke
 set -eu
 
-BUILD_DIR="${1:-build-ci}"
-JOBS="$(nproc 2>/dev/null || echo 2)"
+MODE="full"
+if [ "${1:-}" = "smoke" ]; then
+  MODE="smoke"
+  shift
+fi
 
-cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." -DIDDQ_WERROR=ON
+JOBS="$(nproc 2>/dev/null || echo 2)"
+ROOT="$(dirname "$0")/.."
+
+if [ "$MODE" = "smoke" ]; then
+  BUILD_DIR="${1:-build-smoke}"
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DIDDQ_WERROR=ON -DIDDQ_BUILD_TESTS=OFF \
+    -DIDDQ_BUILD_BENCHES=OFF -DIDDQ_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target iddqsyn_server
+  OUT="$BUILD_DIR/server_smoke_out.txt"
+  printf '%s\n%s\n' \
+    '{"op":"submit","id":"smoke","circuits":["c17"],"methods":["random","standard"],"seed":42}' \
+    '{"op":"shutdown"}' \
+    | "$BUILD_DIR/iddqsyn_server" --pipe --workers 2 > "$OUT"
+  grep -q '"event":"row"' "$OUT"
+  grep -q '"event":"sweep_done","id":"smoke","ok":1' "$OUT"
+  grep -q '"event":"bye"' "$OUT"
+  echo "server smoke OK"
+  exit 0
+fi
+
+BUILD_DIR="${1:-build-ci}"
+cmake -B "$BUILD_DIR" -S "$ROOT" -DIDDQ_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

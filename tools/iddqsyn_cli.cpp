@@ -22,9 +22,19 @@
 //                         (circuit, method, seed, budget) point in DIR
 //                         before running it and store new results there
 //                         (see docs/caching.md); prints hit/miss stats to
-//                         stderr at the end
+//                         stderr at the end (including corrupt-line counts
+//                         when the cache file has degraded)
 //   --no-cache            disable the cache even when --cache-dir is given
-//   --progress            stream optimizer progress to stderr
+//   --cache-stats DIR     inspect DIR/results.jsonl (entries, duplicate
+//                         keys, corrupt lines, hit-age histogram) and exit
+//   --cache-compact DIR   rewrite DIR/results.jsonl keeping only the last
+//                         row per key, and exit
+//   --submit SOCKET       client mode: send the job to an iddqsyn_server
+//                         listening on the unix socket SOCKET instead of
+//                         running locally; rows stream back as they
+//                         complete (docs/server.md)
+//   --progress            stream optimizer progress to stderr (live per-
+//                         generation/per-step ticks)
 //   --list-methods        print the registered optimizer names and exit
 //   -o FILE               write the first method's partition to FILE
 //                         (single-circuit runs only)
@@ -50,6 +60,7 @@
 
 #include "core/batch_runner.hpp"
 #include "core/flow_engine.hpp"
+#include "core/result_cache.hpp"
 #include "core/resynth.hpp"
 #include "library/cell_library.hpp"
 #include "library/lib_io.hpp"
@@ -58,8 +69,10 @@
 #include "partition/partition_io.hpp"
 #include "report/table.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
+#include "support/transport.hpp"
 
 namespace {
 
@@ -71,6 +84,9 @@ struct CliOptions {
   std::size_t jobs = 1;
   std::optional<std::string> cache_dir;
   bool no_cache = false;
+  std::optional<std::string> cache_stats_dir;
+  std::optional<std::string> cache_compact_dir;
+  std::optional<std::string> submit_socket;
   bool progress = false;
   std::optional<std::string> output_path;
   std::optional<std::string> lib_path;
@@ -90,6 +106,9 @@ void print_usage(std::ostream& os) {
         "  --jobs N         worker threads over circuits (default 1)\n"
         "  --cache-dir DIR  content-addressed result cache (docs/caching.md)\n"
         "  --no-cache       disable the cache even with --cache-dir\n"
+        "  --cache-stats DIR    inspect DIR/results.jsonl and exit\n"
+        "  --cache-compact DIR  drop shadowed cache rows and exit\n"
+        "  --submit SOCKET  send the job to an iddqsyn_server unix socket\n"
         "  --progress       stream optimizer progress to stderr\n"
         "  --list-methods   print registered optimizer names and exit\n"
         "  -o FILE          write the first method's partition to FILE "
@@ -162,6 +181,18 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       opts.cache_dir = *v;
     } else if (arg == "--no-cache") {
       opts.no_cache = true;
+    } else if (arg == "--cache-stats") {
+      const auto v = need_value("--cache-stats");
+      if (!v) return std::nullopt;
+      opts.cache_stats_dir = *v;
+    } else if (arg == "--cache-compact") {
+      const auto v = need_value("--cache-compact");
+      if (!v) return std::nullopt;
+      opts.cache_compact_dir = *v;
+    } else if (arg == "--submit") {
+      const auto v = need_value("--submit");
+      if (!v) return std::nullopt;
+      opts.submit_socket = *v;
     } else if (arg == "--progress") {
       opts.progress = true;
     } else if (arg == "-o") {
@@ -209,12 +240,19 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       opts.circuits.push_back(arg);
     }
   }
+  // Cache-maintenance commands run without circuits and skip the rest of
+  // the validation.
+  if (opts.cache_stats_dir || opts.cache_compact_dir) return opts;
   if (opts.circuits.empty()) {
     std::cerr << "iddqsyn: at least one circuit argument expected\n";
     return std::nullopt;
   }
   if (opts.circuits.size() > 1 && (opts.output_path || opts.retime)) {
     std::cerr << "iddqsyn: -o/--retime need exactly one circuit\n";
+    return std::nullopt;
+  }
+  if (opts.submit_socket && (opts.output_path || opts.retime)) {
+    std::cerr << "iddqsyn: -o/--retime do not work in --submit mode\n";
     return std::nullopt;
   }
   // Validate method specs up front so typos report the registry's names
@@ -279,6 +317,101 @@ int finish_single_circuit(const CliOptions& opts, const core::BatchItem& item,
   return 0;
 }
 
+// --cache-stats / --cache-compact: maintenance over a sweep directory's
+// results.jsonl, no circuits involved.
+int run_cache_maintenance(const CliOptions& opts) {
+  if (opts.cache_compact_dir) {
+    const auto r = core::compact_cache_file(*opts.cache_compact_dir);
+    std::cout << "cache-compact: kept " << r.kept << " rows, dropped "
+              << r.dropped_duplicates << " shadowed + " << r.dropped_corrupt
+              << " corrupt\n";
+  }
+  if (opts.cache_stats_dir) {
+    const auto s = core::inspect_cache_file(*opts.cache_stats_dir);
+    std::cout << "cache-stats: " << s.unique_keys << " entries in "
+              << s.total_lines << " rows (" << s.duplicate_lines
+              << " shadowed, " << s.corrupt_lines << " corrupt)\n";
+    for (std::size_t b = 0; b < s.age_histogram.size(); ++b) {
+      if (s.age_histogram[b] == 0) continue;
+      std::cout << "  last write " << (std::size_t{1} << b) << ".."
+                << ((std::size_t{2} << b) - 1)
+                << " rows from end: " << s.age_histogram[b] << " entries\n";
+    }
+  }
+  return 0;
+}
+
+// --submit: client mode against an iddqsyn_server unix socket. Rows
+// stream back (and print) in completion order, interleaved across
+// circuits — that, not argument order, is the point of the server path.
+int run_submit_client(const CliOptions& opts) {
+  const auto channel = support::connect_unix_socket(*opts.submit_socket);
+
+  json::JsonWriter circuits(json::JsonWriter::Kind::Array);
+  for (const auto& c : opts.circuits) circuits.element(std::string_view(c));
+  json::JsonWriter methods(json::JsonWriter::Kind::Array);
+  for (const auto& m : opts.methods) methods.element(std::string_view(m));
+  json::JsonWriter submit;
+  submit.field("op", "submit")
+      .field("id", "cli")
+      .field_raw("circuits", circuits.str())
+      .field_raw("methods", methods.str())
+      .field("seed", opts.seed)
+      .field("cache", !opts.no_cache);
+  if (!channel->write_line(submit.str()))
+    throw Error("server connection lost during submit");
+
+  bool failed = false;
+  bool sweep_complete = false;
+  std::string line;
+  while (channel->read_line(line)) {
+    const auto event = json::JsonValue::parse(line);
+    if (!event || !event->is_object()) continue;
+    const std::string kind = event->get_string("event");
+    if (kind == "row") {
+      std::cout << event->get_string("circuit")
+                << ": method=" << event->get_string("method")
+                << " K=" << event->get_u64("modules")
+                << " cost="
+                << report::format_fixed(event->get_double("cost"), 1)
+                << " sensor_area="
+                << report::format_eng(event->get_double("sensor_area"))
+                << " delay_ovh="
+                << report::format_pct(event->get_double("delay_overhead"))
+                << " test_ovh="
+                << report::format_pct(event->get_double("test_overhead"))
+                << " evals=" << event->get_u64("evaluations") << " feasible="
+                << (event->get_bool("feasible", false) ? "yes" : "NO")
+                << "\n";
+    } else if (kind == "failed") {
+      failed = true;
+      std::cerr << "iddqsyn: " << event->get_string("circuit") << ": "
+                << event->get_string("error") << "\n";
+    } else if (kind == "error") {
+      failed = true;
+      std::cerr << "iddqsyn: server: " << event->get_string("message")
+                << "\n";
+    } else if (kind == "progress" && opts.progress) {
+      std::cerr << "[progress] " << event->get_string("circuit") << " "
+                << event->get_string("method")
+                << ": iter=" << event->get_u64("iteration")
+                << " evals=" << event->get_u64("evaluations") << " cost="
+                << report::format_fixed(event->get_double("cost"), 1)
+                << "\n";
+    } else if (kind == "sweep_done") {
+      sweep_complete = true;
+      break;  // closing the connection ends the session, not the server
+    }
+  }
+  if (!sweep_complete) {
+    // A dead/restarted server must not look like a successful sweep.
+    std::cerr << "iddqsyn: server connection ended before the sweep "
+                 "completed\n";
+    failed = true;
+  }
+  return failed ? 2 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -288,6 +421,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   try {
+    if (opts->cache_stats_dir || opts->cache_compact_dir)
+      return run_cache_maintenance(*opts);
+    if (opts->submit_socket) return run_submit_client(*opts);
+
     const auto library = opts->lib_path
                              ? lib::read_library_file(*opts->lib_path)
                              : lib::default_library();
@@ -346,6 +483,11 @@ int main(int argc, char** argv) {
                              static_cast<double>(total) * 100.0,
                          /*already_pct=*/true)
                   << " hit rate, " << cache->size() << " entries)";
+      // A silently-degraded cache file (truncated writes, foreign
+      // content) would otherwise only show up as a slow sweep.
+      if (cache->corrupt_lines() > 0)
+        std::cerr << " [" << cache->corrupt_lines()
+                  << " corrupt lines ignored; run --cache-compact]";
       std::cerr << "\n";
     }
     if (failed) return 2;

@@ -1,0 +1,220 @@
+// iddqsyn_server — long-running job server for the BIC-sensor flow.
+//
+// Speaks the line-delimited JSON job protocol (docs/server.md) and fans
+// submitted (circuit, method-set) sweeps out over a JobService worker
+// pool, streaming MethodResult rows back as they complete. Repeated jobs
+// are served from the shared content-addressed ResultCache when
+// --cache-dir is given, so a sweep server amortizes every run it has ever
+// done.
+//
+// Usage:
+//   iddqsyn_server [options]
+//
+// Options:
+//   --pipe            serve exactly one session on stdin/stdout (default;
+//                     handy under a test harness or an ssh pipe)
+//   --socket PATH     listen on a unix-domain socket instead; one session
+//                     per connection, concurrently
+//   --workers N       JobService worker threads (default: hardware
+//                     concurrency)
+//   --cache-dir DIR   content-addressed result cache (docs/caching.md)
+//   --lib FILE        cell library (default: built-in 5V CMOS)
+//   --rail MV         virtual-rail perturbation limit r (default 200)
+//   --disc D          required discriminability d (default 10)
+//   --generations N   ES generation cap (default 350)
+//   --help            this text
+//
+// A client "shutdown" op stops the whole server (pipe mode: ends the
+// session); EOF on a connection ends only that session. Determinism: a
+// sweep submitted with seed S is byte-identical to `iddqsyn --jobs N
+// --seed S` over the same circuits/methods — per-shard seeds derive from
+// the shard index, never from scheduling.
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/job_protocol.hpp"
+#include "core/job_service.hpp"
+#include "core/result_cache.hpp"
+#include "library/cell_library.hpp"
+#include "library/lib_io.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/transport.hpp"
+
+namespace {
+
+using namespace iddq;
+
+struct ServerOptions {
+  std::optional<std::string> socket_path;  // nullopt = pipe mode
+  std::size_t workers = 0;                 // 0 = hardware concurrency
+  std::optional<std::string> cache_dir;
+  std::optional<std::string> lib_path;
+  double rail_mv = 200.0;
+  double disc = 10.0;
+  std::size_t generations = 350;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: iddqsyn_server [options]\n"
+        "  --pipe           one session on stdin/stdout (default)\n"
+        "  --socket PATH    listen on a unix-domain socket\n"
+        "  --workers N      worker threads (default: hardware concurrency)\n"
+        "  --cache-dir DIR  content-addressed result cache "
+        "(docs/caching.md)\n"
+        "  --lib FILE       cell library file (default: built-in 5V CMOS)\n"
+        "  --rail MV        rail perturbation limit r in mV (default 200)\n"
+        "  --disc D         required discriminability d (default 10)\n"
+        "  --generations N  ES generation cap (default 350)\n"
+        "protocol: docs/server.md (line-delimited JSON; submit/cancel/"
+        "stats/shutdown)\n";
+}
+
+std::optional<ServerOptions> parse(int argc, char** argv) {
+  ServerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value =
+        [&](const char* flag) -> std::optional<std::string> {
+      if (i + 1 >= argc) {
+        std::cerr << "iddqsyn_server: " << flag << " needs a value\n";
+        return std::nullopt;
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      std::exit(0);
+    } else if (arg == "--pipe") {
+      opts.socket_path.reset();
+    } else if (arg == "--socket") {
+      const auto v = need_value("--socket");
+      if (!v) return std::nullopt;
+      opts.socket_path = *v;
+    } else if (arg == "--workers") {
+      const auto v = need_value("--workers");
+      if (!v || !str::parse_size(*v, opts.workers) || opts.workers == 0) {
+        std::cerr << "iddqsyn_server: --workers must be >= 1\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--cache-dir") {
+      const auto v = need_value("--cache-dir");
+      if (!v) return std::nullopt;
+      opts.cache_dir = *v;
+    } else if (arg == "--lib") {
+      const auto v = need_value("--lib");
+      if (!v) return std::nullopt;
+      opts.lib_path = *v;
+    } else if (arg == "--rail") {
+      const auto v = need_value("--rail");
+      if (!v || !str::parse_double(*v, opts.rail_mv) || opts.rail_mv <= 0) {
+        std::cerr << "iddqsyn_server: --rail must be > 0 mV\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--disc") {
+      const auto v = need_value("--disc");
+      if (!v || !str::parse_double(*v, opts.disc) || opts.disc <= 0) {
+        std::cerr << "iddqsyn_server: --disc must be > 0\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--generations") {
+      const auto v = need_value("--generations");
+      if (!v || !str::parse_size(*v, opts.generations) ||
+          opts.generations == 0) {
+        std::cerr << "iddqsyn_server: --generations must be >= 1\n";
+        return std::nullopt;
+      }
+    } else {
+      std::cerr << "iddqsyn_server: unknown option '" << arg << "'\n";
+      return std::nullopt;
+    }
+  }
+  return opts;
+}
+
+int serve_socket(core::JobService& service, const std::string& path) {
+  support::UnixSocketListener listener(path);
+  std::cerr << "iddqsyn_server: listening on " << path << "\n";
+
+  std::atomic<bool> shutdown_requested{false};
+  std::mutex threads_mutex;
+  std::vector<std::thread> sessions;
+
+  while (auto channel = listener.accept()) {
+    std::shared_ptr<support::FdChannel> conn = std::move(channel);
+    std::thread session([&service, &listener, &shutdown_requested, conn] {
+      core::JobProtocolSession protocol(service, *conn);
+      if (protocol.run()) {
+        // A client-requested shutdown stops the whole server: closing
+        // the listener unblocks accept() in the main thread.
+        shutdown_requested.store(true);
+        listener.close();
+      }
+    });
+    const std::scoped_lock lock(threads_mutex);
+    sessions.push_back(std::move(session));
+  }
+  {
+    const std::scoped_lock lock(threads_mutex);
+    for (auto& t : sessions)
+      if (t.joinable()) t.join();
+  }
+  std::cerr << "iddqsyn_server: "
+            << (shutdown_requested.load() ? "shutdown requested by client"
+                                          : "listener closed")
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse(argc, argv);
+  if (!opts) {
+    print_usage(std::cerr);
+    return 1;
+  }
+  try {
+    const auto library = opts->lib_path
+                             ? lib::read_library_file(*opts->lib_path)
+                             : lib::default_library();
+
+    core::JobServiceConfig config;
+    config.workers = opts->workers > 0
+                         ? opts->workers
+                         : std::max(1u, std::thread::hardware_concurrency());
+    config.flow.sensor.r_max_mv = opts->rail_mv;
+    config.flow.sensor.d_min = opts->disc;
+    config.flow.optimizers.es.max_generations = opts->generations;
+
+    std::optional<core::ResultCache> cache;
+    if (opts->cache_dir) {
+      cache.emplace(*opts->cache_dir);
+      config.flow.cache = &*cache;
+      std::cerr << "iddqsyn_server: cache " << *opts->cache_dir << " ("
+                << cache->size() << " entries";
+      if (cache->corrupt_lines() > 0)
+        std::cerr << ", " << cache->corrupt_lines() << " corrupt lines";
+      std::cerr << ")\n";
+    }
+
+    core::JobService service(library, std::move(config));
+
+    if (opts->socket_path) return serve_socket(service, *opts->socket_path);
+
+    support::StreamChannel channel(std::cin, std::cout);
+    core::JobProtocolSession session(service, channel);
+    (void)session.run();
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "iddqsyn_server: " << e.what() << "\n";
+    return 2;
+  }
+}
