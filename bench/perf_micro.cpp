@@ -10,6 +10,7 @@
 
 #include "core/evolution.hpp"
 #include "core/start_partition.hpp"
+#include "core/tabu.hpp"
 #include "electrical/delay_model.hpp"
 #include "estimators/transition_times.hpp"
 #include "library/cell_library.hpp"
@@ -18,6 +19,7 @@
 #include "partition/evaluator.hpp"
 #include "sim/logic_sim.hpp"
 #include "sim/patterns.hpp"
+#include "support/executor.hpp"
 
 namespace {
 
@@ -158,6 +160,54 @@ void BM_EvolutionGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvolutionGeneration)->Unit(benchmark::kMillisecond);
+
+// Thread-count scaling of the ES inner loop (the row the ISSUE's speedup
+// criterion reads): same seed, same trajectory, only the wall clock moves.
+// Arg = ExecutorPool size (1 = serial baseline).
+void BM_EvolutionGenerationThreads(benchmark::State& state) {
+  const auto& ctx = context();
+  support::ExecutorPool pool(static_cast<std::size_t>(state.range(0)));
+  core::EsParams params;
+  params.mu = 8;
+  params.lambda = 7;
+  params.chi = 2;
+  params.max_generations = 2;
+  params.stall_generations = 2;
+  params.seed = 7;
+  params.pool = &pool;
+  for (auto _ : state) {
+    core::EvolutionEngine engine(ctx, params);
+    benchmark::DoNotOptimize(engine.run_with_module_count(6));
+  }
+}
+BENCHMARK(BM_EvolutionGenerationThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Thread-count scaling of the tabu candidate evaluation.
+void BM_TabuRoundsThreads(benchmark::State& state) {
+  const auto& ctx = context();
+  support::ExecutorPool pool(static_cast<std::size_t>(state.range(0)));
+  Rng rng(6);
+  const auto start = core::make_start_partition(circuit(), 6, rng);
+  core::TabuParams params;
+  params.iterations = 8;
+  params.candidates = 16;
+  params.stall_iterations = 8;
+  params.seed = 9;
+  params.pool = &pool;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::tabu_search(ctx, start, params));
+}
+BENCHMARK(BM_TabuRoundsThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -17,6 +17,12 @@
 // numbers are a deterministic job-path variant of the direct run, not a
 // byte-for-byte replay of it.
 //
+// `--threads N` evaluates each run's ES descendants on a shared N-thread
+// ExecutorPool — rows are byte-identical for any N, only the wall clock
+// changes. `--json FILE` additionally emits the machine-readable rows and
+// wall-clock times (convention: BENCH_table1.json in the repo root) so
+// the perf trajectory is tracked across PRs.
+//
 // Paper-reported reference values (where the 1995 scan is legible):
 //   #modules:            2 / 3 / 4 / 6 / 5 / 6
 //   std-vs-evo area:     +30.6% / +14.5% / +22.9% / +25.3% / +25.9% / +19.7%
@@ -25,6 +31,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -37,6 +44,8 @@
 #include "library/cell_library.hpp"
 #include "netlist/gen/iscas_profiles.hpp"
 #include "report/table.hpp"
+#include "support/executor.hpp"
+#include "support/json.hpp"
 
 int main(int argc, char** argv) {
   using namespace iddq;
@@ -45,17 +54,52 @@ int main(int argc, char** argv) {
 
   const char* cache_dir = std::getenv("IDDQ_CACHE_DIR");
   std::size_t service_workers = 0;  // 0 = direct FlowEngine path
+  std::size_t threads = support::ExecutorPool::env_threads();
+  std::optional<std::string> json_path;
+  const auto usage = [] {
+    std::cerr << "usage: bench_table1 [cache-dir] [--service N] "
+                 "[--threads N] [--json FILE]\n";
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--service") == 0) {
       const long workers = i + 1 < argc ? std::atol(argv[++i]) : 0;
       if (workers <= 0) {
-        std::cerr << "bench_table1: --service needs a worker count >= 1\n"
-                     "usage: bench_table1 [cache-dir] [--service N]\n";
+        std::cerr << "bench_table1: --service needs a worker count >= 1\n";
+        usage();
         return 1;
       }
       service_workers = static_cast<std::size_t>(workers);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const long n = i + 1 < argc ? std::atol(argv[++i]) : 0;
+      if (n <= 0) {
+        std::cerr << "bench_table1: --threads needs a count >= 1\n";
+        usage();
+        return 1;
+      }
+      threads = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_table1: --json needs a file path\n";
+        usage();
+        return 1;
+      }
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::cerr << "bench_table1: unknown option '" << argv[i] << "'\n";
+      usage();
+      return 1;
     } else {
       cache_dir = argv[i];
+    }
+  }
+  // Open the JSON sink up front: an unwritable path must fail before the
+  // sweep (minutes uncached), not after it.
+  std::optional<std::ofstream> json_out;
+  if (json_path) {
+    json_out.emplace(*json_path);
+    if (!*json_out) {
+      std::cerr << "bench_table1: cannot write " << *json_path << "\n";
+      return 1;
     }
   }
   std::optional<core::ResultCache> cache;
@@ -67,6 +111,9 @@ int main(int argc, char** argv) {
   if (service_workers > 0)
     std::cout << "(job-service path: " << service_workers
               << " workers, per-method derived seeds)\n\n";
+  if (threads > 1)
+    std::cout << "(intra-run parallelism: " << threads
+              << " threads, byte-identical rows)\n\n";
 
   const auto library = lib::default_library();
   const double paper_overhead_pct[] = {30.6, 14.5, 22.9, 25.3, 25.9, 19.7};
@@ -78,11 +125,13 @@ int main(int argc, char** argv) {
        "time"});
 
   const auto cfg = bench::paper_flow_config();
+  support::ExecutorPool pool(threads);
   core::FlowEngineConfig engine_config;
   engine_config.sensor = cfg.sensor;
   engine_config.weights = cfg.weights;
   engine_config.rho = cfg.rho;
   engine_config.optimizers.es = cfg.es;
+  engine_config.pool = &pool;
   if (cache) engine_config.cache = &*cache;
 
   // Job-service path: one job per circuit, all submitted up front, sharded
@@ -109,6 +158,16 @@ int main(int argc, char** argv) {
       handles.push_back(service->submit(std::move(spec)));
     }
   }
+
+  struct JsonRow {
+    std::string circuit;
+    std::size_t gates = 0;
+    core::MethodResult evolution;
+    core::MethodResult standard;
+    double overhead_pct = 0.0;
+    double seconds = 0.0;
+  };
+  std::vector<JsonRow> json_rows;
 
   std::size_t idx = 0;
   for (const auto name : netlist::gen::table1_circuit_names()) {
@@ -154,6 +213,9 @@ int main(int argc, char** argv) {
             ? (standard.sensor_area / evolution.sensor_area - 1.0) * 100.0
             : 0.0;
 
+    if (json_out)
+      json_rows.push_back({std::string(name), gate_count, evolution,
+                           standard, overhead_pct, seconds});
     table.add_row({std::string(name),
                    std::to_string(gate_count),
                    std::to_string(evolution.module_count),
@@ -170,6 +232,58 @@ int main(int argc, char** argv) {
     ++idx;
   }
   table.print(std::cout);
+
+  const double total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+  if (json_out) {
+    // One object per run; a tracking script appends/compares them across
+    // PRs. 17 significant digits round-trip doubles exactly, so the rows
+    // double as a byte-identity witness for --threads sweeps.
+    json::JsonWriter rows(json::JsonWriter::Kind::Array);
+    for (const auto& row : json_rows) {
+      json::JsonWriter r;
+      r.field("circuit", row.circuit)
+          .field("gates", static_cast<std::uint64_t>(row.gates))
+          .field("modules",
+                 static_cast<std::uint64_t>(row.evolution.module_count))
+          .field("sensor_area_evolution", row.evolution.sensor_area)
+          .field("sensor_area_standard", row.standard.sensor_area)
+          .field("std_area_overhead_pct", row.overhead_pct)
+          .field("delay_overhead_evolution", row.evolution.delay_overhead)
+          .field("delay_overhead_standard", row.standard.delay_overhead)
+          .field("test_overhead_evolution", row.evolution.test_overhead)
+          .field("test_overhead_standard", row.standard.test_overhead)
+          .field("cost_evolution", row.evolution.fitness.cost)
+          .field("evaluations",
+                 static_cast<std::uint64_t>(row.evolution.evaluations))
+          .field("seconds", row.seconds);
+      rows.element_raw(std::move(r).str());
+    }
+    const char* fast = std::getenv("IDDQSYN_BENCH_FAST");
+    json::JsonWriter doc;
+    doc.field("bench", "table1")
+        .field("fast", fast != nullptr && std::string(fast) == "1")
+        // Row "seconds" semantics differ per mode — only compare files
+        // with matching seconds_kind (and fast/threads) across PRs.
+        .field("seconds_kind", service_workers > 0
+                                   ? "sweep_offset"   // overlapping jobs
+                                   : "per_circuit")   // true per-run time
+        .field("threads", static_cast<std::uint64_t>(threads))
+        .field("service_workers",
+               static_cast<std::uint64_t>(service_workers))
+        .field("cached", cache.has_value())
+        .field("total_seconds", total_seconds)
+        .field_raw("rows", std::move(rows).str());
+    *json_out << std::move(doc).str() << "\n";
+    json_out->flush();
+    if (!*json_out) {
+      std::cerr << "bench_table1: write to " << *json_path << " failed\n";
+      return 1;
+    }
+    std::cout << "\n(json rows written to " << *json_path << ")\n";
+  }
 
   if (cache)
     std::cout << "\ncache: " << cache->hits() << " hits, " << cache->misses()

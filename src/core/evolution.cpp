@@ -5,6 +5,7 @@
 
 #include "core/start_partition.hpp"
 #include "support/error.hpp"
+#include "support/executor.hpp"
 
 namespace iddq::core {
 
@@ -139,10 +140,16 @@ EsResult EvolutionEngine::run(std::span<const part::Partition> starts) {
   parents.reserve(params_.mu);
   for (std::size_t i = 0; i < params_.mu; ++i) {
     part::PartitionEvaluator eval(*ctx_, starts[i % starts.size()]);
-    Individual ind{std::move(eval), {}, params_.m0, 0};
-    ind.fitness = ind.eval.fitness();
-    parents.push_back(std::move(ind));
+    parents.push_back(Individual{std::move(eval), {}, params_.m0, 0});
   }
+  // Fitness consumes no randomness and touches only the individual's own
+  // evaluator, so the initial population (and every generation's children
+  // below) evaluates in parallel without perturbing the trajectory.
+  support::parallel_for_indexed(params_.pool, parents.size(),
+                                [&parents](std::size_t i) {
+                                  parents[i].fitness =
+                                      parents[i].eval.fitness();
+                                });
 
   EsResult result;
   result.evaluations = parents.size();
@@ -155,6 +162,11 @@ EsResult EvolutionEngine::run(std::span<const part::Partition> starts) {
     std::vector<Individual> pool;
     pool.reserve(parents.size() * (1 + params_.lambda + params_.chi));
 
+    // Coordinator phase: every RNG draw (step widths, mutation moves)
+    // happens here, in the fixed serial order; children land in pre-
+    // indexed slots with their fitness still unset.
+    std::vector<std::size_t> fresh;  // pool slots that need evaluation
+    fresh.reserve(parents.size() * (params_.lambda + params_.chi));
     for (auto& parent : parents) {
       parent.age += 1;
       for (std::size_t c = 0; c < params_.lambda; ++c) {
@@ -162,8 +174,8 @@ EsResult EvolutionEngine::run(std::span<const part::Partition> starts) {
         child.age = 0;
         child.step_width = vary_step_width(parent.step_width);
         mutate(child);
-        child.fitness = child.eval.fitness();
         ++result.evaluations;
+        fresh.push_back(pool.size());
         pool.push_back(std::move(child));
       }
       for (std::size_t c = 0; c < params_.chi; ++c) {
@@ -171,13 +183,20 @@ EsResult EvolutionEngine::run(std::span<const part::Partition> starts) {
         child.age = 0;
         child.step_width = vary_step_width(parent.step_width);
         monte_carlo(child);
-        child.fitness = child.eval.fitness();
         ++result.evaluations;
+        fresh.push_back(pool.size());
         pool.push_back(std::move(child));
       }
       if (parent.age < params_.kappa) pool.push_back(parent);
     }
     if (pool.empty()) break;  // all parents expired with no children
+
+    // Worker phase: evaluate the generation's descendants concurrently.
+    support::parallel_for_indexed(params_.pool, fresh.size(),
+                                  [&pool, &fresh](std::size_t i) {
+                                    Individual& child = pool[fresh[i]];
+                                    child.fitness = child.eval.fitness();
+                                  });
 
     std::sort(pool.begin(), pool.end(),
               [](const Individual& a, const Individual& b) {

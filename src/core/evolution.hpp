@@ -32,6 +32,10 @@
 #include "partition/evaluator.hpp"
 #include "support/rng.hpp"
 
+namespace iddq::support {
+class ExecutorPool;
+}
+
 namespace iddq::core {
 
 struct GenerationStats;
@@ -56,6 +60,14 @@ struct EsParams {
   /// Like seed/record_trace, a per-run field, not a tuning knob: excluded
   /// from the result-cache context fingerprint.
   GenerationCallback on_generation;
+  /// Evaluates the descendants of each generation in parallel when set
+  /// (nullptr = serial). Every random draw and every mutation happens on
+  /// the coordinator thread in the fixed single-threaded order — workers
+  /// only compute fitness of finished children into pre-indexed slots —
+  /// so results are byte-identical at any thread count, including to the
+  /// historical serial trajectory. Per-run field like seed, excluded from
+  /// the cache fingerprint.
+  support::ExecutorPool* pool = nullptr;
 };
 
 struct GenerationStats {

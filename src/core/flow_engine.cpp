@@ -5,6 +5,7 @@
 #include "library/fingerprint.hpp"
 #include "netlist/fingerprint.hpp"
 #include "support/error.hpp"
+#include "support/executor.hpp"
 #include "support/rng.hpp"
 
 namespace iddq::core {
@@ -94,6 +95,9 @@ MethodResult FlowEngine::run_method(std::string_view spec,
   request.record_trace = options.record_trace;
   request.on_progress =
       options.on_progress ? options.on_progress : config_.on_progress;
+  request.pool = config_.pool != nullptr
+                     ? config_.pool
+                     : &support::ExecutorPool::shared_default();
 
   OptimizerOutcome outcome = optimizer->run(request);
   MethodResult result =

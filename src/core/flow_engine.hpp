@@ -61,6 +61,15 @@ struct FlowEngineConfig {
   /// (how the CLI's --progress reaches BatchRunner-driven runs). Cache
   /// hits skip the optimizer and therefore do not report progress.
   ProgressCallback on_progress;
+
+  /// Intra-run parallelism: the pool every optimizer dispatch runs on
+  /// (ES descendants, tabu candidate sets, portfolio members). Not owned;
+  /// nullptr falls back to support::ExecutorPool::shared_default(), which
+  /// is serial unless IDDQ_THREADS asks otherwise. One pool is safely
+  /// shared by many engines and JobService workers — nested fan-out
+  /// degrades gracefully instead of oversubscribing, and results are
+  /// byte-identical at any thread count.
+  support::ExecutorPool* pool = nullptr;
 };
 
 /// Per-run knobs for FlowEngine::run_method.

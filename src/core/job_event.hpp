@@ -78,7 +78,10 @@ struct JobEvent {
 /// Invoked from the worker thread running the job; events of one job are
 /// ordered, events of different jobs interleave. Must not call back into
 /// JobHandle::wait() (deadlock by design: the worker is the thread being
-/// waited for) — JobHandle::cancel() is safe.
+/// waited for) — JobHandle::cancel() is safe. Exceptions thrown by a sink
+/// are swallowed by the service: a sink cannot veto or abort a job by
+/// throwing (events come from bare worker threads and from terminal
+/// transitions that must complete); use cancel() to stop a job.
 using JobEventSink = std::function<void(const JobEvent&)>;
 
 }  // namespace iddq::core

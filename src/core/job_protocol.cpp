@@ -1,5 +1,7 @@
 #include "core/job_protocol.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "support/json.hpp"
@@ -16,6 +18,7 @@ struct SubmitRequest {
   std::uint64_t seed = 1;
   std::size_t budget = 0;
   bool use_cache = true;
+  int priority = 0;
 };
 
 namespace {
@@ -152,6 +155,14 @@ bool JobProtocolSession::handle_line(const std::string& line) {
     submit.seed = request->get_u64("seed", 1);
     submit.budget = static_cast<std::size_t>(request->get_u64("budget", 0));
     submit.use_cache = request->get_bool("cache", true);
+    // Doubles carry the sign ("priority":-2 is valid — background work).
+    // Untrusted input: clamp before the cast (out-of-int-range and NaN
+    // would be undefined behavior); 1e6 dwarfs any real priority scheme.
+    const double priority = request->get_double("priority", 0.0);
+    submit.priority = std::isfinite(priority)
+                          ? static_cast<int>(
+                                std::clamp(priority, -1.0e6, 1.0e6))
+                          : 0;
     if (submit.circuits.empty()) {
       send_error("submit: needs \"circuits\" (or \"circuit\")");
       return false;
@@ -168,46 +179,150 @@ bool JobProtocolSession::handle_line(const std::string& line) {
 }
 
 void JobProtocolSession::handle_submit(const SubmitRequest& request) {
-  auto sweep = std::make_shared<Sweep>();
-  sweep->id = request.id;
-  sweep->remaining = request.circuits.size();
-  {
-    const std::scoped_lock lock(state_mutex_);
-    const auto it = sweeps_.find(request.id);
-    if (it != sweeps_.end() && it->second->remaining > 0) {
-      send_error("submit: sweep id '" + request.id + "' is still active");
-      return;
+  // Admission control: reject the whole sweep up front when its fan-out
+  // would overflow the queue bound — a partially admitted sweep would be
+  // worse than a clean retry-later signal. The reservation is atomic
+  // across sessions: concurrent submits cannot jointly overshoot the
+  // bound (it is released below, once every shard is queued).
+  if (options_.max_queue > 0 &&
+      request.circuits.size() > options_.max_queue) {
+    // Not transient: a sweep wider than the bound can never be admitted.
+    send_error("submit: sweep of " +
+               std::to_string(request.circuits.size()) +
+               " jobs exceeds the queue bound " +
+               std::to_string(options_.max_queue) + "; split the sweep");
+    return;
+  }
+  if (!service_->try_reserve(request.circuits.size(), options_.max_queue)) {
+    send_error("submit: queue full (" +
+               std::to_string(service_->queue_depth()) + " queued, bound " +
+               std::to_string(options_.max_queue) + "); retry later");
+    return;
+  }
+  // RAII over the reserved slots: whatever is still held when this frame
+  // unwinds — early return, contained error, even an unexpected throw —
+  // is handed back, so admission can never leak.
+  struct ReservationGuard {
+    JobService* service;
+    std::size_t held;
+    ~ReservationGuard() {
+      if (held > 0) service->release_reservation(held);
     }
-    sweeps_[request.id] = sweep;
-  }
-  send(JsonWriter()
-           .field("event", "accepted")
-           .field("id", request.id)
-           .field("jobs", request.circuits.size())
-           .str());
+  } reservation{service_,
+                // No bound -> try_reserve took nothing; hold (and later
+                // release) nothing, or we would erode reservations other
+                // sessions hold on the shared service.
+                options_.max_queue > 0 ? request.circuits.size() : 0};
 
-  for (std::size_t shard = 0; shard < request.circuits.size(); ++shard) {
-    JobSpec spec;
-    spec.circuit = request.circuits[shard];
-    spec.methods = request.methods;
-    // Same derivation as BatchRunner: shard-index seeds keep a server
-    // sweep byte-identical to `iddqsyn --jobs N` at the same base seed.
-    spec.base_seed = Rng::mix_seed(request.seed, shard);
-    spec.max_evaluations = request.budget;
-    spec.cache_policy = request.use_cache ? JobSpec::CachePolicy::use
-                                          : JobSpec::CachePolicy::bypass;
-    JobHandle handle = service_->submit(
-        std::move(spec),
-        [this, sweep](const JobEvent& event) { on_event(sweep, event); });
-    const std::scoped_lock lock(state_mutex_);
-    sweep->handles.push_back(handle);
-    handles_.push_back(std::move(handle));
+  std::string error;
+  std::shared_ptr<Sweep> sweep;
+  bool accepted = false;
+  try {
+    sweep = std::make_shared<Sweep>();
+    sweep->id = request.id;
+    sweep->remaining = request.circuits.size();
+    {
+      const std::scoped_lock lock(state_mutex_);
+      const auto it = sweeps_.find(request.id);
+      if (it != sweeps_.end() && it->second->remaining > 0) {
+        send_error("submit: sweep id '" + request.id + "' is still active");
+        return;
+      }
+      sweeps_[request.id] = sweep;
+    }
+    accepted = true;
+    send(JsonWriter()
+             .field("event", "accepted")
+             .field("id", request.id)
+             .field("jobs", request.circuits.size())
+             .str());
+
+    for (std::size_t shard = 0; shard < request.circuits.size(); ++shard) {
+      JobSpec spec;
+      spec.circuit = request.circuits[shard];
+      spec.methods = request.methods;
+      // Same derivation as BatchRunner: shard-index seeds keep a server
+      // sweep byte-identical to `iddqsyn --jobs N` at the same base seed.
+      spec.base_seed = Rng::mix_seed(request.seed, shard);
+      spec.max_evaluations = request.budget;
+      spec.priority = request.priority;
+      spec.cache_policy = request.use_cache ? JobSpec::CachePolicy::use
+                                            : JobSpec::CachePolicy::bypass;
+      JobHandle handle = service_->submit(
+          std::move(spec),
+          [this, sweep](const JobEvent& event) { on_event(sweep, event); });
+      // This shard is on the real queue now: release its promised slot
+      // immediately, so a client slow to drain the event stream (send
+      // blocks on a full socket) does not pin admission slots that other
+      // sessions could use.
+      if (reservation.held > 0) {
+        service_->release_reservation(1);
+        --reservation.held;
+      }
+      const std::scoped_lock lock(state_mutex_);
+      sweep->handles.push_back(handle);
+      handles_.push_back(std::move(handle));
+    }
+    return;
+  } catch (const std::exception& e) {
+    // A concurrent shutdown closed intake mid-sweep (iddq::Error), or
+    // something like bad_alloc hit: either way the exception must not
+    // unwind the session thread — serve_socket runs sessions on bare
+    // std::threads.
+    error = e.what();
   }
+  // Account for the shards that will never run so the sweep still
+  // completes, then tell the client. A shard whose `queued` event was
+  // seen self-accounts through its sink (JobService::submit finalizes on
+  // any post-announce failure); every other shard produced no events and
+  // is written off here. The queued events fire synchronously on this
+  // thread, so sweep->announced is final by now.
+  bool finished = false;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  if (accepted) {
+    const std::scoped_lock lock(state_mutex_);
+    const std::size_t unaccounted =
+        request.circuits.size() - sweep->announced;
+    if (unaccounted > 0 && sweep->remaining >= unaccounted) {
+      sweep->remaining -= unaccounted;
+      if (sweep->remaining == 0) {
+        finished = true;
+        ok = sweep->ok;
+        failed = sweep->failed;
+        cancelled = sweep->cancelled;
+      }
+    }
+  }
+  send_error("submit: " + error);
+  if (finished) send_sweep_done(request.id, ok, failed, cancelled);
+}
+
+void JobProtocolSession::send_sweep_done(const std::string& id,
+                                         std::size_t ok, std::size_t failed,
+                                         std::size_t cancelled) {
+  send(JsonWriter()
+           .field("event", "sweep_done")
+           .field("id", id)
+           .field("ok", ok)
+           .field("failed", failed)
+           .field("cancelled", cancelled)
+           .str());
 }
 
 void JobProtocolSession::on_event(const std::shared_ptr<Sweep>& sweep,
                                   const JobEvent& event) {
   send(event_json(sweep->id, event));
+  if (event.kind == JobEvent::Kind::queued) {
+    // Ground truth for the error accounting in handle_submit: an
+    // announced shard is guaranteed a terminal event (JobService::submit
+    // finalizes on any post-announce failure), an unannounced one never
+    // produces any.
+    const std::scoped_lock lock(state_mutex_);
+    ++sweep->announced;
+    return;
+  }
   if (event.kind != JobEvent::Kind::done &&
       event.kind != JobEvent::Kind::failed &&
       event.kind != JobEvent::Kind::cancelled)
@@ -229,14 +344,7 @@ void JobProtocolSession::on_event(const std::shared_ptr<Sweep>& sweep,
       cancelled = sweep->cancelled;
     }
   }
-  if (sweep_finished)
-    send(JsonWriter()
-             .field("event", "sweep_done")
-             .field("id", sweep->id)
-             .field("ok", ok)
-             .field("failed", failed)
-             .field("cancelled", cancelled)
-             .str());
+  if (sweep_finished) send_sweep_done(sweep->id, ok, failed, cancelled);
 }
 
 void JobProtocolSession::send(const std::string& json) {

@@ -11,7 +11,11 @@
 //
 // Requests (one JSON object per line):
 //   {"op":"submit","id":"t1","circuits":["c17","c1908"],
-//    "methods":["evolution","standard"],"seed":42,"budget":0,"cache":true}
+//    "methods":["evolution","standard"],"seed":42,"budget":0,"cache":true,
+//    "priority":0}
+// "priority" (optional, may be negative) only reorders the queue —
+// higher pops sooner, FIFO within a level, aging prevents starvation;
+// results are independent of it.
 //   {"op":"cancel","id":"t1"}
 //   {"op":"stats"}
 //   {"op":"shutdown"}
@@ -40,6 +44,11 @@ namespace iddq::core {
 /// Session knobs; namespace-scope so it can be a default argument.
 struct JobProtocolOptions {
   bool emit_hello = true;  // announce protocol/workers on session start
+  /// Admission bound (iddqsyn_server --max-queue): a submit whose shard
+  /// fan-out would push the service's queue depth past this is rejected
+  /// whole with a protocol `error` event — nothing of it is queued. 0 =
+  /// unbounded.
+  std::size_t max_queue = 0;
 };
 
 class JobProtocolSession {
@@ -62,6 +71,7 @@ class JobProtocolSession {
   struct Sweep {
     std::string id;
     std::size_t remaining = 0;
+    std::size_t announced = 0;  // shards whose `queued` event was seen
     std::size_t ok = 0;
     std::size_t failed = 0;
     std::size_t cancelled = 0;
@@ -72,6 +82,8 @@ class JobProtocolSession {
   bool handle_line(const std::string& line);
   void handle_submit(const struct SubmitRequest& request);
   void on_event(const std::shared_ptr<Sweep>& sweep, const JobEvent& event);
+  void send_sweep_done(const std::string& id, std::size_t ok,
+                       std::size_t failed, std::size_t cancelled);
   void send(const std::string& json);
   void send_error(const std::string& message);
   void send_stats();

@@ -1,43 +1,68 @@
-// Closeable MPMC FIFO between JobService::submit and the worker pool.
+// Closeable MPMC priority queue between JobService::submit and the worker
+// pool.
 //
-// Deliberately minimal: a mutex + condition variable around a deque. The
-// service's throughput is bounded by optimizer runs (milliseconds to
-// minutes each), so lock-free cleverness would buy nothing; what matters
-// is the close() contract, which is what makes shutdown race-free:
-// after close(), push() refuses new work and pop() drains the remaining
-// items before returning nullopt to every blocked worker.
+// Deliberately minimal: a mutex + condition variable around a vector of
+// entries. The service's throughput is bounded by optimizer runs
+// (milliseconds to minutes each), so the O(n) selection scan per pop buys
+// simplicity for free; what matters is
+//
+//  * the close() contract, which makes shutdown race-free: after close(),
+//    push() refuses new work and pop() drains the remaining items before
+//    returning nullopt to every blocked worker;
+//  * the ordering contract: pop() returns the item with the highest
+//    *effective* priority — the pushed priority plus one point per
+//    `aging_interval` pops that completed while the item waited — with
+//    FIFO order (submission sequence) breaking ties. Equal-priority
+//    traffic is therefore served strictly FIFO, an interactive submit at
+//    a higher priority overtakes a queued bulk sweep, and aging bounds
+//    how long the bulk sweep can be starved: a priority-0 item outranks
+//    priority-p newcomers after p * aging_interval pops.
 #pragma once
 
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace iddq::core {
 
 template <typename T>
 class JobQueue {
  public:
-  /// Enqueues `item`; returns false (dropping it) when the queue is closed.
-  bool push(T item) {
+  /// `aging_interval`: completed pops a waiting item needs to gain one
+  /// effective-priority point (0 disables aging — strict priority).
+  explicit JobQueue(std::uint64_t aging_interval = 16)
+      : aging_interval_(aging_interval) {}
+
+  /// Enqueues `item`; returns false (dropping it) when the queue is
+  /// closed. Higher `priority` pops sooner; equal priorities are FIFO.
+  bool push(T item, int priority = 0) {
     {
       const std::scoped_lock lock(mutex_);
       if (closed_) return false;
-      items_.push_back(std::move(item));
+      items_.push_back(Entry{std::move(item), priority, next_seq_++, pops_});
     }
     cv_.notify_one();
     return true;
   }
 
-  /// Blocks for the next item in FIFO order. Returns std::nullopt only
-  /// when the queue is closed AND drained.
+  /// Blocks for the best remaining item (see the ordering contract
+  /// above). Returns std::nullopt only when the queue is closed AND
+  /// drained.
   [[nodiscard]] std::optional<T> pop() {
     std::unique_lock lock(mutex_);
     cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < items_.size(); ++i)
+      if (ranks_before(items_[i], items_[best])) best = i;
+    T item = std::move(items_[best].item);
+    items_.erase(items_.begin() +
+                 static_cast<typename std::vector<Entry>::difference_type>(
+                     best));
+    ++pops_;
     return item;
   }
 
@@ -56,9 +81,35 @@ class JobQueue {
   }
 
  private:
+  struct Entry {
+    T item;
+    int priority = 0;
+    std::uint64_t seq = 0;           // submission order, tie-breaker
+    std::uint64_t enqueue_pops = 0;  // pops_ at push time, for aging
+  };
+
+  [[nodiscard]] std::int64_t effective_priority(const Entry& e) const {
+    const std::uint64_t waited = pops_ - e.enqueue_pops;
+    const std::int64_t boost =
+        aging_interval_ > 0
+            ? static_cast<std::int64_t>(waited / aging_interval_)
+            : 0;
+    return static_cast<std::int64_t>(e.priority) + boost;
+  }
+
+  [[nodiscard]] bool ranks_before(const Entry& a, const Entry& b) const {
+    const std::int64_t pa = effective_priority(a);
+    const std::int64_t pb = effective_priority(b);
+    if (pa != pb) return pa > pb;
+    return a.seq < b.seq;  // stable: FIFO within equal priority
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<T> items_;
+  std::vector<Entry> items_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t pops_ = 0;
+  std::uint64_t aging_interval_;
   bool closed_ = false;
 };
 

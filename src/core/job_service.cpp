@@ -1,5 +1,6 @@
 #include "core/job_service.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
@@ -28,7 +29,17 @@ struct JobControl {
   JobResult result;
 
   void emit(const JobEvent& event) const {
-    if (sink) sink(event);
+    if (!sink) return;
+    try {
+      sink(event);
+    } catch (...) {
+      // A sink cannot veto or abort a job by throwing (use
+      // JobHandle::cancel()): events are emitted from submit callers AND
+      // from bare worker threads, where an escaping exception would
+      // terminate the process, and from finish(), where it would leave
+      // the job permanently non-terminal. Swallowing here makes every
+      // lifecycle transition unconditional.
+    }
   }
 
   [[nodiscard]] JobEvent make_event(JobEvent::Kind kind) const {
@@ -126,27 +137,56 @@ void JobService::set_circuit_loader(CircuitLoader loader) {
 
 JobHandle JobService::submit(JobSpec spec, JobEventSink sink) {
   require(!spec.methods.empty(), "job spec: needs at least one method");
-  if (shut_down_.load(std::memory_order_relaxed))
-    throw Error("job service: submit after shutdown");
   auto ctl = std::make_shared<detail::JobControl>();
   ctl->id = next_id_.fetch_add(1, std::memory_order_relaxed);
   ctl->spec = std::move(spec);
   ctl->sink = std::move(sink);
-  ctl->emit(ctl->make_event(JobEvent::Kind::queued));
-  if (!queue_.push(ctl)) {
-    // Lost the race with a concurrent shutdown() after announcing the
-    // job: finalize it so the sink still sees a terminal event (sweep
-    // accounting like JobProtocolSession's relies on queued -> terminal
-    // pairing) before the caller gets the error.
+  // Invariant for callers: once the job is announced (queued emitted),
+  // ANY failure to queue it — a closed queue after shutdown, an
+  // exception while queueing — finalizes it as failed, so the sink
+  // always sees a queued -> terminal pair (sink-thrown exceptions are
+  // swallowed by emit and cannot break this). JobProtocolSession's sweep
+  // accounting relies on exactly this: a submit that throws has either
+  // announced-and-finalized the job, or (a throw before this point)
+  // produced no events at all.
+  const auto finalize_failed = [&ctl](const char* error) {
     JobResult result;
     result.circuit = ctl->spec.circuit;
-    result.error = "job service: submit after shutdown";
+    result.error = error;
     result.state = JobState::failed;
     ctl->finish(std::move(result));
-    throw Error("job service: submit after shutdown");
+  };
+  bool finalized = false;
+  try {
+    ctl->emit(ctl->make_event(JobEvent::Kind::queued));
+    if (!queue_.push(ctl, ctl->spec.priority)) {
+      finalize_failed("job service: submit after shutdown");
+      finalized = true;
+      throw Error("job service: submit after shutdown");
+    }
+  } catch (const std::exception& e) {
+    // Covers e.g. allocation failure building the event: the queued ->
+    // terminal pairing must hold on every failure path.
+    if (!finalized) finalize_failed(e.what());
+    throw;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   return JobHandle(ctl);
+}
+
+bool JobService::try_reserve(std::size_t count, std::size_t max_queue) {
+  if (max_queue == 0) return true;
+  const std::scoped_lock lock(admission_mutex_);
+  // Workers only ever shrink the queue between this read and the
+  // reserved submits, so the check is a safe upper bound.
+  if (queue_.size() + reserved_ + count > max_queue) return false;
+  reserved_ += count;
+  return true;
+}
+
+void JobService::release_reservation(std::size_t count) {
+  const std::scoped_lock lock(admission_mutex_);
+  reserved_ -= std::min(reserved_, count);
 }
 
 void JobService::shutdown() {

@@ -47,6 +47,12 @@ struct JobSpec {
   std::uint64_t base_seed = 1;
   std::size_t max_evaluations = 0;  // per-method budget, 0 = default
 
+  /// Scheduling priority: higher pops sooner, equal priorities are FIFO,
+  /// and queued jobs age upward so bulk sweeps are never starved (see
+  /// core/job_queue.hpp). Scheduling only — results do not depend on it,
+  /// so it is not part of the job's cache identity.
+  int priority = 0;
+
   enum class CachePolicy {
     use,    // consult/populate the service's shared ResultCache
     bypass  // always recompute; never read or write the cache
@@ -151,6 +157,21 @@ class JobService {
     return workers_.size();
   }
 
+  /// Jobs queued but not yet picked up by a worker (excludes running
+  /// jobs). What the server's --max-queue admission bound checks.
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Atomic admission for bounded multi-job submits (the server's
+  /// --max-queue): reserves `count` slots iff current depth + outstanding
+  /// reservations + count fit under `max_queue` (0 = no bound, always
+  /// succeeds). Concurrent reservers cannot jointly overshoot the bound —
+  /// the check-then-submit of a whole sweep becomes atomic. Call
+  /// release_reservation(count) once the reserved submits have been
+  /// pushed (or abandoned); until then other reservers see the slots as
+  /// taken, which errs on the side of rejecting, never of overflowing.
+  [[nodiscard]] bool try_reserve(std::size_t count, std::size_t max_queue);
+  void release_reservation(std::size_t count);
+
   // Lifetime counters (monotonic, thread-safe).
   [[nodiscard]] std::uint64_t submitted() const noexcept;
   [[nodiscard]] std::uint64_t completed() const noexcept;  // done only
@@ -167,6 +188,8 @@ class JobService {
   CircuitLoader loader_;
 
   JobQueue<std::shared_ptr<detail::JobControl>> queue_;
+  std::mutex admission_mutex_;  // guards reserved_ against queue_ reads
+  std::size_t reserved_ = 0;    // slots promised to in-flight sweeps
   std::vector<std::thread> workers_;
   std::atomic<bool> shut_down_{false};
   std::atomic<std::uint64_t> next_id_{1};

@@ -26,6 +26,10 @@
 #include "core/tabu.hpp"
 #include "partition/evaluator.hpp"
 
+namespace iddq::support {
+class ExecutorPool;
+}
+
 namespace iddq::core {
 
 /// Snapshot handed to OptimizerRequest::on_progress. The evolution,
@@ -64,6 +68,14 @@ struct OptimizerRequest {
   std::uint64_t seed = 1;
   bool record_trace = false;
   ProgressCallback on_progress;  // may be empty
+
+  /// Intra-run parallelism: candidate evaluations (ES descendants, tabu
+  /// candidate sets) and portfolio members run on this pool when set.
+  /// Results are byte-identical with and without a pool at any thread
+  /// count — see docs/architecture.md, "Threading model". nullptr =
+  /// single-threaded. Like seed, a per-run input, never part of cache
+  /// keys.
+  support::ExecutorPool* pool = nullptr;
 };
 
 /// Uniform result. `iterations` counts the method's own major steps:

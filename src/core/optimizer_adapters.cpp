@@ -62,6 +62,7 @@ class EvolutionOptimizer final : public Optimizer {
     EsParams params = params_;
     params.seed = req.seed;
     params.record_trace = params.record_trace || req.record_trace;
+    params.pool = req.pool;
     if (req.on_progress)
       // Live per-generation ticks (ROADMAP progress item); the callback
       // only observes, so the trajectory is unchanged.
@@ -194,6 +195,7 @@ class TabuOptimizer final : public Optimizer {
       const OptimizerRequest& req) const override {
     TabuParams params = params_;
     params.seed = req.seed;
+    params.pool = req.pool;
     // The evaluation budget maps to rounds: every round spends up to
     // `candidates` evaluations on the sampled neighbourhood.
     if (req.max_evaluations > 0)

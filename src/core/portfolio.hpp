@@ -7,9 +7,11 @@
 // When the request carries an evaluation budget it is split evenly across
 // the members (remainder to the leading ones), so the portfolio as a whole
 // respects the same budget a single method would get — the "race on a
-// shared budget" from the ROADMAP. Members run sequentially with seeds
-// derived from the request seed and the member index (Rng::mix_seed), so a
-// portfolio is exactly as deterministic as its members.
+// shared budget" from the ROADMAP. Members run with seeds derived from the
+// request seed and the member index (Rng::mix_seed) — concurrently when
+// the request carries an ExecutorPool, sequentially otherwise; the winner
+// is reduced in member order either way, so a portfolio is exactly as
+// deterministic as its members at any thread count.
 #pragma once
 
 #include <memory>

@@ -397,7 +397,11 @@ std::uint64_t cache_context_fingerprint(std::uint64_t netlist_fp,
                                         std::uint32_t rho,
                                         const OptimizerConfig& optimizers) {
   Hash64 h;
-  h.mix_string("iddq-result-cache-v1");  // format version: bump to flush
+  // Format/semantics version: bump to flush every old key at once.
+  // v2: tabu candidates score on pristine evaluator copies (no
+  // move+revert floating-point residue), so v1 tabu rows no longer
+  // match a fresh computation.
+  h.mix_string("iddq-result-cache-v2");
   h.mix_u64(netlist_fp);
   h.mix_u64(library_fp);
 

@@ -5,6 +5,7 @@
 
 #include "core/neighborhood.hpp"
 #include "support/error.hpp"
+#include "support/executor.hpp"
 #include "support/rng.hpp"
 
 namespace iddq::core {
@@ -38,8 +39,9 @@ TabuResult tabu_search(const part::EvalContext& ctx,
     if (params.on_round && params.progress_every > 0 && round > 1 &&
         (round - 1) % params.progress_every == 0)
       params.on_round(round - 1, result.evaluations, result.best_fitness);
-    // Sample and evaluate the candidate neighbourhood (moves deduplicated
-    // by gate: one gate appears at most once per round).
+    // Coordinator phase: sample the candidate neighbourhood (moves
+    // deduplicated: one (gate, target) pair appears at most once per
+    // round). All RNG draws happen here, in the fixed serial order.
     std::vector<Candidate> candidates;
     candidates.reserve(params.candidates);
     for (std::size_t c = 0; c < params.candidates; ++c) {
@@ -52,13 +54,25 @@ TabuResult tabu_search(const part::EvalContext& ctx,
                                cd.move.target == mv.target;
                       });
       if (seen) continue;
-      const std::uint32_t src = eval.partition().module_of(mv.gate);
-      eval.move_gate(mv.gate, mv.target);
-      const double obj = penalized_objective(eval, params.violation_penalty);
-      ++result.evaluations;
-      eval.move_gate(mv.gate, src);  // revert (K is preserved)
-      candidates.push_back({mv, obj});
+      candidates.push_back({mv, 0.0});
     }
+    // Worker phase: score every candidate against a private copy of the
+    // round-start state. Scoring from a pristine copy (rather than a
+    // move + revert on the shared evaluator) is what makes each slot
+    // independent of every other — the objectives are identical at any
+    // thread count, and free of the floating-point residue a revert chain
+    // would accumulate across candidates. The O(gates) copy does not
+    // change the round's asymptotics: the objective itself is O(gates)
+    // per candidate anyway (the delay terms are global and recomputed
+    // after any move).
+    support::parallel_for_indexed(
+        params.pool, candidates.size(), [&](std::size_t c) {
+          part::PartitionEvaluator probe = eval;
+          probe.move_gate(candidates[c].move.gate, candidates[c].move.target);
+          candidates[c].objective =
+              penalized_objective(probe, params.violation_penalty);
+        });
+    result.evaluations += candidates.size();
     if (candidates.empty()) {
       ++result.iterations;
       if (++stall > params.stall_iterations) break;

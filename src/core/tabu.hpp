@@ -19,6 +19,10 @@
 #include "core/step_callback.hpp"
 #include "partition/evaluator.hpp"
 
+namespace iddq::support {
+class ExecutorPool;
+}
+
 namespace iddq::core {
 
 struct TabuParams {
@@ -32,6 +36,13 @@ struct TabuParams {
   /// on_round fires every `progress_every` rounds when set (0 disables).
   std::size_t progress_every = 25;
   StepCallback on_round;
+  /// Evaluates each round's candidate set in parallel when set (nullptr =
+  /// serial). The candidate moves are sampled on the coordinator (all RNG
+  /// draws, fixed order); each candidate is then scored on a private copy
+  /// of the round-start evaluator, so the objective values — and thus the
+  /// whole search — are byte-identical at any thread count. Per-run field
+  /// like seed, excluded from the cache fingerprint.
+  support::ExecutorPool* pool = nullptr;
 };
 
 struct TabuResult {

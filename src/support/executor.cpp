@@ -1,0 +1,148 @@
+#include "support/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace iddq::support {
+
+/// One parallel_for_indexed invocation. Indices are claimed with a single
+/// fetch_add counter; every index is claimed by exactly one thread (the
+/// caller or a worker), and after an abort the remaining claims degrade to
+/// cheap skips, so `done == count` is a race-free completion criterion.
+struct ExecutorPool::Batch {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> abort{false};
+
+  std::mutex mutex;                // guards error; pairs with done_cv
+  std::condition_variable done_cv;
+  std::exception_ptr error;        // first exception a body threw
+
+  [[nodiscard]] bool open() const noexcept {
+    return next.load(std::memory_order_relaxed) < count;
+  }
+};
+
+ExecutorPool::ExecutorPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t w = 0; w + 1 < threads; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ExecutorPool::~ExecutorPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_)
+    if (t.joinable()) t.join();
+}
+
+void ExecutorPool::run_batch(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return;
+    if (!batch.abort.load(std::memory_order_relaxed)) {
+      try {
+        (*batch.body)(i);
+      } catch (...) {
+        {
+          const std::scoped_lock lock(batch.mutex);
+          if (!batch.error) batch.error = std::current_exception();
+        }
+        batch.abort.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch.count) {
+      // Lock/unlock pairs the notify with the waiter's predicate check so
+      // the completion wakeup cannot be lost.
+      { const std::scoped_lock lock(batch.mutex); }
+      batch.done_cv.notify_all();
+    }
+  }
+}
+
+void ExecutorPool::parallel_for_indexed(
+    std::size_t count, const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->count = count;
+  batch->body = &body;
+  {
+    const std::scoped_lock lock(mutex_);
+    batches_.push_back(batch);
+  }
+  cv_.notify_all();
+
+  // The caller claims indices too: progress is guaranteed even when every
+  // worker is busy in another batch (nested or concurrent callers).
+  run_batch(*batch);
+  {
+    std::unique_lock lock(batch->mutex);
+    batch->done_cv.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) == batch->count;
+    });
+  }
+  {
+    const std::scoped_lock lock(mutex_);
+    std::erase(batches_, batch);
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ExecutorPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] {
+        if (stop_) return true;
+        for (const auto& b : batches_)
+          if (b->open()) return true;
+        return false;
+      });
+      for (const auto& b : batches_) {
+        if (b->open()) {
+          batch = b;
+          break;
+        }
+      }
+      if (batch == nullptr) {
+        if (stop_) return;
+        continue;
+      }
+    }
+    run_batch(*batch);
+  }
+}
+
+ExecutorPool& ExecutorPool::shared_default() {
+  static ExecutorPool pool(env_threads());
+  return pool;
+}
+
+std::size_t ExecutorPool::env_threads() {
+  const char* env = std::getenv("IDDQ_THREADS");
+  if (env == nullptr) return 1;
+  std::size_t threads = 0;
+  if (!str::parse_size(env, threads) || threads == 0) return 1;
+  return threads;
+}
+
+}  // namespace iddq::support

@@ -1,0 +1,113 @@
+// ExecutorPool: deterministic intra-run task parallelism.
+//
+// A small submission pool built for one job: run N independent bodies
+// `body(0..N-1)` into pre-indexed result slots, as fast as the hardware
+// allows, without changing a single output bit. The contract that makes
+// every user of this pool (ES children, tabu candidates, portfolio
+// members) byte-identical at any thread count:
+//
+//   * the *caller* draws all random numbers and builds all inputs before
+//     the parallel region — bodies consume no shared mutable state;
+//   * each body writes only its own slot, so the result vector is
+//     independent of scheduling;
+//   * reductions over the slots happen on the caller, in index order.
+//
+// Scheduling model: parallel_for_indexed registers a batch and the calling
+// thread immediately starts claiming indices itself; idle pool workers
+// join in. Because the caller always participates, a pool with zero
+// workers degrades to a plain serial loop, and nested calls (a body that
+// itself calls parallel_for_indexed on the same pool — e.g. a portfolio
+// member running a parallel ES) always make progress even when every
+// worker is busy: fan-out stays bounded by workers + concurrent callers
+// instead of multiplying (this is what lets JobService share ONE pool
+// across N job workers without oversubscribing).
+//
+// Exceptions: the first exception thrown by a body is rethrown on the
+// caller after the batch drains; once one body throws, unstarted indices
+// are skipped (this is how a CancelledError from a progress callback
+// aborts a parallel stage promptly).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iddq::support {
+
+class ExecutorPool {
+ public:
+  /// `threads` is the target total parallelism of one parallel_for_indexed
+  /// call *including the calling thread*: the pool spawns threads - 1
+  /// workers. 1 (the default everywhere) means no workers — a serial
+  /// inline loop. 0 means hardware concurrency.
+  explicit ExecutorPool(std::size_t threads = 1);
+  ~ExecutorPool();
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  /// Worker threads owned by the pool (concurrency() - 1).
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Total parallelism of one parallel_for_indexed call (workers + caller).
+  [[nodiscard]] std::size_t concurrency() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Runs body(i) for every i in [0, count). Blocks until every started
+  /// body finished; rethrows the first exception a body threw. Safe to
+  /// call concurrently from several threads and from inside a body.
+  void parallel_for_indexed(std::size_t count,
+                            const std::function<void(std::size_t)>& body);
+
+  /// Process-wide default pool, sized once from the IDDQ_THREADS
+  /// environment variable (>= 1; unset/invalid means 1 = serial). This is
+  /// what FlowEngine uses when no explicit pool is configured, so
+  /// `IDDQ_THREADS=4 ctest` exercises every flow threaded — results are
+  /// identical by the determinism contract above.
+  [[nodiscard]] static ExecutorPool& shared_default();
+
+  /// Parsed IDDQ_THREADS value (>= 1; 1 when unset or unparseable).
+  [[nodiscard]] static std::size_t env_threads();
+
+  /// Resolves a tool's --threads option to a pool size: the explicit
+  /// value when > 0, the IDDQ_THREADS default otherwise. Use this rather
+  /// than passing an option's 0-sentinel to the constructor — there 0
+  /// means hardware concurrency, the opposite of "default serial".
+  [[nodiscard]] static std::size_t from_option(std::size_t threads) {
+    return threads > 0 ? threads : env_threads();
+  }
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  static void run_batch(Batch& batch);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::shared_ptr<Batch>> batches_;  // open batches, FIFO
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Serial fallback helper: a null pool runs the loop inline. This is the
+/// form the optimizers call — `pool` is a per-run field that defaults to
+/// nullptr (single-threaded), exactly like today's behavior.
+inline void parallel_for_indexed(
+    ExecutorPool* pool, std::size_t count,
+    const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr) {
+    pool->parallel_for_indexed(count, body);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) body(i);
+}
+
+}  // namespace iddq::support

@@ -60,11 +60,12 @@ std::unique_ptr<JobService> make_service(const lib::CellLibrary& library,
 /// every emitted event, parsed.
 std::vector<json::JsonValue> run_session(JobService& service,
                                          const std::string& input,
-                                         bool* shutdown_requested = nullptr) {
+                                         bool* shutdown_requested = nullptr,
+                                         JobProtocolOptions options = {}) {
   std::istringstream in(input);
   std::ostringstream out;
   support::StreamChannel channel(in, out);
-  JobProtocolSession session(service, channel);
+  JobProtocolSession session(service, channel, options);
   const bool requested = session.run();
   if (shutdown_requested != nullptr) *shutdown_requested = requested;
 
@@ -224,6 +225,45 @@ TEST(JobProtocol, CancelOpCancelsTheSweep) {
   ASSERT_EQ(sweep_done.size(), 1u);
   EXPECT_EQ(sweep_done[0]->get_u64("cancelled"), 1u);
   EXPECT_EQ(events_of_kind(events, "row").size(), 0u);
+}
+
+TEST(JobProtocol, MaxQueueBoundRejectsSubmitWithErrorEvent) {
+  // One worker, held busy by an unbounded 3-shard sweep: its first shard
+  // runs, two wait in the queue. The second submit would push the queue
+  // past --max-queue 3, so it is rejected whole with a protocol error —
+  // no accepted/queued events, nothing of it reaches the service.
+  const auto library = lib::default_library();
+  FlowEngineConfig config = quick_config();
+  config.optimizers.es.max_generations = 1000000;
+  config.optimizers.es.stall_generations = 1000000;
+  const auto service = make_service(library, 1, config);
+
+  JobProtocolOptions options;
+  options.max_queue = 3;
+  const auto events = run_session(
+      *service,
+      R"({"op":"submit","id":"big","circuits":["ca","cb","cc"],)"
+      R"("methods":["evolution"],"priority":-1})"
+      "\n"
+      R"({"op":"submit","id":"late","circuits":["cd","ce"],)"
+      R"("methods":["standard"],"priority":5})"
+      "\n"
+      R"({"op":"cancel","id":"big"})"
+      "\n",
+      nullptr, options);
+
+  const auto accepted = events_of_kind(events, "accepted");
+  ASSERT_EQ(accepted.size(), 1u);
+  EXPECT_EQ(accepted[0]->get_string("id"), "big");
+  const auto errors = events_of_kind(events, "error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0]->get_string("message").find("queue full"),
+            std::string::npos);
+  // The rejected sweep produced no job events at all.
+  for (const auto& e : events)
+    EXPECT_NE(e.get_string("id"), "late")
+        << "rejected sweep leaked event " << e.get_string("event");
+  EXPECT_EQ(service->submitted(), 3u);
 }
 
 TEST(JobProtocol, ReportsProtocolErrorsAndStats) {

@@ -1,0 +1,95 @@
+#include "core/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace iddq::core {
+namespace {
+
+std::vector<int> drain(JobQueue<int>& q) {
+  q.close();
+  std::vector<int> out;
+  while (auto item = q.pop()) out.push_back(*item);
+  return out;
+}
+
+TEST(JobQueue, EqualPrioritiesAreStrictlyFifo) {
+  JobQueue<int> q;
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 8u);
+  EXPECT_EQ(drain(q), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(JobQueue, HigherPriorityOvertakesQueuedWork) {
+  JobQueue<std::string> q;
+  EXPECT_TRUE(q.push("bulk-1", 0));
+  EXPECT_TRUE(q.push("bulk-2", 0));
+  EXPECT_TRUE(q.push("interactive", 5));
+  EXPECT_TRUE(q.push("background", -2));
+  EXPECT_EQ(*q.pop(), "interactive");
+  EXPECT_EQ(*q.pop(), "bulk-1");
+  EXPECT_EQ(*q.pop(), "bulk-2");
+  EXPECT_EQ(*q.pop(), "background");
+}
+
+TEST(JobQueue, FifoWithinEachPriorityLevel) {
+  JobQueue<int> q;
+  EXPECT_TRUE(q.push(10, 1));
+  EXPECT_TRUE(q.push(11, 1));
+  EXPECT_TRUE(q.push(20, 2));
+  EXPECT_TRUE(q.push(21, 2));
+  EXPECT_EQ(drain(q), (std::vector<int>{20, 21, 10, 11}));
+}
+
+TEST(JobQueue, AgingLetsStarvedWorkOvertakeNewcomers) {
+  // aging_interval = 2: a waiting item gains one effective-priority point
+  // per two completed pops. The old priority-0 item must eventually beat
+  // a stream of fresh priority-1 submits.
+  JobQueue<std::string> q(2);
+  EXPECT_TRUE(q.push("old-bulk", 0));
+  // A continuous stream of *fresh* priority-1 submits, one per pop: the
+  // first two overtake the bulk item, but by the third pop the bulk item
+  // has waited two pops -> effective priority 1, and FIFO (older seq)
+  // breaks the tie in its favor.
+  EXPECT_TRUE(q.push("hot-0", 1));
+  EXPECT_EQ(*q.pop(), "hot-0");
+  EXPECT_TRUE(q.push("hot-1", 1));
+  EXPECT_EQ(*q.pop(), "hot-1");
+  EXPECT_TRUE(q.push("hot-2", 1));
+  EXPECT_EQ(*q.pop(), "old-bulk");
+  EXPECT_EQ(*q.pop(), "hot-2");
+}
+
+TEST(JobQueue, ZeroAgingIntervalMeansStrictPriority) {
+  JobQueue<int> q(0);
+  EXPECT_TRUE(q.push(0, 0));
+  for (int i = 1; i <= 5; ++i) EXPECT_TRUE(q.push(i, 1));
+  EXPECT_EQ(drain(q), (std::vector<int>{1, 2, 3, 4, 5, 0}));
+}
+
+TEST(JobQueue, CloseRefusesPushAndDrainsPop) {
+  JobQueue<int> q;
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2, 3));
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(*q.pop(), 2);  // priority order survives the close
+  EXPECT_EQ(*q.pop(), 1);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(JobQueue, PopBlocksUntilPushArrives) {
+  JobQueue<int> q;
+  std::optional<int> got;
+  std::thread consumer([&] { got = q.pop(); });
+  EXPECT_TRUE(q.push(7, 4));
+  consumer.join();
+  EXPECT_EQ(got, 7);
+}
+
+}  // namespace
+}  // namespace iddq::core

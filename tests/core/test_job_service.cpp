@@ -14,6 +14,7 @@
 #include "core/batch_runner.hpp"
 #include "netlist/gen/random_dag.hpp"
 #include "support/error.hpp"
+#include "support/executor.hpp"
 #include "support/rng.hpp"
 
 namespace iddq::core {
@@ -190,6 +191,133 @@ TEST(JobService, ShimBatchRunnerMatchesDirectEngineLoop) {
       expect_rows_identical(items[i].methods[m], expected[m]);
     }
   }
+}
+
+TEST(JobService, ShimWithSharedPoolMatchesDirectSerialEngineLoop) {
+  // The re-pin with intra-run parallelism on: N jobs x M threads share ONE
+  // ExecutorPool through FlowEngineConfig, and the rows must still be
+  // byte-identical to a plain single-threaded per-circuit engine loop.
+  const auto library = lib::default_library();
+  support::ExecutorPool pool(3);
+  FlowEngineConfig threaded = quick_config();
+  threaded.pool = &pool;
+  const std::vector<std::string> circuits{"ca", "cb", "cc"};
+  const std::vector<std::string> methods{"evolution", "tabu", "standard"};
+  const std::uint64_t base_seed = 42;
+
+  BatchRunner runner(library, threaded);
+  runner.set_circuit_loader(synthetic_circuit);
+  const auto items = runner.run(circuits, methods, base_seed, 3);
+  ASSERT_EQ(items.size(), circuits.size());
+
+  support::ExecutorPool serial(1);
+  FlowEngineConfig serial_config = quick_config();
+  serial_config.pool = &serial;
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    SCOPED_TRACE(circuits[i]);
+    const netlist::Netlist nl = synthetic_circuit(circuits[i]);
+    FlowEngine engine(nl, library, serial_config);
+    const auto expected =
+        engine.run_methods(methods, Rng::mix_seed(base_seed, i));
+    ASSERT_TRUE(items[i].ok());
+    ASSERT_EQ(items[i].methods.size(), expected.size());
+    for (std::size_t m = 0; m < expected.size(); ++m) {
+      SCOPED_TRACE(methods[m]);
+      expect_rows_identical(items[i].methods[m], expected[m]);
+    }
+  }
+}
+
+TEST(JobService, HigherPriorityJobOvertakesQueuedBulkWork) {
+  const auto library = lib::default_library();
+  const auto service = make_service(library, 1, unbounded_config());
+
+  // Hold the single worker inside an unbounded job so the next submits
+  // provably queue up behind it.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool started = false;
+  bool release = false;
+  HandleGate gate;
+  JobSpec hold;
+  hold.circuit = "ca";
+  hold.methods = {"evolution"};
+  JobHandle hold_handle = service->submit(hold, [&](const JobEvent& e) {
+    if (e.kind == JobEvent::Kind::progress) {
+      {
+        std::unique_lock lock(mutex);
+        started = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+      }
+      gate.get().cancel();
+    }
+  });
+  gate.publish(hold_handle);
+  {
+    // Only submit the contenders once the worker is provably inside the
+    // hold job, so both genuinely wait in the queue.
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return started; });
+  }
+
+  EventLog log;
+  JobSpec bulk;
+  bulk.circuit = "cb";
+  bulk.methods = {"standard"};
+  bulk.priority = 0;
+  JobHandle bulk_handle = service->submit(bulk, log.sink());
+
+  JobSpec interactive;
+  interactive.circuit = "cc";
+  interactive.methods = {"standard"};
+  interactive.priority = 5;
+  JobHandle interactive_handle = service->submit(interactive, log.sink());
+
+  EXPECT_EQ(service->queue_depth(), 2u);
+  {
+    const std::scoped_lock lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+
+  (void)hold_handle.wait();
+  (void)bulk_handle.wait();
+  (void)interactive_handle.wait();
+  EXPECT_EQ(bulk_handle.status(), JobState::done);
+  EXPECT_EQ(interactive_handle.status(), JobState::done);
+
+  // The interactive submit, though queued second, ran first.
+  const auto events = log.snapshot();
+  std::size_t interactive_running = events.size();
+  std::size_t bulk_running = events.size();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind != JobEvent::Kind::running) continue;
+    if (events[i].job == interactive_handle.id()) interactive_running = i;
+    if (events[i].job == bulk_handle.id()) bulk_running = i;
+  }
+  ASSERT_LT(interactive_running, events.size());
+  ASSERT_LT(bulk_running, events.size());
+  EXPECT_LT(interactive_running, bulk_running);
+}
+
+TEST(JobService, ReservationsAdmitAtomicallyAgainstTheBound) {
+  // The server's --max-queue admission: two sweeps may not jointly
+  // overshoot the bound, reservations are all-or-nothing, and releasing
+  // returns the slots.
+  const auto library = lib::default_library();
+  const auto service = make_service(library, 1, quick_config());
+
+  EXPECT_TRUE(service->try_reserve(100, 0));  // 0 = unbounded, no state
+  EXPECT_TRUE(service->try_reserve(3, 4));    // 0 queued + 3 <= 4
+  EXPECT_FALSE(service->try_reserve(2, 4));   // 3 reserved + 2 > 4
+  EXPECT_TRUE(service->try_reserve(1, 4));    // exactly fills the bound
+  EXPECT_FALSE(service->try_reserve(1, 4));
+  service->release_reservation(4);
+  EXPECT_TRUE(service->try_reserve(4, 4));
+  service->release_reservation(4);
+  service->release_reservation(1000);  // over-release clamps, no wrap
+  EXPECT_TRUE(service->try_reserve(4, 4));
 }
 
 TEST(JobService, CancellationLandsMidRun) {
@@ -386,6 +514,56 @@ TEST(JobService, SubmitAfterShutdownThrows) {
   EXPECT_TRUE(result.ok());
   service->shutdown();
   EXPECT_THROW((void)service->submit(spec), Error);
+  // The queued -> failed pairing of the rejected submit is pinned by
+  // SubmitAfterShutdownStillPairsQueuedWithFailed.
+}
+
+TEST(JobService, ThrowingSinkCannotVetoOrCrashAJob) {
+  // Sink exceptions are swallowed on every lifecycle path (they would
+  // otherwise escape bare worker threads, or leave a job non-terminal
+  // when thrown from the terminal emit): the job runs to completion and
+  // later events still arrive.
+  const auto library = lib::default_library();
+  const auto service = make_service(library, 1, quick_config());
+  JobSpec spec;
+  spec.circuit = "ca";
+  spec.methods = {"standard"};
+  EventLog log;
+  JobHandle handle =
+      service->submit(spec, [&log](const JobEvent& e) {
+        {
+          const std::scoped_lock lock(log.mutex);
+          log.events.push_back(e);
+        }
+        throw Error("sink throws on every event");
+      });
+  const JobResult& result = handle.wait();
+  EXPECT_EQ(result.state, JobState::done);
+  ASSERT_EQ(result.rows.size(), 1u);
+  const auto events = log.snapshot();
+  ASSERT_GE(events.size(), 3u);
+  EXPECT_EQ(events.front().kind, JobEvent::Kind::queued);
+  EXPECT_EQ(events.back().kind, JobEvent::Kind::done);
+}
+
+TEST(JobService, SubmitAfterShutdownStillPairsQueuedWithFailed) {
+  // The queued -> terminal pairing on the rejection path (what the
+  // protocol's sweep accounting relies on): submit against a shut-down
+  // service announces, finalizes as failed, then throws.
+  const auto library = lib::default_library();
+  const auto service = make_service(library, 1, quick_config());
+  service->shutdown();
+  JobSpec spec;
+  spec.circuit = "ca";
+  spec.methods = {"standard"};
+  std::vector<JobEvent::Kind> seen;
+  EXPECT_THROW(
+      (void)service->submit(
+          spec, [&seen](const JobEvent& e) { seen.push_back(e.kind); }),
+      Error);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], JobEvent::Kind::queued);
+  EXPECT_EQ(seen[1], JobEvent::Kind::failed);
 }
 
 TEST(JobService, DestructionDrainsQueuedJobs) {

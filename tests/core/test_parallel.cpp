@@ -1,0 +1,209 @@
+// Thread-count invariance of the parallel optimizers (the ISSUE
+// acceptance pin): ES, tabu, and portfolio runs must be byte-identical —
+// partitions equal, every double bit-equal — on a 1-thread, 2-thread, and
+// 8-thread ExecutorPool, and identical to the poolless serial path. The
+// determinism recipe under test: all RNG draws happen on the coordinator
+// in a fixed order, workers only fill pre-indexed slots, reductions run
+// on the caller in index order (docs/architecture.md, "Threading model").
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evolution.hpp"
+#include "core/flow_engine.hpp"
+#include "core/optimizer_registry.hpp"
+#include "core/start_partition.hpp"
+#include "core/tabu.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "support/executor.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::core {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("par", 200, 12, 5));
+  lib::CellLibrary library = lib::default_library();
+  part::EvalContext ctx{nl, library, elec::SensorSpec{},
+                        part::CostWeights{}};
+
+  part::Partition start() {
+    Rng rng(3);
+    return make_start_partition(nl, 4, rng);
+  }
+};
+
+void expect_bits_eq(double got, double want, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+            std::bit_cast<std::uint64_t>(want))
+      << what << ": " << got << " vs " << want;
+}
+
+void expect_outcomes_identical(const OptimizerOutcome& got,
+                               const OptimizerOutcome& want) {
+  EXPECT_EQ(got.partition, want.partition);
+  expect_bits_eq(got.fitness.violation, want.fitness.violation, "violation");
+  expect_bits_eq(got.fitness.cost, want.fitness.cost, "cost");
+  const auto gc = got.costs.as_array();
+  const auto wc = want.costs.as_array();
+  for (std::size_t i = 0; i < wc.size(); ++i)
+    expect_bits_eq(gc[i], wc[i], "costs[i]");
+  EXPECT_EQ(got.iterations, want.iterations);
+  EXPECT_EQ(got.evaluations, want.evaluations);
+}
+
+const std::size_t kPoolSizes[] = {1, 2, 8};
+
+TEST(ParallelInvariance, EvolutionIsByteIdenticalAtAnyThreadCount) {
+  Fixture f;
+  EsParams params;
+  params.mu = 4;
+  params.lambda = 4;
+  params.chi = 2;
+  params.max_generations = 12;
+  params.stall_generations = 6;
+  params.seed = 42;
+
+  EvolutionEngine serial_engine(f.ctx, params);  // pool == nullptr
+  const EsResult serial = serial_engine.run_with_module_count(4);
+  EXPECT_GT(serial.evaluations, params.mu);
+
+  for (const std::size_t threads : kPoolSizes) {
+    SCOPED_TRACE(threads);
+    support::ExecutorPool pool(threads);
+    EsParams p = params;
+    p.pool = &pool;
+    EvolutionEngine engine(f.ctx, p);
+    const EsResult got = engine.run_with_module_count(4);
+    EXPECT_EQ(got.best_partition, serial.best_partition);
+    expect_bits_eq(got.best_fitness.cost, serial.best_fitness.cost, "cost");
+    expect_bits_eq(got.best_fitness.violation, serial.best_fitness.violation,
+                   "violation");
+    EXPECT_EQ(got.generations, serial.generations);
+    EXPECT_EQ(got.evaluations, serial.evaluations);
+  }
+}
+
+TEST(ParallelInvariance, TabuIsByteIdenticalAtAnyThreadCount) {
+  Fixture f;
+  TabuParams params;
+  params.iterations = 60;
+  params.candidates = 10;
+  params.seed = 11;
+
+  const TabuResult serial = tabu_search(f.ctx, f.start(), params);
+  for (const std::size_t threads : kPoolSizes) {
+    SCOPED_TRACE(threads);
+    support::ExecutorPool pool(threads);
+    TabuParams p = params;
+    p.pool = &pool;
+    const TabuResult got = tabu_search(f.ctx, f.start(), p);
+    EXPECT_EQ(got.best_partition, serial.best_partition);
+    expect_bits_eq(got.best_fitness.cost, serial.best_fitness.cost, "cost");
+    EXPECT_EQ(got.iterations, serial.iterations);
+    EXPECT_EQ(got.evaluations, serial.evaluations);
+  }
+}
+
+TEST(ParallelInvariance, PortfolioRaceIsByteIdenticalAtAnyThreadCount) {
+  Fixture f;
+  OptimizerConfig cfg;
+  cfg.es.mu = 3;
+  cfg.es.lambda = 3;
+  cfg.es.chi = 1;
+  cfg.es.max_generations = 6;
+  cfg.es.stall_generations = 3;
+  cfg.sa.steps = 200;
+  cfg.tabu.iterations = 30;
+  const auto portfolio = OptimizerRegistry::global().make(
+      "portfolio:evolution,annealing,tabu", cfg);
+
+  OptimizerRequest request;
+  request.ctx = &f.ctx;
+  request.module_count = 4;
+  request.seed = 42;
+  const auto serial = portfolio->run(request);
+
+  for (const std::size_t threads : kPoolSizes) {
+    SCOPED_TRACE(threads);
+    support::ExecutorPool pool(threads);
+    OptimizerRequest r = request;
+    r.pool = &pool;
+    expect_outcomes_identical(portfolio->run(r), serial);
+  }
+}
+
+TEST(ParallelInvariance, FlowEngineRowsAreByteIdenticalWithAConfigPool) {
+  // End-to-end: the same pool FlowEngineConfig threads into every
+  // dispatch (what --threads wires up) must leave whole MethodResult
+  // rows — including the standard coupling and per-method seeds —
+  // byte-identical to the serial engine.
+  Fixture f;
+  FlowEngineConfig config;
+  config.optimizers.es.mu = 3;
+  config.optimizers.es.lambda = 3;
+  config.optimizers.es.chi = 1;
+  config.optimizers.es.max_generations = 8;
+  config.optimizers.es.stall_generations = 4;
+  config.optimizers.tabu.iterations = 30;
+  const std::vector<std::string> methods{"evolution", "tabu", "standard"};
+
+  support::ExecutorPool serial(1);
+  config.pool = &serial;
+  FlowEngine serial_engine(f.nl, f.library, config);
+  const auto want = serial_engine.run_methods(methods, 42);
+
+  support::ExecutorPool pool(4);
+  config.pool = &pool;
+  FlowEngine engine(f.nl, f.library, config);
+  const auto got = engine.run_methods(methods, 42);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    SCOPED_TRACE(methods[i]);
+    EXPECT_EQ(got[i].method, want[i].method);
+    EXPECT_EQ(got[i].partition, want[i].partition);
+    expect_bits_eq(got[i].fitness.cost, want[i].fitness.cost, "cost");
+    expect_bits_eq(got[i].sensor_area, want[i].sensor_area, "sensor_area");
+    expect_bits_eq(got[i].delay_overhead, want[i].delay_overhead,
+                   "delay_overhead");
+    EXPECT_EQ(got[i].evaluations, want[i].evaluations);
+    EXPECT_EQ(got[i].module_count, want[i].module_count);
+  }
+}
+
+TEST(ParallelInvariance, ProgressTicksStillObserveWithoutChangingTheRun) {
+  // Observers ride along unchanged when the run is threaded (the contract
+  // JobService cancellation depends on).
+  Fixture f;
+  OptimizerConfig cfg;
+  cfg.es.mu = 3;
+  cfg.es.lambda = 3;
+  cfg.es.chi = 1;
+  cfg.es.max_generations = 6;
+  cfg.es.stall_generations = 3;
+  const auto optimizer = OptimizerRegistry::global().make("evolution", cfg);
+
+  OptimizerRequest request;
+  request.ctx = &f.ctx;
+  request.module_count = 4;
+  request.seed = 7;
+  const auto want = optimizer->run(request);
+
+  support::ExecutorPool pool(4);
+  OptimizerRequest observed = request;
+  observed.pool = &pool;
+  std::size_t ticks = 0;
+  observed.on_progress = [&ticks](const OptimizerProgress&) { ++ticks; };
+  const auto got = optimizer->run(observed);
+  EXPECT_GT(ticks, 0u);
+  expect_outcomes_identical(got, want);
+}
+
+}  // namespace
+}  // namespace iddq::core

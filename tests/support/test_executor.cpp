@@ -1,0 +1,119 @@
+#include "support/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace iddq::support {
+namespace {
+
+TEST(Executor, RunsEveryIndexExactlyOnceIntoItsSlot) {
+  ExecutorPool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4u);
+  EXPECT_EQ(pool.worker_count(), 3u);
+
+  std::vector<std::atomic<int>> hits(257);
+  std::vector<std::size_t> slots(257, 0);
+  pool.parallel_for_indexed(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1);
+    slots[i] = i * i;
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+    EXPECT_EQ(slots[i], i * i) << i;
+  }
+}
+
+TEST(Executor, SerialPoolAndNullPoolRunInline) {
+  ExecutorPool serial(1);
+  EXPECT_EQ(serial.worker_count(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(8);
+  serial.parallel_for_indexed(ran.size(), [&](std::size_t i) {
+    ran[i] = std::this_thread::get_id();
+  });
+  for (const auto id : ran) EXPECT_EQ(id, caller);
+
+  std::size_t sum = 0;
+  parallel_for_indexed(nullptr, 5, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 10u);
+}
+
+TEST(Executor, EmptyRangeIsANoOp) {
+  ExecutorPool pool(2);
+  bool ran = false;
+  pool.parallel_for_indexed(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(Executor, FirstExceptionPropagatesAndSkipsUnstartedWork) {
+  ExecutorPool pool(2);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for_indexed(1000,
+                                [&](std::size_t i) {
+                                  if (i == 3)
+                                    throw std::runtime_error("boom");
+                                  executed.fetch_add(1);
+                                }),
+      std::runtime_error);
+  // Unstarted indices were skipped once the exception landed; the pool
+  // stays usable afterwards.
+  EXPECT_LT(executed.load(), 1000);
+  std::atomic<int> after{0};
+  pool.parallel_for_indexed(16, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 16);
+}
+
+TEST(Executor, NestedParallelForMakesProgress) {
+  // A body that itself fans out on the same pool: the inner call's caller
+  // participates, so this completes even when every worker is busy.
+  ExecutorPool pool(3);
+  std::vector<std::vector<std::size_t>> grid(6,
+                                             std::vector<std::size_t>(6, 0));
+  pool.parallel_for_indexed(grid.size(), [&](std::size_t i) {
+    pool.parallel_for_indexed(grid[i].size(), [&, i](std::size_t j) {
+      grid[i][j] = i * 10 + j;
+    });
+  });
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    for (std::size_t j = 0; j < grid[i].size(); ++j)
+      EXPECT_EQ(grid[i][j], i * 10 + j);
+}
+
+TEST(Executor, SharedAcrossConcurrentCallersStaysBounded) {
+  // Two external threads drive the same pool at once (the JobService
+  // sharing pattern); both batches complete with every slot written.
+  ExecutorPool pool(2);
+  std::vector<std::size_t> a(64, 0);
+  std::vector<std::size_t> b(64, 0);
+  std::thread ta([&] {
+    pool.parallel_for_indexed(a.size(), [&](std::size_t i) { a[i] = i + 1; });
+  });
+  std::thread tb([&] {
+    pool.parallel_for_indexed(b.size(), [&](std::size_t i) { b[i] = i + 2; });
+  });
+  ta.join();
+  tb.join();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], i + 1);
+    EXPECT_EQ(b[i], i + 2);
+  }
+}
+
+TEST(Executor, HardwareSizingAndEnvParsing) {
+  ExecutorPool pool(0);  // 0 = hardware concurrency
+  EXPECT_GE(pool.concurrency(), 1u);
+  // env_threads is >= 1 regardless of the environment (unset or garbage
+  // degrades to serial; a set value was validated at parse time).
+  EXPECT_GE(ExecutorPool::env_threads(), 1u);
+  EXPECT_GE(ExecutorPool::shared_default().concurrency(), 1u);
+}
+
+}  // namespace
+}  // namespace iddq::support

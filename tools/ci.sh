@@ -2,20 +2,36 @@
 # Tier-1 verification, runnable locally and from CI:
 #   configure + build (warnings-as-errors for src/) + full ctest.
 #
-#   $ tools/ci.sh [build-dir]        default build dir: build-ci
+#   $ tools/ci.sh [build-dir]          default build dir: build-ci
+#
+# Threaded tier-1 leg (the CI matrix leg): the same full ctest with
+# IDDQ_THREADS=2, which makes every FlowEngine-based test evaluate ES
+# descendants / tabu candidates / portfolio members on a 2-thread
+# ExecutorPool — results must stay byte-identical, so every pinned
+# determinism test doubles as a threading regression test.
+#
+#   $ tools/ci.sh threads [build-dir]  default build dir: build-ci
+#
+# ThreadSanitizer leg: rebuild the support + core test binaries with
+# -fsanitize=thread and run the parallelism-relevant suites (executor,
+# optimizers, job queue/service/protocol) threaded.
+#
+#   $ tools/ci.sh tsan [build-dir]     default build dir: build-tsan
 #
 # Server smoke (what the CI server-smoke job runs): build only the job
 # server, start it in pipe mode, submit a builtin-circuit job, and assert
 # a result row streams back.
 #
-#   $ tools/ci.sh smoke [build-dir]  default build dir: build-smoke
+#   $ tools/ci.sh smoke [build-dir]    default build dir: build-smoke
 set -eu
 
 MODE="full"
-if [ "${1:-}" = "smoke" ]; then
-  MODE="smoke"
-  shift
-fi
+case "${1:-}" in
+  smoke|threads|tsan)
+    MODE="$1"
+    shift
+    ;;
+esac
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 ROOT="$(dirname "$0")/.."
@@ -29,7 +45,8 @@ if [ "$MODE" = "smoke" ]; then
   printf '%s\n%s\n' \
     '{"op":"submit","id":"smoke","circuits":["c17"],"methods":["random","standard"],"seed":42}' \
     '{"op":"shutdown"}' \
-    | "$BUILD_DIR/iddqsyn_server" --pipe --workers 2 > "$OUT"
+    | "$BUILD_DIR/iddqsyn_server" --pipe --workers 2 --threads 2 \
+      --max-queue 16 > "$OUT"
   grep -q '"event":"row"' "$OUT"
   grep -q '"event":"sweep_done","id":"smoke","ok":1' "$OUT"
   grep -q '"event":"bye"' "$OUT"
@@ -37,7 +54,30 @@ if [ "$MODE" = "smoke" ]; then
   exit 0
 fi
 
+if [ "$MODE" = "tsan" ]; then
+  BUILD_DIR="${1:-build-tsan}"
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DIDDQ_BUILD_BENCHES=OFF \
+    -DIDDQ_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target iddq_tests_support iddq_tests_core
+  # The parallelism surface: executor pool, the parallel optimizers and
+  # their invariance pins, and the job queue/service/protocol stack.
+  IDDQ_THREADS=2 "$BUILD_DIR/iddq_tests_support" \
+    --gtest_filter='Executor.*'
+  IDDQ_THREADS=2 "$BUILD_DIR/iddq_tests_core" \
+    --gtest_filter='ParallelInvariance.*:Evolution.*:Tabu.*:Portfolio.*:JobQueue.*:JobService.*:JobProtocol.*'
+  echo "tsan OK"
+  exit 0
+fi
+
 BUILD_DIR="${1:-build-ci}"
 cmake -B "$BUILD_DIR" -S "$ROOT" -DIDDQ_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+if [ "$MODE" = "threads" ]; then
+  IDDQ_THREADS=2 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+fi

@@ -18,6 +18,11 @@
 //                         evolution,annealing".
 //   --jobs N              run circuits on N worker threads (default 1);
 //                         results are identical for any N
+//   --threads N           intra-run parallelism (default 1, or the
+//                         IDDQ_THREADS environment variable): evaluate ES
+//                         descendants and tabu candidate sets, and race
+//                         portfolio members, on a shared N-thread pool;
+//                         results are byte-identical for any N
 //   --cache-dir DIR       content-addressed result cache: look up every
 //                         (circuit, method, seed, budget) point in DIR
 //                         before running it and store new results there
@@ -69,6 +74,7 @@
 #include "partition/partition_io.hpp"
 #include "report/table.hpp"
 #include "support/error.hpp"
+#include "support/executor.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
@@ -82,6 +88,7 @@ struct CliOptions {
   std::vector<std::string> circuits;
   std::vector<std::string> methods{"evolution", "standard"};
   std::size_t jobs = 1;
+  std::size_t threads = 0;  // 0 = IDDQ_THREADS default (1 when unset)
   std::optional<std::string> cache_dir;
   bool no_cache = false;
   std::optional<std::string> cache_stats_dir;
@@ -104,6 +111,8 @@ void print_usage(std::ostream& os) {
         "  --method NAMES   comma-separated optimizer specs "
         "(default: evolution,standard)\n"
         "  --jobs N         worker threads over circuits (default 1)\n"
+        "  --threads N      intra-run thread pool (default 1 or "
+        "IDDQ_THREADS; identical results for any N)\n"
         "  --cache-dir DIR  content-addressed result cache (docs/caching.md)\n"
         "  --no-cache       disable the cache even with --cache-dir\n"
         "  --cache-stats DIR    inspect DIR/results.jsonl and exit\n"
@@ -173,6 +182,12 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       const auto v = need_value("--jobs");
       if (!v || !str::parse_size(*v, opts.jobs) || opts.jobs == 0) {
         std::cerr << "iddqsyn: --jobs must be a positive integer\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--threads") {
+      const auto v = need_value("--threads");
+      if (!v || !str::parse_size(*v, opts.threads) || opts.threads == 0) {
+        std::cerr << "iddqsyn: --threads must be a positive integer\n";
         return std::nullopt;
       }
     } else if (arg == "--cache-dir") {
@@ -253,6 +268,11 @@ std::optional<CliOptions> parse(int argc, char** argv) {
   }
   if (opts.submit_socket && (opts.output_path || opts.retime)) {
     std::cerr << "iddqsyn: -o/--retime do not work in --submit mode\n";
+    return std::nullopt;
+  }
+  if (opts.submit_socket && opts.threads > 0) {
+    std::cerr << "iddqsyn: --threads has no effect in --submit mode "
+                 "(set --threads on the server)\n";
     return std::nullopt;
   }
   // Validate method specs up front so typos report the registry's names
@@ -433,6 +453,12 @@ int main(int argc, char** argv) {
     config.sensor.r_max_mv = opts->rail_mv;
     config.sensor.d_min = opts->disc;
     config.optimizers.es.max_generations = opts->generations;
+
+    // One pool shared by all --jobs workers (bounded fan-out); declared
+    // before the runner so it outlives every optimizer run.
+    support::ExecutorPool pool(
+        support::ExecutorPool::from_option(opts->threads));
+    config.pool = &pool;
 
     std::optional<core::ResultCache> cache;
     if (opts->cache_dir && !opts->no_cache) {

@@ -17,6 +17,12 @@
 //                     per connection, concurrently
 //   --workers N       JobService worker threads (default: hardware
 //                     concurrency)
+//   --threads N       intra-job parallelism: one shared ExecutorPool for
+//                     ES/tabu candidate evaluation and portfolio racing
+//                     across ALL workers (default 1 = serial; results are
+//                     byte-identical for any N)
+//   --max-queue N     reject submits once N jobs are queued (protocol
+//                     `error` event; default 0 = unbounded)
 //   --cache-dir DIR   content-addressed result cache (docs/caching.md)
 //   --lib FILE        cell library (default: built-in 5V CMOS)
 //   --rail MV         virtual-rail perturbation limit r (default 200)
@@ -45,6 +51,7 @@
 #include "library/cell_library.hpp"
 #include "library/lib_io.hpp"
 #include "support/error.hpp"
+#include "support/executor.hpp"
 #include "support/strings.hpp"
 #include "support/transport.hpp"
 
@@ -55,6 +62,8 @@ using namespace iddq;
 struct ServerOptions {
   std::optional<std::string> socket_path;  // nullopt = pipe mode
   std::size_t workers = 0;                 // 0 = hardware concurrency
+  std::size_t threads = 0;                 // 0 = IDDQ_THREADS default
+  std::size_t max_queue = 0;               // 0 = unbounded
   std::optional<std::string> cache_dir;
   std::optional<std::string> lib_path;
   double rail_mv = 200.0;
@@ -67,6 +76,10 @@ void print_usage(std::ostream& os) {
         "  --pipe           one session on stdin/stdout (default)\n"
         "  --socket PATH    listen on a unix-domain socket\n"
         "  --workers N      worker threads (default: hardware concurrency)\n"
+        "  --threads N      shared intra-job thread pool (default 1; "
+        "results identical for any N)\n"
+        "  --max-queue N    reject submits past N queued jobs (default 0 = "
+        "unbounded)\n"
         "  --cache-dir DIR  content-addressed result cache "
         "(docs/caching.md)\n"
         "  --lib FILE       cell library file (default: built-in 5V CMOS)\n"
@@ -104,6 +117,19 @@ std::optional<ServerOptions> parse(int argc, char** argv) {
         std::cerr << "iddqsyn_server: --workers must be >= 1\n";
         return std::nullopt;
       }
+    } else if (arg == "--threads") {
+      const auto v = need_value("--threads");
+      if (!v || !str::parse_size(*v, opts.threads) || opts.threads == 0) {
+        std::cerr << "iddqsyn_server: --threads must be >= 1\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--max-queue") {
+      const auto v = need_value("--max-queue");
+      // 0 is the documented default: unbounded.
+      if (!v || !str::parse_size(*v, opts.max_queue)) {
+        std::cerr << "iddqsyn_server: --max-queue must be an integer >= 0\n";
+        return std::nullopt;
+      }
     } else if (arg == "--cache-dir") {
       const auto v = need_value("--cache-dir");
       if (!v) return std::nullopt;
@@ -139,7 +165,8 @@ std::optional<ServerOptions> parse(int argc, char** argv) {
   return opts;
 }
 
-int serve_socket(core::JobService& service, const std::string& path) {
+int serve_socket(core::JobService& service, const std::string& path,
+                 core::JobProtocolOptions protocol_options) {
   support::UnixSocketListener listener(path);
   std::cerr << "iddqsyn_server: listening on " << path << "\n";
 
@@ -149,8 +176,9 @@ int serve_socket(core::JobService& service, const std::string& path) {
 
   while (auto channel = listener.accept()) {
     std::shared_ptr<support::FdChannel> conn = std::move(channel);
-    std::thread session([&service, &listener, &shutdown_requested, conn] {
-      core::JobProtocolSession protocol(service, *conn);
+    std::thread session([&service, &listener, &shutdown_requested, conn,
+                         protocol_options] {
+      core::JobProtocolSession protocol(service, *conn, protocol_options);
       if (protocol.run()) {
         // A client-requested shutdown stops the whole server: closing
         // the listener unblocks accept() in the main thread.
@@ -194,6 +222,13 @@ int main(int argc, char** argv) {
     config.flow.sensor.d_min = opts->disc;
     config.flow.optimizers.es.max_generations = opts->generations;
 
+    // One ExecutorPool shared by every worker's optimizer runs: total
+    // fan-out stays bounded by workers + threads - 1 instead of
+    // multiplying, and results are byte-identical for any --threads.
+    support::ExecutorPool pool(
+        support::ExecutorPool::from_option(opts->threads));
+    config.flow.pool = &pool;
+
     std::optional<core::ResultCache> cache;
     if (opts->cache_dir) {
       cache.emplace(*opts->cache_dir);
@@ -207,10 +242,13 @@ int main(int argc, char** argv) {
 
     core::JobService service(library, std::move(config));
 
-    if (opts->socket_path) return serve_socket(service, *opts->socket_path);
+    core::JobProtocolOptions protocol_options;
+    protocol_options.max_queue = opts->max_queue;
+    if (opts->socket_path)
+      return serve_socket(service, *opts->socket_path, protocol_options);
 
     support::StreamChannel channel(std::cin, std::cout);
-    core::JobProtocolSession session(service, channel);
+    core::JobProtocolSession session(service, channel, protocol_options);
     (void)session.run();
     return 0;
   } catch (const Error& e) {
