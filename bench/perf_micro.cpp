@@ -8,10 +8,16 @@
 // simulator's pattern throughput.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <vector>
+
 #include "core/evolution.hpp"
+#include "core/neighborhood.hpp"
 #include "core/start_partition.hpp"
 #include "core/tabu.hpp"
 #include "electrical/delay_model.hpp"
+#include "estimators/delay_estimator.hpp"
+#include "estimators/incremental_timing.hpp"
 #include "estimators/transition_times.hpp"
 #include "library/cell_library.hpp"
 #include "netlist/distance_oracle.hpp"
@@ -39,6 +45,23 @@ const part::EvalContext& context() {
   static const part::EvalContext ctx(circuit(), library(),
                                      elec::SensorSpec{}, part::CostWeights{});
   return ctx;
+}
+
+// Size ladder for the scaling benches (Arg = index): per-move costs must
+// stop scaling with total gate count now that the refresh is incremental.
+constexpr std::array<const char*, 4> kSizeLadder = {"c1908", "c3540", "c5315",
+                                                    "c7552"};
+
+const part::EvalContext& context_at(std::size_t idx) {
+  static std::array<const netlist::Netlist*, kSizeLadder.size()> nls{};
+  static std::array<const part::EvalContext*, kSizeLadder.size()> ctxs{};
+  if (ctxs[idx] == nullptr) {
+    nls[idx] = new netlist::Netlist(netlist::gen::make_iscas_like(
+        kSizeLadder[idx]));
+    ctxs[idx] = new part::EvalContext(*nls[idx], library(),
+                                     elec::SensorSpec{}, part::CostWeights{});
+  }
+  return *ctxs[idx];
 }
 
 void BM_EvalContextConstruction(benchmark::State& state) {
@@ -77,6 +100,112 @@ void BM_IncrementalMoveAndFitness(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IncrementalMoveAndFitness)->Unit(benchmark::kMicrosecond);
+
+// Steady-state cost of one committed move + fitness query at each circuit
+// size (Arg indexes kSizeLadder). With the incremental refresh the cost
+// tracks the touched modules and the affected timing cone, not the gate
+// count — compare the per-iteration times down the ladder against
+// BM_IncrementalMoveAndFitness's historical full-pass behaviour.
+void BM_FitnessAfterMove(benchmark::State& state) {
+  const auto& ctx = context_at(static_cast<std::size_t>(state.range(0)));
+  Rng rng(12);
+  // Fixed module SIZE (not count): the touched-module work stays constant
+  // down the ladder, so any residual scaling exposes a global term.
+  const std::size_t k =
+      std::max<std::size_t>(2, ctx.nl.logic_gate_count() / 160);
+  part::PartitionEvaluator eval(ctx,
+                                core::make_start_partition(ctx.nl, k, rng));
+  benchmark::DoNotOptimize(eval.fitness());
+  std::size_t i = 0;
+  const auto logic = ctx.nl.logic_gates();
+  for (auto _ : state) {
+    netlist::GateId g = logic[i++ % logic.size()];
+    while (eval.partition().module_size(eval.partition().module_of(g)) <= 1)
+      g = logic[i++ % logic.size()];
+    const std::uint32_t src = eval.partition().module_of(g);
+    const auto count =
+        static_cast<std::uint32_t>(eval.partition().module_count());
+    const auto target = static_cast<std::uint32_t>(
+        (src + 1 + i % (count - 1)) % count);
+    eval.move_gate(g, target);
+    benchmark::DoNotOptimize(eval.fitness());
+  }
+}
+BENCHMARK(BM_FitnessAfterMove)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+// probe_move vs the copy + move_gate + fitness recipe it replaces, against
+// the same round-start state (what one tabu candidate costs).
+void BM_ProbeVsCopy(benchmark::State& state) {
+  const auto& ctx = context_at(static_cast<std::size_t>(state.range(0)));
+  Rng rng(13);
+  // Fine-grained regime (many small modules): seeds stay under the dense
+  // cutover, so probes ride the journaled sweep — the case the probe API
+  // targets. Coarse Table-1-style partitions fall back to the scratch
+  // full pass and score on par with a copy minus the memcpy.
+  const std::size_t k =
+      std::max<std::size_t>(2, ctx.nl.logic_gate_count() / 48);
+  part::PartitionEvaluator eval(ctx,
+                                core::make_start_partition(ctx.nl, k, rng));
+  benchmark::DoNotOptimize(eval.fitness());
+  const bool use_probe = state.range(1) != 0;
+  std::size_t i = 0;
+  const auto logic = ctx.nl.logic_gates();
+  for (auto _ : state) {
+    core::GateMove mv;
+    do {
+      mv.gate = logic[i++ % logic.size()];
+      mv.target = static_cast<std::uint32_t>(
+          i % eval.partition().module_count());
+    } while (
+        eval.partition().module_of(mv.gate) == mv.target ||
+        eval.partition().module_size(eval.partition().module_of(mv.gate)) <=
+            1);
+    if (use_probe) {
+      benchmark::DoNotOptimize(eval.probe_move(mv.gate, mv.target));
+    } else {
+      part::PartitionEvaluator copy = eval;
+      copy.move_gate(mv.gate, mv.target);
+      benchmark::DoNotOptimize(copy.fitness());
+    }
+  }
+}
+BENCHMARK(BM_ProbeVsCopy)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})  // {circuit, 0=copy / 1=probe}
+    ->Unit(benchmark::kMicrosecond);
+
+// One perturbed gate: incremental repropagation vs the full O(V+E) pass.
+void BM_IncrementalVsFullTiming(benchmark::State& state) {
+  const auto& ctx = context_at(static_cast<std::size_t>(state.range(0)));
+  const bool incremental = state.range(1) != 0;
+  std::vector<double> delta(ctx.nl.gate_count(), 1.0);
+  Rng rng(14);
+  for (const netlist::GateId id : ctx.nl.logic_gates())
+    delta[id] = 1.0 + rng.uniform() * 0.1;
+  const auto factor = [&delta](netlist::GateId g) { return delta[g]; };
+  est::IncrementalTiming timing(ctx.timing_graph);
+  timing.rebuild(factor);
+  const auto logic = ctx.nl.logic_gates();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const netlist::GateId g = logic[i++ % logic.size()];
+    delta[g] = 1.0 + (delta[g] - 1.0) * 0.999;  // small drift
+    const netlist::GateId changed[] = {g};
+    if (incremental) {
+      benchmark::DoNotOptimize(timing.propagate(changed, factor));
+    } else {
+      benchmark::DoNotOptimize(
+          est::degraded_critical_path_ps(ctx.nl, ctx.cells, delta));
+    }
+  }
+}
+BENCHMARK(BM_IncrementalVsFullTiming)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})  // {circuit, 0=full / 1=incr}
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_EvaluatorCopy(benchmark::State& state) {
   const auto& ctx = context();

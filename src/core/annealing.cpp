@@ -59,15 +59,17 @@ SaResult simulated_annealing(const part::EvalContext& ctx,
     const GateMove mv = sample_boundary_move(eval, rng);
     if (!mv.valid()) continue;
     const std::uint32_t src = eval.partition().module_of(mv.gate);
-    eval.move_gate(mv.gate, mv.target);
-    const double proposed =
-        penalized_objective(eval, params.violation_penalty);
+    // Copy-free probing: score the move without committing it. The probe
+    // is bit-identical to the historical move-then-evaluate sequence, and
+    // the RNG draw order below is unchanged.
+    const double proposed = probe_objective(eval, mv, params.violation_penalty);
     ++result.evaluations;
     const double delta = proposed - current;
     const bool accept =
         delta <= 0.0 ||
         rng.uniform() < std::exp(-delta / std::max(temperature, 1e-12));
     if (accept) {
+      eval.move_gate(mv.gate, mv.target);
       current = proposed;
       ++result.accepted;
       if (current < best_obj) {
@@ -77,7 +79,14 @@ SaResult simulated_annealing(const part::EvalContext& ctx,
         result.best_costs = eval.costs();
       }
     } else {
-      eval.move_gate(mv.gate, src);  // revert
+      // State parity with the historical trajectory: the pre-probe code
+      // applied the move and reverted it, leaving floating-point residue
+      // in the running sums that the rest of the chain (and the pinned
+      // caches/bench rows) depends on. Replay exactly that arithmetic —
+      // the expensive full evaluation in between is what the probe
+      // eliminated.
+      eval.move_gate(mv.gate, mv.target);
+      eval.move_gate(mv.gate, src);
     }
   }
   return result;

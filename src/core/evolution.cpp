@@ -170,7 +170,12 @@ EsResult EvolutionEngine::run(std::span<const part::Partition> starts) {
     for (auto& parent : parents) {
       parent.age += 1;
       for (std::size_t c = 0; c < params_.lambda; ++c) {
-        Individual child = parent;  // recombination = duplication
+        // Recombination = duplication. The copy takes the parent's module
+        // caches but deliberately drops the timing arrival state
+        // (evaluator copy semantics); the child's fitness() refresh
+        // rederives only its mutation-dirtied modules and repropagates —
+        // bit-identical to a full evaluation of the child's partition.
+        Individual child = parent;
         child.age = 0;
         child.step_width = vary_step_width(parent.step_width);
         mutate(child);

@@ -30,6 +30,21 @@ struct GateMove {
 [[nodiscard]] double penalized_objective(part::PartitionEvaluator& eval,
                                          double violation_penalty);
 
+/// The same objective for a *hypothetical* move, via the evaluator's
+/// copy-free probe_move(): bit-identical to copying `eval`, applying the
+/// move, and calling penalized_objective on the copy — without the
+/// O(gates + K*grid) copy or a full delay recomputation.
+[[nodiscard]] double probe_objective(part::PartitionEvaluator& eval,
+                                     const GateMove& move,
+                                     double violation_penalty);
+
+/// Fills `targets` with the modules (other than `src`) that gate `g` is
+/// wired to, in fanin-then-fanout first-seen order — the shared "where can
+/// this gate move" rule of every local-search neighbourhood (the sampler
+/// below and the greedy refiner's scan).
+void neighbor_modules(const part::PartitionEvaluator& eval, netlist::GateId g,
+                      std::uint32_t src, std::vector<std::uint32_t>& targets);
+
 /// Samples a boundary-gate move that cannot empty a module (K preserved).
 /// Returns an invalid move when no candidate is found within the internal
 /// attempt limit (e.g. single-module partitions).

@@ -136,8 +136,9 @@ class RandomSearchOptimizer final : public Optimizer {
       const OptimizerRequest& req) const override {
     const std::size_t samples =
         req.max_evaluations > 0 ? req.max_evaluations : samples_;
-    RandomSearchResult rs = random_search(
-        context_of(req), resolve_module_count(req), samples, req.seed);
+    RandomSearchResult rs =
+        random_search(context_of(req), resolve_module_count(req), samples,
+                      req.seed, req.pool);
     OptimizerOutcome out;
     out.method = std::string(name());
     out.partition = std::move(rs.best_partition);
@@ -167,7 +168,7 @@ class GreedyOptimizer final : public Optimizer {
     part::PartitionEvaluator eval(context_of(req), resolve_start(req));
     const std::size_t budget =
         req.max_evaluations > 0 ? req.max_evaluations : max_evaluations_;
-    const RefineResult refine = greedy_refine(eval, budget);
+    const RefineResult refine = greedy_refine(eval, budget, req.pool);
     OptimizerOutcome out;
     out.method = std::string(name());
     out.partition = eval.partition();

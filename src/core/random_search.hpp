@@ -1,11 +1,17 @@
 // Random-search baseline: evaluate many independent chain-clustered start
 // partitions and keep the best. The weakest of the section-4 alternatives;
-// it anchors the low end of the optimizer comparison.
+// it anchors the low end of the optimizer comparison. The samples are
+// independent, so they evaluate in parallel on an ExecutorPool with all
+// RNG draws on the coordinator — byte-identical at any thread count.
 #pragma once
 
 #include <cstdint>
 
 #include "partition/evaluator.hpp"
+
+namespace iddq::support {
+class ExecutorPool;
+}
 
 namespace iddq::core {
 
@@ -16,9 +22,11 @@ struct RandomSearchResult {
   std::size_t evaluations = 0;
 };
 
-[[nodiscard]] RandomSearchResult random_search(const part::EvalContext& ctx,
-                                               std::size_t module_count,
-                                               std::size_t samples,
-                                               std::uint64_t seed);
+/// `pool` parallelizes the independent sample evaluations when non-null (a
+/// per-run knob like the seed — results are pool-invariant).
+[[nodiscard]] RandomSearchResult random_search(
+    const part::EvalContext& ctx, std::size_t module_count,
+    std::size_t samples, std::uint64_t seed,
+    support::ExecutorPool* pool = nullptr);
 
 }  // namespace iddq::core

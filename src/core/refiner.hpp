@@ -6,9 +6,28 @@
 // none (a local optimum of the 1-move neighbourhood) or the evaluation
 // budget is exhausted. Serves both as an optimizer baseline and as an
 // optional polish pass after the ES.
+//
+// Candidates are scored with the evaluator's copy-free probe_move, so a
+// rejected trial leaves NO trace in the running sums. This is a deliberate
+// re-pin versus the historical move-then-evaluate-then-revert scan, whose
+// rejected trials chained floating-point residue through the sums (making
+// every trial depend on all earlier ones — inherently sequential); the
+// residue-free trajectory is what lets the scan parallelize, and the
+// result-cache salt was bumped to v3 so old greedy-family rows cannot
+// replay (src/core/result_cache.cpp). With an ExecutorPool the scan
+// speculatively scores a window of upcoming candidates in parallel (one
+// private evaluator copy per concurrency slot) and then replays the serial
+// first-improvement walk over the scores, so the applied moves, evaluation
+// counts, and every double are byte-identical at any thread count;
+// candidates past the first improvement are discarded (wasted speculative
+// work, never wrong results).
 #pragma once
 
 #include "partition/evaluator.hpp"
+
+namespace iddq::support {
+class ExecutorPool;
+}
 
 namespace iddq::core {
 
@@ -18,8 +37,10 @@ struct RefineResult {
   part::Fitness final_fitness;
 };
 
-/// Refines `eval` in place.
+/// Refines `eval` in place. `pool` parallelizes the candidate scan when
+/// non-null (a per-run knob like a seed — results are pool-invariant).
 RefineResult greedy_refine(part::PartitionEvaluator& eval,
-                           std::size_t max_evaluations = 100000);
+                           std::size_t max_evaluations = 100000,
+                           support::ExecutorPool* pool = nullptr);
 
 }  // namespace iddq::core

@@ -401,7 +401,13 @@ std::uint64_t cache_context_fingerprint(std::uint64_t netlist_fp,
   // v2: tabu candidates score on pristine evaluator copies (no
   // move+revert floating-point residue), so v1 tabu rows no longer
   // match a fresh computation.
-  h.mix_string("iddq-result-cache-v2");
+  // v3: the greedy refiner scores trials with the copy-free probe and no
+  // longer replays the move+revert residue of rejected trials (the
+  // residue-free trajectory is what lets its candidate scan parallelize
+  // byte-identically), so v2 greedy-family rows no longer match a fresh
+  // computation. Evolution/standard/annealing/tabu trajectories are
+  // unchanged — only the salt retires their old keys.
+  h.mix_string("iddq-result-cache-v3");
   h.mix_u64(netlist_fp);
   h.mix_u64(library_fp);
 

@@ -56,22 +56,37 @@ TabuResult tabu_search(const part::EvalContext& ctx,
       if (seen) continue;
       candidates.push_back({mv, 0.0});
     }
-    // Worker phase: score every candidate against a private copy of the
-    // round-start state. Scoring from a pristine copy (rather than a
-    // move + revert on the shared evaluator) is what makes each slot
-    // independent of every other — the objectives are identical at any
-    // thread count, and free of the floating-point residue a revert chain
-    // would accumulate across candidates. The O(gates) copy does not
-    // change the round's asymptotics: the objective itself is O(gates)
-    // per candidate anyway (the delay terms are global and recomputed
-    // after any move).
-    support::parallel_for_indexed(
-        params.pool, candidates.size(), [&](std::size_t c) {
-          part::PartitionEvaluator probe = eval;
-          probe.move_gate(candidates[c].move.gate, candidates[c].move.target);
+    // Worker phase: score every candidate against the round-start state
+    // with the copy-free probe (bit-identical to the historical
+    // copy + move_gate + penalized_objective recipe, so the whole tabu
+    // trajectory reproduces unchanged — the v3 cache-salt bump retired
+    // old keys for the greedy re-pin, not for anything here). Serially the shared
+    // evaluator is probed directly: zero copies per round. With a pool,
+    // the candidate list is sliced into one contiguous block per
+    // concurrency slot and each slot probes its block on a single private
+    // copy — O(threads) copies per round instead of O(candidates), and
+    // each slot writes only its own objectives, so the values are
+    // byte-identical at any thread count.
+    eval.refresh();  // probes fan out from a clean round-start state
+    const std::size_t slots =
+        params.pool == nullptr || params.pool->worker_count() == 0
+            ? 1
+            : std::min(candidates.size(), params.pool->concurrency());
+    if (slots <= 1) {
+      for (Candidate& cd : candidates)
+        cd.objective =
+            probe_objective(eval, cd.move, params.violation_penalty);
+    } else {
+      const std::size_t per = (candidates.size() + slots - 1) / slots;
+      support::parallel_for_indexed(params.pool, slots, [&](std::size_t s) {
+        part::PartitionEvaluator probe = eval;
+        const std::size_t end = std::min((s + 1) * per, candidates.size());
+        for (std::size_t c = s * per; c < end; ++c)
           candidates[c].objective =
-              penalized_objective(probe, params.violation_penalty);
-        });
+              probe_objective(probe, candidates[c].move,
+                              params.violation_penalty);
+      });
+    }
     result.evaluations += candidates.size();
     if (candidates.empty()) {
       ++result.iterations;

@@ -38,10 +38,13 @@ struct TabuParams {
   StepCallback on_round;
   /// Evaluates each round's candidate set in parallel when set (nullptr =
   /// serial). The candidate moves are sampled on the coordinator (all RNG
-  /// draws, fixed order); each candidate is then scored on a private copy
-  /// of the round-start evaluator, so the objective values — and thus the
-  /// whole search — are byte-identical at any thread count. Per-run field
-  /// like seed, excluded from the cache fingerprint.
+  /// draws, fixed order); each candidate is then scored against the
+  /// round-start state with the copy-free probe_move — serially on the
+  /// shared evaluator, or on one private copy per concurrency slot when a
+  /// pool is set. Probe scores are bit-identical to the historical
+  /// copy + move recipe, so the whole search is byte-identical at any
+  /// thread count. Per-run field like seed, excluded from the cache
+  /// fingerprint.
   support::ExecutorPool* pool = nullptr;
 };
 

@@ -47,6 +47,45 @@ std::uint32_t ModuleCurrentProfile::peak_overlap(
   return best == 0 ? 1 : best;
 }
 
+ModuleCurrentProfile::OverlayMax ModuleCurrentProfile::max_with_gate_added(
+    const DynamicBitset& times, double ipeak_ua) const {
+  IDDQ_ASSERT(times.size() == current_ua_.size());
+  OverlayMax best;
+  std::size_t next = times.find_first();
+  for (std::size_t t = 0; t < current_ua_.size(); ++t) {
+    double i = current_ua_[t];
+    std::uint32_t n = switching_[t];
+    if (t == next) {
+      i += ipeak_ua;
+      n += 1;
+      next = times.find_next(t);
+    }
+    best.current_ua = std::max(best.current_ua, i);
+    best.switching = std::max(best.switching, n);
+  }
+  return best;
+}
+
+ModuleCurrentProfile::OverlayMax ModuleCurrentProfile::max_with_gate_removed(
+    const DynamicBitset& times, double ipeak_ua) const {
+  IDDQ_ASSERT(times.size() == current_ua_.size());
+  OverlayMax best;
+  std::size_t next = times.find_first();
+  for (std::size_t t = 0; t < current_ua_.size(); ++t) {
+    double i = current_ua_[t];
+    std::uint32_t n = switching_[t];
+    if (t == next) {
+      IDDQ_ASSERT(n > 0);
+      n -= 1;
+      i = n == 0 ? 0.0 : i - ipeak_ua;  // remove_gate's residue cancel
+      next = times.find_next(t);
+    }
+    best.current_ua = std::max(best.current_ua, i);
+    best.switching = std::max(best.switching, n);
+  }
+  return best;
+}
+
 ModuleCurrentProfile profile_of(const TransitionTimes& tt,
                                 std::span<const lib::CellParams> cells,
                                 std::span<const netlist::GateId> gates) {

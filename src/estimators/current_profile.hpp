@@ -48,6 +48,21 @@ class ModuleCurrentProfile {
   /// the gate itself is in the module.
   [[nodiscard]] std::uint32_t peak_overlap(const DynamicBitset& times) const;
 
+  /// Grid maxima of the profile as it would look after add_gate /
+  /// remove_gate, computed by a read-only scan — no materialised copy.
+  /// Slot values replicate the committed update arithmetic exactly
+  /// (including remove_gate's zero-cancellation), so the maxima are
+  /// bit-equal to copy + update + max_*(). The evaluator's copy-free
+  /// move probing is built on this.
+  struct OverlayMax {
+    double current_ua = 0.0;
+    std::uint32_t switching = 0;
+  };
+  [[nodiscard]] OverlayMax max_with_gate_added(const DynamicBitset& times,
+                                               double ipeak_ua) const;
+  [[nodiscard]] OverlayMax max_with_gate_removed(const DynamicBitset& times,
+                                                 double ipeak_ua) const;
+
   friend bool operator==(const ModuleCurrentProfile&,
                          const ModuleCurrentProfile&) = default;
 

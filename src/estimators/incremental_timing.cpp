@@ -1,0 +1,47 @@
+#include "estimators/incremental_timing.hpp"
+
+#include "netlist/levelize.hpp"
+
+namespace iddq::est {
+
+TimingGraph::TimingGraph(const netlist::Netlist& nl,
+                         std::span<const lib::CellParams> cells)
+    : order_(netlist::topological_order(nl)), rank_(nl.gate_count(), 0) {
+  for (std::uint32_t i = 0; i < order_.size(); ++i) rank_[order_[i]] = i;
+  const std::size_t n = nl.gate_count();
+  fanin_off_.assign(n + 1, 0);
+  fanout_off_.assign(n + 1, 0);
+  delay_ps_.assign(n, 0.0);
+  for (netlist::GateId id = 0; id < n; ++id) {
+    const auto& g = nl.gate(id);
+    fanin_off_[id + 1] = fanin_off_[id] +
+                         static_cast<std::uint32_t>(g.fanins.size());
+    fanout_off_[id + 1] = fanout_off_[id] +
+                          static_cast<std::uint32_t>(g.fanouts.size());
+    delay_ps_[id] = cells.empty() ? 0.0 : cells[id].delay_ps;
+  }
+  fanin_flat_.reserve(fanin_off_[n]);
+  fanout_flat_.reserve(fanout_off_[n]);
+  for (netlist::GateId id = 0; id < n; ++id) {
+    const auto& g = nl.gate(id);
+    fanin_flat_.insert(fanin_flat_.end(), g.fanins.begin(), g.fanins.end());
+    fanout_flat_.insert(fanout_flat_.end(), g.fanouts.begin(),
+                        g.fanouts.end());
+  }
+}
+
+void IncrementalTiming::rescan_worst() {
+  // Flat scan of the arrival array — no graph walk, vectorizes. Primary
+  // inputs hold arrival 0 and cannot spuriously win (delays are positive;
+  // if every arrival is 0 the critical path is 0 anyway).
+  worst_ = 0.0;
+  critical_ = netlist::kNoGate;
+  for (netlist::GateId id = 0; id < arrival_.size(); ++id) {
+    if (arrival_[id] > worst_) {
+      worst_ = arrival_[id];
+      critical_ = id;
+    }
+  }
+}
+
+}  // namespace iddq::est

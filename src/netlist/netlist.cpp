@@ -4,11 +4,6 @@
 
 namespace iddq::netlist {
 
-const Gate& Netlist::gate(GateId id) const {
-  IDDQ_ASSERT(id < gates_.size());
-  return gates_[id];
-}
-
 bool Netlist::is_primary_output(GateId id) const {
   IDDQ_ASSERT(id < gates_.size());
   return is_output_[id];

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "netlist/gate.hpp"
+#include "support/error.hpp"
 
 namespace iddq::netlist {
 
@@ -32,7 +33,12 @@ class Netlist {
     return gates_.size() - inputs_.size();
   }
 
-  [[nodiscard]] const Gate& gate(GateId id) const;
+  // Inline: this is the single hottest accessor in the repository (every
+  // graph walk, timing pass, and boundary scan goes through it).
+  [[nodiscard]] const Gate& gate(GateId id) const {
+    IDDQ_ASSERT(id < gates_.size());
+    return gates_[id];
+  }
 
   [[nodiscard]] std::span<const Gate> gates() const noexcept { return gates_; }
 

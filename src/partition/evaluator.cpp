@@ -11,6 +11,7 @@
 #include "estimators/separation.hpp"
 #include "estimators/test_time.hpp"
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/math.hpp"
 #include "support/units.hpp"
 
@@ -24,11 +25,15 @@ struct CgRgKey {
   double rg;
   friend bool operator==(const CgRgKey&, const CgRgKey&) = default;
 };
+/// support/hash.hpp combiner over the IEEE bit patterns (-0.0 normalized),
+/// so keys that compare equal always hash equal and a (cg, rg) pair cannot
+/// split into two type indices.
 struct CgRgHash {
   std::size_t operator()(const CgRgKey& k) const noexcept {
-    const auto h1 = std::hash<double>{}(k.cg);
-    const auto h2 = std::hash<double>{}(k.rg);
-    return h1 ^ (h2 * 0x9E3779B97F4A7C15ull);
+    Hash64 h;
+    h.mix_double(k.cg);
+    h.mix_double(k.rg);
+    return static_cast<std::size_t>(h.value());
   }
 };
 
@@ -42,6 +47,7 @@ EvalContext::EvalContext(const netlist::Netlist& netlist,
       cells(lib::bind_cells(netlist, library)),
       transition_times(netlist, cells, grid_bin_ps),
       oracle(netlist, rho),
+      timing_graph(netlist, cells),
       settling(elec::SettlingModel::calibrate(sensor_spec.t_detect_ps)),
       sensor(sensor_spec),
       weights(w) {
@@ -66,7 +72,9 @@ EvalContext::EvalContext(const netlist::Netlist& netlist,
 
 PartitionEvaluator::PartitionEvaluator(const EvalContext& ctx,
                                        Partition partition)
-    : ctx_(&ctx), partition_(std::move(partition)) {
+    : ctx_(&ctx),
+      partition_(std::move(partition)),
+      timing_(ctx.timing_graph) {
   require(partition_.covers(ctx_->nl),
           "evaluator: partition must cover all logic gates with no empty "
           "module");
@@ -95,7 +103,16 @@ void PartitionEvaluator::rebuild_all() {
     separation_[m] = est::module_separation(ctx_->oracle, partition_.module(m),
                                             m, module_of);
   }
-  delay_dirty_ = true;
+  type_delta_.assign(k, std::vector<double>(ctx_->type_count, 1.0));
+  area_.assign(k, 0.0);
+  settle_ps_.assign(k, 0.0);
+  dirty_.assign(k, 1);
+  any_dirty_ = true;
+}
+
+void PartitionEvaluator::mark_dirty(std::uint32_t m) {
+  dirty_[m] = 1;
+  any_dirty_ = true;
 }
 
 void PartitionEvaluator::move_gate(netlist::GateId g, std::uint32_t target) {
@@ -132,9 +149,13 @@ void PartitionEvaluator::move_gate(netlist::GateId g, std::uint32_t target) {
   type_histogram_[src][type]--;
   type_histogram_[target][type]++;
 
+  // A move dirties exactly its two endpoint modules; erase_module below
+  // carries the flags through the slot swap.
+  mark_dirty(src);
+  mark_dirty(target);
+
   partition_.move(g, target);
   if (partition_.module_size(src) == 0) erase_module(src);
-  delay_dirty_ = true;
 }
 
 void PartitionEvaluator::erase_module(std::uint32_t m) {
@@ -147,12 +168,20 @@ void PartitionEvaluator::erase_module(std::uint32_t m) {
     cvr_ff_[m] = cvr_ff_[last];
     separation_[m] = separation_[last];
     type_histogram_[m] = std::move(type_histogram_[last]);
+    type_delta_[m] = std::move(type_delta_[last]);
+    area_[m] = area_[last];
+    settle_ps_[m] = settle_ps_[last];
+    dirty_[m] = dirty_[last];
   }
   profiles_.pop_back();
   leak_ua_.pop_back();
   cvr_ff_.pop_back();
   separation_.pop_back();
   type_histogram_.pop_back();
+  type_delta_.pop_back();
+  area_.pop_back();
+  settle_ps_.pop_back();
+  dirty_.pop_back();
 }
 
 double PartitionEvaluator::module_rs_kohm(std::uint32_t m) const {
@@ -172,66 +201,92 @@ double PartitionEvaluator::violation() const {
   return v;
 }
 
-void PartitionEvaluator::ensure_delay_fresh() {
-  if (!delay_dirty_) return;
-  const std::size_t k = partition_.module_count();
-  // Worst-case degradation per (module, cell type): every gate of module m
-  // is charged the module's peak simultaneity n_max,m — the paper's
+void PartitionEvaluator::derive_module_delay(
+    double idd_max_ua, std::uint32_t max_switching, double cvr_ff,
+    const std::vector<std::uint32_t>& histogram,
+    std::vector<double>& type_delta_row, double& area, double& settle) const {
+  // Worst-case degradation per (module, cell type): every gate of the
+  // module is charged the module's peak simultaneity n_max,m — the paper's
   // pessimistic treatment of the time-grid functions delta(g, t). Note the
   // self-normalisation: with R_s = r / iDD_max and iDD_max ~ n_max * ipeak,
   // the product n_max * R_s ~ r / ipeak is partition-invariant, which is why
   // the paper's Table 1 shows (and our benches reproduce) essentially equal
   // delay overheads for different partitioning methods at equal K.
-  std::vector<std::vector<double>> type_delta(
-      k, std::vector<double>(ctx_->type_count, 1.0));
-  for (std::uint32_t m = 0; m < k; ++m) {
-    const double rs = module_rs_kohm(m);
-    const double cs = module_cs_ff(m);
-    const std::uint32_t n_max =
-        std::max<std::uint32_t>(profiles_[m].max_switching(), 1);
-    for (std::uint16_t t = 0; t < ctx_->type_count; ++t) {
-      if (type_histogram_[m][t] == 0) continue;
-      elec::DelayModelInput in;
-      in.rs_kohm = rs;
-      in.cs_ff = cs;
-      in.cg_ff = ctx_->type_cg_ff[t];
-      in.rg_kohm = ctx_->type_rg_kohm[t];
-      in.n = n_max;
-      type_delta[m][t] = elec::DelayDegradationModel::delta(in);
-    }
+  const double rs = elec::sensor_rs_kohm(ctx_->sensor, idd_max_ua);
+  const double cs = cvr_ff + ctx_->sensor.c_sensor_ff;
+  const std::uint32_t n_max = std::max<std::uint32_t>(max_switching, 1);
+  type_delta_row.assign(ctx_->type_count, 1.0);
+  for (std::size_t t = 0; t < ctx_->type_count; ++t) {
+    if (histogram[t] == 0) continue;
+    elec::DelayModelInput in;
+    in.rs_kohm = rs;
+    in.cs_ff = cs;
+    in.cg_ff = ctx_->type_cg_ff[t];
+    in.rg_kohm = ctx_->type_rg_kohm[t];
+    in.n = n_max;
+    type_delta_row[t] = elec::DelayDegradationModel::delta(in);
   }
-  std::vector<double> delta(ctx_->nl.gate_count(), 1.0);
-  for (const netlist::GateId g : ctx_->nl.logic_gates()) {
-    const std::uint32_t m = partition_.module_of(g);
-    delta[g] = type_delta[m][ctx_->type_of[g]];
-  }
-  d_bic_ps_ = est::degraded_critical_path_ps(ctx_->nl, ctx_->cells, delta);
+  area = elec::sensor_area(ctx_->sensor, rs);
+  settle = ctx_->settling.delta_ps(elec::sensor_tau_ps(rs, cs), idd_max_ua,
+                                   ctx_->sensor.iddq_th_ua);
+}
 
-  settle_max_ps_ = 0.0;
+void PartitionEvaluator::refresh() {
+  if (!any_dirty_) return;  // cached scalars stay valid on a clean state
+  const std::size_t k = partition_.module_count();
+  std::size_t dirty_gates = 0;
   for (std::uint32_t m = 0; m < k; ++m) {
-    const double tau =
-        elec::sensor_tau_ps(module_rs_kohm(m), module_cs_ff(m));
-    const double settle = ctx_->settling.delta_ps(
-        tau, profiles_[m].max_current_ua(), ctx_->sensor.iddq_th_ua);
-    settle_max_ps_ = std::max(settle_max_ps_, settle);
+    if (!dirty_[m]) continue;
+    derive_module_delay(profiles_[m].max_current_ua(),
+                        profiles_[m].max_switching(), cvr_ff_[m],
+                        type_histogram_[m], type_delta_[m], area_[m],
+                        settle_ps_[m]);
+    dirty_gates += partition_.module_size(m);
   }
-  delay_dirty_ = false;
+  const auto factor = [this](netlist::GateId g) {
+    return type_delta_[partition_.module_of(g)][ctx_->type_of[g]];
+  };
+  // Dense updates (big mutations touching most gates, or a copied
+  // evaluator whose timing state was dropped) take the plain full pass;
+  // sparse ones seed the gates of the dirty modules and repropagate only
+  // the affected cone. Bit-identical either way: every arrival is the
+  // same pure function of the same factors.
+  if (!timing_.valid() ||
+      dirty_gates * est::IncrementalTiming::kDenseSeedFactor >=
+          ctx_->nl.gate_count()) {
+    d_bic_ps_ = timing_.rebuild(factor);
+  } else {
+    auto& seeds = scratch_.value.seeds;
+    seeds.clear();
+    for (std::uint32_t m = 0; m < k; ++m) {
+      if (!dirty_[m]) continue;
+      const auto module = partition_.module(m);
+      seeds.insert(seeds.end(), module.begin(), module.end());
+    }
+    d_bic_ps_ = timing_.propagate(seeds, factor);
+  }
+  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+  any_dirty_ = false;
+  settle_max_ps_ = 0.0;
+  for (std::size_t m = 0; m < k; ++m)
+    settle_max_ps_ = std::max(settle_max_ps_, settle_ps_[m]);
 }
 
 double PartitionEvaluator::d_bic_ps() {
-  ensure_delay_fresh();
+  refresh();
   return d_bic_ps_;
 }
 
 double PartitionEvaluator::total_sensor_area() {
+  refresh();
   double area = 0.0;
   for (std::uint32_t m = 0; m < partition_.module_count(); ++m)
-    area += elec::sensor_area(ctx_->sensor, module_rs_kohm(m));
+    area += area_[m];
   return area;
 }
 
 Costs PartitionEvaluator::costs() {
-  ensure_delay_fresh();
+  refresh();
   Costs c;
   c.c1 = std::log(std::max(total_sensor_area(), 1.0));
   c.c2 = (d_bic_ps_ - ctx_->d_nominal_ps) / ctx_->d_nominal_ps;
@@ -246,6 +301,122 @@ Costs PartitionEvaluator::costs() {
 
 Fitness PartitionEvaluator::fitness() {
   return Fitness{violation(), costs().total(ctx_->weights)};
+}
+
+MoveProbe PartitionEvaluator::probe_move(netlist::GateId g,
+                                         std::uint32_t target) {
+  const std::uint32_t src = partition_.module_of(g);
+  IDDQ_ASSERT(src != kUnassigned);
+  IDDQ_ASSERT(target < partition_.module_count());
+  IDDQ_ASSERT(src != target);
+  require(partition_.module_size(src) >= 2,
+          "probe_move: move would empty its source module (commit such "
+          "moves with move_gate)");
+  refresh();
+  if (!timing_.valid()) {
+    // A fresh copy dropped its arrival state and nothing has dirtied it
+    // since; rebuild it (bit-identical to the dropped state).
+    d_bic_ps_ = timing_.rebuild([this](netlist::GateId x) {
+      return type_delta_[partition_.module_of(x)][ctx_->type_of[x]];
+    });
+  }
+
+  const auto& cell = ctx_->cells[g];
+  // Overlay the two endpoint modules with exactly the expressions
+  // move_gate would apply (same operands, pre-move state), so the scores
+  // below match copy + move_gate + fitness bit-for-bit.
+  const double rho = static_cast<double>(ctx_->oracle.rho());
+  double sum_src = static_cast<double>(partition_.module_size(src) - 1) * rho;
+  double sum_dst = static_cast<double>(partition_.module_size(target)) * rho;
+  for (const auto& [neighbor, distance] : ctx_->oracle.near(g)) {
+    const std::uint32_t nm = partition_.module_of(neighbor);
+    if (nm == src)
+      sum_src -= rho - static_cast<double>(distance);
+    else if (nm == target)
+      sum_dst -= rho - static_cast<double>(distance);
+  }
+  const double sep_src = separation_[src] - sum_src;
+  const double sep_tgt = separation_[target] + sum_dst;
+
+  ProbeScratch& scratch = scratch_.value;
+  // Grid maxima of the two overlay profiles, by read-only scan — the only
+  // facts the delay derivation needs from them (bit-equal to materialised
+  // copies, see ModuleCurrentProfile::OverlayMax).
+  const est::ModuleCurrentProfile::OverlayMax peak_src =
+      profiles_[src].max_with_gate_removed(ctx_->transition_times.at(g),
+                                           cell.ipeak_ua);
+  const est::ModuleCurrentProfile::OverlayMax peak_tgt =
+      profiles_[target].max_with_gate_added(ctx_->transition_times.at(g),
+                                            cell.ipeak_ua);
+  const double leak_src = leak_ua_[src] - units::na_to_ua(cell.ileak_na);
+  const double leak_tgt = leak_ua_[target] + units::na_to_ua(cell.ileak_na);
+  const double cvr_src = cvr_ff_[src] - cell.cvr_ff;
+  const double cvr_tgt = cvr_ff_[target] + cell.cvr_ff;
+  const std::uint16_t type = ctx_->type_of[g];
+  scratch.hist_src = type_histogram_[src];
+  IDDQ_ASSERT(scratch.hist_src[type] > 0);
+  scratch.hist_src[type]--;
+  scratch.hist_tgt = type_histogram_[target];
+  scratch.hist_tgt[type]++;
+
+  double area_src = 0.0, area_tgt = 0.0, settle_src = 0.0, settle_tgt = 0.0;
+  derive_module_delay(peak_src.current_ua, peak_src.switching, cvr_src,
+                      scratch.hist_src, scratch.row_src, area_src,
+                      settle_src);
+  derive_module_delay(peak_tgt.current_ua, peak_tgt.switching, cvr_tgt,
+                      scratch.hist_tgt, scratch.row_tgt, area_tgt,
+                      settle_tgt);
+
+  // Probe the timing cone with the overlay rows substituted for the two
+  // endpoint modules (g itself lands in the target row); seeding every
+  // gate of both modules is enough — unchanged factors prune immediately,
+  // and the journaled sweep restores the arrivals before returning.
+  scratch.seeds.clear();
+  const auto src_module = partition_.module(src);
+  const auto tgt_module = partition_.module(target);
+  scratch.seeds.insert(scratch.seeds.end(), src_module.begin(),
+                       src_module.end());
+  scratch.seeds.insert(scratch.seeds.end(), tgt_module.begin(),
+                       tgt_module.end());
+  const auto probe_factor = [&](netlist::GateId x) {
+    if (x == g) return scratch.row_tgt[ctx_->type_of[x]];
+    const std::uint32_t m = partition_.module_of(x);
+    if (m == src) return scratch.row_src[ctx_->type_of[x]];
+    if (m == target) return scratch.row_tgt[ctx_->type_of[x]];
+    return type_delta_[m][ctx_->type_of[x]];
+  };
+  const double d_bic = timing_.probe(scratch.seeds, probe_factor);
+
+  // Assemble exactly what fitness()/costs() compute post-move: the same
+  // index-ordered sums with the src/target slots overlaid.
+  const std::size_t k = partition_.module_count();
+  const auto overlay = [&](std::size_t m, double at_src, double at_tgt,
+                           const std::vector<double>& rest) {
+    return m == src ? at_src : m == target ? at_tgt : rest[m];
+  };
+  Costs c;
+  double area_total = 0.0;
+  for (std::size_t m = 0; m < k; ++m)
+    area_total += overlay(m, area_src, area_tgt, area_);
+  c.c1 = std::log(std::max(area_total, 1.0));
+  c.c2 = (d_bic - ctx_->d_nominal_ps) / ctx_->d_nominal_ps;
+  double s_total = 0.0;
+  for (std::size_t m = 0; m < k; ++m)
+    s_total += overlay(m, sep_src, sep_tgt, separation_);
+  c.c3 = std::log(std::max(s_total, 1.0));
+  double settle_max = 0.0;
+  for (std::size_t m = 0; m < k; ++m)
+    settle_max =
+        std::max(settle_max, overlay(m, settle_src, settle_tgt, settle_ps_));
+  c.c4 = est::test_time_overhead(ctx_->d_nominal_ps, d_bic, settle_max);
+  c.c5 = static_cast<double>(k);
+  double v = 0.0;
+  for (std::size_t m = 0; m < k; ++m) {
+    const double leak = overlay(m, leak_src, leak_tgt, leak_ua_);
+    if (leak > ctx_->leak_cap_ua)
+      v += (leak - ctx_->leak_cap_ua) / ctx_->leak_cap_ua;
+  }
+  return MoveProbe{Fitness{v, c.total(ctx_->weights)}, c};
 }
 
 ModuleReport PartitionEvaluator::module_report(std::uint32_t m) {
@@ -267,7 +438,8 @@ ModuleReport PartitionEvaluator::module_report(std::uint32_t m) {
   return r;
 }
 
-void PartitionEvaluator::self_check() const {
+void PartitionEvaluator::self_check() {
+  refresh();
   PartitionEvaluator fresh(*ctx_, partition_);
   for (std::uint32_t m = 0; m < partition_.module_count(); ++m) {
     // Switching counts are integers and must match exactly; the running
@@ -292,6 +464,31 @@ void PartitionEvaluator::self_check() const {
     require(fresh.type_histogram_[m] == type_histogram_[m],
             "self_check: type histogram mismatch");
   }
+  // Lazy delay state: the cached anchors/area/settling are pure functions
+  // of the (possibly residue-carrying) running sums checked above, so
+  // against *those* sums they must be bit-exact — and so must the
+  // incrementally maintained critical path against a full pass over the
+  // same per-gate factors.
+  std::vector<double> row;
+  double area = 0.0;
+  double settle = 0.0;
+  double settle_max = 0.0;
+  std::vector<double> factors(ctx_->nl.gate_count(), 1.0);
+  for (std::uint32_t m = 0; m < partition_.module_count(); ++m) {
+    derive_module_delay(profiles_[m].max_current_ua(),
+                        profiles_[m].max_switching(), cvr_ff_[m],
+                        type_histogram_[m], row, area, settle);
+    require(row == type_delta_[m], "self_check: type-delta row mismatch");
+    require(area == area_[m], "self_check: sensor-area cache mismatch");
+    require(settle == settle_ps_[m], "self_check: settling cache mismatch");
+    settle_max = std::max(settle_max, settle);
+    for (const netlist::GateId g : partition_.module(m))
+      factors[g] = row[ctx_->type_of[g]];
+  }
+  require(settle_max == settle_max_ps_, "self_check: settle-max mismatch");
+  require(est::degraded_critical_path_ps(ctx_->nl, ctx_->cells, factors) ==
+              d_bic_ps_,
+          "self_check: incremental critical path diverged from full pass");
 }
 
 }  // namespace iddq::part

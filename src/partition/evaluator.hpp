@@ -3,8 +3,8 @@
 // The paper's evolution strategy relies on recomputing costs "just for the
 // modified modules" (section 4.2). EvalContext holds everything immutable
 // per circuit (netlist, bound cells, transition-time sets, distance oracle,
-// settling model, sensor spec, weights); PartitionEvaluator holds one
-// partition plus per-module caches:
+// timing graph, settling model, sensor spec, weights); PartitionEvaluator
+// holds one partition plus per-module caches:
 //
 //   * current/count profiles  -> iDD_max,i, n_i(t)      (add/remove per gate)
 //   * leakage sums            -> discriminability check (O(1) per move)
@@ -12,10 +12,19 @@
 //   * virtual-rail capacitance-> tau_i                  (O(1) per move)
 //   * per-module cell-type counts -> delay-model anchors
 //
-// The delay terms (c2, c4) are inherently global (critical path), so they
-// are recomputed lazily on query, using the cached per-module profiles.
+// The delay-dependent terms (c2, c4) and the per-module sensor areas (c1)
+// are refreshed lazily on query, but *incrementally*: a move dirties
+// exactly its {source, target} modules, the refresh rederives the delay
+// anchors / area / settling only for dirty modules (into persistent scratch
+// — no per-query allocation), and the set of gates whose degradation
+// factor actually changed seeds est::IncrementalTiming, which repropagates
+// only the affected cone of the critical-path recurrence. Every derived
+// value is a pure function of the per-module sums, computed by the same
+// expressions on the same operands as a full recomputation, so the refresh
+// is bit-identical to the historical full pass.
 // tests/partition/test_incremental.cpp verifies full == incremental on
-// random move sequences.
+// random move sequences; tests/partition/test_probe.cpp pins probe_move
+// against copy + move_gate + fitness bit-for-bit.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +34,7 @@
 #include "electrical/sensor_model.hpp"
 #include "electrical/settling.hpp"
 #include "estimators/current_profile.hpp"
+#include "estimators/incremental_timing.hpp"
 #include "estimators/transition_times.hpp"
 #include "library/cell_library.hpp"
 #include "netlist/distance_oracle.hpp"
@@ -48,6 +58,7 @@ class EvalContext {
   std::vector<lib::CellParams> cells;      // by GateId
   est::TransitionTimes transition_times;
   netlist::DistanceOracle oracle;
+  est::TimingGraph timing_graph;           // shared topological order
   elec::SettlingModel settling;
   elec::SensorSpec sensor;
   CostWeights weights;
@@ -77,6 +88,29 @@ struct ModuleReport {
   double settle_ps = 0.0;
 };
 
+/// What a hypothetical move would score: exactly the Fitness/Costs a copy
+/// of the evaluator would report after move_gate(), without the copy.
+struct MoveProbe {
+  Fitness fitness;
+  Costs costs;
+};
+
+/// Per-instance scratch buffers excluded from copies: a copied evaluator
+/// starts with fresh (empty) scratch instead of duplicating its source's
+/// buffers — the contents are meaningless between calls, and the
+/// population hot path copies evaluators by the tens of thousands.
+template <class T>
+struct CopyDroppedScratch {
+  T value{};
+  CopyDroppedScratch() = default;
+  CopyDroppedScratch(const CopyDroppedScratch&) noexcept {}
+  CopyDroppedScratch& operator=(const CopyDroppedScratch&) noexcept {
+    return *this;
+  }
+  CopyDroppedScratch(CopyDroppedScratch&&) = default;
+  CopyDroppedScratch& operator=(CopyDroppedScratch&&) = default;
+};
+
 class PartitionEvaluator {
  public:
   /// Takes ownership of the partition and fully computes all caches.
@@ -98,11 +132,21 @@ class PartitionEvaluator {
   /// as documented on Partition::erase_empty_module).
   void move_gate(netlist::GateId g, std::uint32_t target);
 
+  /// Scores the move (g -> target) against the current state without
+  /// committing it: returns bit-for-bit what `copy = *this;
+  /// copy.move_gate(g, target); {copy.fitness(), copy.costs()}` would,
+  /// using src/target scratch overlays plus a rolled-back timing probe
+  /// instead of the O(gates + K*grid) copy. The evaluator's logical state
+  /// is unchanged (scratch and lazy caches may refresh). Requires a move
+  /// that does not empty its source module (the accept/reject loops never
+  /// propose one; commit emptying moves with move_gate directly).
+  [[nodiscard]] MoveProbe probe_move(netlist::GateId g, std::uint32_t target);
+
   /// Constraint violation: sum over modules of the relative leakage excess
   /// over IDDQ_th/d; 0 when the partition is feasible. O(K).
   [[nodiscard]] double violation() const;
 
-  /// All five cost terms (recomputes the lazy delay terms when dirty).
+  /// All five cost terms (refreshes the lazy delay/area terms when dirty).
   [[nodiscard]] Costs costs();
 
   /// Lexicographic fitness (violation, weighted cost).
@@ -111,6 +155,12 @@ class PartitionEvaluator {
   /// Degraded critical path D_BIC, in ps (triggers delay evaluation).
   [[nodiscard]] double d_bic_ps();
 
+  /// Brings every lazy cache up to date now (dirty modules rederived, the
+  /// changed-gate cone repropagated). Queries do this on demand; call it
+  /// explicitly before fanning probe work out from a shared round-start
+  /// evaluator so each worker copy starts clean.
+  void refresh();
+
   /// Per-module report for tables.
   [[nodiscard]] ModuleReport module_report(std::uint32_t m);
 
@@ -118,15 +168,27 @@ class PartitionEvaluator {
   [[nodiscard]] double total_sensor_area();
 
   /// Verification helper: recomputes every cache from scratch and compares
-  /// with the incrementally maintained state (throws on mismatch).
-  void self_check() const;
+  /// with the incrementally maintained state (throws on mismatch). Covers
+  /// the lazy delay state: the degradation factors, per-module area and
+  /// settling caches, and D_BIC must match a from-scratch derivation of
+  /// the current sums bit-for-bit.
+  void self_check();
 
  private:
   void rebuild_all();
   void erase_module(std::uint32_t m);
   [[nodiscard]] double module_rs_kohm(std::uint32_t m) const;
   [[nodiscard]] double module_cs_ff(std::uint32_t m) const;
-  void ensure_delay_fresh();
+  /// Derives the delay-model anchors, sensor area, and settling time of a
+  /// module's (profile, cvr, histogram) state. The single code path for
+  /// refresh(), probe_move(), and self_check() — sharing it is what keeps
+  /// overlay arithmetic bit-identical to committed refreshes.
+  void derive_module_delay(double idd_max_ua, std::uint32_t max_switching,
+                           double cvr_ff,
+                           const std::vector<std::uint32_t>& histogram,
+                           std::vector<double>& type_delta_row, double& area,
+                           double& settle) const;
+  void mark_dirty(std::uint32_t m);
 
   const EvalContext* ctx_;
   Partition partition_;
@@ -138,10 +200,27 @@ class PartitionEvaluator {
   std::vector<double> separation_;
   std::vector<std::vector<std::uint32_t>> type_histogram_;
 
-  // Lazy global delay state.
-  bool delay_dirty_ = true;
+  // Lazily refreshed delay/area state (valid where !dirty_[m]). The
+  // per-gate degradation factor is type_delta_[module_of(g)][type_of(g)]
+  // — served to the timing engine through a lookup, never materialised as
+  // a per-gate array.
+  std::vector<std::vector<double>> type_delta_;  // [module][type]
+  std::vector<double> area_;                     // sensor area per module
+  std::vector<double> settle_ps_;                // Delta(tau) per module
+  std::vector<std::uint8_t> dirty_;              // per module
+  bool any_dirty_ = true;
+  est::IncrementalTiming timing_;  // drops arrival state on copy
   double d_bic_ps_ = 0.0;
   double settle_max_ps_ = 0.0;
+
+  struct ProbeScratch {
+    std::vector<netlist::GateId> seeds;
+    std::vector<std::uint32_t> hist_src;
+    std::vector<std::uint32_t> hist_tgt;
+    std::vector<double> row_src;
+    std::vector<double> row_tgt;
+  };
+  CopyDroppedScratch<ProbeScratch> scratch_;
 };
 
 }  // namespace iddq::part

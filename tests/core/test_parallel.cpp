@@ -16,6 +16,8 @@
 #include "core/evolution.hpp"
 #include "core/flow_engine.hpp"
 #include "core/optimizer_registry.hpp"
+#include "core/random_search.hpp"
+#include "core/refiner.hpp"
 #include "core/start_partition.hpp"
 #include "core/tabu.hpp"
 #include "netlist/gen/random_dag.hpp"
@@ -107,6 +109,73 @@ TEST(ParallelInvariance, TabuIsByteIdenticalAtAnyThreadCount) {
     expect_bits_eq(got.best_fitness.cost, serial.best_fitness.cost, "cost");
     EXPECT_EQ(got.iterations, serial.iterations);
     EXPECT_EQ(got.evaluations, serial.evaluations);
+  }
+}
+
+TEST(ParallelInvariance, RandomSearchIsByteIdenticalAtAnyThreadCount) {
+  // Independent samples: the coordinator draws every start partition in
+  // the serial RNG order, workers only evaluate, the best-of reduction
+  // runs in sample order.
+  Fixture f;
+  const RandomSearchResult serial = random_search(f.ctx, 4, 45, 11);
+  EXPECT_EQ(serial.evaluations, 45u);
+  for (const std::size_t threads : kPoolSizes) {
+    SCOPED_TRACE(threads);
+    support::ExecutorPool pool(threads);
+    const RandomSearchResult got = random_search(f.ctx, 4, 45, 11, &pool);
+    EXPECT_EQ(got.best_partition, serial.best_partition);
+    expect_bits_eq(got.best_fitness.cost, serial.best_fitness.cost, "cost");
+    expect_bits_eq(got.best_fitness.violation, serial.best_fitness.violation,
+                   "violation");
+    const auto gc = got.best_costs.as_array();
+    const auto wc = serial.best_costs.as_array();
+    for (std::size_t i = 0; i < wc.size(); ++i)
+      expect_bits_eq(gc[i], wc[i], "costs[i]");
+    EXPECT_EQ(got.evaluations, serial.evaluations);
+  }
+}
+
+TEST(ParallelInvariance, GreedyRefinerIsByteIdenticalAtAnyThreadCount) {
+  // The speculative window scan must replay the sequential
+  // first-improvement walk exactly: same moves, same evaluation counts,
+  // same final bits — window candidates past the stopping point are
+  // discarded, never observed.
+  Fixture f;
+  part::PartitionEvaluator serial_eval(f.ctx, f.start());
+  const RefineResult serial = greedy_refine(serial_eval, 3000);
+  EXPECT_GT(serial.moves_applied, 0u);
+  for (const std::size_t threads : kPoolSizes) {
+    SCOPED_TRACE(threads);
+    support::ExecutorPool pool(threads);
+    part::PartitionEvaluator eval(f.ctx, f.start());
+    const RefineResult got = greedy_refine(eval, 3000, &pool);
+    EXPECT_EQ(eval.partition(), serial_eval.partition());
+    expect_bits_eq(got.final_fitness.cost, serial.final_fitness.cost, "cost");
+    expect_bits_eq(got.final_fitness.violation,
+                   serial.final_fitness.violation, "violation");
+    EXPECT_EQ(got.moves_applied, serial.moves_applied);
+    EXPECT_EQ(got.evaluations, serial.evaluations);
+  }
+}
+
+TEST(ParallelInvariance, GreedyRefinerBudgetStopIsThreadInvariant) {
+  // Budget exhaustion must land on exactly the same evaluation count at
+  // any thread count (the walk checks the budget at gate entries like the
+  // sequential scan did).
+  Fixture f;
+  for (const std::size_t budget : {std::size_t{7}, std::size_t{41}}) {
+    SCOPED_TRACE(budget);
+    part::PartitionEvaluator serial_eval(f.ctx, f.start());
+    const RefineResult serial = greedy_refine(serial_eval, budget);
+    for (const std::size_t threads : kPoolSizes) {
+      SCOPED_TRACE(threads);
+      support::ExecutorPool pool(threads);
+      part::PartitionEvaluator eval(f.ctx, f.start());
+      const RefineResult got = greedy_refine(eval, budget, &pool);
+      EXPECT_EQ(eval.partition(), serial_eval.partition());
+      EXPECT_EQ(got.moves_applied, serial.moves_applied);
+      EXPECT_EQ(got.evaluations, serial.evaluations);
+    }
   }
 }
 

@@ -1,0 +1,158 @@
+// IncrementalTiming must reproduce est::degraded_critical_path_ps
+// bit-for-bit after any sequence of delta-factor updates: the incremental
+// recurrence applies the same expression to the same operand values, so
+// every arrival — and the max over them — is bitwise equal to a full pass.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "estimators/delay_estimator.hpp"
+#include "estimators/incremental_timing.hpp"
+#include "library/cell_library.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "netlist/levelize.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::est {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t gates = 300, std::size_t depth = 14,
+                   std::uint64_t seed = 5)
+      : nl(netlist::gen::make_random_dag(
+            netlist::gen::DagProfile::basic("timing", gates, depth, seed))),
+        cells(lib::bind_cells(nl, lib::default_library())),
+        graph(nl, cells),
+        delta(nl.gate_count(), 1.0) {}
+
+  netlist::Netlist nl;
+  std::vector<lib::CellParams> cells;
+  TimingGraph graph;
+  std::vector<double> delta;
+
+  [[nodiscard]] auto factor() const {
+    return [this](netlist::GateId g) { return delta[g]; };
+  }
+  [[nodiscard]] double full() const {
+    return degraded_critical_path_ps(nl, cells, delta);
+  }
+};
+
+void expect_bits_eq(double got, double want) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+            std::bit_cast<std::uint64_t>(want))
+      << got << " vs " << want;
+}
+
+TEST(TimingGraph, RanksFaninsBeforeFanouts) {
+  Fixture f;
+  for (const netlist::GateId id : f.nl.logic_gates())
+    for (const netlist::GateId fanin : f.nl.gate(id).fanins)
+      EXPECT_LT(f.graph.rank(fanin), f.graph.rank(id));
+}
+
+TEST(IncrementalTiming, RebuildMatchesFullPassBitForBit) {
+  Fixture f;
+  IncrementalTiming timing(f.graph);
+  expect_bits_eq(timing.rebuild(f.factor()), f.full());
+
+  Rng rng(17);
+  for (const netlist::GateId id : f.nl.logic_gates())
+    f.delta[id] = 1.0 + rng.uniform() * 0.2;
+  expect_bits_eq(timing.rebuild(f.factor()), f.full());
+}
+
+TEST(IncrementalTiming, RandomUpdateSequencesMatchFullPassBitForBit) {
+  Fixture f;
+  IncrementalTiming timing(f.graph);
+  timing.rebuild(f.factor());
+  Rng rng(23);
+  const auto logic = f.nl.logic_gates();
+  for (int step = 0; step < 200; ++step) {
+    // Change a batch of factors (occasionally a big one — the dense-cone
+    // path), then propagate just those gates.
+    const std::size_t batch =
+        step % 17 == 0 ? logic.size() / 2 : 1 + rng.index(4);
+    std::vector<netlist::GateId> changed;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const netlist::GateId g = logic[rng.index(logic.size())];
+      f.delta[g] = 1.0 + rng.uniform() * 0.25;
+      changed.push_back(g);
+    }
+    const double got = timing.propagate(changed, f.factor());
+    expect_bits_eq(got, f.full());
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(timing.worst_ps()),
+              std::bit_cast<std::uint64_t>(got));
+  }
+}
+
+TEST(IncrementalTiming, LoweringTheCriticalWitnessRescansCorrectly) {
+  Fixture f;
+  IncrementalTiming timing(f.graph);
+  Rng rng(31);
+  for (const netlist::GateId id : f.nl.logic_gates())
+    f.delta[id] = 1.2 + rng.uniform() * 0.2;
+  timing.rebuild(f.factor());
+
+  // Find a witness of the maximum and make its whole input cone fast:
+  // the new worst must be discovered on an untouched path.
+  netlist::GateId witness = netlist::kNoGate;
+  for (const netlist::GateId id : f.nl.logic_gates())
+    if (timing.arrival_ps(id) == timing.worst_ps()) witness = id;
+  ASSERT_NE(witness, netlist::kNoGate);
+  std::vector<netlist::GateId> changed;
+  for (const netlist::GateId id : f.nl.logic_gates()) {
+    if (timing.arrival_ps(id) <= timing.arrival_ps(witness) &&
+        f.delta[id] > 1.05) {
+      f.delta[id] = 1.0;
+      changed.push_back(id);
+    }
+  }
+  expect_bits_eq(timing.propagate(changed, f.factor()), f.full());
+}
+
+TEST(IncrementalTiming, ProbeScoresWithoutCommitting) {
+  Fixture f;
+  IncrementalTiming timing(f.graph);
+  Rng rng(41);
+  for (const netlist::GateId id : f.nl.logic_gates())
+    f.delta[id] = 1.0 + rng.uniform() * 0.2;
+  const double committed = timing.rebuild(f.factor());
+  const std::vector<double> before_delta = f.delta;
+  std::vector<double> before_arrival(f.nl.gate_count(), 0.0);
+  for (netlist::GateId id = 0; id < f.nl.gate_count(); ++id)
+    before_arrival[id] = timing.arrival_ps(id);
+
+  const auto logic = f.nl.logic_gates();
+  for (int step = 0; step < 50; ++step) {
+    std::vector<double> overlay = f.delta;
+    std::vector<netlist::GateId> changed;
+    // Small batches ride the journaled sweep; every 13th batch is dense
+    // enough to take the scratch full-pass fallback.
+    const std::size_t batch =
+        step % 13 == 12 ? logic.size() / 2 : 1 + rng.index(6);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const netlist::GateId g = logic[rng.index(logic.size())];
+      overlay[g] = 1.0 + rng.uniform() * 0.3;
+      changed.push_back(g);
+    }
+    const double what_if = timing.probe(
+        changed, [&](netlist::GateId g) { return overlay[g]; });
+    expect_bits_eq(what_if, degraded_critical_path_ps(f.nl, f.cells, overlay));
+    // State must be fully restored: same worst, same arrivals.
+    expect_bits_eq(timing.worst_ps(), committed);
+    for (netlist::GateId id = 0; id < f.nl.gate_count(); ++id)
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(timing.arrival_ps(id)),
+                std::bit_cast<std::uint64_t>(before_arrival[id]));
+  }
+  // A final full pass over the unchanged factors still matches.
+  expect_bits_eq(
+      timing.propagate(std::span<const netlist::GateId>{},
+                       [&](netlist::GateId g) { return before_delta[g]; }),
+      committed);
+}
+
+}  // namespace
+}  // namespace iddq::est

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare two bench_table1 --json files (ROADMAP perf-trajectory item).
+
+    tools/bench_compare.py BASELINE.json FRESH.json [--max-slowdown-pct N]
+
+Checks, in order:
+
+  1. Comparability: both files must be the same bench with the same
+     `fast` budget and `seconds_kind` (per_circuit vs sweep_offset rows
+     time different things; threads may differ — rows are thread-
+     invariant by the determinism contract, which is exactly what this
+     script verifies).
+  2. Row identity: every row field except the wall-clock `seconds` must
+     match the baseline EXACTLY (bit-for-bit after the 17-significant-
+     digit JSON round trip). Any drift — a changed cost, a missing
+     circuit, a new row — fails the script: optimizer results must never
+     change by accident.
+  3. Optional wall clock: with --max-slowdown-pct N, fail when the fresh
+     `total_seconds` exceeds the baseline by more than N percent. Off by
+     default because wall clock is only comparable on the same host; CI
+     uses a generous bound to catch order-of-magnitude regressions, not
+     scheduler noise.
+
+Exit code 0 = comparable + identical rows (+ acceptable wall clock);
+1 = drift or regression; 2 = usage / unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+TIMING_ROW_FIELDS = {"seconds"}
+COMPARABILITY_FIELDS = ("bench", "fast", "seconds_kind")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_compare: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff the rows of two bench_table1 --json files."
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--max-slowdown-pct",
+        type=float,
+        default=None,
+        metavar="N",
+        help="fail when fresh total_seconds exceeds baseline by more than "
+        "N%% (default: timing not enforced)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    for field in COMPARABILITY_FIELDS:
+        if base.get(field) != fresh.get(field):
+            print(
+                f"bench_compare: not comparable: {field!r} differs "
+                f"({base.get(field)!r} vs {fresh.get(field)!r})",
+                file=sys.stderr,
+            )
+            return 1
+
+    base_rows = base.get("rows", [])
+    fresh_rows = fresh.get("rows", [])
+    drift = 0
+    if len(base_rows) != len(fresh_rows):
+        print(
+            f"ROW DRIFT: row count {len(base_rows)} -> {len(fresh_rows)}",
+            file=sys.stderr,
+        )
+        drift += 1
+    for i, (a, b) in enumerate(zip(base_rows, fresh_rows)):
+        keys = sorted(set(a) | set(b))
+        for key in keys:
+            if key in TIMING_ROW_FIELDS:
+                continue
+            if key not in a or key not in b or a[key] != b[key]:
+                name = a.get("circuit", b.get("circuit", f"row {i}"))
+                print(
+                    f"ROW DRIFT: {name}.{key}: "
+                    f"{a.get(key, '<missing>')!r} -> {b.get(key, '<missing>')!r}",
+                    file=sys.stderr,
+                )
+                drift += 1
+    if drift:
+        print(f"bench_compare: FAILED ({drift} drifting fields)", file=sys.stderr)
+        return 1
+
+    base_s = base.get("total_seconds", 0.0)
+    fresh_s = fresh.get("total_seconds", 0.0)
+    ratio = fresh_s / base_s if base_s > 0 else float("inf")
+    print(
+        f"rows identical ({len(base_rows)} circuits); total_seconds "
+        f"{base_s:.3f} -> {fresh_s:.3f} ({ratio:.2f}x baseline)"
+    )
+    if args.max_slowdown_pct is not None and base_s > 0:
+        limit = 1.0 + args.max_slowdown_pct / 100.0
+        if ratio > limit:
+            print(
+                f"bench_compare: FAILED: {ratio:.2f}x exceeds the "
+                f"{limit:.2f}x slowdown bound",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

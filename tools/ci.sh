@@ -23,11 +23,19 @@
 # a result row streams back.
 #
 #   $ tools/ci.sh smoke [build-dir]    default build dir: build-smoke
+#
+# Bench-row regression gate (the CI bench-compare job): run the FAST
+# Table-1 sweep threaded and diff its rows against the committed
+# BENCH_table1.json with tools/bench_compare.py — optimizer results must
+# be byte-identical to the baseline at any thread count; wall clock is
+# reported but not enforced (CI hosts differ from the baseline host).
+#
+#   $ tools/ci.sh bench [build-dir]    default build dir: build-bench
 set -eu
 
 MODE="full"
 case "${1:-}" in
-  smoke|threads|tsan)
+  smoke|threads|tsan|bench)
     MODE="$1"
     shift
     ;;
@@ -51,6 +59,19 @@ if [ "$MODE" = "smoke" ]; then
   grep -q '"event":"sweep_done","id":"smoke","ok":1' "$OUT"
   grep -q '"event":"bye"' "$OUT"
   echo "server smoke OK"
+  exit 0
+fi
+
+if [ "$MODE" = "bench" ]; then
+  BUILD_DIR="${1:-build-bench}"
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DIDDQ_WERROR=ON -DIDDQ_BUILD_TESTS=OFF \
+    -DIDDQ_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_table1_main
+  IDDQSYN_BENCH_FAST=1 "$BUILD_DIR/bench_table1_main" --threads 2 \
+    --json "$BUILD_DIR/BENCH_fresh.json"
+  python3 "$ROOT/tools/bench_compare.py" "$ROOT/BENCH_table1.json" \
+    "$BUILD_DIR/BENCH_fresh.json"
+  echo "bench rows OK"
   exit 0
 fi
 
