@@ -1,0 +1,28 @@
+// Measured-coverage opt-in for the flow (docs/coverage.md).
+//
+// Lives in its own header because both FlowEngineConfig (which carries it)
+// and the result cache (which folds it into the context fingerprint) need
+// it without depending on each other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iddq::core {
+
+/// When enabled, FlowEngine scores every MethodResult's partition with
+/// sim::CoverageEngine and fills the MethodResult coverage fields. The
+/// fault/pattern sampling seed is independent of the per-method seeds, so
+/// every row of a sweep is graded against the SAME fault list and pattern
+/// suite — coverage numbers are comparable across methods.
+struct CoverageOptions {
+  bool enabled = false;
+  /// sim::FaultModelSpec grammar: "mixed" | "bridges" | "shorts" |
+  /// "bridges=N[,shorts=M]".
+  std::string fault_model = "mixed";
+  std::size_t patterns = 256;  // random test patterns to sample
+  bool minimize = false;       // greedy set-cover pattern minimization
+  std::uint64_t seed = 1;      // fault + pattern sampling seed
+};
+
+}  // namespace iddq::core

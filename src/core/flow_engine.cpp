@@ -4,6 +4,7 @@
 
 #include "library/fingerprint.hpp"
 #include "netlist/fingerprint.hpp"
+#include "sim/coverage.hpp"
 #include "support/error.hpp"
 #include "support/executor.hpp"
 #include "support/rng.hpp"
@@ -36,10 +37,43 @@ FlowEngine::FlowEngine(const netlist::Netlist& nl,
       config_(std::move(config)),
       registry_(&registry),
       ctx_(nl, library, config_.sensor, config_.weights, config_.rho),
-      plan_(plan_module_size(ctx_)),
-      context_fp_(cache_context_fingerprint(
-          netlist::structural_fingerprint(nl), lib::library_fingerprint(library),
-          config_.sensor, config_.weights, config_.rho, config_.optimizers)) {}
+      plan_(plan_module_size(ctx_)) {
+  // The fingerprint hashes the coverage options in canonical fault-model
+  // spelling, so "bridges=4,shorts=2" and "shorts=2,bridges=4" share
+  // cache entries. Parsing here also rejects malformed specs before any
+  // optimizer runs.
+  CoverageOptions coverage = config_.coverage;
+  if (config_.coverage.enabled) {
+    sim::CoverageConfig cc;
+    cc.fault_model = sim::FaultModelSpec::parse(config_.coverage.fault_model);
+    cc.patterns = config_.coverage.patterns;
+    cc.minimize = config_.coverage.minimize;
+    cc.seed = config_.coverage.seed;
+    cc.sim.iddq_th_ua = config_.sensor.iddq_th_ua;
+    coverage.fault_model = cc.fault_model.canonical();
+    coverage_ = std::make_unique<sim::CoverageEngine>(nl, library, cc);
+  }
+  context_fp_ = cache_context_fingerprint(
+      netlist::structural_fingerprint(nl), lib::library_fingerprint(library),
+      config_.sensor, config_.weights, config_.rho, config_.optimizers,
+      coverage);
+}
+
+FlowEngine::~FlowEngine() = default;
+
+void FlowEngine::apply_coverage(MethodResult& result) const {
+  if (coverage_ == nullptr) return;
+  const sim::CoverageReport report = coverage_->score(
+      result.partition, config_.pool != nullptr
+                            ? config_.pool
+                            : &support::ExecutorPool::shared_default());
+  result.has_coverage = true;
+  result.faults_total = report.faults_total;
+  result.faults_detected = report.faults_detected;
+  result.fault_coverage_pct = report.coverage_pct();
+  result.patterns_used = report.patterns_supplied;
+  result.patterns_minimized = report.patterns_minimized;
+}
 
 MethodResult FlowEngine::from_cache_record(const CacheRecord& record) {
   // Replaying the stored partition through the same deterministic
@@ -48,6 +82,11 @@ MethodResult FlowEngine::from_cache_record(const CacheRecord& record) {
   // fields come straight from the record.
   require(record.gate_count == nl_->gate_count(),
           "result cache: record does not match this circuit");
+  // The context fingerprint mixes the coverage options, so only records
+  // stored by an identically-graded engine can be seen here; a mismatch
+  // is a foreign record (key collision) and degrades to a miss.
+  require(record.has_coverage == (coverage_ != nullptr),
+          "result cache: record coverage fields do not match this engine");
   // from_groups validates coverage/duplicates/ranges and preserves the
   // stored intra-module gate order.
   MethodResult result = evaluate_method(
@@ -59,6 +98,15 @@ MethodResult FlowEngine::from_cache_record(const CacheRecord& record) {
   result.test_overhead = record.costs.c4;
   result.iterations = record.iterations;
   result.evaluations = record.evaluations;
+  if (record.has_coverage) {
+    result.has_coverage = true;
+    result.faults_total = record.faults_total;
+    result.faults_detected = record.faults_detected;
+    result.fault_coverage_pct =
+        sim::coverage_percent(record.faults_detected, record.faults_total);
+    result.patterns_used = record.patterns_used;
+    result.patterns_minimized = record.patterns_minimized;
+  }
   return result;
 }
 
@@ -112,6 +160,7 @@ MethodResult FlowEngine::run_method(std::string_view spec,
   result.iterations = outcome.iterations;
   result.evaluations = outcome.evaluations;
   result.trace = std::move(outcome.trace);
+  apply_coverage(result);
 
   if (cacheable) {
     CacheRecord record;
@@ -126,6 +175,11 @@ MethodResult FlowEngine::run_method(std::string_view spec,
     record.costs = result.costs;
     record.iterations = result.iterations;
     record.evaluations = result.evaluations;
+    record.has_coverage = result.has_coverage;
+    record.faults_total = result.faults_total;
+    record.faults_detected = result.faults_detected;
+    record.patterns_used = result.patterns_used;
+    record.patterns_minimized = result.patterns_minimized;
     config_.cache->store(key, record);
   }
   return result;

@@ -10,16 +10,22 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/coverage_options.hpp"
 #include "core/optimizer_registry.hpp"
 #include "core/result_cache.hpp"
 #include "core/size_planner.hpp"
 #include "library/cell_library.hpp"
 #include "partition/evaluator.hpp"
+
+namespace iddq::sim {
+class CoverageEngine;
+}  // namespace iddq::sim
 
 namespace iddq::core {
 
@@ -37,6 +43,17 @@ struct MethodResult {
   std::size_t iterations = 0;   // optimizer-specific major steps
   std::size_t evaluations = 0;  // cost-function evaluations spent
   std::vector<GenerationStats> trace;  // recorded only on request
+
+  /// Measured IDDQ fault coverage of the result partition, filled only
+  /// when FlowEngineConfig::coverage.enabled (docs/coverage.md). All rows
+  /// of one engine are graded against the same fault list and pattern
+  /// suite, so the numbers are comparable across methods.
+  bool has_coverage = false;
+  std::size_t faults_total = 0;
+  std::size_t faults_detected = 0;
+  double fault_coverage_pct = 0.0;   // 100 * detected / total
+  std::size_t patterns_used = 0;     // supplied suite size
+  std::size_t patterns_minimized = 0;  // greedy set-cover suite size
 };
 
 /// Evaluates an externally produced partition under the flow's cost model
@@ -50,6 +67,14 @@ struct FlowEngineConfig {
   part::CostWeights weights;
   OptimizerConfig optimizers;
   std::uint32_t rho = 4;  // separation saturation distance
+
+  /// Measured-coverage grading: when enabled, every MethodResult's
+  /// partition is additionally scored by sim::CoverageEngine (fault list
+  /// and pattern suite sampled once per engine from coverage.seed) and
+  /// the MethodResult coverage fields are filled. Folded into the cache
+  /// context fingerprint, so coverage-bearing rows never replay from
+  /// entries stored without coverage (or vice versa).
+  CoverageOptions coverage;
 
   /// Shared content-addressed result cache, consulted before every
   /// optimizer dispatch and populated after (core/result_cache.hpp).
@@ -111,6 +136,7 @@ class FlowEngine {
   FlowEngine(const netlist::Netlist& nl, const lib::CellLibrary& library,
              FlowEngineConfig config = {},
              const OptimizerRegistry& registry = OptimizerRegistry::global());
+  ~FlowEngine();
 
   [[nodiscard]] const SizePlan& plan() const noexcept { return plan_; }
   [[nodiscard]] const part::EvalContext& context() const noexcept {
@@ -149,6 +175,7 @@ class FlowEngine {
 
  private:
   [[nodiscard]] MethodResult from_cache_record(const CacheRecord& record);
+  void apply_coverage(MethodResult& result) const;
 
   const netlist::Netlist* nl_;
   FlowEngineConfig config_;
@@ -156,6 +183,10 @@ class FlowEngine {
   part::EvalContext ctx_;
   SizePlan plan_;
   std::uint64_t context_fp_ = 0;
+  /// Built once per engine when config_.coverage.enabled: the fault list,
+  /// pattern suite and fault-free simulation are partition-independent,
+  /// so every run_method shares them.
+  std::unique_ptr<sim::CoverageEngine> coverage_;
 };
 
 }  // namespace iddq::core

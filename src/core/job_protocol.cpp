@@ -68,6 +68,16 @@ std::string event_json(const std::string& sweep_id, const JobEvent& e) {
           .field("iterations", row.iterations)
           .field("evaluations", row.evaluations)
           .field("feasible", row.fitness.feasible());
+      // Measured-coverage columns ride along only when the server's flow
+      // grades them: absent fields keep coverage-off streams byte-
+      // identical to the previous protocol revision.
+      if (row.has_coverage) {
+        w.field("fault_coverage_pct", row.fault_coverage_pct)
+            .field("faults_detected", row.faults_detected)
+            .field("faults_total", row.faults_total)
+            .field("patterns_used", row.patterns_used)
+            .field("patterns_minimized", row.patterns_minimized);
+      }
       break;
     }
     case JobEvent::Kind::failed:

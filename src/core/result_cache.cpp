@@ -131,6 +131,17 @@ std::string ResultCache::serialize(std::uint64_t key,
   out += std::to_string(record.iterations);
   out += ",\"evals\":";
   out += std::to_string(record.evaluations);
+  if (record.has_coverage) {
+    out += ",\"cov\":[";
+    out += std::to_string(record.faults_total);
+    out += ',';
+    out += std::to_string(record.faults_detected);
+    out += ',';
+    out += std::to_string(record.patterns_used);
+    out += ',';
+    out += std::to_string(record.patterns_minimized);
+    out += ']';
+  }
   out += ",\"modules\":[";
   for (std::size_t m = 0; m < record.modules.size(); ++m) {
     if (m > 0) out += ',';
@@ -189,6 +200,18 @@ bool ResultCache::parse(std::string_view line, std::uint64_t& key,
       std::uint64_t v = 0;
       if (!cur.parse_u64(v)) return false;
       out.evaluations = static_cast<std::size_t>(v);
+    } else if (field == "cov") {
+      if (!cur.consume('[')) return false;
+      std::size_t* terms[] = {&out.faults_total, &out.faults_detected,
+                              &out.patterns_used, &out.patterns_minimized};
+      for (std::size_t i = 0; i < 4; ++i) {
+        if (i > 0 && !cur.consume(',')) return false;
+        std::uint64_t v = 0;
+        if (!cur.parse_u64(v)) return false;
+        *terms[i] = static_cast<std::size_t>(v);
+      }
+      if (!cur.consume(']')) return false;
+      out.has_coverage = true;
     } else if (field == "modules") {
       if (!cur.consume('[')) return false;
       while (!cur.peek(']')) {
@@ -227,17 +250,25 @@ void ResultCache::attach_dir(const std::string& dir) {
   file_path_ = (fs::path(dir) / "results.jsonl").string();
   std::ifstream in(file_path_);
   std::string line;
+  std::streamoff offset = in ? static_cast<std::streamoff>(in.tellg()) : 0;
   while (std::getline(in, line)) {
+    // +1 for the newline getline consumed (the file is append-only with
+    // '\n' after every line, so the arithmetic is exact).
+    const std::streamoff line_offset = offset;
+    offset += static_cast<std::streamoff>(line.size()) + 1;
     if (line.empty()) continue;
     std::uint64_t key = 0;
     CacheRecord record;
-    if (parse(line, key, record))
+    if (parse(line, key, record)) {
       entries_[key] = std::move(record);
-    else
+      offsets_[key] = line_offset;
+      touch(key);
+    } else {
       // Unparseable lines (truncated writes, foreign content) are skipped:
       // the entry degrades to a miss and is rewritten on the next store.
       // The count is kept so callers can surface the degradation.
       ++corrupt_lines_;
+    }
   }
   if (!in.is_open()) {
     // Create the file now so a cache dir attached read-only fails here,
@@ -246,30 +277,99 @@ void ResultCache::attach_dir(const std::string& dir) {
     if (!create)
       throw Error("result cache: cannot create '" + file_path_ + "'");
   }
+  evict_over_cap();
+}
+
+void ResultCache::set_max_resident(std::size_t max_resident) {
+  const std::scoped_lock lock(mutex_);
+  max_resident_ = max_resident;
+  evict_over_cap();
+}
+
+// Caller holds mutex_. Moves `key` to the front of the residency list.
+void ResultCache::touch(std::uint64_t key) const {
+  const auto it = lru_pos_.find(key);
+  if (it != lru_pos_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(key);
+  lru_pos_[key] = lru_.begin();
+}
+
+// Caller holds mutex_. Drops least-recently-used records beyond the cap;
+// their disk offsets keep them reloadable. A memory-only cache never
+// evicts (the record IS the only copy).
+void ResultCache::evict_over_cap() const {
+  if (max_resident_ == 0 || file_path_.empty()) return;
+  while (entries_.size() > max_resident_ && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    entries_.erase(victim);
+    ++evictions_;
+  }
 }
 
 std::optional<CacheRecord> ResultCache::lookup(std::uint64_t key) const {
   const std::scoped_lock lock(mutex_);
   const auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++misses_;
-    return std::nullopt;
+  if (it != entries_.end()) {
+    ++hits_;
+    touch(key);
+    return it->second;
   }
-  ++hits_;
-  return it->second;
+  // Evicted but on disk: re-read exactly the last line written for the
+  // key. serialize/parse round-trip bit-exactly, so the reloaded record
+  // replays like the resident one did.
+  const auto off = offsets_.find(key);
+  if (off != offsets_.end()) {
+    std::ifstream in(file_path_);
+    std::string line;
+    if (in) {
+      in.seekg(off->second);
+      if (std::getline(in, line)) {
+        std::uint64_t parsed_key = 0;
+        CacheRecord record;
+        if (parse(line, parsed_key, record) && parsed_key == key) {
+          ++hits_;
+          ++disk_hits_;
+          entries_[key] = record;
+          touch(key);
+          evict_over_cap();
+          return record;
+        }
+      }
+    }
+  }
+  ++misses_;
+  return std::nullopt;
 }
 
 void ResultCache::store(std::uint64_t key, const CacheRecord& record) {
   const std::scoped_lock lock(mutex_);
   entries_[key] = record;
+  touch(key);
   if (file_path_.empty()) return;
   std::ofstream out(file_path_, std::ios::app);
   if (!out)
     throw Error("result cache: cannot append to '" + file_path_ + "'");
+  // The put position right after opening in append mode is implementation-
+  // defined; an explicit seek-to-end pins the offset the line lands at.
+  out.seekp(0, std::ios::end);
+  offsets_[key] = static_cast<std::streamoff>(out.tellp());
   out << serialize(key, record) << '\n';
+  evict_over_cap();
 }
 
 std::size_t ResultCache::size() const {
+  const std::scoped_lock lock(mutex_);
+  // offsets_ covers every key ever written while disk-backed (a superset
+  // of the resident keys); memory-only caches have no offsets.
+  return file_path_.empty() ? entries_.size() : offsets_.size();
+}
+
+std::size_t ResultCache::resident_size() const {
   const std::scoped_lock lock(mutex_);
   return entries_.size();
 }
@@ -277,6 +377,16 @@ std::size_t ResultCache::size() const {
 std::uint64_t ResultCache::hits() const {
   const std::scoped_lock lock(mutex_);
   return hits_;
+}
+
+std::uint64_t ResultCache::disk_hits() const {
+  const std::scoped_lock lock(mutex_);
+  return disk_hits_;
+}
+
+std::uint64_t ResultCache::evictions() const {
+  const std::scoped_lock lock(mutex_);
+  return evictions_;
 }
 
 std::uint64_t ResultCache::misses() const {
@@ -395,7 +505,8 @@ std::uint64_t cache_context_fingerprint(std::uint64_t netlist_fp,
                                         const elec::SensorSpec& sensor,
                                         const part::CostWeights& weights,
                                         std::uint32_t rho,
-                                        const OptimizerConfig& optimizers) {
+                                        const OptimizerConfig& optimizers,
+                                        const CoverageOptions& coverage) {
   Hash64 h;
   // Format/semantics version: bump to flush every old key at once.
   // v2: tabu candidates score on pristine evaluator copies (no
@@ -407,7 +518,11 @@ std::uint64_t cache_context_fingerprint(std::uint64_t netlist_fp,
   // byte-identically), so v2 greedy-family rows no longer match a fresh
   // computation. Evolution/standard/annealing/tabu trajectories are
   // unchanged — only the salt retires their old keys.
-  h.mix_string("iddq-result-cache-v3");
+  // v4: records may carry measured-coverage counters ("cov") and the
+  // fingerprint mixes the CoverageOptions below. v3 files would parse,
+  // but a coverage-bearing row must never replay from an entry that was
+  // stored without coverage — the salt retires every v3 key wholesale.
+  h.mix_string("iddq-result-cache-v4");
   h.mix_u64(netlist_fp);
   h.mix_u64(library_fp);
 
@@ -457,6 +572,17 @@ std::uint64_t cache_context_fingerprint(std::uint64_t netlist_fp,
   h.mix_size(optimizers.force_passes);
   h.mix_size(optimizers.random_samples);
   h.mix_size(optimizers.greedy_max_evaluations);
+
+  // Coverage grading config: a coverage-enabled engine must never share
+  // keys with a coverage-off engine (or with one grading under a different
+  // fault model / suite), because the stored records differ.
+  h.mix_byte(coverage.enabled ? 1 : 0);
+  if (coverage.enabled) {
+    h.mix_string(coverage.fault_model);
+    h.mix_size(coverage.patterns);
+    h.mix_byte(coverage.minimize ? 1 : 0);
+    h.mix_u64(coverage.seed);
+  }
   return h.value();
 }
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -28,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/coverage_options.hpp"
 #include "core/optimizer.hpp"
 #include "partition/cost_model.hpp"
 
@@ -45,6 +47,16 @@ struct CacheRecord {
   part::Costs costs;
   std::size_t iterations = 0;
   std::size_t evaluations = 0;
+  /// Measured IDDQ coverage counters (docs/coverage.md), stored so a hit
+  /// replays a coverage-bearing row without re-simulating. The percentage
+  /// is derived (sim::coverage_percent), not stored. Only engines whose
+  /// context fingerprint mixed the same CoverageOptions can see this
+  /// record, so has_coverage always matches the engine's expectation.
+  bool has_coverage = false;
+  std::size_t faults_total = 0;
+  std::size_t faults_detected = 0;
+  std::size_t patterns_used = 0;
+  std::size_t patterns_minimized = 0;
 };
 
 class ResultCache {
@@ -63,15 +75,34 @@ class ResultCache {
   /// when the directory or file cannot be created.
   void attach_dir(const std::string& dir);
 
+  /// Caps the resident (in-memory) entry count for a disk-backed cache:
+  /// least-recently-used entries beyond the cap keep only their byte
+  /// offset in results.jsonl and are re-read (and re-admitted, evicting
+  /// another entry) on their next lookup. 0 (the default) means unbounded.
+  /// Ignored while no directory is attached — evicting a memory-only
+  /// entry would lose it. A long-lived server in front of a sweep
+  /// directory holding millions of rows stays at a bounded footprint.
+  void set_max_resident(std::size_t max_resident);
+
   /// Returns the record stored under `key`, counting a hit or a miss.
+  /// An evicted entry is transparently reloaded from the backing file
+  /// (still a hit; counted separately in disk_hits).
   [[nodiscard]] std::optional<CacheRecord> lookup(std::uint64_t key) const;
 
   /// Stores (replacing any previous record under the same key) and appends
   /// to the backing file when one is attached.
   void store(std::uint64_t key, const CacheRecord& record);
 
+  /// Total entries known to this cache: resident plus evicted-to-disk.
   [[nodiscard]] std::size_t size() const;
+  /// Entries currently held in memory (== size() while unbounded).
+  [[nodiscard]] std::size_t resident_size() const;
   [[nodiscard]] std::uint64_t hits() const;
+  /// Subset of hits() served by re-reading an evicted entry from disk.
+  [[nodiscard]] std::uint64_t disk_hits() const;
+  /// Residency evictions performed so far (an entry may be counted many
+  /// times as it cycles out and back in).
+  [[nodiscard]] std::uint64_t evictions() const;
   [[nodiscard]] std::uint64_t misses() const;
 
   /// Non-empty lines of the attached file that failed to parse (each one
@@ -90,10 +121,24 @@ class ResultCache {
                                   CacheRecord& out);
 
  private:
+  void touch(std::uint64_t key) const;
+  void evict_over_cap() const;
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, CacheRecord> entries_;
-  std::string file_path_;  // empty = in-memory only
+  mutable std::unordered_map<std::uint64_t, CacheRecord> entries_;
+  /// Byte offset of the last write of each key in the backing file; the
+  /// reload path for evicted entries. Superset of the resident keys while
+  /// a directory is attached.
+  std::unordered_map<std::uint64_t, std::streamoff> offsets_;
+  /// Resident keys, most recently used first.
+  mutable std::list<std::uint64_t> lru_;
+  mutable std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      lru_pos_;
+  std::size_t max_resident_ = 0;  // 0 = unbounded
+  std::string file_path_;         // empty = in-memory only
   mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t disk_hits_ = 0;
+  mutable std::uint64_t evictions_ = 0;
   mutable std::uint64_t misses_ = 0;
   std::size_t corrupt_lines_ = 0;
 };
@@ -129,12 +174,17 @@ struct CacheCompaction {
 [[nodiscard]] CacheCompaction compact_cache_file(const std::string& dir);
 
 /// Fingerprint of everything that is constant per FlowEngine: circuit and
-/// library content, sensor spec, cost weights, rho, and the optimizer
-/// tuning knobs (per-request seed/record_trace fields excluded).
+/// library content, sensor spec, cost weights, rho, the optimizer tuning
+/// knobs (per-request seed/record_trace fields excluded), and the
+/// coverage options. Pass `coverage.fault_model` in canonical spelling
+/// (sim::FaultModelSpec::parse().canonical()) so equivalent specs share
+/// entries; a default-constructed CoverageOptions reproduces the
+/// coverage-off fingerprint.
 [[nodiscard]] std::uint64_t cache_context_fingerprint(
     std::uint64_t netlist_fp, std::uint64_t library_fp,
     const elec::SensorSpec& sensor, const part::CostWeights& weights,
-    std::uint32_t rho, const OptimizerConfig& optimizers);
+    std::uint32_t rho, const OptimizerConfig& optimizers,
+    const CoverageOptions& coverage = {});
 
 /// Final cache key: context fingerprint + per-run inputs. `start` is the
 /// explicit start partition, or nullptr when the engine plans the module

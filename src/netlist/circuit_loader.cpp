@@ -7,6 +7,7 @@
 
 #include "netlist/bench_io.hpp"
 #include "netlist/gen/c17.hpp"
+#include "netlist/gen/ila.hpp"
 #include "netlist/gen/iscas_profiles.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -15,19 +16,46 @@ namespace iddq::netlist {
 
 namespace {
 
-// A bare "c<digits>" token is how users name generators; anything with a
-// path separator or an extension is clearly meant as a file.
-bool looks_like_builtin_name(std::string_view spec) {
-  if (spec.size() < 2 || (spec[0] != 'c' && spec[0] != 'C')) return false;
-  return std::all_of(spec.begin() + 1, spec.end(), [](unsigned char ch) {
+bool all_digits(std::string_view s) {
+  return !s.empty() && std::all_of(s.begin(), s.end(), [](unsigned char ch) {
     return std::isdigit(ch) != 0;
   });
+}
+
+// Parametric ILA builtin: "ila<rows>x<cols>", e.g. "ila8x8". Returns
+// whether `lower` (already lower-cased) matches the shape; the dimension
+// bounds are enforced in load_circuit so a bad size reports a useful
+// error instead of "not a builtin".
+bool parse_ila_name(std::string_view lower, std::size_t& rows,
+                    std::size_t& cols) {
+  if (!str::starts_with(lower, "ila")) return false;
+  const auto dims = lower.substr(3);
+  const auto x = dims.find('x');
+  if (x == std::string_view::npos) return false;
+  const auto rows_s = dims.substr(0, x);
+  const auto cols_s = dims.substr(x + 1);
+  if (!all_digits(rows_s) || !all_digits(cols_s)) return false;
+  return str::parse_size(rows_s, rows) && str::parse_size(cols_s, cols);
+}
+
+// A bare "c<digits>" or "ila<R>x<C>" token is how users name generators;
+// anything with a path separator or an extension is clearly meant as a
+// file.
+bool looks_like_builtin_name(std::string_view spec) {
+  const std::string lower = str::to_lower(spec);
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  if (parse_ila_name(lower, rows, cols)) return true;
+  if (spec.size() < 2 || (spec[0] != 'c' && spec[0] != 'C')) return false;
+  return all_digits(spec.substr(1));
 }
 
 }  // namespace
 
 std::vector<std::string> builtin_circuit_names() {
-  std::vector<std::string> names{"c17"};
+  // "ila8x8" stands in for the whole parametric ila<R>x<C> family (any
+  // 2..256 x 1..256); the load_circuit error text spells that out.
+  std::vector<std::string> names{"c17", "ila8x8"};
   for (const auto name : gen::table1_circuit_names())
     names.emplace_back(name);
   std::sort(names.begin(), names.end());
@@ -37,6 +65,9 @@ std::vector<std::string> builtin_circuit_names() {
 bool is_builtin_circuit(std::string_view spec) {
   const std::string lower = str::to_lower(spec);
   if (lower == "c17") return true;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  if (parse_ila_name(lower, rows, cols)) return true;
   const auto table1 = gen::table1_circuit_names();
   return std::find(table1.begin(), table1.end(), lower) != table1.end();
 }
@@ -44,6 +75,16 @@ bool is_builtin_circuit(std::string_view spec) {
 Netlist load_circuit(const std::string& spec) {
   const std::string lower = str::to_lower(spec);
   if (lower == "c17") return gen::make_c17();
+  std::size_t ila_rows = 0;
+  std::size_t ila_cols = 0;
+  if (parse_ila_name(lower, ila_rows, ila_cols)) {
+    // Keep parametric sizes sane: make_and_exor_ila needs rows >= 2, and
+    // 256x256 (~130k gates) is already far beyond any profiled circuit.
+    if (ila_rows < 2 || ila_cols < 1 || ila_rows > 256 || ila_cols > 256)
+      throw Error("builtin '" + spec +
+                  "': ILA dimensions must be 2..256 x 1..256");
+    return gen::make_and_exor_ila(ila_rows, ila_cols).netlist;
+  }
   if (is_builtin_circuit(lower)) return gen::make_iscas_like(lower);
 
   std::error_code ec;
@@ -52,7 +93,8 @@ Netlist load_circuit(const std::string& spec) {
     std::ostringstream os;
     os << "unknown builtin circuit '" << spec << "'; valid builtins:";
     for (const auto& name : builtin_circuit_names()) os << ' ' << name;
-    os << " (or pass a .bench file path)";
+    os << " (ila<R>x<C> takes any size 2..256 x 1..256; or pass a .bench "
+          "file path)";
     throw Error(os.str());
   }
   if (!exists)

@@ -1,0 +1,47 @@
+#include "netlist/gen/ila.hpp"
+
+#include <string>
+
+#include "netlist/builder.hpp"
+#include "support/error.hpp"
+
+namespace iddq::netlist::gen {
+
+IlaArray make_and_exor_ila(std::size_t rows, std::size_t cols) {
+  require(rows >= 2 && cols >= 1,
+          "make_and_exor_ila: need rows >= 2, cols >= 1");
+  NetlistBuilder b("ila" + std::to_string(rows) + "x" + std::to_string(cols));
+
+  // Broadcast operand lines: every x feeds a whole column of AND cells,
+  // every y a whole row — the high-fanout structure random DAGs lack.
+  std::vector<GateId> x(cols);
+  std::vector<GateId> y(rows);
+  for (std::size_t c = 0; c < cols; ++c)
+    x[c] = b.add_input("x" + std::to_string(c));
+  for (std::size_t r = 0; r < rows; ++r)
+    y[r] = b.add_input("y" + std::to_string(r));
+
+  IlaArray out;
+  out.and_cell.assign(rows, std::vector<GateId>(cols));
+  out.sum_cell.assign(rows, std::vector<GateId>(cols));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const GateId partial = b.add_gate(
+          GateKind::kAnd,
+          "and_" + std::to_string(r) + "_" + std::to_string(c), {x[c], y[r]});
+      out.and_cell[r][c] = partial;
+      out.sum_cell[r][c] =
+          r == 0 ? partial
+                 : b.add_gate(GateKind::kXor,
+                              "sum_" + std::to_string(r) + "_" +
+                                  std::to_string(c),
+                              {out.sum_cell[r - 1][c], partial});
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c)
+    b.mark_output(out.sum_cell[rows - 1][c]);
+  out.netlist = std::move(b).build();
+  return out;
+}
+
+}  // namespace iddq::netlist::gen

@@ -1,0 +1,39 @@
+// AND-EXOR iterative logic array (ILA) generator.
+//
+// The ILA testability literature (PAPERS.md, Chakraborty) studies arrays
+// built by tiling one cell: regular structure, broadcast operand lines,
+// and long identical chains. That is a workload class the random-DAG
+// ISCAS profiles cannot produce, and exactly where partitioning choices
+// are starkest — a module can follow the tiling (rows of cells with one
+// sensor per band) or cut across it.
+//
+// make_and_exor_ila(rows, cols) tiles the classic AND-EXOR cell of a
+// carry-free (Reed-Muller style) multiplier plane: operand lines x[0..C-1]
+// (columns) and y[0..R-1] (rows) are broadcast across the array; cell
+// (r, c) computes and_r_c = AND(x[c], y[r]) and accumulates down the
+// column, s_r_c = XOR(s_{r-1}_c, and_r_c) with s_0_c = and_0_c. The
+// column outputs are s_{R-1}_c = x[c] AND parity(y) — trivially checkable,
+// which is what the functional tests pin. Gate count: rows*cols ANDs +
+// (rows-1)*cols XORs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace iddq::netlist::gen {
+
+struct IlaArray {
+  Netlist netlist;
+  /// and_cell[r][c] / sum_cell[r][c]: gate ids of the tiled cells.
+  /// sum_cell[0][c] aliases and_cell[0][c] (the first row has no
+  /// accumulator XOR).
+  std::vector<std::vector<GateId>> and_cell;
+  std::vector<std::vector<GateId>> sum_cell;
+};
+
+/// rows >= 2 (one row would leave the XOR plane empty), cols >= 1.
+[[nodiscard]] IlaArray make_and_exor_ila(std::size_t rows, std::size_t cols);
+
+}  // namespace iddq::netlist::gen

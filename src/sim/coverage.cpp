@@ -1,0 +1,324 @@
+#include "sim/coverage.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/units.hpp"
+
+namespace iddq::sim {
+
+namespace {
+
+constexpr std::uint32_t kNoModule = part::kUnassigned;
+
+std::size_t clamp_count(std::size_t v, std::size_t lo, std::size_t hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace
+
+FaultModelSpec FaultModelSpec::parse(std::string_view spec) {
+  const std::string s = str::to_lower(str::trim(spec));
+  FaultModelSpec out;
+  if (s == "mixed") {
+    out.kind = Kind::kMixed;
+    return out;
+  }
+  if (s == "bridges") {
+    out.kind = Kind::kBridges;
+    return out;
+  }
+  if (s == "shorts") {
+    out.kind = Kind::kShorts;
+    return out;
+  }
+  // Explicit counts: "bridges=N[,shorts=M]" in either order.
+  out.kind = Kind::kExplicit;
+  bool saw_bridges = false;
+  bool saw_shorts = false;
+  for (const auto piece : str::split(s, ',')) {
+    const auto kv = str::split(piece, '=');
+    if (kv.size() != 2)
+      throw Error("fault model: expected name=count, got '" +
+                  std::string(piece) + "'");
+    std::size_t count = 0;
+    if (!str::parse_size(kv[1], count))
+      throw Error("fault model: bad count '" + std::string(kv[1]) + "'");
+    if (kv[0] == "bridges" && !saw_bridges) {
+      out.bridges = count;
+      saw_bridges = true;
+    } else if (kv[0] == "shorts" && !saw_shorts) {
+      out.shorts = count;
+      saw_shorts = true;
+    } else {
+      throw Error("fault model: unknown or repeated term '" +
+                  std::string(kv[0]) +
+                  "' (grammar: mixed | bridges | shorts | "
+                  "bridges=N[,shorts=M])");
+    }
+  }
+  if (!saw_bridges && !saw_shorts)
+    throw Error("fault model: empty spec (grammar: mixed | bridges | "
+                "shorts | bridges=N[,shorts=M])");
+  if (out.bridges == 0 && out.shorts == 0)
+    throw Error("fault model: at least one fault count must be > 0");
+  return out;
+}
+
+std::string FaultModelSpec::canonical() const {
+  switch (kind) {
+    case Kind::kMixed: return "mixed";
+    case Kind::kBridges: return "bridges";
+    case Kind::kShorts: return "shorts";
+    case Kind::kExplicit:
+      return "bridges=" + std::to_string(bridges) +
+             ",shorts=" + std::to_string(shorts);
+  }
+  return "mixed";
+}
+
+std::size_t FaultModelSpec::bridge_count(std::size_t logic_gates) const {
+  switch (kind) {
+    case Kind::kMixed: return clamp_count(logic_gates, 8, 512);
+    case Kind::kBridges: return clamp_count(2 * logic_gates, 16, 1024);
+    case Kind::kShorts: return 0;
+    case Kind::kExplicit: return bridges;
+  }
+  return 0;
+}
+
+std::size_t FaultModelSpec::short_count(std::size_t logic_gates) const {
+  switch (kind) {
+    case Kind::kMixed: return clamp_count(logic_gates, 8, 512);
+    case Kind::kBridges: return 0;
+    case Kind::kShorts: return clamp_count(2 * logic_gates, 16, 1024);
+    case Kind::kExplicit: return shorts;
+  }
+  return 0;
+}
+
+double coverage_percent(std::size_t detected, std::size_t total) {
+  return total == 0 ? 0.0
+                    : 100.0 * static_cast<double>(detected) /
+                          static_cast<double>(total);
+}
+
+CoverageEngine::CoverageEngine(const netlist::Netlist& nl,
+                               const lib::CellLibrary& library,
+                               CoverageConfig config)
+    : nl_(&nl),
+      config_(std::move(config)),
+      cells_(lib::bind_cells(nl, library)) {
+  Rng pattern_rng(Rng::mix_seed(config_.seed, 2));
+  require(config_.patterns > 0, "coverage: pattern count must be >= 1");
+  patterns_ = random_patterns(nl, config_.patterns, pattern_rng);
+  precompute();
+}
+
+CoverageEngine::CoverageEngine(const netlist::Netlist& nl,
+                               const lib::CellLibrary& library,
+                               CoverageConfig config,
+                               std::vector<PatternBatch> patterns)
+    : nl_(&nl),
+      config_(std::move(config)),
+      cells_(lib::bind_cells(nl, library)),
+      patterns_(std::move(patterns)) {
+  require(!patterns_.empty(), "coverage: pattern suite is empty");
+  precompute();
+}
+
+void CoverageEngine::precompute() {
+  require(config_.sim.iddq_th_ua > 0.0,
+          "coverage: IDDQ threshold must be positive");
+  const std::size_t logic = nl_->logic_gates().size();
+  Rng fault_rng(Rng::mix_seed(config_.seed, 1));
+  faults_ = collapse_faults(
+      random_faults(*nl_, config_.fault_model.bridge_count(logic),
+                    config_.fault_model.short_count(logic), fault_rng));
+
+  pattern_count_ = 0;
+  for (const auto& batch : patterns_) pattern_count_ += batch.pattern_count;
+
+  // The expensive part, done exactly once: the studied defects draw static
+  // current without flipping logic values, so the good-machine values serve
+  // every fault and every partition.
+  const LogicSim sim(*nl_);
+  values_.reserve(patterns_.size());
+  for (const auto& batch : patterns_) values_.push_back(sim.run(batch.words));
+
+  bridge_sites_.reserve(faults_.bridges.size());
+  for (const auto& f : faults_.bridges) {
+    BridgeSite site;
+    site.i_defect_ua = bridge_current_ua(f, config_.sim.vdd_mv,
+                                         cells_[f.a].rg_kohm,
+                                         cells_[f.b].rg_kohm);
+    bridge_sites_.push_back(site);
+  }
+  short_sites_.reserve(faults_.shorts.size());
+  for (const auto& f : faults_.shorts) {
+    ShortSite site;
+    site.driver = nl_->gate(f.gate).fanins[f.pin];
+    // Same attribution rule as IddqSimulator::detects_short: a PI driver
+    // has no sensor, so the defective gate's module senses the current.
+    const bool driver_is_logic = netlist::is_logic(nl_->gate(site.driver).kind);
+    site.sensed = driver_is_logic ? site.driver : f.gate;
+    const double rdrv = driver_is_logic ? cells_[site.driver].rg_kohm : 1.0;
+    site.i_defect_ua = short_current_ua(f, config_.sim.vdd_mv, rdrv);
+    short_sites_.push_back(site);
+  }
+}
+
+CoverageReport CoverageEngine::score(const part::Partition& p,
+                                     support::ExecutorPool* pool) const {
+  // Fault-free per-module leakage, accumulated in module/gate order (the
+  // same order as IddqSimulator::fault_free_module_current).
+  std::vector<double> leak(p.module_count(), 0.0);
+  for (std::uint32_t m = 0; m < p.module_count(); ++m)
+    for (const netlist::GateId g : p.module(m))
+      leak[m] += units::na_to_ua(cells_[g].ileak_na);
+  const double th = config_.sim.iddq_th_ua;
+  // A sensor only informs when its fault-free current itself passes; the
+  // defect current must then push it over the threshold (section-1
+  // discriminability).
+  const auto discriminates = [&](std::uint32_t m, double i_defect) {
+    return m != kNoModule && leak[m] <= th && leak[m] + i_defect > th;
+  };
+
+  const std::size_t batches = patterns_.size();
+  const std::size_t bridge_n = faults_.bridges.size();
+  const std::size_t total = faults_.size();
+
+  // Per-fault slot: which lanes of each batch detect the fault (through any
+  // sensor), plus the candidate sensor modules for the per-module stats.
+  struct Slot {
+    std::vector<PatternWord> words;
+    std::array<std::uint32_t, 2> sensors{kNoModule, kNoModule};
+    std::array<bool, 2> fired{false, false};
+  };
+  std::vector<Slot> slots(total);
+
+  // Fault-parallel stage: each body touches only its own pre-indexed slot
+  // and reads shared immutable state, so the result is scheduling-
+  // independent; the reduction below runs on the caller in fault order.
+  support::parallel_for_indexed(pool, total, [&](std::size_t f) {
+    Slot& slot = slots[f];
+    slot.words.assign(batches, 0);
+    if (f < bridge_n) {
+      const Bridge& br = faults_.bridges[f];
+      const std::uint32_t ma = p.module_of(br.a);
+      const std::uint32_t mb = p.module_of(br.b);
+      slot.sensors[0] = ma;
+      slot.sensors[1] = (mb == ma) ? kNoModule : mb;
+      const double i_defect = bridge_sites_[f].i_defect_ua;
+      const bool a_ok = discriminates(ma, i_defect);
+      const bool b_ok = discriminates(mb, i_defect);
+      if (!a_ok && !b_ok) return;
+      for (std::size_t b = 0; b < batches; ++b) {
+        const auto& values = values_[b];
+        PatternWord active = values[br.a] ^ values[br.b];
+        if (patterns_[b].pattern_count < 64)
+          active &= (PatternWord{1} << patterns_[b].pattern_count) - 1;
+        if (active == 0) continue;
+        // The ground-side sensor (module of the gate driving 0) sees the
+        // bridge current; which side drives 0 depends on the lane.
+        PatternWord hit = 0;
+        if (a_ok) {
+          const PatternWord w = active & ~values[br.a];
+          if (w != 0) slot.fired[0] = true;
+          hit |= w;
+        }
+        if (b_ok) {
+          const PatternWord w = active & ~values[br.b];
+          if (w != 0) slot.fired[slot.sensors[1] == kNoModule ? 0 : 1] = true;
+          hit |= w;
+        }
+        slot.words[b] = hit;
+      }
+    } else {
+      const std::size_t s = f - bridge_n;
+      const ShortSite& site = short_sites_[s];
+      const std::uint32_t m = p.module_of(site.sensed);
+      slot.sensors[0] = m;
+      if (!discriminates(m, site.i_defect_ua)) return;
+      for (std::size_t b = 0; b < batches; ++b) {
+        PatternWord active = values_[b][site.driver];  // conducts on 1
+        if (patterns_[b].pattern_count < 64)
+          active &= (PatternWord{1} << patterns_[b].pattern_count) - 1;
+        if (active != 0) slot.fired[0] = true;
+        slot.words[b] = active;
+      }
+    }
+  });
+
+  CoverageReport report;
+  report.faults_total = total;
+  report.patterns_supplied = pattern_count_;
+  report.patterns_minimized = pattern_count_;
+  report.detected.assign(total, false);
+  report.modules.assign(p.module_count(), ModuleCoverage{});
+  for (std::size_t f = 0; f < total; ++f) {
+    const Slot& slot = slots[f];
+    bool any = false;
+    for (const PatternWord w : slot.words) any = any || w != 0;
+    report.detected[f] = any;
+    if (any) ++report.faults_detected;
+    for (std::size_t side = 0; side < 2; ++side) {
+      const std::uint32_t m = slot.sensors[side];
+      if (m == kNoModule) continue;
+      ++report.modules[m].observable;
+      if (slot.fired[side]) ++report.modules[m].detected;
+    }
+  }
+
+  if (!config_.minimize) return report;
+
+  // Greedy set cover (the classic test-compaction heuristic): keep the
+  // pattern covering the most still-uncovered detected faults; lowest
+  // pattern index on ties. By construction the selected suite detects
+  // exactly the detected fault set, so coverage can never drop.
+  std::vector<bool> covered(total, false);
+  std::size_t uncovered = report.faults_detected;
+  std::vector<std::size_t> counts(pattern_count_, 0);
+  while (uncovered > 0) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t f = 0; f < total; ++f) {
+      if (covered[f] || !report.detected[f]) continue;
+      for (std::size_t b = 0; b < slots[f].words.size(); ++b) {
+        PatternWord w = slots[f].words[b];
+        while (w != 0) {
+          const int lane = std::countr_zero(w);
+          counts[b * 64 + static_cast<std::size_t>(lane)] += 1;
+          w &= w - 1;
+        }
+      }
+    }
+    std::size_t best = 0;
+    std::size_t best_count = 0;
+    for (std::size_t pat = 0; pat < pattern_count_; ++pat) {
+      if (counts[pat] > best_count) {
+        best_count = counts[pat];
+        best = pat;
+      }
+    }
+    IDDQ_ASSERT(best_count > 0);
+    report.selected_patterns.push_back(static_cast<std::uint32_t>(best));
+    const std::size_t bb = best / 64;
+    const PatternWord bit = PatternWord{1} << (best % 64);
+    for (std::size_t f = 0; f < total; ++f) {
+      if (covered[f] || !report.detected[f]) continue;
+      if ((slots[f].words[bb] & bit) != 0) {
+        covered[f] = true;
+        --uncovered;
+      }
+    }
+  }
+  report.patterns_minimized = report.selected_patterns.size();
+  return report;
+}
+
+}  // namespace iddq::sim

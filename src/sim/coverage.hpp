@@ -1,0 +1,170 @@
+// Fault-grade coverage engine: measured per-partition IDDQ fault coverage.
+//
+// The proxies the optimizers minimize (sensor area, delay, test overhead)
+// say nothing about what a partition actually *buys*: observability of the
+// defect classes that motivate IDDQ testing in the first place (paper
+// section 1). CoverageEngine closes that loop. Given a circuit and a fault
+// model (bridging defects + gate-oxide shorts from sim/faults), it samples
+// a fault list, generates (or accepts) a pattern suite, simulates the
+// fault-free circuit ONCE per pattern batch — these defects draw static
+// current but do not flip logic values, so the good-machine simulation is
+// partition- and fault-independent — and then scores any partition by
+// replaying the per-module sensor decision of iddq_sim over the
+// precomputed values: a fault counts as detected when some pattern makes
+// some module sensor exceed IDDQ_th while that sensor's fault-free leakage
+// still passes (the section-1 discriminability condition).
+//
+// Determinism contract (the repo-wide recipe): the constructor samples
+// faults and patterns from explicit seeds; score() fans the per-fault
+// detection work out over an ExecutorPool with each fault writing only its
+// own pre-indexed slot, and reduces the slots on the caller in fault-list
+// order. Reports are byte-identical at any thread count.
+//
+// The optional greedy set-cover pass (the classic test-compaction
+// heuristic: repeatedly keep the pattern detecting the most not-yet-
+// covered faults, lowest pattern index on ties) selects a minimized suite
+// that detects exactly the same fault set — coverage can never drop, only
+// the pattern count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "library/cell_library.hpp"
+#include "netlist/netlist.hpp"
+#include "partition/partition.hpp"
+#include "sim/faults.hpp"
+#include "sim/iddq_sim.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/patterns.hpp"
+#include "support/executor.hpp"
+
+namespace iddq::sim {
+
+/// Parsed `--fault-model` spec. Grammar:
+///   "mixed" | "bridges" | "shorts"            named presets, counts scale
+///                                             with the circuit size
+///   "bridges=N[,shorts=M]" | "shorts=M[,bridges=N]"
+///                                             explicit counts (missing = 0,
+///                                             both zero rejected)
+struct FaultModelSpec {
+  enum class Kind { kMixed, kBridges, kShorts, kExplicit };
+
+  Kind kind = Kind::kMixed;
+  std::size_t bridges = 0;  // explicit counts; meaningful for kExplicit only
+  std::size_t shorts = 0;
+
+  /// Throws iddq::Error on a malformed spec.
+  [[nodiscard]] static FaultModelSpec parse(std::string_view spec);
+
+  /// Normalized spelling (what cache fingerprints hash): presets by name,
+  /// explicit counts always as "bridges=N,shorts=M".
+  [[nodiscard]] std::string canonical() const;
+
+  /// Fault counts to sample for a circuit with `logic_gates` logic gates.
+  [[nodiscard]] std::size_t bridge_count(std::size_t logic_gates) const;
+  [[nodiscard]] std::size_t short_count(std::size_t logic_gates) const;
+};
+
+struct CoverageConfig {
+  FaultModelSpec fault_model;
+  std::size_t patterns = 256;  // random patterns to generate
+  bool minimize = false;       // run the greedy set-cover pass
+  std::uint64_t seed = 1;      // fault + pattern sampling seed
+  IddqSimConfig sim;           // vdd and the sensor threshold IDDQ_th
+};
+
+/// Per-module slice of a CoverageReport. `observable` counts the faults
+/// whose defect current would enter this module's virtual ground network
+/// under some activation (bridges are counted for both end modules — either
+/// side may drive 0); `detected` counts those this module's sensor actually
+/// caught under the pattern suite, so detected <= observable.
+struct ModuleCoverage {
+  std::size_t observable = 0;
+  std::size_t detected = 0;
+};
+
+/// detected/total as a percentage; 0 for an empty fault list. The one
+/// definition shared by fresh scoring and cache replay, so both paths
+/// produce bit-identical doubles.
+[[nodiscard]] double coverage_percent(std::size_t detected,
+                                      std::size_t total);
+
+struct CoverageReport {
+  std::size_t faults_total = 0;
+  std::size_t faults_detected = 0;
+  std::size_t patterns_supplied = 0;
+  /// Greedy set-cover suite size; == patterns_supplied when minimization
+  /// is off (the suite is the suite).
+  std::size_t patterns_minimized = 0;
+  /// Selected pattern indices (global: batch * 64 + lane) in greedy
+  /// selection order — marginal value first. Empty when minimization is
+  /// off.
+  std::vector<std::uint32_t> selected_patterns;
+  /// Per-fault verdicts, indexed like the engine's FaultList: bridges
+  /// first, then shorts. The undetected list is the complement.
+  std::vector<bool> detected;
+  std::vector<ModuleCoverage> modules;  // indexed by partition module
+
+  [[nodiscard]] double coverage_pct() const {
+    return coverage_percent(faults_detected, faults_total);
+  }
+};
+
+class CoverageEngine {
+ public:
+  /// Samples the fault list (collapsed: equivalent faults merged) and the
+  /// pattern suite from `config.seed`, and runs the fault-free logic
+  /// simulation for every batch. `nl` and `library` must outlive the
+  /// engine.
+  CoverageEngine(const netlist::Netlist& nl, const lib::CellLibrary& library,
+                 CoverageConfig config);
+
+  /// Same, but with an externally supplied pattern suite (e.g. a
+  /// functional test set) instead of generated random patterns.
+  CoverageEngine(const netlist::Netlist& nl, const lib::CellLibrary& library,
+                 CoverageConfig config, std::vector<PatternBatch> patterns);
+
+  [[nodiscard]] const FaultList& faults() const noexcept { return faults_; }
+  [[nodiscard]] std::size_t pattern_count() const noexcept {
+    return pattern_count_;
+  }
+  [[nodiscard]] const CoverageConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Scores one partition: fault-parallel over `pool` (nullptr = serial),
+  /// byte-identical for any pool size.
+  [[nodiscard]] CoverageReport score(const part::Partition& p,
+                                     support::ExecutorPool* pool = nullptr)
+      const;
+
+ private:
+  void precompute();
+
+  const netlist::Netlist* nl_;
+  CoverageConfig config_;
+  std::vector<lib::CellParams> cells_;
+  FaultList faults_;
+  std::vector<PatternBatch> patterns_;
+  std::size_t pattern_count_ = 0;
+  /// Fault-free gate values per batch, indexed [batch][GateId]: the
+  /// expensive part of scoring, shared by every fault and every partition.
+  std::vector<std::vector<PatternWord>> values_;
+  /// Per-fault activation data precomputed once (partition-independent).
+  struct BridgeSite {
+    double i_defect_ua = 0.0;
+  };
+  struct ShortSite {
+    netlist::GateId driver = netlist::kNoGate;  // conducts when driver is 1
+    netlist::GateId sensed = netlist::kNoGate;  // gate whose module senses
+    double i_defect_ua = 0.0;
+  };
+  std::vector<BridgeSite> bridge_sites_;
+  std::vector<ShortSite> short_sites_;
+};
+
+}  // namespace iddq::sim

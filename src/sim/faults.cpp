@@ -1,5 +1,10 @@
 #include "sim/faults.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <tuple>
+
 #include "netlist/graph.hpp"
 #include "support/error.hpp"
 
@@ -47,6 +52,51 @@ FaultList random_faults(const netlist::Netlist& nl, std::size_t bridge_count,
     f.r_short_kohm = rng.uniform(1.0, 50.0);
     out.shorts.push_back(f);
   }
+  return out;
+}
+
+FaultList collapse_faults(const FaultList& faults,
+                          FaultCollapseStats* stats) {
+  FaultCollapseStats local;
+  FaultList out;
+  out.bridges.reserve(faults.bridges.size());
+  out.shorts.reserve(faults.shorts.size());
+
+  // Resistances are compared bit-exactly: two bridges on the same pair with
+  // different R draw different currents and may well be distinguishable.
+  using BridgeKey = std::tuple<netlist::GateId, netlist::GateId,
+                               std::uint64_t>;
+  std::set<BridgeKey> seen_bridges;
+  for (const Bridge& f : faults.bridges) {
+    if (f.a == f.b) {
+      ++local.dropped_bridges;  // degenerate: a net never differs from itself
+      continue;
+    }
+    Bridge normalized = f;
+    if (normalized.b < normalized.a) std::swap(normalized.a, normalized.b);
+    const BridgeKey key{normalized.a, normalized.b,
+                        std::bit_cast<std::uint64_t>(
+                            normalized.r_bridge_kohm)};
+    if (!seen_bridges.insert(key).second) {
+      ++local.dropped_bridges;
+      continue;
+    }
+    out.bridges.push_back(normalized);
+  }
+
+  using ShortKey = std::tuple<netlist::GateId, std::uint32_t, std::uint64_t>;
+  std::set<ShortKey> seen_shorts;
+  for (const GateOxideShort& f : faults.shorts) {
+    const ShortKey key{f.gate, f.pin,
+                       std::bit_cast<std::uint64_t>(f.r_short_kohm)};
+    if (!seen_shorts.insert(key).second) {
+      ++local.dropped_shorts;
+      continue;
+    }
+    out.shorts.push_back(f);
+  }
+
+  if (stats != nullptr) *stats = local;
   return out;
 }
 

@@ -53,6 +53,21 @@ struct FaultList {
                                       std::size_t bridge_count,
                                       std::size_t short_count, Rng& rng);
 
+/// What collapse_faults removed.
+struct FaultCollapseStats {
+  std::size_t dropped_bridges = 0;  // self-bridges and exact duplicates
+  std::size_t dropped_shorts = 0;   // exact duplicates
+};
+
+/// Fault collapsing: merges faults no test can distinguish. A bridge is
+/// symmetric in its endpoints, so (a,b,R) is normalized to a <= b and
+/// duplicates (same pair, same resistance) are dropped, as are
+/// degenerate self-bridges (a == b, never activated). Shorts collapse on
+/// identical (gate, pin, resistance). First-occurrence order is preserved,
+/// so the collapsed list is deterministic for a deterministic input.
+[[nodiscard]] FaultList collapse_faults(const FaultList& faults,
+                                        FaultCollapseStats* stats = nullptr);
+
 /// Defect current of an activated bridge, in uA.
 [[nodiscard]] double bridge_current_ua(const Bridge& f, double vdd_mv,
                                        double rg_up_kohm,

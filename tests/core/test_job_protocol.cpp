@@ -204,6 +204,58 @@ TEST(JobProtocol, CacheHitReplayStreamsIdenticalRows) {
   }
 }
 
+TEST(JobProtocol, CoverageFieldsStreamOnlyWhenGraded) {
+  // The coverage leg of the acceptance contract: a coverage-enabled
+  // service streams rows whose coverage fields are bit-identical to a
+  // direct coverage-enabled FlowEngine run, and a plain service's rows
+  // carry no coverage fields at all (byte-compatible with old clients).
+  const auto library = lib::default_library();
+  FlowEngineConfig config = quick_config();
+  config.coverage.enabled = true;
+  config.coverage.patterns = 64;
+  config.coverage.minimize = true;
+  const auto service = make_service(library, 2, config);
+
+  const auto events = run_session(
+      *service,
+      R"({"op":"submit","id":"g","circuits":["ca"],)"
+      R"("methods":["evolution","standard"],"seed":42})"
+      "\n");
+  const auto rows = events_of_kind(events, "row");
+  ASSERT_EQ(rows.size(), 2u);
+
+  const netlist::Netlist nl = synthetic_circuit("ca");
+  FlowEngine engine(nl, library, config);
+  const std::vector<std::string> graded_methods{"evolution", "standard"};
+  const auto expected =
+      engine.run_methods(graded_methods, Rng::mix_seed(42, 0));
+  for (std::size_t m = 0; m < expected.size(); ++m) {
+    SCOPED_TRACE(expected[m].method);
+    expect_row_matches(*rows[m], expected[m]);
+    ASSERT_TRUE(expected[m].has_coverage);
+    expect_bits_eq(rows[m]->get_double("fault_coverage_pct"),
+                   expected[m].fault_coverage_pct, "fault_coverage_pct");
+    EXPECT_EQ(rows[m]->get_u64("faults_detected"),
+              expected[m].faults_detected);
+    EXPECT_EQ(rows[m]->get_u64("faults_total"), expected[m].faults_total);
+    EXPECT_EQ(rows[m]->get_u64("patterns_used"), expected[m].patterns_used);
+    EXPECT_EQ(rows[m]->get_u64("patterns_minimized"),
+              expected[m].patterns_minimized);
+  }
+
+  // Ungraded service: rows must not even mention coverage.
+  const auto plain_service = make_service(library, 1, quick_config());
+  const auto plain_events = run_session(
+      *plain_service,
+      R"({"op":"submit","id":"p","circuits":["ca"],)"
+      R"("methods":["standard"],"seed":42})"
+      "\n");
+  const auto plain_rows = events_of_kind(plain_events, "row");
+  ASSERT_EQ(plain_rows.size(), 1u);
+  EXPECT_EQ(plain_rows[0]->find("fault_coverage_pct"), nullptr);
+  EXPECT_EQ(plain_rows[0]->find("faults_total"), nullptr);
+}
+
 TEST(JobProtocol, CancelOpCancelsTheSweep) {
   const auto library = lib::default_library();
   FlowEngineConfig config = quick_config();

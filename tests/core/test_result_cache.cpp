@@ -98,6 +98,31 @@ TEST(ResultCacheSerialization, RejectsMalformedLines) {
   EXPECT_TRUE(ResultCache::parse(good, key, out));
 }
 
+TEST(ResultCacheSerialization, CoverageFieldsRoundTrip) {
+  CacheRecord record = sample_record();
+  record.has_coverage = true;
+  record.faults_total = 240;
+  record.faults_detected = 181;
+  record.patterns_used = 256;
+  record.patterns_minimized = 19;
+  const std::string line = ResultCache::serialize(9, record);
+  std::uint64_t key = 0;
+  CacheRecord parsed;
+  ASSERT_TRUE(ResultCache::parse(line, key, parsed)) << line;
+  EXPECT_TRUE(parsed.has_coverage);
+  EXPECT_EQ(parsed.faults_total, 240u);
+  EXPECT_EQ(parsed.faults_detected, 181u);
+  EXPECT_EQ(parsed.patterns_used, 256u);
+  EXPECT_EQ(parsed.patterns_minimized, 19u);
+  expect_record_eq(record, parsed);
+
+  // A plain record neither writes nor reads back coverage fields.
+  const std::string plain = ResultCache::serialize(9, sample_record());
+  EXPECT_EQ(plain.find("\"cov\""), std::string::npos);
+  ASSERT_TRUE(ResultCache::parse(plain, key, parsed));
+  EXPECT_FALSE(parsed.has_coverage);
+}
+
 TEST(ResultCache, InMemoryStoreAndCounters) {
   ResultCache cache;
   EXPECT_FALSE(cache.lookup(1).has_value());
@@ -206,6 +231,126 @@ TEST(ResultCacheMaintenance, CompactKeepsLastWritePerKey) {
 TEST(ResultCacheMaintenance, InspectThrowsWithoutCacheFile) {
   const std::string dir = fresh_dir("missing");
   EXPECT_THROW((void)inspect_cache_file(dir), Error);
+}
+
+TEST(ResultCacheResidency, EvictsLeastRecentlyUsedOverCap) {
+  const std::string dir = fresh_dir("lru");
+  ResultCache cache(dir);
+  cache.set_max_resident(2);
+  CacheRecord r1 = sample_record();
+  r1.evaluations = 1;
+  CacheRecord r2 = sample_record();
+  r2.evaluations = 2;
+  CacheRecord r3 = sample_record();
+  r3.evaluations = 3;
+  cache.store(1, r1);
+  cache.store(2, r2);
+  EXPECT_EQ(cache.resident_size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.store(3, r3);  // key 1 is now the LRU entry: evicted to disk only
+  EXPECT_EQ(cache.resident_size(), 2u);
+  EXPECT_EQ(cache.size(), 3u);  // still addressable
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  // The evicted entry is still a HIT -- reloaded from disk, bit-exact.
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  expect_record_eq(*hit, r1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.disk_hits(), 1u);
+  // Reloading re-admitted key 1, displacing the new LRU entry (key 2).
+  EXPECT_EQ(cache.resident_size(), 2u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  const auto hit2 = cache.lookup(2);
+  ASSERT_TRUE(hit2.has_value());
+  expect_record_eq(*hit2, r2);
+  EXPECT_EQ(cache.disk_hits(), 2u);
+}
+
+TEST(ResultCacheResidency, LookupRefreshesRecency) {
+  const std::string dir = fresh_dir("lru_touch");
+  ResultCache cache(dir);
+  cache.set_max_resident(2);
+  cache.store(1, sample_record());
+  cache.store(2, sample_record());
+  // Touch key 1 so key 2 becomes the LRU entry...
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  cache.store(3, sample_record());
+  // ...then key 1 must still be resident (no disk hit to read it).
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.disk_hits(), 0u);
+  // Key 2 was the one spilled.
+  EXPECT_TRUE(cache.lookup(2).has_value());
+  EXPECT_EQ(cache.disk_hits(), 1u);
+}
+
+TEST(ResultCacheResidency, MemoryOnlyCacheNeverEvicts) {
+  // Without a backing file the resident record is the only copy.
+  ResultCache cache;
+  cache.set_max_resident(1);
+  cache.store(1, sample_record());
+  cache.store(2, sample_record());
+  EXPECT_EQ(cache.resident_size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_TRUE(cache.lookup(1).has_value());
+}
+
+TEST(ResultCacheResidency, CapAppliesToEntriesLoadedFromDisk) {
+  const std::string dir = fresh_dir("lru_reload");
+  {
+    ResultCache cache(dir);
+    for (std::uint64_t k = 1; k <= 5; ++k) cache.store(k, sample_record());
+  }
+  ResultCache reloaded(dir);
+  reloaded.set_max_resident(2);
+  EXPECT_EQ(reloaded.resident_size(), 2u);
+  EXPECT_EQ(reloaded.size(), 5u);
+  for (std::uint64_t k = 1; k <= 5; ++k)
+    EXPECT_TRUE(reloaded.lookup(k).has_value()) << k;
+  EXPECT_EQ(reloaded.misses(), 0u);
+}
+
+TEST(CacheKey, ContextFingerprintCoversCoverageOptions) {
+  const elec::SensorSpec sensor;
+  const part::CostWeights weights;
+  const OptimizerConfig optimizers;
+  const auto base =
+      cache_context_fingerprint(1, 2, sensor, weights, 4, optimizers);
+
+  // v3 rows must never replay into a coverage-graded engine: enabling
+  // coverage (or changing any coverage knob) re-keys the context.
+  CoverageOptions coverage;
+  coverage.enabled = true;
+  const auto graded = cache_context_fingerprint(1, 2, sensor, weights, 4,
+                                                optimizers, coverage);
+  EXPECT_NE(base, graded);
+  EXPECT_EQ(graded, cache_context_fingerprint(1, 2, sensor, weights, 4,
+                                              optimizers, coverage));
+
+  CoverageOptions model = coverage;
+  model.fault_model = "bridges=40,shorts=10";
+  EXPECT_NE(graded, cache_context_fingerprint(1, 2, sensor, weights, 4,
+                                              optimizers, model));
+  CoverageOptions budget = coverage;
+  budget.patterns = 128;
+  EXPECT_NE(graded, cache_context_fingerprint(1, 2, sensor, weights, 4,
+                                              optimizers, budget));
+  CoverageOptions minimized = coverage;
+  minimized.minimize = true;
+  EXPECT_NE(graded, cache_context_fingerprint(1, 2, sensor, weights, 4,
+                                              optimizers, minimized));
+  CoverageOptions seeded = coverage;
+  seeded.seed = 2;
+  EXPECT_NE(graded, cache_context_fingerprint(1, 2, sensor, weights, 4,
+                                              optimizers, seeded));
+
+  // Disabled coverage ignores the other knobs (they have no effect).
+  CoverageOptions disabled;
+  disabled.fault_model = "bridges";
+  disabled.patterns = 9;
+  EXPECT_EQ(base, cache_context_fingerprint(1, 2, sensor, weights, 4,
+                                            optimizers, disabled));
 }
 
 TEST(CacheKey, SensitiveToEveryRunInput) {

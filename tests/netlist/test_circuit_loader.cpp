@@ -11,11 +11,42 @@
 namespace iddq::netlist {
 namespace {
 
-TEST(CircuitLoader, BuiltinNamesAreTheSevenGenerators) {
+TEST(CircuitLoader, BuiltinNamesAreTheEightGenerators) {
   const auto names = builtin_circuit_names();
-  ASSERT_EQ(names.size(), 7u);
+  ASSERT_EQ(names.size(), 8u);
   EXPECT_EQ(names.front(), "c17");
   for (const auto& name : names) EXPECT_TRUE(is_builtin_circuit(name));
+}
+
+TEST(CircuitLoader, IlaNamesAreParametric) {
+  EXPECT_TRUE(is_builtin_circuit("ila8x8"));
+  EXPECT_TRUE(is_builtin_circuit("ILA2x1"));
+  EXPECT_TRUE(is_builtin_circuit("ila16x4"));
+  EXPECT_FALSE(is_builtin_circuit("ila8"));      // no dimensions
+  EXPECT_FALSE(is_builtin_circuit("ila8x"));     // missing cols
+  EXPECT_FALSE(is_builtin_circuit("ilaAxB"));    // not digits
+  EXPECT_FALSE(is_builtin_circuit("ila8x8x8"));  // extra dimension
+}
+
+TEST(CircuitLoader, LoadsIlaWithRequestedShape) {
+  // rows*cols ANDs + (rows-1)*cols XORs.
+  const auto nl = load_circuit("ila4x3");
+  EXPECT_EQ(nl.logic_gate_count(), 4u * 3u + 3u * 3u);
+  EXPECT_EQ(nl.primary_inputs().size(), 3u + 4u);
+  EXPECT_EQ(load_circuit("ILA2x1").logic_gate_count(), 3u);
+}
+
+TEST(CircuitLoader, IlaDimensionBoundsAreEnforced) {
+  for (const char* bad : {"ila1x4", "ila0x0", "ila257x2", "ila4x999"}) {
+    try {
+      (void)load_circuit(bad);
+      FAIL() << "expected Error for " << bad;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("ILA dimensions"),
+                std::string::npos)
+          << bad;
+    }
+  }
 }
 
 TEST(CircuitLoader, LoadsBuiltinsCaseInsensitively) {

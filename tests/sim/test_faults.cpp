@@ -83,5 +83,88 @@ TEST(Faults, CurrentsRejectNonPositiveVdd) {
   EXPECT_THROW((void)short_current_ua(s, -5.0, 1.0), Error);
 }
 
+Bridge make_bridge(netlist::GateId a, netlist::GateId b, double r) {
+  Bridge f;
+  f.a = a;
+  f.b = b;
+  f.r_bridge_kohm = r;
+  return f;
+}
+
+GateOxideShort make_short(netlist::GateId g, std::size_t pin, double r) {
+  GateOxideShort f;
+  f.gate = g;
+  f.pin = pin;
+  f.r_short_kohm = r;
+  return f;
+}
+
+TEST(Faults, CollapseMergesEndpointOrder) {
+  // (a, b) and (b, a) at the same resistance are the same physical
+  // defect; endpoint order is a sampling artifact.
+  FaultList faults;
+  faults.bridges = {make_bridge(3, 7, 2.0), make_bridge(7, 3, 2.0)};
+  FaultCollapseStats stats;
+  const auto collapsed = collapse_faults(faults, &stats);
+  ASSERT_EQ(collapsed.bridges.size(), 1u);
+  EXPECT_EQ(collapsed.bridges[0].a, 3u);
+  EXPECT_EQ(collapsed.bridges[0].b, 7u);
+  EXPECT_EQ(stats.dropped_bridges, 1u);
+  EXPECT_EQ(stats.dropped_shorts, 0u);
+}
+
+TEST(Faults, CollapseKeepsDistinctResistances) {
+  // Same node pair, different resistance: different defect current,
+  // different detectability -- not equivalent.
+  FaultList faults;
+  faults.bridges = {make_bridge(3, 7, 2.0), make_bridge(3, 7, 2.5)};
+  const auto collapsed = collapse_faults(faults);
+  EXPECT_EQ(collapsed.bridges.size(), 2u);
+}
+
+TEST(Faults, CollapseDropsSelfBridges) {
+  FaultList faults;
+  faults.bridges = {make_bridge(4, 4, 1.0), make_bridge(4, 5, 1.0)};
+  FaultCollapseStats stats;
+  const auto collapsed = collapse_faults(faults, &stats);
+  ASSERT_EQ(collapsed.bridges.size(), 1u);
+  EXPECT_EQ(collapsed.bridges[0].b, 5u);
+  EXPECT_EQ(stats.dropped_bridges, 1u);
+}
+
+TEST(Faults, CollapsePreservesFirstOccurrenceOrder) {
+  FaultList faults;
+  faults.bridges = {make_bridge(9, 2, 1.0), make_bridge(1, 5, 1.0),
+                    make_bridge(2, 9, 1.0), make_bridge(0, 8, 1.0)};
+  const auto collapsed = collapse_faults(faults);
+  ASSERT_EQ(collapsed.bridges.size(), 3u);
+  // Normalized endpoints, in the order each pair first appeared.
+  EXPECT_EQ(collapsed.bridges[0].a, 2u);
+  EXPECT_EQ(collapsed.bridges[0].b, 9u);
+  EXPECT_EQ(collapsed.bridges[1].a, 1u);
+  EXPECT_EQ(collapsed.bridges[2].a, 0u);
+}
+
+TEST(Faults, CollapseDedupesShortsExactly) {
+  FaultList faults;
+  faults.shorts = {make_short(2, 0, 4.0), make_short(2, 0, 4.0),
+                   make_short(2, 1, 4.0), make_short(2, 0, 4.5)};
+  FaultCollapseStats stats;
+  const auto collapsed = collapse_faults(faults, &stats);
+  EXPECT_EQ(collapsed.shorts.size(), 3u);
+  EXPECT_EQ(stats.dropped_shorts, 1u);
+}
+
+TEST(Faults, CollapseOnSampledListIsIdempotent) {
+  const auto nl = netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic("f", 100, 8, 2));
+  Rng rng(13);
+  const auto faults = random_faults(nl, 80, 40, rng);
+  const auto once = collapse_faults(faults);
+  const auto twice = collapse_faults(once);
+  EXPECT_EQ(once.bridges.size(), twice.bridges.size());
+  EXPECT_EQ(once.shorts.size(), twice.shorts.size());
+}
+
 }  // namespace
 }  // namespace iddq::sim

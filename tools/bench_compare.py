@@ -30,7 +30,10 @@ import json
 import sys
 
 TIMING_ROW_FIELDS = {"seconds"}
-COMPARABILITY_FIELDS = ("bench", "fast", "seconds_kind")
+# "coverage" is only emitted by --coverage runs, so legacy baselines
+# (no field) and default runs stay mutually comparable, while a graded
+# run never diffs against an ungraded one.
+COMPARABILITY_FIELDS = ("bench", "fast", "seconds_kind", "coverage")
 
 
 def load(path):

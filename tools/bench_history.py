@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Walk git history, rebuild bench_table1 at each commit, collect timings.
+
+    tools/bench_history.py [--max-commits N] [--csv FILE] [--json FILE]
+                           [--rev-range RANGE] [--build-root DIR]
+
+For each commit on the current branch (newest first, bounded by
+--max-commits, default 8), the script:
+
+  1. creates a detached `git worktree` of that commit under --build-root
+     (default: a temp directory; removed afterwards),
+  2. configures and builds ONLY the bench_table1_main target there
+     (benches on, tests/examples off, so old commits build fast),
+  3. runs the FAST sweep (IDDQSYN_BENCH_FAST=1) with --json and collects
+     `total_seconds` plus the row count,
+  4. emits one record per commit as JSON (default: stdout) and/or CSV.
+
+Commits that predate the bench target, fail to build, or fail to run are
+reported with `"status": "skipped"` and a one-line reason — a history walk
+must tolerate the repo's own past. Wall clocks from one host ARE
+comparable across commits (same machine, same flags), which is the point:
+this is the perf-trajectory companion to tools/bench_compare.py's
+row-identity gate.
+
+Exit code 0 when at least one commit produced a timing; 1 otherwise;
+2 on usage errors.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+BENCH_TARGET = "bench_table1_main"
+
+
+def run(cmd, **kwargs):
+    return subprocess.run(
+        cmd, capture_output=True, text=True, check=False, **kwargs
+    )
+
+
+def git(repo, *args):
+    return run(["git", "-C", repo] + list(args))
+
+
+def list_commits(repo, rev_range, max_commits):
+    proc = git(repo, "rev-list", "--first-parent", rev_range)
+    if proc.returncode != 0:
+        print(
+            f"bench_history: git rev-list failed: {proc.stderr.strip()}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    commits = proc.stdout.split()
+    return commits[:max_commits]
+
+
+def commit_meta(repo, sha):
+    proc = git(repo, "show", "-s", "--format=%h\x1f%cI\x1f%s", sha)
+    short, date, subject = proc.stdout.strip().split("\x1f", 2)
+    return {"commit": short, "date": date, "subject": subject}
+
+
+def bench_one(repo, sha, build_root, jobs):
+    """Returns (record, reason); reason is None on success."""
+    worktree = os.path.join(build_root, f"wt_{sha[:12]}")
+    build_dir = os.path.join(build_root, f"build_{sha[:12]}")
+    try:
+        proc = git(repo, "worktree", "add", "--detach", worktree, sha)
+        if proc.returncode != 0:
+            return None, f"worktree add failed: {proc.stderr.strip()}"
+
+        proc = run(
+            [
+                "cmake", "-B", build_dir, "-S", worktree,
+                "-DIDDQ_BUILD_TESTS=OFF", "-DIDDQ_BUILD_EXAMPLES=OFF",
+                "-DIDDQ_BUILD_BENCHES=ON",
+            ]
+        )
+        if proc.returncode != 0:
+            return None, "cmake configure failed"
+
+        proc = run(
+            ["cmake", "--build", build_dir, "-j", str(jobs), "--target",
+             BENCH_TARGET]
+        )
+        if proc.returncode != 0:
+            return None, f"no buildable {BENCH_TARGET} at this commit"
+
+        bench = os.path.join(build_dir, BENCH_TARGET)
+        json_path = os.path.join(build_dir, "bench_history_row.json")
+        env = dict(os.environ, IDDQSYN_BENCH_FAST="1")
+        proc = run([bench, "--json", json_path], env=env)
+        if proc.returncode != 0:
+            return None, f"bench run failed: {proc.stderr.strip()[:200]}"
+
+        try:
+            with open(json_path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            return None, f"unreadable bench json: {err}"
+        return {
+            "total_seconds": doc.get("total_seconds"),
+            "rows": len(doc.get("rows", [])),
+            "fast": doc.get("fast"),
+            "threads": doc.get("threads"),
+        }, None
+    finally:
+        git(repo, "worktree", "remove", "--force", worktree)
+        shutil.rmtree(build_dir, ignore_errors=True)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Per-commit bench_table1 total_seconds history."
+    )
+    parser.add_argument("--max-commits", type=int, default=8, metavar="N")
+    parser.add_argument("--rev-range", default="HEAD", metavar="RANGE",
+                        help="rev-list range to walk (default: HEAD)")
+    parser.add_argument("--csv", metavar="FILE",
+                        help="also write records as CSV")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write records as JSON here instead of stdout")
+    parser.add_argument("--build-root", metavar="DIR",
+                        help="keep worktrees/builds under DIR "
+                        "(default: temp dir, removed afterwards)")
+    parser.add_argument("--jobs", type=int,
+                        default=os.cpu_count() or 2, metavar="N")
+    args = parser.parse_args()
+    if args.max_commits < 1:
+        print("bench_history: --max-commits must be >= 1", file=sys.stderr)
+        return 2
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    commits = list_commits(repo, args.rev_range, args.max_commits)
+
+    own_root = args.build_root is None
+    build_root = args.build_root or tempfile.mkdtemp(prefix="bench_history_")
+    os.makedirs(build_root, exist_ok=True)
+
+    records = []
+    try:
+        for sha in commits:
+            record = commit_meta(repo, sha)
+            print(
+                f"bench_history: {record['commit']} {record['subject'][:60]}",
+                file=sys.stderr,
+            )
+            timing, reason = bench_one(repo, sha, build_root, args.jobs)
+            if timing is None:
+                record.update({"status": "skipped", "reason": reason})
+                print(f"  skipped: {reason}", file=sys.stderr)
+            else:
+                record.update({"status": "ok", **timing})
+                print(
+                    f"  total_seconds={timing['total_seconds']:.3f} "
+                    f"rows={timing['rows']}",
+                    file=sys.stderr,
+                )
+            records.append(record)
+    finally:
+        if own_root:
+            shutil.rmtree(build_root, ignore_errors=True)
+
+    doc = json.dumps(records, indent=2)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(doc + "\n")
+    else:
+        print(doc)
+    if args.csv:
+        import csv
+
+        fields = ["commit", "date", "subject", "status", "reason",
+                  "total_seconds", "rows", "fast", "threads"]
+        with open(args.csv, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fields,
+                                    extrasaction="ignore")
+            writer.writeheader()
+            for record in records:
+                writer.writerow(record)
+
+    return 0 if any(r["status"] == "ok" for r in records) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,9 @@
 #  * every name printed by `iddqsyn --list-methods` has a `## `name``
 #    section in docs/methods.md;
 #  * every `## `name`` section (except the `portfolio:` spec family)
-#    names a registered optimizer.
+#    names a registered optimizer;
+#  * every coverage flag the CLI's --help advertises is documented in
+#    docs/coverage.md (same drift guard, different page).
 #
 #   $ tools/check_docs.sh path/to/iddqsyn
 set -eu
@@ -33,5 +35,17 @@ for doc in $(sed -n 's/^## `\([a-z:+]*\)`.*/\1/p' "$docs"); do
   fi
 done
 
-[ "$status" -eq 0 ] && echo "check_docs: docs/methods.md matches --list-methods"
+coverage_docs="$(dirname "$0")/../docs/coverage.md"
+[ -f "$coverage_docs" ] || {
+  echo "check_docs: $coverage_docs not found"; exit 1; }
+for flag in --coverage --fault-model --patterns --minimize-patterns \
+    --cache-resident; do
+  if ! grep -q -e "$flag" "$coverage_docs" \
+      && ! grep -q -e "$flag" "$(dirname "$0")/../docs/caching.md"; then
+    echo "check_docs: '$flag' is undocumented (docs/coverage.md, docs/caching.md)"
+    status=1
+  fi
+done
+
+[ "$status" -eq 0 ] && echo "check_docs: docs match the CLI surface"
 exit $status

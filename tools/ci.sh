@@ -31,11 +31,19 @@
 # reported but not enforced (CI hosts differ from the baseline host).
 #
 #   $ tools/ci.sh bench [build-dir]    default build dir: build-bench
+#
+# Coverage smoke (the CI coverage-smoke job): build the CLI, run the
+# coverage-graded FAST sweep with set-cover minimization at
+# IDDQ_THREADS=2, and diff the summary rows byte-for-byte against the
+# committed golden file tests/golden/coverage_smoke.txt — the
+# fault-grade coverage numbers are part of the determinism contract.
+#
+#   $ tools/ci.sh coverage-smoke [build-dir]  default: build-coverage
 set -eu
 
 MODE="full"
 case "${1:-}" in
-  smoke|threads|tsan|bench)
+  smoke|threads|tsan|bench|coverage-smoke)
     MODE="$1"
     shift
     ;;
@@ -72,6 +80,20 @@ if [ "$MODE" = "bench" ]; then
   python3 "$ROOT/tools/bench_compare.py" "$ROOT/BENCH_table1.json" \
     "$BUILD_DIR/BENCH_fresh.json"
   echo "bench rows OK"
+  exit 0
+fi
+
+if [ "$MODE" = "coverage-smoke" ]; then
+  BUILD_DIR="${1:-build-coverage}"
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DIDDQ_WERROR=ON -DIDDQ_BUILD_TESTS=OFF \
+    -DIDDQ_BUILD_BENCHES=OFF -DIDDQ_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target iddqsyn
+  OUT="$BUILD_DIR/coverage_smoke_out.txt"
+  IDDQ_THREADS=2 "$BUILD_DIR/iddqsyn" --quiet --generations 12 \
+    --method evolution,standard --coverage --fault-model mixed \
+    --patterns 64 --minimize-patterns c17 ila8x4 ila16x8 > "$OUT"
+  diff -u "$ROOT/tests/golden/coverage_smoke.txt" "$OUT"
+  echo "coverage smoke OK"
   exit 0
 fi
 

@@ -5,7 +5,9 @@
 //
 //   <circuit>             path to an ISCAS85 .bench file, or one of the
 //                         built-in generators: c17, c1908, c2670, c3540,
-//                         c5315, c6288, c7552
+//                         c5315, c6288, c7552, or a parametric AND-EXOR
+//                         iterative logic array ila<R>x<C> (2..256 rows,
+//                         1..256 columns), e.g. ila8x8
 //
 // Options:
 //   --method NAMES        comma-separated optimizer specs from the registry
@@ -73,6 +75,7 @@
 #include "netlist/stats.hpp"
 #include "partition/partition_io.hpp"
 #include "report/table.hpp"
+#include "sim/coverage.hpp"
 #include "support/error.hpp"
 #include "support/executor.hpp"
 #include "support/json.hpp"
@@ -91,8 +94,13 @@ struct CliOptions {
   std::size_t threads = 0;  // 0 = IDDQ_THREADS default (1 when unset)
   std::optional<std::string> cache_dir;
   bool no_cache = false;
+  std::size_t cache_resident = 0;  // 0 = unbounded residency
   std::optional<std::string> cache_stats_dir;
   std::optional<std::string> cache_compact_dir;
+  bool coverage = false;
+  std::string fault_model = "mixed";
+  std::size_t patterns = 256;
+  bool minimize_patterns = false;
   std::optional<std::string> submit_socket;
   bool progress = false;
   std::optional<std::string> output_path;
@@ -107,7 +115,7 @@ struct CliOptions {
 
 void print_usage(std::ostream& os) {
   os << "usage: iddqsyn [options] <circuit.bench | c17 | c1908 | c2670 | "
-        "c3540 | c5315 | c6288 | c7552> [<circuit> ...]\n"
+        "c3540 | c5315 | c6288 | c7552 | ila<R>x<C>> [<circuit> ...]\n"
         "  --method NAMES   comma-separated optimizer specs "
         "(default: evolution,standard)\n"
         "  --jobs N         worker threads over circuits (default 1)\n"
@@ -115,8 +123,16 @@ void print_usage(std::ostream& os) {
         "IDDQ_THREADS; identical results for any N)\n"
         "  --cache-dir DIR  content-addressed result cache (docs/caching.md)\n"
         "  --no-cache       disable the cache even with --cache-dir\n"
+        "  --cache-resident N   cap in-memory cache entries (LRU eviction "
+        "to disk; default 0 = unbounded)\n"
         "  --cache-stats DIR    inspect DIR/results.jsonl and exit\n"
         "  --cache-compact DIR  drop shadowed cache rows and exit\n"
+        "  --coverage       grade each row's partition by measured IDDQ "
+        "fault coverage (docs/coverage.md)\n"
+        "  --fault-model M  coverage fault model: mixed | bridges | shorts "
+        "| bridges=N[,shorts=M] (default mixed)\n"
+        "  --patterns N     coverage test patterns (default 256)\n"
+        "  --minimize-patterns  greedy set-cover pattern minimization\n"
         "  --submit SOCKET  send the job to an iddqsyn_server unix socket\n"
         "  --progress       stream optimizer progress to stderr\n"
         "  --list-methods   print registered optimizer names and exit\n"
@@ -144,6 +160,8 @@ void print_methods(std::ostream& os) {
 
 std::optional<CliOptions> parse(int argc, char** argv) {
   CliOptions opts;
+  bool fault_model_set = false;
+  bool patterns_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto need_value = [&](const char* flag) -> std::optional<std::string> {
@@ -196,6 +214,29 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       opts.cache_dir = *v;
     } else if (arg == "--no-cache") {
       opts.no_cache = true;
+    } else if (arg == "--cache-resident") {
+      const auto v = need_value("--cache-resident");
+      if (!v || !str::parse_size(*v, opts.cache_resident) ||
+          opts.cache_resident == 0) {
+        std::cerr << "iddqsyn: --cache-resident must be >= 1\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--coverage") {
+      opts.coverage = true;
+    } else if (arg == "--fault-model") {
+      const auto v = need_value("--fault-model");
+      if (!v) return std::nullopt;
+      opts.fault_model = *v;
+      fault_model_set = true;
+    } else if (arg == "--patterns") {
+      const auto v = need_value("--patterns");
+      if (!v || !str::parse_size(*v, opts.patterns) || opts.patterns == 0) {
+        std::cerr << "iddqsyn: --patterns must be >= 1\n";
+        return std::nullopt;
+      }
+      patterns_set = true;
+    } else if (arg == "--minimize-patterns") {
+      opts.minimize_patterns = true;
     } else if (arg == "--cache-stats") {
       const auto v = need_value("--cache-stats");
       if (!v) return std::nullopt;
@@ -275,6 +316,26 @@ std::optional<CliOptions> parse(int argc, char** argv) {
                  "(set --threads on the server)\n";
     return std::nullopt;
   }
+  if (!opts.coverage &&
+      (fault_model_set || patterns_set || opts.minimize_patterns)) {
+    std::cerr << "iddqsyn: --fault-model/--patterns/--minimize-patterns "
+                 "need --coverage\n";
+    return std::nullopt;
+  }
+  if (opts.submit_socket && opts.coverage) {
+    std::cerr << "iddqsyn: --coverage has no effect in --submit mode "
+                 "(enable coverage on the server)\n";
+    return std::nullopt;
+  }
+  if (opts.coverage) {
+    // Validate the spec grammar up front, like the method specs below.
+    try {
+      (void)sim::FaultModelSpec::parse(opts.fault_model);
+    } catch (const Error& e) {
+      std::cerr << "iddqsyn: " << e.what() << "\n";
+      return std::nullopt;
+    }
+  }
   // Validate method specs up front so typos report the registry's names
   // instead of failing mid-batch.
   for (const auto& spec : opts.methods) {
@@ -296,7 +357,13 @@ void print_method_row(std::ostream& os, const std::string& circuit,
      << " delay_ovh=" << report::format_pct(r.delay_overhead)
      << " test_ovh=" << report::format_pct(r.test_overhead)
      << " evals=" << r.evaluations
-     << " feasible=" << (r.fitness.feasible() ? "yes" : "NO") << "\n";
+     << " feasible=" << (r.fitness.feasible() ? "yes" : "NO");
+  if (r.has_coverage)
+    os << " cov=" << report::format_pct(r.fault_coverage_pct,
+                                        /*already_pct=*/true)
+       << " faults=" << r.faults_detected << "/" << r.faults_total
+       << " patterns=" << r.patterns_minimized << "/" << r.patterns_used;
+  os << "\n";
 }
 
 // Retiming + partition writing only apply to single-circuit runs; they act
@@ -401,8 +468,19 @@ int run_submit_client(const CliOptions& opts) {
                 << " test_ovh="
                 << report::format_pct(event->get_double("test_overhead"))
                 << " evals=" << event->get_u64("evaluations") << " feasible="
-                << (event->get_bool("feasible", false) ? "yes" : "NO")
-                << "\n";
+                << (event->get_bool("feasible", false) ? "yes" : "NO");
+      // Coverage columns appear only when the server grades them; the
+      // printed row then matches the direct CLI's byte for byte.
+      if (event->find("fault_coverage_pct") != nullptr)
+        std::cout << " cov="
+                  << report::format_pct(
+                         event->get_double("fault_coverage_pct"),
+                         /*already_pct=*/true)
+                  << " faults=" << event->get_u64("faults_detected") << "/"
+                  << event->get_u64("faults_total")
+                  << " patterns=" << event->get_u64("patterns_minimized")
+                  << "/" << event->get_u64("patterns_used");
+      std::cout << "\n";
     } else if (kind == "failed") {
       failed = true;
       std::cerr << "iddqsyn: " << event->get_string("circuit") << ": "
@@ -453,6 +531,10 @@ int main(int argc, char** argv) {
     config.sensor.r_max_mv = opts->rail_mv;
     config.sensor.d_min = opts->disc;
     config.optimizers.es.max_generations = opts->generations;
+    config.coverage.enabled = opts->coverage;
+    config.coverage.fault_model = opts->fault_model;
+    config.coverage.patterns = opts->patterns;
+    config.coverage.minimize = opts->minimize_patterns;
 
     // One pool shared by all --jobs workers (bounded fan-out); declared
     // before the runner so it outlives every optimizer run.
@@ -463,6 +545,8 @@ int main(int argc, char** argv) {
     std::optional<core::ResultCache> cache;
     if (opts->cache_dir && !opts->no_cache) {
       cache.emplace(*opts->cache_dir);
+      if (opts->cache_resident > 0)
+        cache->set_max_resident(opts->cache_resident);
       config.cache = &*cache;
     }
     if (opts->progress) {
@@ -508,7 +592,11 @@ int main(int argc, char** argv) {
                          static_cast<double>(hits) /
                              static_cast<double>(total) * 100.0,
                          /*already_pct=*/true)
-                  << " hit rate, " << cache->size() << " entries)";
+                  << " hit rate, " << cache->size() << " entries, "
+                  << cache->resident_size() << " resident)";
+      if (cache->disk_hits() > 0 || cache->evictions() > 0)
+        std::cerr << " [residency: " << cache->evictions() << " evictions, "
+                  << cache->disk_hits() << " disk reloads]";
       // A silently-degraded cache file (truncated writes, foreign
       // content) would otherwise only show up as a slow sweep.
       if (cache->corrupt_lines() > 0)

@@ -24,6 +24,15 @@
 //   --max-queue N     reject submits once N jobs are queued (protocol
 //                     `error` event; default 0 = unbounded)
 //   --cache-dir DIR   content-addressed result cache (docs/caching.md)
+//   --cache-resident N  cap the cache's in-memory map at N entries; older
+//                     entries spill to disk and reload on demand
+//   --coverage        grade every result row by measured IDDQ fault
+//                     coverage (docs/coverage.md); rows gain coverage
+//                     fields in the protocol stream
+//   --fault-model SPEC  injected fault population: mixed | bridges |
+//                     shorts | bridges=N[,shorts=M] (default mixed)
+//   --patterns N      test patterns per coverage run (default 256)
+//   --minimize-patterns  greedy set-cover pattern minimization
 //   --lib FILE        cell library (default: built-in 5V CMOS)
 //   --rail MV         virtual-rail perturbation limit r (default 200)
 //   --disc D          required discriminability d (default 10)
@@ -50,6 +59,7 @@
 #include "core/result_cache.hpp"
 #include "library/cell_library.hpp"
 #include "library/lib_io.hpp"
+#include "sim/coverage.hpp"
 #include "support/error.hpp"
 #include "support/executor.hpp"
 #include "support/strings.hpp"
@@ -65,6 +75,11 @@ struct ServerOptions {
   std::size_t threads = 0;                 // 0 = IDDQ_THREADS default
   std::size_t max_queue = 0;               // 0 = unbounded
   std::optional<std::string> cache_dir;
+  std::size_t cache_resident = 0;          // 0 = unbounded residency
+  bool coverage = false;
+  std::string fault_model = "mixed";
+  std::size_t patterns = 256;
+  bool minimize_patterns = false;
   std::optional<std::string> lib_path;
   double rail_mv = 200.0;
   double disc = 10.0;
@@ -82,6 +97,14 @@ void print_usage(std::ostream& os) {
         "unbounded)\n"
         "  --cache-dir DIR  content-addressed result cache "
         "(docs/caching.md)\n"
+        "  --cache-resident N  cap in-memory cache entries at N (older "
+        "entries spill to disk)\n"
+        "  --coverage       grade rows by measured IDDQ fault coverage "
+        "(docs/coverage.md)\n"
+        "  --fault-model SPEC  mixed | bridges | shorts | "
+        "bridges=N[,shorts=M] (default mixed)\n"
+        "  --patterns N     test patterns per coverage run (default 256)\n"
+        "  --minimize-patterns  greedy set-cover pattern minimization\n"
         "  --lib FILE       cell library file (default: built-in 5V CMOS)\n"
         "  --rail MV        rail perturbation limit r in mV (default 200)\n"
         "  --disc D         required discriminability d (default 10)\n"
@@ -134,6 +157,27 @@ std::optional<ServerOptions> parse(int argc, char** argv) {
       const auto v = need_value("--cache-dir");
       if (!v) return std::nullopt;
       opts.cache_dir = *v;
+    } else if (arg == "--cache-resident") {
+      const auto v = need_value("--cache-resident");
+      if (!v || !str::parse_size(*v, opts.cache_resident) ||
+          opts.cache_resident == 0) {
+        std::cerr << "iddqsyn_server: --cache-resident must be >= 1\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--coverage") {
+      opts.coverage = true;
+    } else if (arg == "--fault-model") {
+      const auto v = need_value("--fault-model");
+      if (!v) return std::nullopt;
+      opts.fault_model = *v;
+    } else if (arg == "--patterns") {
+      const auto v = need_value("--patterns");
+      if (!v || !str::parse_size(*v, opts.patterns) || opts.patterns == 0) {
+        std::cerr << "iddqsyn_server: --patterns must be >= 1\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--minimize-patterns") {
+      opts.minimize_patterns = true;
     } else if (arg == "--lib") {
       const auto v = need_value("--lib");
       if (!v) return std::nullopt;
@@ -159,6 +203,14 @@ std::optional<ServerOptions> parse(int argc, char** argv) {
       }
     } else {
       std::cerr << "iddqsyn_server: unknown option '" << arg << "'\n";
+      return std::nullopt;
+    }
+  }
+  if (opts.coverage) {
+    try {
+      (void)sim::FaultModelSpec::parse(opts.fault_model);
+    } catch (const Error& e) {
+      std::cerr << "iddqsyn_server: " << e.what() << "\n";
       return std::nullopt;
     }
   }
@@ -221,6 +273,10 @@ int main(int argc, char** argv) {
     config.flow.sensor.r_max_mv = opts->rail_mv;
     config.flow.sensor.d_min = opts->disc;
     config.flow.optimizers.es.max_generations = opts->generations;
+    config.flow.coverage.enabled = opts->coverage;
+    config.flow.coverage.fault_model = opts->fault_model;
+    config.flow.coverage.patterns = opts->patterns;
+    config.flow.coverage.minimize = opts->minimize_patterns;
 
     // One ExecutorPool shared by every worker's optimizer runs: total
     // fan-out stays bounded by workers + threads - 1 instead of
@@ -232,6 +288,8 @@ int main(int argc, char** argv) {
     std::optional<core::ResultCache> cache;
     if (opts->cache_dir) {
       cache.emplace(*opts->cache_dir);
+      if (opts->cache_resident > 0)
+        cache->set_max_resident(opts->cache_resident);
       config.flow.cache = &*cache;
       std::cerr << "iddqsyn_server: cache " << *opts->cache_dir << " ("
                 << cache->size() << " entries";
