@@ -75,13 +75,34 @@ struct JobEvent {
   std::string error;
 };
 
+/// Delivery contract of an event class under backpressure
+/// (core/event_writer.hpp). Progress ticks are advisory UI: when a
+/// session's outbound queue is full, the oldest ticks are dropped rather
+/// than blocking a worker. Everything else — lifecycle transitions and
+/// result rows — is part of the result stream and must arrive in order or
+/// the session must be torn down; dropping one would silently corrupt the
+/// byte-identity contract with direct FlowEngine runs.
+enum class EventDeliveryClass {
+  droppable,     // may be coalesced/dropped under backpressure
+  must_deliver,  // delivered in order, or the session disconnects
+};
+
+[[nodiscard]] constexpr EventDeliveryClass delivery_class(
+    JobEvent::Kind kind) noexcept {
+  return kind == JobEvent::Kind::progress ? EventDeliveryClass::droppable
+                                          : EventDeliveryClass::must_deliver;
+}
+
 /// Invoked from the worker thread running the job; events of one job are
 /// ordered, events of different jobs interleave. Must not call back into
 /// JobHandle::wait() (deadlock by design: the worker is the thread being
 /// waited for) — JobHandle::cancel() is safe. Exceptions thrown by a sink
 /// are swallowed by the service: a sink cannot veto or abort a job by
 /// throwing (events come from bare worker threads and from terminal
-/// transitions that must complete); use cancel() to stop a job.
+/// transitions that must complete); use cancel() to stop a job. Sinks
+/// should not block: the protocol session enqueues into a bounded
+/// per-session queue (core/event_writer.hpp) and returns immediately, so
+/// a slow client never stalls the emitting worker.
 using JobEventSink = std::function<void(const JobEvent&)>;
 
 }  // namespace iddq::core

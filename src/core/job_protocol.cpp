@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "support/error.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
@@ -97,26 +98,48 @@ JobProtocolSession::JobProtocolSession(JobService& service,
     : service_(&service), channel_(&channel), options_(options) {}
 
 bool JobProtocolSession::run() {
-  if (options_.emit_hello)
-    send(JsonWriter()
-             .field("event", "hello")
-             .field("protocol", std::uint64_t{1})
-             .field("workers", service_->worker_count())
-             .str());
-
   bool shutdown_requested = false;
-  std::string line;
-  while (channel_->read_line(line)) {
-    if (str::trim(line).empty()) continue;
-    if (handle_line(line)) {
-      shutdown_requested = true;
-      break;
+  {
+    // All channel writes of this session funnel through one writer
+    // thread; emitting workers enqueue and return immediately, so a
+    // client that stops reading can stall only this session.
+    SessionEventWriter writer(
+        *channel_, options_.session_queue, [this] { on_overflow_disconnect(); },
+        JsonWriter()
+            .field("event", "error")
+            .field("message",
+                   "event queue overflow: client not reading; session "
+                   "disconnected")
+            .str());
+    writer_ = &writer;
+
+    if (options_.emit_hello)
+      send(JsonWriter()
+               .field("event", "hello")
+               .field("protocol", std::uint64_t{1})
+               .field("workers", service_->worker_count())
+               .str());
+
+    std::string line;
+    while (!writer.disconnected() && channel_->read_line(line)) {
+      if (str::trim(line).empty()) continue;
+      if (handle_line(line)) {
+        shutdown_requested = true;
+        break;
+      }
     }
+    // EOF and shutdown both drain: every submitted job reaches a terminal
+    // state and has streamed its events before the session ends. (After
+    // an overflow disconnect the jobs were cancelled and their events are
+    // rejected at the queue, so this stays prompt.)
+    drain();
+    if (shutdown_requested && !writer.disconnected())
+      send(JsonWriter().field("event", "bye").str());
+    // Everything queued is on the wire before run() returns — callers
+    // (and tests) may read the channel's other end immediately after.
+    writer.flush();
+    writer_ = nullptr;
   }
-  // EOF and shutdown both drain: every submitted job reaches a terminal
-  // state and has streamed its events before the session ends.
-  drain();
-  if (shutdown_requested) send(JsonWriter().field("event", "bye").str());
   return shutdown_requested;
 }
 
@@ -189,6 +212,31 @@ bool JobProtocolSession::handle_line(const std::string& line) {
 }
 
 void JobProtocolSession::handle_submit(const SubmitRequest& request) {
+  // Per-session quota: one greedy client cannot monopolize the shared
+  // worker pool. Checked before the global admission bound so the error
+  // names the narrower limit. The session reads requests serially, so
+  // check-then-admit cannot race with another submit of this session;
+  // concurrent terminal events only shrink in_flight_.
+  if (options_.max_jobs_per_session > 0) {
+    std::size_t in_flight = 0;
+    {
+      const std::scoped_lock lock(state_mutex_);
+      in_flight = in_flight_;
+    }
+    if (in_flight + request.circuits.size() >
+        options_.max_jobs_per_session) {
+      if (options_.traffic != nullptr)
+        options_.traffic->quota_rejections.fetch_add(
+            1, std::memory_order_relaxed);
+      send_error("submit: session quota exceeded (" +
+                 std::to_string(in_flight) + " in flight + " +
+                 std::to_string(request.circuits.size()) +
+                 " requested > quota " +
+                 std::to_string(options_.max_jobs_per_session) +
+                 "); wait for running jobs to finish");
+      return;
+    }
+  }
   // Admission control: reject the whole sweep up front when its fan-out
   // would overflow the queue bound — a partially admitted sweep would be
   // worse than a clean retry-later signal. The reservation is atomic
@@ -239,6 +287,10 @@ void JobProtocolSession::handle_submit(const SubmitRequest& request) {
         return;
       }
       sweeps_[request.id] = sweep;
+      // Quota accounting mirrors sweep->remaining exactly: charged whole
+      // here, refunded per terminal event (announced shards) or by the
+      // write-off below (shards that never reached the queue).
+      in_flight_ += request.circuits.size();
     }
     accepted = true;
     send(JsonWriter()
@@ -248,6 +300,11 @@ void JobProtocolSession::handle_submit(const SubmitRequest& request) {
              .str());
 
     for (std::size_t shard = 0; shard < request.circuits.size(); ++shard) {
+      // A session the backpressure policy disconnected will never deliver
+      // results: stop admitting shards. The write-off below retires the
+      // ones that never reached the queue (they produced no events).
+      if (writer_ != nullptr && writer_->disconnected())
+        throw iddq::Error("session disconnected (event queue overflow)");
       JobSpec spec;
       spec.circuit = request.circuits[shard];
       spec.methods = request.methods;
@@ -269,9 +326,16 @@ void JobProtocolSession::handle_submit(const SubmitRequest& request) {
         service_->release_reservation(1);
         --reservation.held;
       }
-      const std::scoped_lock lock(state_mutex_);
-      sweep->handles.push_back(handle);
-      handles_.push_back(std::move(handle));
+      {
+        const std::scoped_lock lock(state_mutex_);
+        sweep->handles.push_back(handle);
+        handles_.push_back(handle);
+      }
+      // The overflow hook can fire inside submit() above (this shard's
+      // own `queued` event posts synchronously) — before the handle was
+      // registered, so the hook could not cancel it. Re-check here so no
+      // shard of a disconnected session outlives the policy.
+      if (writer_ != nullptr && writer_->disconnected()) handle.cancel();
     }
     return;
   } catch (const std::exception& e) {
@@ -297,6 +361,7 @@ void JobProtocolSession::handle_submit(const SubmitRequest& request) {
         request.circuits.size() - sweep->announced;
     if (unaccounted > 0 && sweep->remaining >= unaccounted) {
       sweep->remaining -= unaccounted;
+      in_flight_ -= std::min(in_flight_, unaccounted);
       if (sweep->remaining == 0) {
         finished = true;
         ok = sweep->ok;
@@ -323,7 +388,9 @@ void JobProtocolSession::send_sweep_done(const std::string& id,
 
 void JobProtocolSession::on_event(const std::shared_ptr<Sweep>& sweep,
                                   const JobEvent& event) {
-  send(event_json(sweep->id, event));
+  // Progress ticks are the only droppable class; rows and lifecycle
+  // transitions must reach the client in order or not at all.
+  send(event_json(sweep->id, event), delivery_class(event.kind));
   if (event.kind == JobEvent::Kind::queued) {
     // Ground truth for the error accounting in handle_submit: an
     // announced shard is guaranteed a terminal event (JobService::submit
@@ -347,6 +414,7 @@ void JobProtocolSession::on_event(const std::shared_ptr<Sweep>& sweep,
     if (event.kind == JobEvent::Kind::done) ++sweep->ok;
     if (event.kind == JobEvent::Kind::failed) ++sweep->failed;
     if (event.kind == JobEvent::Kind::cancelled) ++sweep->cancelled;
+    if (in_flight_ > 0) --in_flight_;
     if (--sweep->remaining == 0) {
       sweep_finished = true;
       ok = sweep->ok;
@@ -357,7 +425,14 @@ void JobProtocolSession::on_event(const std::shared_ptr<Sweep>& sweep,
   if (sweep_finished) send_sweep_done(sweep->id, ok, failed, cancelled);
 }
 
-void JobProtocolSession::send(const std::string& json) {
+void JobProtocolSession::send(const std::string& json,
+                              EventDeliveryClass cls) {
+  if (writer_ != nullptr) {
+    // Non-blocking: a rejected post means the session is disconnected or
+    // the peer is gone — either way the stream is over.
+    (void)writer_->post(json, cls);
+    return;
+  }
   const std::scoped_lock lock(write_mutex_);
   (void)channel_->write_line(json);  // a gone peer just stops the stream
 }
@@ -382,9 +457,45 @@ void JobProtocolSession::send_stats() {
     w.field("cache_hits", cache->hits())
         .field("cache_misses", cache->misses())
         .field("cache_entries", cache->size())
-        .field("cache_corrupt_lines", cache->corrupt_lines());
+        .field("cache_corrupt_lines", cache->corrupt_lines())
+        .field("cache_resident", cache->resident_size())
+        .field("cache_evictions", cache->evictions())
+        .field("cache_disk_hits", cache->disk_hits());
+  }
+  if (writer_ != nullptr) {
+    const SessionEventWriter::Stats q = writer_->stats();
+    JsonWriter qs;
+    qs.field("depth", q.depth)
+        .field("high_water", q.depth_high_water)
+        .field("enqueued", q.enqueued)
+        .field("dropped_progress", q.dropped_progress)
+        .field("disconnects",
+               options_.traffic != nullptr
+                   ? options_.traffic->overflow_disconnects.load(
+                         std::memory_order_relaxed)
+                   : static_cast<std::uint64_t>(q.disconnected ? 1 : 0));
+    w.field_raw("queue_stats", std::move(qs).str());
   }
   send(std::move(w).str());
+}
+
+void JobProtocolSession::on_overflow_disconnect() {
+  if (options_.traffic != nullptr)
+    options_.traffic->overflow_disconnects.fetch_add(
+        1, std::memory_order_relaxed);
+  // Stop consuming requests: the read loop's blocking read aborts (where
+  // the channel supports it) and its loop condition re-checks
+  // writer_->disconnected() either way.
+  channel_->shutdown_read();
+  // The client will never see this session's remaining results; cancel
+  // its jobs so they stop consuming shared workers. Their terminal events
+  // are rejected at the (disconnected) queue, and drain() stays prompt.
+  std::vector<JobHandle> to_cancel;
+  {
+    const std::scoped_lock lock(state_mutex_);
+    to_cancel = handles_;
+  }
+  for (auto& handle : to_cancel) handle.cancel();
 }
 
 void JobProtocolSession::drain() {

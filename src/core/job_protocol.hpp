@@ -29,6 +29,7 @@
 // before run() returns (shutdown additionally answers "bye").
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -36,10 +37,21 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/event_writer.hpp"
 #include "core/job_service.hpp"
 #include "support/transport.hpp"
 
 namespace iddq::core {
+
+/// Server-wide traffic counters, shared by every session of one server
+/// process (iddqsyn_server wires a single instance into all sessions).
+struct SessionTrafficStats {
+  /// Sessions torn down by the overflow policy (must-deliver event could
+  /// not be queued — the client stopped reading).
+  std::atomic<std::uint64_t> overflow_disconnects{0};
+  /// Submits rejected by the per-session in-flight quota.
+  std::atomic<std::uint64_t> quota_rejections{0};
+};
 
 /// Session knobs; namespace-scope so it can be a default argument.
 struct JobProtocolOptions {
@@ -49,6 +61,21 @@ struct JobProtocolOptions {
   /// whole with a protocol `error` event — nothing of it is queued. 0 =
   /// unbounded.
   std::size_t max_queue = 0;
+  /// Outbound event-queue bound (iddqsyn_server --session-queue): the
+  /// most lines the session's event writer buffers for a slow client
+  /// before the overflow policy (docs/server.md, "Backpressure") fires.
+  /// 0 = unbounded (events are never dropped and a stalled client can
+  /// buffer without limit — the pre-queue semantics, kept as the default
+  /// for embedders and unit tests).
+  std::size_t session_queue = 0;
+  /// Per-session in-flight job quota (iddqsyn_server
+  /// --max-jobs-per-session): a submit whose fan-out would push this
+  /// session's unfinished-job count past the bound is rejected whole
+  /// with a protocol `error`. 0 = unlimited.
+  std::size_t max_jobs_per_session = 0;
+  /// Optional server-wide counters; sessions bump them when the overflow
+  /// policy or the quota fires. May be nullptr (standalone sessions).
+  SessionTrafficStats* traffic = nullptr;
 };
 
 class JobProtocolSession {
@@ -84,20 +111,32 @@ class JobProtocolSession {
   void on_event(const std::shared_ptr<Sweep>& sweep, const JobEvent& event);
   void send_sweep_done(const std::string& id, std::size_t ok,
                        std::size_t failed, std::size_t cancelled);
-  void send(const std::string& json);
+  /// Routes through the session's event writer (non-blocking; overflow
+  /// policy applies per `cls`). Everything except progress ticks is
+  /// must_deliver.
+  void send(const std::string& json,
+            EventDeliveryClass cls = EventDeliveryClass::must_deliver);
   void send_error(const std::string& message);
   void send_stats();
   void drain();
+  /// The writer's overflow hook: aborts the read loop and cancels every
+  /// job this session still owns, so a disconnected session's work stops
+  /// consuming workers.
+  void on_overflow_disconnect();
 
   JobService* service_;
   support::LineChannel* channel_;
   Options options_;
 
-  std::mutex write_mutex_;  // serializes channel writes across threads
-  std::mutex state_mutex_;  // guards sweeps_ / handles_
+  std::mutex write_mutex_;  // serializes the no-writer fallback path
+  std::mutex state_mutex_;  // guards sweeps_ / handles_ / in_flight_
   std::unordered_map<std::string, std::shared_ptr<Sweep>> sweeps_;
   std::vector<JobHandle> handles_;  // every job this session submitted
-  std::uint64_t auto_id_ = 0;       // for submits without an "id"
+  std::size_t in_flight_ = 0;  // submitted shards not yet terminal
+  std::uint64_t auto_id_ = 0;  // for submits without an "id"
+  /// The run()-scoped event writer; null outside run() (send() then
+  /// falls back to a direct locked write).
+  SessionEventWriter* writer_ = nullptr;
 };
 
 }  // namespace iddq::core

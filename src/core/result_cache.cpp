@@ -286,8 +286,25 @@ void ResultCache::set_max_resident(std::size_t max_resident) {
   evict_over_cap();
 }
 
+void ResultCache::set_idle_deadline(std::chrono::milliseconds idle) {
+  const std::scoped_lock lock(mutex_);
+  idle_deadline_ = idle;
+  evict_idle();
+}
+
+void ResultCache::set_clock_for_test(
+    std::function<std::chrono::steady_clock::time_point()> clock) {
+  const std::scoped_lock lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+std::chrono::steady_clock::time_point ResultCache::now() const {
+  return clock_ ? clock_() : std::chrono::steady_clock::now();
+}
+
 // Caller holds mutex_. Moves `key` to the front of the residency list.
 void ResultCache::touch(std::uint64_t key) const {
+  last_touch_[key] = now();
   const auto it = lru_pos_.find(key);
   if (it != lru_pos_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -307,12 +324,34 @@ void ResultCache::evict_over_cap() const {
     lru_.pop_back();
     lru_pos_.erase(victim);
     entries_.erase(victim);
+    last_touch_.erase(victim);
     ++evictions_;
+  }
+}
+
+// Caller holds mutex_. Expires resident records untouched for the idle
+// deadline. lru_ is recency-ordered, so the scan walks from the back and
+// stops at the first survivor; like evict_over_cap, disk offsets keep the
+// victims reloadable and a memory-only cache never evicts.
+void ResultCache::evict_idle() const {
+  if (idle_deadline_.count() <= 0 || file_path_.empty()) return;
+  const auto cutoff = now() - idle_deadline_;
+  while (!lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    const auto stamp = last_touch_.find(victim);
+    if (stamp != last_touch_.end() && stamp->second > cutoff) break;
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    entries_.erase(victim);
+    last_touch_.erase(victim);
+    ++evictions_;
+    ++idle_evictions_;
   }
 }
 
 std::optional<CacheRecord> ResultCache::lookup(std::uint64_t key) const {
   const std::scoped_lock lock(mutex_);
+  evict_idle();
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++hits_;
@@ -348,6 +387,7 @@ std::optional<CacheRecord> ResultCache::lookup(std::uint64_t key) const {
 
 void ResultCache::store(std::uint64_t key, const CacheRecord& record) {
   const std::scoped_lock lock(mutex_);
+  evict_idle();
   entries_[key] = record;
   touch(key);
   if (file_path_.empty()) return;
@@ -387,6 +427,11 @@ std::uint64_t ResultCache::disk_hits() const {
 std::uint64_t ResultCache::evictions() const {
   const std::scoped_lock lock(mutex_);
   return evictions_;
+}
+
+std::uint64_t ResultCache::idle_evictions() const {
+  const std::scoped_lock lock(mutex_);
+  return idle_evictions_;
 }
 
 std::uint64_t ResultCache::misses() const {

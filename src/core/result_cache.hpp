@@ -20,7 +20,9 @@
 // degrades to a miss, never to corruption.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -84,6 +86,24 @@ class ResultCache {
   /// directory holding millions of rows stays at a bounded footprint.
   void set_max_resident(std::size_t max_resident);
 
+  /// Evicts resident entries that have not been touched for `idle`
+  /// (iddqsyn_server --cache-idle-evict): checked opportunistically on
+  /// every lookup/store — no background thread — so a server whose
+  /// traffic moves on from yesterday's circuits sheds their records.
+  /// Disk-backed caches only (the next lookup reloads transparently,
+  /// counted in disk_hits); ignored while no directory is attached, like
+  /// set_max_resident. 0 (the default) disables.
+  void set_idle_deadline(std::chrono::milliseconds idle);
+
+  /// Subset of evictions() performed by the idle deadline (the rest are
+  /// residency-cap evictions).
+  [[nodiscard]] std::uint64_t idle_evictions() const;
+
+  /// Test hook: the clock idle eviction reads (defaults to
+  /// steady_clock::now). Lets tests expire entries without sleeping.
+  void set_clock_for_test(
+      std::function<std::chrono::steady_clock::time_point()> clock);
+
   /// Returns the record stored under `key`, counting a hit or a miss.
   /// An evicted entry is transparently reloaded from the backing file
   /// (still a hit; counted separately in disk_hits).
@@ -123,6 +143,8 @@ class ResultCache {
  private:
   void touch(std::uint64_t key) const;
   void evict_over_cap() const;
+  void evict_idle() const;
+  [[nodiscard]] std::chrono::steady_clock::time_point now() const;
 
   mutable std::mutex mutex_;
   mutable std::unordered_map<std::uint64_t, CacheRecord> entries_;
@@ -135,10 +157,18 @@ class ResultCache {
   mutable std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
       lru_pos_;
   std::size_t max_resident_ = 0;  // 0 = unbounded
-  std::string file_path_;         // empty = in-memory only
+  /// Idle deadline; 0 = disabled. Last-touch stamps ride the LRU order
+  /// (touch order == recency order), so expiry scans from lru_.back().
+  std::chrono::milliseconds idle_deadline_{0};
+  mutable std::unordered_map<std::uint64_t,
+                             std::chrono::steady_clock::time_point>
+      last_touch_;
+  std::function<std::chrono::steady_clock::time_point()> clock_;
+  std::string file_path_;  // empty = in-memory only
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t disk_hits_ = 0;
   mutable std::uint64_t evictions_ = 0;
+  mutable std::uint64_t idle_evictions_ = 0;
   mutable std::uint64_t misses_ = 0;
   std::size_t corrupt_lines_ = 0;
 };

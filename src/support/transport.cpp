@@ -1,10 +1,14 @@
 #include "support/transport.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <charconv>
 #include <csignal>
 #include <cstring>
 
@@ -34,15 +38,53 @@ sockaddr_un make_address(const std::string& path) {
   return addr;
 }
 
+/// getaddrinfo wrapper shared by the TCP listener and connector. Throws
+/// with the endpoint in the message; the caller frees via the guard.
+struct AddrInfoGuard {
+  addrinfo* info = nullptr;
+  ~AddrInfoGuard() {
+    if (info != nullptr) ::freeaddrinfo(info);
+  }
+};
+
+void resolve_tcp(const std::string& host, std::uint16_t port, bool listening,
+                 AddrInfoGuard& out) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  if (listening) hints.ai_flags = AI_PASSIVE;
+  const std::string port_text = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_text.c_str(), &hints, &out.info);
+  if (rc != 0)
+    throw Error("tcp: cannot resolve '" + host + ":" + port_text +
+                "': " + ::gai_strerror(rc));
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    return 0;
+  if (addr.ss_family == AF_INET)
+    return ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
+  if (addr.ss_family == AF_INET6)
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  return 0;
+}
+
 }  // namespace
 
 bool StreamChannel::read_line(std::string& out) {
   ignore_sigpipe_once();
+  if (read_shut_.load()) return false;
   return static_cast<bool>(std::getline(*in_, out));
 }
 
 bool StreamChannel::write_line(std::string_view line) {
   ignore_sigpipe_once();
+  if (write_shut_.load()) return false;
   (*out_) << line << '\n';
   out_->flush();
   return static_cast<bool>(*out_);
@@ -91,6 +133,21 @@ bool FdChannel::write_line(std::string_view line) {
     sent += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+void FdChannel::shutdown_read() {
+  // Unblocks a concurrent blocked ::read (returns 0 = EOF) and makes
+  // every later read see EOF. Errors (already-shut, not-connected) are
+  // fine — the goal state is "reads fail", which they then do.
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RD);
+}
+
+void FdChannel::shutdown_write() {
+  // SHUT_RDWR rather than SHUT_WR: a writer blocked in send() because the
+  // peer stopped draining is only reliably woken by the full shutdown,
+  // and by the time the event writer aborts output the session has
+  // stopped reading this channel anyway (shutdown_read came first).
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
 }
 
 UnixSocketListener::UnixSocketListener(const std::string& path)
@@ -142,6 +199,64 @@ void UnixSocketListener::close() {
   }
 }
 
+TcpSocketListener::TcpSocketListener(const std::string& host,
+                                     std::uint16_t port)
+    : host_(host) {
+  ignore_sigpipe_once();
+  AddrInfoGuard resolved;
+  resolve_tcp(host_, port, /*listening=*/true, resolved);
+  std::string last_error = "no addresses resolved";
+  for (const addrinfo* ai = resolved.info; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) < 0 || ::listen(fd, 64) < 0) {
+      last_error = std::strerror(errno);
+      ::close(fd);
+      continue;
+    }
+    port_ = bound_port(fd);
+    fd_.store(fd);
+    return;
+  }
+  throw Error("tcp: cannot listen on '" + host_ + ":" +
+              std::to_string(port) + "': " + last_error);
+}
+
+TcpSocketListener::~TcpSocketListener() { close(); }
+
+std::unique_ptr<FdChannel> TcpSocketListener::accept() {
+  while (true) {
+    const int fd = fd_.load();
+    if (fd < 0) return nullptr;
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0) {
+      // Event lines are small and latency-sensitive; never batch them.
+      const int one = 1;
+      (void)::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::make_unique<FdChannel>(conn);
+    }
+    if (errno == EINTR) continue;
+    return nullptr;
+  }
+}
+
+void TcpSocketListener::close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+std::string TcpSocketListener::endpoint() const {
+  return host_ + ":" + std::to_string(port_);
+}
+
 std::unique_ptr<FdChannel> connect_unix_socket(const std::string& path) {
   ignore_sigpipe_once();
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -155,6 +270,48 @@ std::unique_ptr<FdChannel> connect_unix_socket(const std::string& path) {
     throw Error("unix socket: cannot connect to '" + path + "': " + reason);
   }
   return std::make_unique<FdChannel>(fd);
+}
+
+std::unique_ptr<FdChannel> connect_tcp(const std::string& host,
+                                       std::uint16_t port) {
+  ignore_sigpipe_once();
+  if (port == 0) throw Error("tcp: cannot connect to port 0");
+  AddrInfoGuard resolved;
+  resolve_tcp(host, port, /*listening=*/false, resolved);
+  std::string last_error = "no addresses resolved";
+  for (const addrinfo* ai = resolved.info; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::make_unique<FdChannel>(fd);
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+  }
+  throw Error("tcp: cannot connect to '" + host + ":" +
+              std::to_string(port) + "': " + last_error);
+}
+
+std::optional<std::pair<std::string, std::uint16_t>> parse_host_port(
+    std::string_view spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == spec.size())
+    return std::nullopt;
+  const std::string_view port_text = spec.substr(colon + 1);
+  unsigned port = 0;
+  const auto [end, ec] = std::from_chars(
+      port_text.data(), port_text.data() + port_text.size(), port);
+  if (ec != std::errc{} || end != port_text.data() + port_text.size() ||
+      port == 0 || port > 65535)
+    return std::nullopt;
+  return std::make_pair(std::string(spec.substr(0, colon)),
+                        static_cast<std::uint16_t>(port));
 }
 
 }  // namespace iddq::support

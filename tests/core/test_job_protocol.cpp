@@ -9,11 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/flow_engine.hpp"
@@ -363,6 +365,167 @@ TEST(JobProtocol, FailedShardIsReportedAndCounted) {
   ASSERT_EQ(sweep_done.size(), 1u);
   EXPECT_EQ(sweep_done[0]->get_u64("ok"), 1u);
   EXPECT_EQ(sweep_done[0]->get_u64("failed"), 1u);
+}
+
+TEST(JobProtocol, SessionQuotaRejectsSubmitWhileInFlightJobsFinish) {
+  const auto library = lib::default_library();
+  const auto service = make_service(library, 2, quick_config());
+  SessionTrafficStats traffic;
+  JobProtocolOptions options;
+  options.max_jobs_per_session = 2;
+  options.traffic = &traffic;
+
+  // The first submit fills the quota; the second is rejected whole while
+  // the first sweep's jobs are still in flight, yet that sweep itself
+  // drains to a full sweep_done.
+  const auto events = run_session(*service,
+                                  R"({"op":"submit","id":"a",)"
+                                  R"("circuits":["ca","cb"],)"
+                                  R"("methods":["standard"]})"
+                                  "\n"
+                                  R"({"op":"submit","id":"b",)"
+                                  R"("circuits":["cc"],"methods":)"
+                                  R"(["standard"]})"
+                                  "\n",
+                                  nullptr, options);
+  // Both submits of the same session are read back to back, so "b"
+  // arrives while "a" is still in flight and must bounce off the quota.
+  // "a" itself is unaffected: it drains to a full sweep_done.
+  const auto errors = events_of_kind(events, "error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0]->get_string("message").find("session quota"),
+            std::string::npos);
+  EXPECT_EQ(traffic.quota_rejections.load(), 1u);
+  ASSERT_EQ(events_of_kind(events, "accepted").size(), 1u);
+  const auto sweep_done = events_of_kind(events, "sweep_done");
+  ASSERT_EQ(sweep_done.size(), 1u);
+  EXPECT_EQ(sweep_done[0]->get_string("id"), "a");
+  EXPECT_EQ(sweep_done[0]->get_u64("ok"), 2u);
+  // The rejected sweep produced no job events at all.
+  for (const auto* row : events_of_kind(events, "row"))
+    EXPECT_NE(row->get_string("id"), "b");
+
+  // The quota is in-flight, not lifetime: a fresh session (same service)
+  // submits 2 more jobs without tripping it.
+  const auto second = run_session(*service,
+                                  R"({"op":"submit","id":"c",)"
+                                  R"("circuits":["ca","cb"],)"
+                                  R"("methods":["standard"]})"
+                                  "\n",
+                                  nullptr, options);
+  EXPECT_EQ(events_of_kind(second, "error").size(), 0u);
+  ASSERT_EQ(events_of_kind(second, "sweep_done").size(), 1u);
+}
+
+TEST(JobProtocol, StatsReportQueueDepthAndCacheResidency) {
+  const auto library = lib::default_library();
+  ResultCache cache;
+  FlowEngineConfig config = quick_config();
+  config.cache = &cache;
+  const auto service = make_service(library, 2, config);
+
+  JobProtocolOptions options;
+  options.session_queue = 1024;
+  const auto events = run_session(*service,
+                                  R"({"op":"submit","id":"s",)"
+                                  R"("circuits":["ca"],"methods":)"
+                                  R"(["standard"]})"
+                                  "\n"
+                                  R"({"op":"stats"})"
+                                  "\n",
+                                  nullptr, options);
+  const auto stats = events_of_kind(events, "stats");
+  ASSERT_EQ(stats.size(), 1u);
+  const json::JsonValue* queue = stats[0]->find("queue_stats");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_GE(queue->get_u64("high_water"), 1u);
+  EXPECT_GE(queue->get_u64("enqueued"), 3u);  // hello, accepted, queued...
+  EXPECT_EQ(queue->get_u64("disconnects"), 0u);
+  // The stats op does not wait for the in-flight sweep, so the residency
+  // snapshot races the job's store(): pin only what is stable — the
+  // fields exist, and a memory-only cache never evicts or reads disk.
+  ASSERT_NE(stats[0]->find("cache_resident"), nullptr);
+  EXPECT_LE(stats[0]->get_u64("cache_resident"), cache.resident_size());
+  EXPECT_EQ(stats[0]->get_u64("cache_evictions"), 0u);
+  EXPECT_EQ(stats[0]->get_u64("cache_disk_hits"), 0u);
+}
+
+/// StreamChannel with an artificial per-write delay: the writer thread
+/// drains slower than workers emit, so a bounded queue actually fills.
+class ThrottledStreamChannel final : public support::LineChannel {
+ public:
+  ThrottledStreamChannel(std::istream& in, std::ostream& out)
+      : inner_(in, out) {}
+  bool read_line(std::string& out) override { return inner_.read_line(out); }
+  bool write_line(std::string_view line) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return inner_.write_line(line);
+  }
+  void shutdown_read() override { inner_.shutdown_read(); }
+  void shutdown_write() override { inner_.shutdown_write(); }
+
+ private:
+  support::StreamChannel inner_;
+};
+
+TEST(JobProtocol, BoundedSessionQueueKeepsRowStreamIdentical) {
+  // The tentpole invariant under a bound that actually engages: progress
+  // ticks may drop, but rows/terminals arrive complete, in order, and
+  // field-identical to the unbounded session's stream. The bound (32)
+  // exceeds the sweep's total must-deliver event count, so the policy can
+  // only ever drop ticks — a disconnect here would be a policy bug.
+  const auto library = lib::default_library();
+  const auto service = make_service(library, 2, quick_config());
+  const std::string submit =
+      R"({"op":"submit","id":"s","circuits":["ca","cb"],)"
+      R"("methods":["evolution","random"],"seed":9})"
+      "\n";
+
+  const auto unbounded = run_session(*service, submit);
+
+  JobProtocolOptions bounded_options;
+  bounded_options.session_queue = 32;
+  std::istringstream in(submit);
+  std::ostringstream out;
+  ThrottledStreamChannel channel(in, out);
+  JobProtocolSession session(*service, channel, bounded_options);
+  (void)session.run();
+  std::vector<json::JsonValue> bounded;
+  {
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+      auto event = json::JsonValue::parse(line);
+      ASSERT_TRUE(event.has_value()) << "unparseable event: " << line;
+      bounded.push_back(std::move(*event));
+    }
+  }
+  EXPECT_EQ(events_of_kind(bounded, "error").size(), 0u);
+
+  const auto want_rows = events_of_kind(unbounded, "row");
+  const auto got_rows = events_of_kind(bounded, "row");
+  ASSERT_EQ(got_rows.size(), want_rows.size());
+  // Rows of one circuit arrive in method order; compare per circuit.
+  std::map<std::string, std::vector<const json::JsonValue*>> want_by, got_by;
+  for (const auto* row : want_rows) want_by[row->get_string("circuit")].push_back(row);
+  for (const auto* row : got_rows) got_by[row->get_string("circuit")].push_back(row);
+  ASSERT_EQ(got_by.size(), want_by.size());
+  for (const auto& [circuit, want] : want_by) {
+    SCOPED_TRACE(circuit);
+    const auto& got = got_by[circuit];
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i]->get_string("method"), want[i]->get_string("method"));
+      expect_bits_eq(got[i]->get_double("cost"),
+                     want[i]->get_double("cost"), "cost");
+      expect_bits_eq(got[i]->get_double("sensor_area"),
+                     want[i]->get_double("sensor_area"), "sensor_area");
+      EXPECT_EQ(got[i]->get_u64("evaluations"),
+                want[i]->get_u64("evaluations"));
+    }
+  }
+  ASSERT_EQ(events_of_kind(bounded, "done").size(), 2u);
+  ASSERT_EQ(events_of_kind(bounded, "sweep_done").size(), 1u);
 }
 
 }  // namespace

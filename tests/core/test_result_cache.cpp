@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <filesystem>
@@ -309,6 +310,130 @@ TEST(ResultCacheResidency, CapAppliesToEntriesLoadedFromDisk) {
   for (std::uint64_t k = 1; k <= 5; ++k)
     EXPECT_TRUE(reloaded.lookup(k).has_value()) << k;
   EXPECT_EQ(reloaded.misses(), 0u);
+}
+
+/// Drives the idle-eviction clock by hand: tests inject this as the
+/// cache's clock so "idle for N ms" is exact, not sleep-based.
+struct FakeClock {
+  std::chrono::steady_clock::time_point now = std::chrono::steady_clock::now();
+  void advance(std::chrono::milliseconds d) { now += d; }
+};
+
+TEST(ResultCacheIdle, UntouchedEntriesLeaveResidencyAfterDeadline) {
+  const std::string dir = fresh_dir("idle");
+  ResultCache cache(dir);
+  FakeClock clock;
+  cache.set_clock_for_test([&] { return clock.now; });
+  cache.set_idle_deadline(std::chrono::milliseconds(100));
+
+  const CacheRecord r1 = sample_record();
+  cache.store(1, r1);
+  cache.store(2, sample_record());
+  EXPECT_EQ(cache.resident_size(), 2u);
+
+  // Not idle yet: nothing evicted on the next touch.
+  clock.advance(std::chrono::milliseconds(50));
+  cache.store(3, sample_record());
+  EXPECT_EQ(cache.resident_size(), 3u);
+  EXPECT_EQ(cache.idle_evictions(), 0u);
+
+  // Keys 1 and 2 are now 150ms idle, key 3 only 100ms... but the
+  // deadline is inclusive-expired at exactly 100ms of idleness, so all
+  // three leave the resident map on the next cache operation.
+  clock.advance(std::chrono::milliseconds(100));
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  expect_record_eq(*hit, r1);
+  // The lookup itself reloaded key 1 from disk (a hit, not a miss) and
+  // re-admitted it; keys 2 and 3 stay evicted until asked for.
+  EXPECT_EQ(cache.disk_hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.idle_evictions(), 3u);
+  EXPECT_EQ(cache.evictions(), 3u);
+  EXPECT_EQ(cache.resident_size(), 1u);
+  EXPECT_EQ(cache.size(), 3u);  // still addressable
+}
+
+TEST(ResultCacheIdle, TouchedEntriesSurviveTheDeadline) {
+  const std::string dir = fresh_dir("idle_touch");
+  ResultCache cache(dir);
+  FakeClock clock;
+  cache.set_clock_for_test([&] { return clock.now; });
+  cache.set_idle_deadline(std::chrono::milliseconds(100));
+
+  cache.store(1, sample_record());
+  cache.store(2, sample_record());
+
+  // Keep key 1 warm with lookups while key 2 goes idle.
+  clock.advance(std::chrono::milliseconds(60));
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  clock.advance(std::chrono::milliseconds(60));
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.idle_evictions(), 1u);  // key 2: 120ms idle
+  EXPECT_EQ(cache.resident_size(), 1u);
+  EXPECT_EQ(cache.disk_hits(), 0u) << "key 1 must still be resident";
+
+  // The evicted entry replays byte-identically from disk.
+  const auto hit = cache.lookup(2);
+  ASSERT_TRUE(hit.has_value());
+  expect_record_eq(*hit, sample_record());
+  EXPECT_EQ(cache.disk_hits(), 1u);
+}
+
+TEST(ResultCacheIdle, MemoryOnlyCacheNeverIdleEvicts) {
+  // Without a backing file the resident record is the only copy, so the
+  // idle deadline must not apply (evicting would lose results).
+  ResultCache cache;
+  FakeClock clock;
+  cache.set_clock_for_test([&] { return clock.now; });
+  cache.set_idle_deadline(std::chrono::milliseconds(1));
+  cache.store(1, sample_record());
+  clock.advance(std::chrono::hours(1));
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.idle_evictions(), 0u);
+  EXPECT_EQ(cache.resident_size(), 1u);
+}
+
+TEST(ResultCacheIdle, ZeroDeadlineDisablesIdleEviction) {
+  const std::string dir = fresh_dir("idle_off");
+  ResultCache cache(dir);
+  FakeClock clock;
+  cache.set_clock_for_test([&] { return clock.now; });
+  // Default: no deadline configured. Entries stay resident forever.
+  cache.store(1, sample_record());
+  clock.advance(std::chrono::hours(24));
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.idle_evictions(), 0u);
+  EXPECT_EQ(cache.disk_hits(), 0u);
+}
+
+TEST(ResultCacheIdle, ComposesWithLruCap) {
+  // Both policies at once: the cap bounds the live set, the deadline
+  // clears it entirely when the client goes quiet.
+  const std::string dir = fresh_dir("idle_lru");
+  ResultCache cache(dir);
+  FakeClock clock;
+  cache.set_clock_for_test([&] { return clock.now; });
+  cache.set_max_resident(2);
+  cache.set_idle_deadline(std::chrono::milliseconds(100));
+
+  for (std::uint64_t k = 1; k <= 3; ++k) cache.store(k, sample_record());
+  EXPECT_EQ(cache.resident_size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);  // LRU spill of key 1
+  EXPECT_EQ(cache.idle_evictions(), 0u);
+
+  clock.advance(std::chrono::milliseconds(200));
+  cache.store(4, sample_record());
+  EXPECT_EQ(cache.idle_evictions(), 2u);  // keys 2 and 3 went idle
+  EXPECT_EQ(cache.resident_size(), 1u);   // only the fresh key 4
+
+  // Every key still replays byte-identically.
+  for (std::uint64_t k = 1; k <= 4; ++k) {
+    SCOPED_TRACE(k);
+    const auto hit = cache.lookup(k);
+    ASSERT_TRUE(hit.has_value());
+    expect_record_eq(*hit, sample_record());
+  }
 }
 
 TEST(CacheKey, ContextFingerprintCoversCoverageOptions) {

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Idle-deadline eviction at the binary level: with --cache-idle-evict 1,
+# entries left untouched for a second leave the in-memory map but stay on
+# disk — the second identical sweep replays them as disk reloads (stats
+# reports cache_disk_hits > 0) with byte-identical rows.
+# Usage: cache_idle_evict.sh <iddqsyn_server>
+set -eu
+
+SERVER="$1"
+WORK="cache_idle_evict_work"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+SUBMIT_A='{"op":"submit","id":"a","circuits":["c17"],"methods":["random","standard"],"seed":42}'
+SUBMIT_B='{"op":"submit","id":"b","circuits":["c17"],"methods":["random","standard"],"seed":42}'
+
+# One pipe session: sweep, go idle past the deadline, sweep again, then
+# ask for stats once the replay sweep has finished.
+{
+  printf '%s\n' "$SUBMIT_A"
+  sleep 2
+  printf '%s\n' "$SUBMIT_B"
+  sleep 2
+  printf '%s\n' '{"op":"stats"}'
+  printf '%s\n' '{"op":"shutdown"}'
+} | timeout 120 "$SERVER" --pipe --workers 1 \
+      --cache-dir "$WORK/cache" --cache-idle-evict 1 \
+      > "$WORK/out.txt" 2> "$WORK/err.txt"
+
+# The idle sweep's entries were reloaded from disk, not recomputed.
+grep -q '"event":"stats"' "$WORK/out.txt"
+grep -q '"cache_disk_hits":[1-9]' "$WORK/out.txt"
+
+# Both sweeps streamed identical rows (modulo the job/sweep ids).
+sed -n 's/.*"event":"row"//p' "$WORK/out.txt" \
+  | sed 's/"job":[0-9]*//; s/"id":"[ab]"//' > "$WORK/rows.txt"
+LINES=$(wc -l < "$WORK/rows.txt")
+[ "$LINES" -eq 4 ] || {
+  echo "cache_idle_evict: want 4 rows (2 sweeps x 2 methods), got $LINES" >&2
+  cat "$WORK/out.txt" >&2
+  exit 1
+}
+head -n 2 "$WORK/rows.txt" > "$WORK/rows_a.txt"
+tail -n 2 "$WORK/rows.txt" > "$WORK/rows_b.txt"
+cmp "$WORK/rows_a.txt" "$WORK/rows_b.txt"
+
+echo "cache_idle_evict: OK"

@@ -1,0 +1,137 @@
+// TCP transport + endpoint-parsing tests: loopback roundtrip over
+// TcpSocketListener/connect_tcp, ephemeral-port readback, clean errors on
+// refused connections, EOF (not a hang) on mid-stream disconnect, and the
+// host:port vs unix-path dispatch rule of parse_host_port.
+#include "support/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace iddq::support {
+namespace {
+
+TEST(Transport, ParseHostPortAcceptsOnlyValidPorts) {
+  const auto hp = parse_host_port("127.0.0.1:8080");
+  ASSERT_TRUE(hp.has_value());
+  EXPECT_EQ(hp->first, "127.0.0.1");
+  EXPECT_EQ(hp->second, 8080);
+
+  const auto named = parse_host_port("sweep-host.example:65535");
+  ASSERT_TRUE(named.has_value());
+  EXPECT_EQ(named->first, "sweep-host.example");
+  EXPECT_EQ(named->second, 65535);
+
+  // Everything below must read as a unix socket path, not TCP.
+  EXPECT_FALSE(parse_host_port("/tmp/iddq.sock").has_value());
+  EXPECT_FALSE(parse_host_port("relative/path.sock").has_value());
+  EXPECT_FALSE(parse_host_port("host:").has_value());
+  EXPECT_FALSE(parse_host_port(":8080").has_value());
+  EXPECT_FALSE(parse_host_port("host:0").has_value());
+  EXPECT_FALSE(parse_host_port("host:65536").has_value());
+  EXPECT_FALSE(parse_host_port("host:12ab").has_value());
+  EXPECT_FALSE(parse_host_port("host:-1").has_value());
+  EXPECT_FALSE(parse_host_port("").has_value());
+  // Only the LAST ':' counts, so a path with a colon elsewhere still
+  // parses as host:port when the suffix is numeric...
+  const auto odd = parse_host_port("a:b:90");
+  ASSERT_TRUE(odd.has_value());
+  EXPECT_EQ(odd->first, "a:b");
+  EXPECT_EQ(odd->second, 90);
+}
+
+TEST(Transport, TcpLoopbackRoundTrip) {
+  // Port 0: the kernel picks; port() must report the real one.
+  TcpSocketListener listener("127.0.0.1", 0);
+  ASSERT_GT(listener.port(), 0);
+  EXPECT_EQ(listener.endpoint(),
+            "127.0.0.1:" + std::to_string(listener.port()));
+
+  std::vector<std::string> server_saw;
+  std::thread server([&] {
+    const auto conn = listener.accept();
+    ASSERT_NE(conn, nullptr);
+    std::string line;
+    while (conn->read_line(line)) {
+      server_saw.push_back(line);
+      ASSERT_TRUE(conn->write_line("echo:" + line));
+    }
+  });
+
+  const auto client = connect_tcp("127.0.0.1", listener.port());
+  std::string reply;
+  for (const std::string msg : {"one", "two", R"({"op":"stats"})"}) {
+    ASSERT_TRUE(client->write_line(msg));
+    ASSERT_TRUE(client->read_line(reply));
+    EXPECT_EQ(reply, "echo:" + msg);
+  }
+  client->shutdown_write();  // EOF to the server; its read loop ends
+  server.join();
+  EXPECT_EQ(server_saw,
+            (std::vector<std::string>{"one", "two", R"({"op":"stats"})"}));
+}
+
+TEST(Transport, ConnectRefusedThrowsCleanly) {
+  // Bind-then-close guarantees a port nothing is listening on.
+  std::uint16_t dead_port = 0;
+  {
+    TcpSocketListener listener("127.0.0.1", 0);
+    dead_port = listener.port();
+  }
+  EXPECT_THROW((void)connect_tcp("127.0.0.1", dead_port), Error);
+  EXPECT_THROW((void)connect_tcp("127.0.0.1", 0), Error);
+}
+
+TEST(Transport, MidStreamDisconnectIsEofNotHang) {
+  TcpSocketListener listener("127.0.0.1", 0);
+  std::thread server([&] {
+    const auto conn = listener.accept();
+    ASSERT_NE(conn, nullptr);
+    ASSERT_TRUE(conn->write_line("partial"));
+    // Drop the connection mid-stream (conn goes out of scope: close).
+  });
+
+  const auto client = connect_tcp("127.0.0.1", listener.port());
+  std::string line;
+  ASSERT_TRUE(client->read_line(line));
+  EXPECT_EQ(line, "partial");
+  // The peer is gone: reads must return false promptly, not block.
+  EXPECT_FALSE(client->read_line(line));
+  server.join();
+}
+
+TEST(Transport, ListenerCloseUnblocksAccept) {
+  TcpSocketListener listener("127.0.0.1", 0);
+  std::thread blocked([&] { EXPECT_EQ(listener.accept(), nullptr); });
+  // Give accept() a moment to actually block, then close under it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  listener.close();
+  blocked.join();
+}
+
+TEST(Transport, ShutdownReadAbortsBlockedPeerRead) {
+  TcpSocketListener listener("127.0.0.1", 0);
+  std::unique_ptr<FdChannel> server_side;
+  std::thread server([&] { server_side = listener.accept(); });
+  const auto client = connect_tcp("127.0.0.1", listener.port());
+  server.join();
+  ASSERT_NE(server_side, nullptr);
+
+  std::thread reader([&] {
+    std::string line;
+    EXPECT_FALSE(client->read_line(line));  // unblocked by shutdown_read
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  client->shutdown_read();
+  reader.join();
+}
+
+}  // namespace
+}  // namespace iddq::support

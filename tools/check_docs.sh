@@ -47,5 +47,23 @@ for flag in --coverage --fault-model --patterns --minimize-patterns \
   fi
 done
 
+# The server's transport + traffic-hardening surface must be documented
+# in docs/server.md (and surfaced in the README flag table).
+server_docs="$(dirname "$0")/../docs/server.md"
+readme="$(dirname "$0")/../README.md"
+[ -f "$server_docs" ] || {
+  echo "check_docs: $server_docs not found"; exit 1; }
+for flag in --listen --submit --session-queue --max-jobs-per-session \
+    --cache-idle-evict; do
+  if ! grep -q -e "$flag" "$server_docs"; then
+    echo "check_docs: '$flag' is undocumented in docs/server.md"
+    status=1
+  fi
+  if ! grep -q -e "$flag" "$readme"; then
+    echo "check_docs: '$flag' is missing from the README flag table"
+    status=1
+  fi
+done
+
 [ "$status" -eq 0 ] && echo "check_docs: docs match the CLI surface"
 exit $status

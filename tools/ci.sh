@@ -39,11 +39,20 @@
 # fault-grade coverage numbers are part of the determinism contract.
 #
 #   $ tools/ci.sh coverage-smoke [build-dir]  default: build-coverage
+#
+# Traffic stress (the CI stress job): start a TCP server, run three
+# concurrent submit clients — one deliberately slow (--stall-ms) so the
+# per-session event queue absorbs a non-draining reader — and diff every
+# client's row stream against the direct-engine rows from the iddqsyn
+# binary at the same seed. A stalled reader must neither corrupt nor
+# block anyone's results.
+#
+#   $ tools/ci.sh stress [build-dir]   default build dir: build-stress
 set -eu
 
 MODE="full"
 case "${1:-}" in
-  smoke|threads|tsan|bench|coverage-smoke)
+  smoke|threads|tsan|bench|coverage-smoke|stress)
     MODE="$1"
     shift
     ;;
@@ -97,6 +106,66 @@ if [ "$MODE" = "coverage-smoke" ]; then
   exit 0
 fi
 
+if [ "$MODE" = "stress" ]; then
+  BUILD_DIR="${1:-build-stress}"
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DIDDQ_WERROR=ON -DIDDQ_BUILD_TESTS=OFF \
+    -DIDDQ_BUILD_BENCHES=OFF -DIDDQ_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target iddqsyn iddqsyn_server
+
+  SWEEP="c1908 c2670"
+  METHODS="evolution,standard"
+  # shellcheck disable=SC2086
+  IDDQ_THREADS=2 "$BUILD_DIR/iddqsyn" --quiet --threads 2 \
+    --method "$METHODS" --seed 42 $SWEEP \
+    | sort > "$BUILD_DIR/stress_golden.txt"
+
+  "$BUILD_DIR/iddqsyn_server" --listen 127.0.0.1:0 --workers 2 \
+    --threads 2 --session-queue 64 2> "$BUILD_DIR/stress_server_err.txt" &
+  SERVER_PID=$!
+  trap 'kill $SERVER_PID 2>/dev/null || true' EXIT INT TERM
+  PORT=""
+  i=0
+  while [ $i -lt 100 ]; do
+    PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+             "$BUILD_DIR/stress_server_err.txt")
+    [ -n "$PORT" ] && break
+    sleep 0.1
+    i=$((i + 1))
+  done
+  [ -n "$PORT" ] || { echo "stress: server never reported its port"; exit 1; }
+
+  # Client 3 submits, then refuses to read for 4s: its events pile up in
+  # the bounded per-session queue while the healthy clients stream.
+  # shellcheck disable=SC2086
+  timeout 600 "$BUILD_DIR/iddqsyn" --submit "127.0.0.1:$PORT" \
+    --method "$METHODS" --seed 42 $SWEEP > "$BUILD_DIR/stress_c1.txt" &
+  C1=$!
+  # shellcheck disable=SC2086
+  timeout 600 "$BUILD_DIR/iddqsyn" --submit "127.0.0.1:$PORT" \
+    --method "$METHODS" --seed 42 $SWEEP > "$BUILD_DIR/stress_c2.txt" &
+  C2=$!
+  # shellcheck disable=SC2086
+  timeout 600 "$BUILD_DIR/iddqsyn" --submit "127.0.0.1:$PORT" \
+    --stall-ms 4000 \
+    --method "$METHODS" --seed 42 $SWEEP > "$BUILD_DIR/stress_c3.txt" &
+  C3=$!
+  wait $C1
+  wait $C2
+  wait $C3
+  kill $SERVER_PID 2>/dev/null || true
+  wait $SERVER_PID 2>/dev/null || true
+  trap - EXIT INT TERM
+
+  # Every client — including the one that stalled — got the exact
+  # direct-engine rows (completion order differs; sort before diffing).
+  for c in 1 2 3; do
+    sort "$BUILD_DIR/stress_c$c.txt" > "$BUILD_DIR/stress_c$c.sorted.txt"
+    diff -u "$BUILD_DIR/stress_golden.txt" "$BUILD_DIR/stress_c$c.sorted.txt"
+  done
+  echo "traffic stress OK"
+  exit 0
+fi
+
 if [ "$MODE" = "tsan" ]; then
   BUILD_DIR="${1:-build-tsan}"
   cmake -B "$BUILD_DIR" -S "$ROOT" -DIDDQ_BUILD_BENCHES=OFF \
@@ -106,12 +175,13 @@ if [ "$MODE" = "tsan" ]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build "$BUILD_DIR" -j "$JOBS" \
     --target iddq_tests_support iddq_tests_core
-  # The parallelism surface: executor pool, the parallel optimizers and
-  # their invariance pins, and the job queue/service/protocol stack.
+  # The parallelism surface: executor pool, TCP transport, the parallel
+  # optimizers and their invariance pins, the job queue/service/protocol
+  # stack, and the per-session event writer + fault-injection layer.
   IDDQ_THREADS=2 "$BUILD_DIR/iddq_tests_support" \
-    --gtest_filter='Executor.*'
+    --gtest_filter='Executor.*:Transport.*'
   IDDQ_THREADS=2 "$BUILD_DIR/iddq_tests_core" \
-    --gtest_filter='ParallelInvariance.*:Evolution.*:Tabu.*:Portfolio.*:JobQueue.*:JobService.*:JobProtocol.*'
+    --gtest_filter='ParallelInvariance.*:Evolution.*:Tabu.*:Portfolio.*:JobQueue.*:JobService.*:JobProtocol.*:EventWriter.*:FaultInjection.*'
   echo "tsan OK"
   exit 0
 fi

@@ -36,10 +36,16 @@
 //                         keys, corrupt lines, hit-age histogram) and exit
 //   --cache-compact DIR   rewrite DIR/results.jsonl keeping only the last
 //                         row per key, and exit
-//   --submit SOCKET       client mode: send the job to an iddqsyn_server
-//                         listening on the unix socket SOCKET instead of
-//                         running locally; rows stream back as they
-//                         complete (docs/server.md)
+//   --submit ENDPOINT     client mode: send the job to an iddqsyn_server
+//                         instead of running locally; ENDPOINT is a unix
+//                         socket path, or host:port for a --listen TCP
+//                         server (anything whose last ':'-suffix is a
+//                         valid port parses as TCP). Rows stream back as
+//                         they complete (docs/server.md)
+//   --stall-ms N          (--submit only) sleep N ms after submitting
+//                         before reading any events — a deliberately slow
+//                         reader for backpressure tests and the stress
+//                         harness (tools/ci.sh stress)
 //   --progress            stream optimizer progress to stderr (live per-
 //                         generation/per-step ticks)
 //   --list-methods        print the registered optimizer names and exit
@@ -58,11 +64,13 @@
 //
 // One summary row is printed per (circuit, method) pair, in argument order.
 // Exit code 0 on success, 1 on bad usage, 2 on flow errors.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/batch_runner.hpp"
@@ -102,6 +110,7 @@ struct CliOptions {
   std::size_t patterns = 256;
   bool minimize_patterns = false;
   std::optional<std::string> submit_socket;
+  std::size_t stall_ms = 0;  // test hook: delay before draining events
   bool progress = false;
   std::optional<std::string> output_path;
   std::optional<std::string> lib_path;
@@ -133,7 +142,10 @@ void print_usage(std::ostream& os) {
         "| bridges=N[,shorts=M] (default mixed)\n"
         "  --patterns N     coverage test patterns (default 256)\n"
         "  --minimize-patterns  greedy set-cover pattern minimization\n"
-        "  --submit SOCKET  send the job to an iddqsyn_server unix socket\n"
+        "  --submit ENDPOINT  send the job to an iddqsyn_server (unix "
+        "socket path, or host:port for TCP)\n"
+        "  --stall-ms N     (--submit only) sleep N ms before reading "
+        "events — a deliberately slow reader for stress tests\n"
         "  --progress       stream optimizer progress to stderr\n"
         "  --list-methods   print registered optimizer names and exit\n"
         "  -o FILE          write the first method's partition to FILE "
@@ -249,6 +261,12 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       const auto v = need_value("--submit");
       if (!v) return std::nullopt;
       opts.submit_socket = *v;
+    } else if (arg == "--stall-ms") {
+      const auto v = need_value("--stall-ms");
+      if (!v || !str::parse_size(*v, opts.stall_ms)) {
+        std::cerr << "iddqsyn: --stall-ms must be an integer >= 0\n";
+        return std::nullopt;
+      }
     } else if (arg == "--progress") {
       opts.progress = true;
     } else if (arg == "-o") {
@@ -309,6 +327,10 @@ std::optional<CliOptions> parse(int argc, char** argv) {
   }
   if (opts.submit_socket && (opts.output_path || opts.retime)) {
     std::cerr << "iddqsyn: -o/--retime do not work in --submit mode\n";
+    return std::nullopt;
+  }
+  if (opts.stall_ms > 0 && !opts.submit_socket) {
+    std::cerr << "iddqsyn: --stall-ms only works in --submit mode\n";
     return std::nullopt;
   }
   if (opts.submit_socket && opts.threads > 0) {
@@ -428,11 +450,15 @@ int run_cache_maintenance(const CliOptions& opts) {
   return 0;
 }
 
-// --submit: client mode against an iddqsyn_server unix socket. Rows
-// stream back (and print) in completion order, interleaved across
-// circuits — that, not argument order, is the point of the server path.
+// --submit: client mode against an iddqsyn_server. Rows stream back (and
+// print) in completion order, interleaved across circuits — that, not
+// argument order, is the point of the server path. The endpoint is a TCP
+// host:port when its last ':'-suffix parses as a port, a unix socket path
+// otherwise; the protocol bytes are identical either way.
 int run_submit_client(const CliOptions& opts) {
-  const auto channel = support::connect_unix_socket(*opts.submit_socket);
+  const auto tcp = support::parse_host_port(*opts.submit_socket);
+  const auto channel = tcp ? support::connect_tcp(tcp->first, tcp->second)
+                           : support::connect_unix_socket(*opts.submit_socket);
 
   json::JsonWriter circuits(json::JsonWriter::Kind::Array);
   for (const auto& c : opts.circuits) circuits.element(std::string_view(c));
@@ -447,6 +473,11 @@ int run_submit_client(const CliOptions& opts) {
       .field("cache", !opts.no_cache);
   if (!channel->write_line(submit.str()))
     throw Error("server connection lost during submit");
+
+  // Deliberately stop draining: events pile up in the server's bounded
+  // per-session queue, exercising its backpressure policy.
+  if (opts.stall_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts.stall_ms));
 
   bool failed = false;
   bool sweep_complete = false;

@@ -15,6 +15,9 @@
 //                     handy under a test harness or an ssh pipe)
 //   --socket PATH     listen on a unix-domain socket instead; one session
 //                     per connection, concurrently
+//   --listen H:P      listen on a TCP host:port instead (port 0 picks an
+//                     ephemeral port, announced on stderr); same protocol
+//                     bytes as the unix-socket path
 //   --workers N       JobService worker threads (default: hardware
 //                     concurrency)
 //   --threads N       intra-job parallelism: one shared ExecutorPool for
@@ -23,6 +26,14 @@
 //                     byte-identical for any N)
 //   --max-queue N     reject submits once N jobs are queued (protocol
 //                     `error` event; default 0 = unbounded)
+//   --session-queue N  per-session outbound event-queue bound (default
+//                     1024; 0 = unbounded). Overflow drops oldest progress
+//                     ticks; a must-deliver overflow disconnects the
+//                     session with a protocol `error` (docs/server.md)
+//   --max-jobs-per-session N  reject submits that would put more than N of
+//                     one session's jobs in flight (default 0 = unlimited)
+//   --cache-idle-evict SEC  evict in-memory cache entries idle for SEC
+//                     seconds (disk entries reload transparently)
 //   --cache-dir DIR   content-addressed result cache (docs/caching.md)
 //   --cache-resident N  cap the cache's in-memory map at N entries; older
 //                     entries spill to disk and reload on demand
@@ -45,13 +56,16 @@
 // --seed S` over the same circuits/methods — per-shard seeds derive from
 // the shard index, never from scheduling.
 #include <atomic>
+#include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <iostream>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/job_protocol.hpp"
@@ -71,9 +85,15 @@ using namespace iddq;
 
 struct ServerOptions {
   std::optional<std::string> socket_path;  // nullopt = pipe mode
-  std::size_t workers = 0;                 // 0 = hardware concurrency
-  std::size_t threads = 0;                 // 0 = IDDQ_THREADS default
-  std::size_t max_queue = 0;               // 0 = unbounded
+  /// TCP endpoint (--listen host:port); wins over --socket when both are
+  /// given last.
+  std::optional<std::pair<std::string, std::uint16_t>> listen;
+  std::size_t workers = 0;       // 0 = hardware concurrency
+  std::size_t threads = 0;       // 0 = IDDQ_THREADS default
+  std::size_t max_queue = 0;     // 0 = unbounded
+  std::size_t session_queue = 1024;      // 0 = unbounded
+  std::size_t max_jobs_per_session = 0;  // 0 = unlimited
+  std::size_t cache_idle_evict_sec = 0;  // 0 = disabled
   std::optional<std::string> cache_dir;
   std::size_t cache_resident = 0;          // 0 = unbounded residency
   bool coverage = false;
@@ -90,11 +110,19 @@ void print_usage(std::ostream& os) {
   os << "usage: iddqsyn_server [options]\n"
         "  --pipe           one session on stdin/stdout (default)\n"
         "  --socket PATH    listen on a unix-domain socket\n"
+        "  --listen H:P     listen on a TCP host:port (port 0 = ephemeral, "
+        "announced on stderr)\n"
         "  --workers N      worker threads (default: hardware concurrency)\n"
         "  --threads N      shared intra-job thread pool (default 1; "
         "results identical for any N)\n"
         "  --max-queue N    reject submits past N queued jobs (default 0 = "
         "unbounded)\n"
+        "  --session-queue N  per-session event-queue bound (default 1024; "
+        "0 = unbounded)\n"
+        "  --max-jobs-per-session N  per-session in-flight job quota "
+        "(default 0 = unlimited)\n"
+        "  --cache-idle-evict SEC  evict in-memory cache entries idle for "
+        "SEC seconds\n"
         "  --cache-dir DIR  content-addressed result cache "
         "(docs/caching.md)\n"
         "  --cache-resident N  cap in-memory cache entries at N (older "
@@ -130,10 +158,27 @@ std::optional<ServerOptions> parse(int argc, char** argv) {
       std::exit(0);
     } else if (arg == "--pipe") {
       opts.socket_path.reset();
+      opts.listen.reset();
     } else if (arg == "--socket") {
       const auto v = need_value("--socket");
       if (!v) return std::nullopt;
       opts.socket_path = *v;
+      opts.listen.reset();
+    } else if (arg == "--listen") {
+      const auto v = need_value("--listen");
+      if (!v) return std::nullopt;
+      // Unlike --submit, --listen is TCP-only, so port 0 (ephemeral) is
+      // meaningful here and parsed by hand.
+      const auto colon = v->rfind(':');
+      std::size_t port = 65536;
+      if (colon == std::string::npos || colon == 0 ||
+          !str::parse_size(v->substr(colon + 1), port) || port > 65535) {
+        std::cerr << "iddqsyn_server: --listen needs host:port (port 0 = "
+                     "ephemeral)\n";
+        return std::nullopt;
+      }
+      opts.listen = {v->substr(0, colon), static_cast<std::uint16_t>(port)};
+      opts.socket_path.reset();
     } else if (arg == "--workers") {
       const auto v = need_value("--workers");
       if (!v || !str::parse_size(*v, opts.workers) || opts.workers == 0) {
@@ -151,6 +196,30 @@ std::optional<ServerOptions> parse(int argc, char** argv) {
       // 0 is the documented default: unbounded.
       if (!v || !str::parse_size(*v, opts.max_queue)) {
         std::cerr << "iddqsyn_server: --max-queue must be an integer >= 0\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--session-queue") {
+      const auto v = need_value("--session-queue");
+      // 0 = unbounded (the pre-queue semantics).
+      if (!v || !str::parse_size(*v, opts.session_queue)) {
+        std::cerr
+            << "iddqsyn_server: --session-queue must be an integer >= 0\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--max-jobs-per-session") {
+      const auto v = need_value("--max-jobs-per-session");
+      // 0 = unlimited.
+      if (!v || !str::parse_size(*v, opts.max_jobs_per_session)) {
+        std::cerr << "iddqsyn_server: --max-jobs-per-session must be an "
+                     "integer >= 0\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--cache-idle-evict") {
+      const auto v = need_value("--cache-idle-evict");
+      if (!v || !str::parse_size(*v, opts.cache_idle_evict_sec) ||
+          opts.cache_idle_evict_sec == 0) {
+        std::cerr << "iddqsyn_server: --cache-idle-evict must be >= 1 "
+                     "second\n";
         return std::nullopt;
       }
     } else if (arg == "--cache-dir") {
@@ -217,10 +286,13 @@ std::optional<ServerOptions> parse(int argc, char** argv) {
   return opts;
 }
 
-int serve_socket(core::JobService& service, const std::string& path,
-                 core::JobProtocolOptions protocol_options) {
-  support::UnixSocketListener listener(path);
-  std::cerr << "iddqsyn_server: listening on " << path << "\n";
+int serve_listener(core::JobService& service,
+                   support::SocketListener& listener,
+                   core::JobProtocolOptions protocol_options) {
+  // Tests (and `--listen host:0` deployments) parse the endpoint — which
+  // carries the kernel-assigned port — from this line.
+  std::cerr << "iddqsyn_server: listening on " << listener.endpoint()
+            << "\n";
 
   std::atomic<bool> shutdown_requested{false};
   std::mutex threads_mutex;
@@ -290,6 +362,9 @@ int main(int argc, char** argv) {
       cache.emplace(*opts->cache_dir);
       if (opts->cache_resident > 0)
         cache->set_max_resident(opts->cache_resident);
+      if (opts->cache_idle_evict_sec > 0)
+        cache->set_idle_deadline(
+            std::chrono::seconds(opts->cache_idle_evict_sec));
       config.flow.cache = &*cache;
       std::cerr << "iddqsyn_server: cache " << *opts->cache_dir << " ("
                 << cache->size() << " entries";
@@ -300,10 +375,21 @@ int main(int argc, char** argv) {
 
     core::JobService service(library, std::move(config));
 
+    core::SessionTrafficStats traffic;
     core::JobProtocolOptions protocol_options;
     protocol_options.max_queue = opts->max_queue;
-    if (opts->socket_path)
-      return serve_socket(service, *opts->socket_path, protocol_options);
+    protocol_options.session_queue = opts->session_queue;
+    protocol_options.max_jobs_per_session = opts->max_jobs_per_session;
+    protocol_options.traffic = &traffic;
+    if (opts->listen) {
+      support::TcpSocketListener listener(opts->listen->first,
+                                          opts->listen->second);
+      return serve_listener(service, listener, protocol_options);
+    }
+    if (opts->socket_path) {
+      support::UnixSocketListener listener(*opts->socket_path);
+      return serve_listener(service, listener, protocol_options);
+    }
 
     support::StreamChannel channel(std::cin, std::cout);
     core::JobProtocolSession session(service, channel, protocol_options);
