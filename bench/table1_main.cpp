@@ -29,11 +29,16 @@
 // fields appear ONLY with the flag, so the committed BENCH_table1.json
 // stays comparable across PRs that don't opt in.
 //
+// `--pareto` (requires --coverage) appends each circuit's non-dominated
+// (relative sensor-area overhead, measured fault coverage) method points —
+// the trade-off view of the same rows (src/report/pareto.hpp).
+//
 // Paper-reported reference values (where the 1995 scan is legible):
 //   #modules:            2 / 3 / 4 / 6 / 5 / 6
 //   std-vs-evo area:     +30.6% / +14.5% / +22.9% / +25.3% / +25.9% / +19.7%
 //   delay overhead:      5.95E-2 vs 5.94E-2 (one circuit legible; both
 //                        methods essentially identical)
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +54,7 @@
 #include "core/result_cache.hpp"
 #include "library/cell_library.hpp"
 #include "netlist/gen/iscas_profiles.hpp"
+#include "report/pareto.hpp"
 #include "report/table.hpp"
 #include "support/executor.hpp"
 #include "support/json.hpp"
@@ -63,9 +69,10 @@ int main(int argc, char** argv) {
   std::size_t threads = support::ExecutorPool::env_threads();
   std::optional<std::string> json_path;
   bool coverage = false;
+  bool pareto = false;
   const auto usage = [] {
     std::cerr << "usage: bench_table1 [cache-dir] [--service N] "
-                 "[--threads N] [--json FILE] [--coverage]\n";
+                 "[--threads N] [--json FILE] [--coverage] [--pareto]\n";
   };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--service") == 0) {
@@ -93,6 +100,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--coverage") == 0) {
       coverage = true;
+    } else if (std::strcmp(argv[i], "--pareto") == 0) {
+      pareto = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::cerr << "bench_table1: unknown option '" << argv[i] << "'\n";
       usage();
@@ -100,6 +109,12 @@ int main(int argc, char** argv) {
     } else {
       cache_dir = argv[i];
     }
+  }
+  if (pareto && !coverage) {
+    std::cerr << "bench_table1: --pareto needs --coverage (its coverage "
+                 "axis comes from fault grading)\n";
+    usage();
+    return 1;
   }
   // Open the JSON sink up front: an unwritable path must fail before the
   // sweep (minutes uncached), not after it.
@@ -235,7 +250,7 @@ int main(int argc, char** argv) {
             ? (standard.sensor_area / evolution.sensor_area - 1.0) * 100.0
             : 0.0;
 
-    if (json_out)
+    if (json_out || pareto)
       json_rows.push_back({std::string(name), gate_count, evolution,
                            standard, overhead_pct, seconds});
     std::vector<std::string> cells{
@@ -265,6 +280,30 @@ int main(int argc, char** argv) {
     ++idx;
   }
   table.print(std::cout);
+
+  if (pareto) {
+    // The method trade-off the table's columns imply, made explicit: per
+    // circuit, which methods are worth their area. Overhead is relative
+    // to the circuit's cheapest graded method, same as iddqsyn --pareto.
+    std::cout << "\npareto frontier (area overhead vs measured coverage):\n";
+    for (const auto& row : json_rows) {
+      std::vector<report::ParetoPoint> points;
+      const double min_area = std::min(row.evolution.sensor_area,
+                                       row.standard.sensor_area);
+      if (min_area <= 0.0) continue;
+      for (const core::MethodResult* r : {&row.evolution, &row.standard})
+        points.push_back({r->method,
+                          (r->sensor_area / min_area - 1.0) * 100.0,
+                          r->fault_coverage_pct});
+      for (const std::size_t i : report::pareto_front(points))
+        std::cout << "  " << row.circuit << ": pareto method="
+                  << points[i].label << " area_ovh="
+                  << report::format_pct(points[i].area_overhead_pct, true)
+                  << " cov="
+                  << report::format_pct(points[i].coverage_pct, true)
+                  << "\n";
+    }
+  }
 
   const double total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

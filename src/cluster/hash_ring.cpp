@@ -1,0 +1,78 @@
+#include "cluster/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+
+namespace iddq::cluster {
+
+HashRing::HashRing(std::size_t replicas)
+    : replicas_(std::max<std::size_t>(1, replicas)) {}
+
+void HashRing::add(const std::string& node) {
+  if (std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end()) return;
+  nodes_.push_back(node);
+  rebuild();
+}
+
+void HashRing::remove(const std::string& node) {
+  const auto it = std::find(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end()) return;
+  nodes_.erase(it);
+  rebuild();
+}
+
+void HashRing::rebuild() {
+  ring_.clear();
+  ring_.reserve(nodes_.size() * replicas_);
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    // Endpoint through the cache's endian-stable FNV-1a, then each
+    // replica index through the splitmix64 expander: the ring layout is
+    // a pure function of the configured node set, and the avalanche step
+    // decorrelates a node's replicas (raw FNV over inputs differing in
+    // one small integer clusters positions into a lattice, which defeats
+    // the point of virtual nodes).
+    Hash64 h;
+    h.mix_string(nodes_[n]);
+    for (std::size_t r = 0; r < replicas_; ++r)
+      ring_.push_back({Rng::mix_seed(h.value(), r), n});
+  }
+  // Position collisions between nodes are broken by node index so the
+  // layout stays deterministic regardless of add() order history.
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.position != b.position ? a.position < b.position
+                                    : a.node < b.node;
+  });
+}
+
+std::size_t HashRing::first_at_or_after(std::uint64_t key) const {
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const Point& p, std::uint64_t k) { return p.position < k; });
+  // Wrap past the highest point back to the ring start.
+  return it == ring_.end() ? 0
+                           : static_cast<std::size_t>(it - ring_.begin());
+}
+
+const std::string& HashRing::owner(std::uint64_t key) const {
+  return nodes_[ring_[first_at_or_after(key)].node];
+}
+
+std::vector<std::string> HashRing::successors(std::uint64_t key) const {
+  std::vector<std::string> order;
+  if (nodes_.empty()) return order;
+  order.reserve(nodes_.size());
+  std::vector<bool> seen(nodes_.size(), false);
+  const std::size_t start = first_at_or_after(key);
+  for (std::size_t i = 0; i < ring_.size() && order.size() < nodes_.size();
+       ++i) {
+    const Point& p = ring_[(start + i) % ring_.size()];
+    if (seen[p.node]) continue;
+    seen[p.node] = true;
+    order.push_back(nodes_[p.node]);
+  }
+  return order;
+}
+
+}  // namespace iddq::cluster

@@ -1,0 +1,67 @@
+// Consistent-hash ring over backend endpoints (docs/cluster.md).
+//
+// Each node is projected onto a 64-bit ring at `replicas` pseudo-random
+// points (virtual nodes): the endpoint through the endian-stable FNV-1a
+// stream (support/hash.hpp), each replica index through the splitmix64
+// expander (Rng::mix_seed) so a node's points are mutually uncorrelated.
+// Both are pure functions of the inputs, so two front-ends configured
+// with the same endpoint list route every key identically, process
+// boundaries and restarts included. A key is owned by the first
+// ring point clockwise from it; successors() walks onward and yields each
+// DISTINCT node once, which is exactly the failover order the cluster
+// client retries dead backends in.
+//
+// Properties the tests pin:
+//  * determinism — owner(key) depends only on the node set and key;
+//  * minimal disruption — removing a node remaps only the keys it owned;
+//  * spread — virtual nodes keep per-node key shares roughly even.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iddq::cluster {
+
+class HashRing {
+ public:
+  /// `replicas` = virtual nodes per endpoint; more replicas smooth the
+  /// key distribution at O(replicas * nodes) ring size.
+  explicit HashRing(std::size_t replicas = 64);
+
+  /// Adds an endpoint (no-op when already present).
+  void add(const std::string& node);
+
+  /// Removes an endpoint; keys it owned move to their ring successors,
+  /// every other key keeps its owner.
+  void remove(const std::string& node);
+
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const std::vector<std::string>& nodes() const noexcept {
+    return nodes_;
+  }
+
+  /// The node owning `key`: the first ring point at or clockwise past it.
+  /// Must not be called on an empty ring.
+  [[nodiscard]] const std::string& owner(std::uint64_t key) const;
+
+  /// All distinct nodes in ring order starting at `key`'s owner — the
+  /// dispatch-then-failover order for a shard. Size == size().
+  [[nodiscard]] std::vector<std::string> successors(std::uint64_t key) const;
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    std::uint32_t node;  // index into nodes_
+  };
+
+  void rebuild();
+  [[nodiscard]] std::size_t first_at_or_after(std::uint64_t key) const;
+
+  std::size_t replicas_;
+  std::vector<std::string> nodes_;
+  std::vector<Point> ring_;  // sorted by (position, node)
+};
+
+}  // namespace iddq::cluster

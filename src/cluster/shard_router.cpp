@@ -1,0 +1,54 @@
+#include "cluster/shard_router.hpp"
+
+#include <utility>
+
+#include "netlist/circuit_loader.hpp"
+#include "netlist/fingerprint.hpp"
+#include "support/hash.hpp"
+
+namespace iddq::cluster {
+
+ShardRouter::ShardRouter(HashRing ring, std::uint64_t library_fp)
+    : ring_(std::move(ring)), library_fp_(library_fp) {}
+
+std::uint64_t ShardRouter::circuit_fingerprint(const std::string& spec) {
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = circuit_fps_.find(spec);
+    if (it != circuit_fps_.end()) return it->second;
+  }
+  // Load outside the lock: .bench files can be slow, and two sessions
+  // racing the same spec just compute the same value twice.
+  std::uint64_t fp = 0;
+  try {
+    fp = netlist::structural_fingerprint(netlist::load_circuit(spec));
+  } catch (...) {
+    // Unloadable here (missing file, unknown builtin): hash the spec text
+    // so routing stays deterministic and the backend decides the
+    // shard's fate. Structurally identical circuits under different paths
+    // lose cache affinity in this fallback — nothing more.
+    Hash64 h;
+    h.mix_string("spec-fallback");
+    h.mix_string(spec);
+    fp = h.value();
+  }
+  const std::scoped_lock lock(mutex_);
+  return circuit_fps_.emplace(spec, fp).first->second;
+}
+
+std::uint64_t ShardRouter::fingerprint(const std::string& circuit,
+                                       std::span<const std::string> methods,
+                                       std::uint64_t shard_seed,
+                                       std::size_t budget) {
+  Hash64 h;
+  h.mix_string("cluster-route-v1");
+  h.mix_u64(circuit_fingerprint(circuit));
+  h.mix_u64(library_fp_);
+  h.mix_u64(shard_seed);
+  h.mix_size(budget);
+  h.mix_size(methods.size());
+  for (const auto& m : methods) h.mix_string(m);
+  return h.value();
+}
+
+}  // namespace iddq::cluster

@@ -1,0 +1,59 @@
+// Run-key shard routing for the cluster front-end (docs/cluster.md).
+//
+// A shard's routing fingerprint approximates the backend's ResultCache key
+// (core/result_cache.hpp): the circuit's structural fingerprint, the
+// library fingerprint, the resolved method list, the shard's explicit base
+// seed, and the evaluation budget. Hashing THAT — rather than, say, the
+// connection or a round-robin counter — is the whole point: a repeated
+// sweep produces the same fingerprints, the ring maps them to the same
+// backends, and the shards land on hosts whose JSONL caches already hold
+// their rows. Config knobs that do not enter the fingerprint (rail, disc,
+// generations) are uniform across a well-configured cluster, so omitting
+// them costs placement nothing.
+//
+// Circuits are fingerprinted by loading them locally (builtins and .bench
+// paths, memoized); a spec the front-end cannot load falls back to hashing
+// the spec string — still deterministic, and the backend, not the router,
+// is the authority on whether the shard can run at all.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/hash_ring.hpp"
+
+namespace iddq::cluster {
+
+class ShardRouter {
+ public:
+  /// `ring` carries the backend endpoints; `library_fp` is the
+  /// lib::library_fingerprint of the library the backends serve.
+  ShardRouter(HashRing ring, std::uint64_t library_fp);
+
+  /// Routing fingerprint of one shard (see file comment for the recipe).
+  [[nodiscard]] std::uint64_t fingerprint(
+      const std::string& circuit, std::span<const std::string> methods,
+      std::uint64_t shard_seed, std::size_t budget);
+
+  /// Failover order for a fingerprint: owner first, then distinct ring
+  /// successors.
+  [[nodiscard]] std::vector<std::string> placement(std::uint64_t fp) const {
+    return ring_.successors(fp);
+  }
+
+  [[nodiscard]] const HashRing& ring() const noexcept { return ring_; }
+
+ private:
+  [[nodiscard]] std::uint64_t circuit_fingerprint(const std::string& spec);
+
+  HashRing ring_;
+  std::uint64_t library_fp_;
+  std::mutex mutex_;  // guards circuit_fps_ (sessions route concurrently)
+  std::map<std::string, std::uint64_t> circuit_fps_;
+};
+
+}  // namespace iddq::cluster

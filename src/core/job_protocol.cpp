@@ -17,6 +17,12 @@ struct SubmitRequest {
   std::vector<std::string> circuits;
   std::vector<std::string> methods{"evolution", "standard"};
   std::uint64_t seed = 1;
+  /// Explicit per-shard base seeds (same length as circuits). When present
+  /// they bypass the mix_seed(seed, shard) derivation entirely — this is
+  /// how a cluster front-end makes seeds travel WITH a shard instead of
+  /// depending on its position inside some backend's submit, so retrying a
+  /// shard on another host cannot change its rows (docs/cluster.md).
+  std::vector<std::uint64_t> seeds;
   std::size_t budget = 0;
   bool use_cache = true;
   int priority = 0;
@@ -155,6 +161,18 @@ bool JobProtocolSession::handle_line(const std::string& line) {
     send_stats();
     return false;
   }
+  if (op == "ping") {
+    // Liveness probe: answered inline by the session thread, no service
+    // interaction — a wedged worker pool still answers, a dead transport
+    // does not, which is exactly the health signal a cluster front-end
+    // needs before routing shards here.
+    send(JsonWriter()
+             .field("event", "pong")
+             .field("protocol", std::uint64_t{1})
+             .field("workers", service_->worker_count())
+             .str());
+    return false;
+  }
   if (op == "cancel") {
     const std::string id = request->get_string("id");
     std::vector<JobHandle> to_cancel;
@@ -186,6 +204,18 @@ bool JobProtocolSession::handle_line(const std::string& line) {
         if (m.is_string()) submit.methods.push_back(m.as_string());
     }
     submit.seed = request->get_u64("seed", 1);
+    if (const json::JsonValue* seeds = request->find("seeds")) {
+      for (const auto& s : seeds->items()) {
+        std::uint64_t value = 0;
+        if (!s.as_u64(value)) {
+          send_error("submit: \"seeds\" must be an array of unsigned "
+                     "64-bit integers",
+                     submit.id);
+          return false;
+        }
+        submit.seeds.push_back(value);
+      }
+    }
     submit.budget = static_cast<std::size_t>(request->get_u64("budget", 0));
     submit.use_cache = request->get_bool("cache", true);
     // Doubles carry the sign ("priority":-2 is valid — background work).
@@ -197,11 +227,19 @@ bool JobProtocolSession::handle_line(const std::string& line) {
                                 std::clamp(priority, -1.0e6, 1.0e6))
                           : 0;
     if (submit.circuits.empty()) {
-      send_error("submit: needs \"circuits\" (or \"circuit\")");
+      send_error("submit: needs \"circuits\" (or \"circuit\")", submit.id);
       return false;
     }
     if (submit.methods.empty()) {
-      send_error("submit: needs at least one method");
+      send_error("submit: needs at least one method", submit.id);
+      return false;
+    }
+    if (!submit.seeds.empty() &&
+        submit.seeds.size() != submit.circuits.size()) {
+      send_error("submit: \"seeds\" must have one entry per circuit (" +
+                     std::to_string(submit.seeds.size()) + " seeds for " +
+                     std::to_string(submit.circuits.size()) + " circuits)",
+                 submit.id);
       return false;
     }
     handle_submit(submit);
@@ -229,11 +267,12 @@ void JobProtocolSession::handle_submit(const SubmitRequest& request) {
         options_.traffic->quota_rejections.fetch_add(
             1, std::memory_order_relaxed);
       send_error("submit: session quota exceeded (" +
-                 std::to_string(in_flight) + " in flight + " +
-                 std::to_string(request.circuits.size()) +
-                 " requested > quota " +
-                 std::to_string(options_.max_jobs_per_session) +
-                 "); wait for running jobs to finish");
+                     std::to_string(in_flight) + " in flight + " +
+                     std::to_string(request.circuits.size()) +
+                     " requested > quota " +
+                     std::to_string(options_.max_jobs_per_session) +
+                     "); wait for running jobs to finish",
+                 request.id);
       return;
     }
   }
@@ -245,16 +284,18 @@ void JobProtocolSession::handle_submit(const SubmitRequest& request) {
   if (options_.max_queue > 0 &&
       request.circuits.size() > options_.max_queue) {
     // Not transient: a sweep wider than the bound can never be admitted.
-    send_error("submit: sweep of " +
-               std::to_string(request.circuits.size()) +
-               " jobs exceeds the queue bound " +
-               std::to_string(options_.max_queue) + "; split the sweep");
+    send_error("submit: sweep of " + std::to_string(request.circuits.size()) +
+                   " jobs exceeds the queue bound " +
+                   std::to_string(options_.max_queue) + "; split the sweep",
+               request.id);
     return;
   }
   if (!service_->try_reserve(request.circuits.size(), options_.max_queue)) {
     send_error("submit: queue full (" +
-               std::to_string(service_->queue_depth()) + " queued, bound " +
-               std::to_string(options_.max_queue) + "); retry later");
+                   std::to_string(service_->queue_depth()) +
+                   " queued, bound " + std::to_string(options_.max_queue) +
+                   "); retry later",
+               request.id);
     return;
   }
   // RAII over the reserved slots: whatever is still held when this frame
@@ -283,7 +324,8 @@ void JobProtocolSession::handle_submit(const SubmitRequest& request) {
       const std::scoped_lock lock(state_mutex_);
       const auto it = sweeps_.find(request.id);
       if (it != sweeps_.end() && it->second->remaining > 0) {
-        send_error("submit: sweep id '" + request.id + "' is still active");
+        send_error("submit: sweep id '" + request.id + "' is still active",
+                   request.id);
         return;
       }
       sweeps_[request.id] = sweep;
@@ -310,7 +352,11 @@ void JobProtocolSession::handle_submit(const SubmitRequest& request) {
       spec.methods = request.methods;
       // Same derivation as BatchRunner: shard-index seeds keep a server
       // sweep byte-identical to `iddqsyn --jobs N` at the same base seed.
-      spec.base_seed = Rng::mix_seed(request.seed, shard);
+      // An explicit "seeds" array overrides it — the seed is then DATA the
+      // submitter shipped with the shard, independent of its index here.
+      spec.base_seed = request.seeds.empty()
+                           ? Rng::mix_seed(request.seed, shard)
+                           : request.seeds[shard];
       spec.max_evaluations = request.budget;
       spec.priority = request.priority;
       spec.cache_policy = request.use_cache ? JobSpec::CachePolicy::use
@@ -370,7 +416,7 @@ void JobProtocolSession::handle_submit(const SubmitRequest& request) {
       }
     }
   }
-  send_error("submit: " + error);
+  send_error("submit: " + error, request.id);
   if (finished) send_sweep_done(request.id, ok, failed, cancelled);
 }
 
@@ -437,11 +483,16 @@ void JobProtocolSession::send(const std::string& json,
   (void)channel_->write_line(json);  // a gone peer just stops the stream
 }
 
-void JobProtocolSession::send_error(const std::string& message) {
-  send(JsonWriter()
-           .field("event", "error")
-           .field("message", message)
-           .str());
+void JobProtocolSession::send_error(const std::string& message,
+                                    const std::string& id) {
+  // Errors caused by a specific submit echo its sweep "id" so a relaying
+  // front-end (tools/iddqsyn_cluster) can attribute the rejection to a
+  // shard and retry it elsewhere; session-level errors carry no id.
+  JsonWriter w;
+  w.field("event", "error");
+  if (!id.empty()) w.field("id", id);
+  w.field("message", message);
+  send(std::move(w).str());
 }
 
 void JobProtocolSession::send_stats() {

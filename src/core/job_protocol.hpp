@@ -15,9 +15,13 @@
 //    "priority":0}
 // "priority" (optional, may be negative) only reorders the queue —
 // higher pops sooner, FIFO within a level, aging prevents starvation;
-// results are independent of it.
+// results are independent of it. An optional "seeds" array (one entry per
+// circuit) replaces the mix_seed derivation with explicit per-shard base
+// seeds — the cluster front-end ships seeds as data so shard placement
+// cannot change rows (docs/cluster.md).
 //   {"op":"cancel","id":"t1"}
 //   {"op":"stats"}
+//   {"op":"ping"}      -> {"event":"pong","protocol":1,"workers":N}
 //   {"op":"shutdown"}
 //
 // Responses/events: hello, accepted, queued, running, progress, row, done,
@@ -116,7 +120,9 @@ class JobProtocolSession {
   /// must_deliver.
   void send(const std::string& json,
             EventDeliveryClass cls = EventDeliveryClass::must_deliver);
-  void send_error(const std::string& message);
+  /// `id` (when non-empty) tags the error with the submit it rejects, so
+  /// relaying clients can attribute it to a sweep.
+  void send_error(const std::string& message, const std::string& id = "");
   void send_stats();
   void drain();
   /// The writer's overflow hook: aborts the read loop and cancels every

@@ -1,0 +1,51 @@
+#include "report/pareto.hpp"
+
+#include <algorithm>
+
+namespace iddq::report {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.area_overhead_pct > b.area_overhead_pct) return false;
+  if (a.coverage_pct < b.coverage_pct) return false;
+  return a.area_overhead_pct < b.area_overhead_pct ||
+         a.coverage_pct > b.coverage_pct;
+}
+
+std::vector<std::size_t> pareto_front(std::span<const ParetoPoint> points) {
+  // Sort index order by (overhead asc, coverage desc, index asc); a sweep
+  // keeping the best coverage seen so far then yields the frontier in one
+  // pass. Strictly-better-coverage test keeps coordinate duplicates (they
+  // do not dominate each other).
+  std::vector<std::size_t> order(points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (points[a].area_overhead_pct != points[b].area_overhead_pct)
+                return points[a].area_overhead_pct <
+                       points[b].area_overhead_pct;
+              if (points[a].coverage_pct != points[b].coverage_pct)
+                return points[a].coverage_pct > points[b].coverage_pct;
+              return a < b;
+            });
+  std::vector<std::size_t> front;
+  bool have_best = false;
+  double best_coverage = 0.0;
+  double best_overhead = 0.0;
+  for (const std::size_t i : order) {
+    const ParetoPoint& p = points[i];
+    // Equal (overhead, coverage) pairs ride along with the first copy;
+    // a point matching only the coverage of a CHEAPER point is dominated.
+    const bool duplicate = have_best &&
+                           p.area_overhead_pct == best_overhead &&
+                           p.coverage_pct == best_coverage;
+    if (!have_best || p.coverage_pct > best_coverage || duplicate) {
+      front.push_back(i);
+      have_best = true;
+      if (!duplicate) best_coverage = p.coverage_pct;
+      best_overhead = p.area_overhead_pct;
+    }
+  }
+  return front;
+}
+
+}  // namespace iddq::report

@@ -1,0 +1,39 @@
+// Pareto frontier over (area overhead, fault coverage) — the trade-off
+// view of the paper's Table 1 numbers.
+//
+// Every partitioning method run with --coverage yields one point per
+// (method, circuit): the relative sensor-area overhead it pays and the
+// measured IDDQ fault coverage it buys. The interesting rows are the
+// non-dominated ones — no other point has both lower overhead and higher
+// coverage. pareto_front() computes exactly that set; the CLI's --pareto
+// mode and bench_table1 --pareto print it (docs/coverage.md).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iddq::report {
+
+/// One candidate design point. `area_overhead_pct` is minimized,
+/// `coverage_pct` is maximized; `label` tags the method (and whatever else
+/// the caller wants to show).
+struct ParetoPoint {
+  std::string label;
+  double area_overhead_pct = 0.0;
+  double coverage_pct = 0.0;
+};
+
+/// True when `a` dominates `b`: no worse on both axes, strictly better on
+/// at least one.
+[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Indices of the non-dominated points, sorted by ascending area overhead
+/// (ties: descending coverage, then input order — deterministic for any
+/// input permutation of distinct points). Duplicate coordinates all
+/// survive: none strictly improves on the other.
+[[nodiscard]] std::vector<std::size_t> pareto_front(
+    std::span<const ParetoPoint> points);
+
+}  // namespace iddq::report

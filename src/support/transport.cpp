@@ -297,6 +297,12 @@ std::unique_ptr<FdChannel> connect_tcp(const std::string& host,
               std::to_string(port) + "': " + last_error);
 }
 
+std::unique_ptr<FdChannel> connect_endpoint(const std::string& spec) {
+  if (const auto tcp = parse_host_port(spec))
+    return connect_tcp(tcp->first, tcp->second);
+  return connect_unix_socket(spec);
+}
+
 std::optional<std::pair<std::string, std::uint16_t>> parse_host_port(
     std::string_view spec) {
   const std::size_t colon = spec.rfind(':');

@@ -179,6 +179,14 @@ class TcpSocketListener final : public SocketListener {
 [[nodiscard]] std::unique_ptr<FdChannel> connect_tcp(const std::string& host,
                                                      std::uint16_t port);
 
+/// Connects to `spec` using the --submit endpoint convention: TCP when the
+/// last ':'-suffix parses as a port (parse_host_port), a unix-domain
+/// socket path otherwise. Throws iddq::Error on failure. This is the one
+/// place client-side endpoint dispatch lives — the CLI's --submit and the
+/// cluster front-end's --backend connections both resolve through it.
+[[nodiscard]] std::unique_ptr<FdChannel> connect_endpoint(
+    const std::string& spec);
+
 /// Splits "host:port" into its parts when — and only when — the text after
 /// the LAST ':' is a valid port number (1..65535). Anything else (a unix
 /// socket path, a trailing colon, port 0) returns nullopt, which is how

@@ -1,0 +1,512 @@
+// End-to-end cluster acceptance (ISSUE PR 8): a ClusterClient fanning
+// sweeps over real in-process TCP backends (TcpSocketListener +
+// JobService + JobProtocolSession — the same stack iddqsyn_server runs)
+// must produce a merged stream byte-identical to one direct server,
+// through healthy runs, connect-refused endpoints, and a backend killed
+// after `accepted` but before its first `row`.
+#include "cluster/cluster_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/shard_router.hpp"
+#include "core/flow_engine.hpp"
+#include "core/job_protocol.hpp"
+#include "core/job_service.hpp"
+#include "library/cell_library.hpp"
+#include "library/fingerprint.hpp"
+#include "netlist/gen/random_dag.hpp"
+#include "support/json.hpp"
+#include "support/transport.hpp"
+
+namespace iddq::cluster {
+namespace {
+
+netlist::Netlist synthetic_circuit(const std::string& spec) {
+  const std::size_t gates = 120 + 40 * (spec.back() - 'a');
+  return netlist::gen::make_random_dag(
+      netlist::gen::DagProfile::basic(spec, gates, 10, 5));
+}
+
+core::FlowEngineConfig quick_config() {
+  core::FlowEngineConfig config;
+  config.optimizers.es.mu = 3;
+  config.optimizers.es.lambda = 3;
+  config.optimizers.es.chi = 1;
+  config.optimizers.es.max_generations = 10;
+  config.optimizers.es.stall_generations = 5;
+  config.optimizers.random_samples = 50;
+  return config;
+}
+
+/// Blocks the victim backend's circuit loader until released, so its
+/// shards are provably accepted-but-rowless when the backend dies.
+class LoaderGate {
+ public:
+  void release() {
+    {
+      const std::scoped_lock lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+/// One in-process backend: the exact iddqsyn_server serving stack — a TCP
+/// listener accepting FdChannel connections, each served by a
+/// JobProtocolSession over a shared JobService.
+class TestBackend {
+ public:
+  TestBackend(const lib::CellLibrary& library,
+              core::JobService::CircuitLoader loader,
+              core::FlowEngineConfig flow = quick_config())
+      : listener_("127.0.0.1", 0), endpoint_(listener_.endpoint()) {
+    core::JobServiceConfig config;
+    config.workers = 2;
+    config.flow = std::move(flow);
+    service_ = std::make_unique<core::JobService>(library, std::move(config));
+    service_->set_circuit_loader(std::move(loader));
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~TestBackend() {
+    kill();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (auto& t : session_threads_)
+      if (t.joinable()) t.join();
+  }
+
+  [[nodiscard]] const std::string& endpoint() const { return endpoint_; }
+  [[nodiscard]] core::JobService& service() { return *service_; }
+
+  /// Simulates the backend dying: stop accepting and sever every live
+  /// session connection (the cluster's readers see EOF).
+  void kill() {
+    listener_.close();
+    const std::scoped_lock lock(mutex_);
+    for (const auto& channel : channels_) {
+      channel->shutdown_read();
+      channel->shutdown_write();
+    }
+  }
+
+ private:
+  void accept_loop() {
+    while (auto accepted = listener_.accept()) {
+      std::shared_ptr<support::FdChannel> channel = std::move(accepted);
+      const std::scoped_lock lock(mutex_);
+      channels_.push_back(channel);
+      session_threads_.emplace_back([this, channel] {
+        core::JobProtocolSession session(*service_, *channel, {});
+        (void)session.run();
+      });
+    }
+  }
+
+  support::TcpSocketListener listener_;
+  std::string endpoint_;
+  std::unique_ptr<core::JobService> service_;
+  std::thread accept_thread_;
+  std::mutex mutex_;  // channels_ and session_threads_ vs kill()
+  std::vector<std::shared_ptr<support::FdChannel>> channels_;
+  std::vector<std::thread> session_threads_;
+};
+
+/// Thread-safe sink for the cluster's merged stream.
+struct Collector {
+  std::mutex mutex;
+  std::vector<std::string> lines;
+  EmitFn fn() {
+    return [this](const std::string& line, bool) {
+      const std::scoped_lock lock(mutex);
+      lines.push_back(line);
+    };
+  }
+  std::vector<std::string> snapshot() {
+    const std::scoped_lock lock(mutex);
+    return lines;
+  }
+};
+
+std::string kind_of(const std::string& line) {
+  const auto event = json::JsonValue::parse(line);
+  return event ? event->get_string("event") : "";
+}
+
+/// The must-deliver subset, sorted — progress ticks are droppable (and
+/// count-nondeterministic), everything else must arrive exactly once.
+/// Sorting removes interleaving: every line is unique per (circuit, kind,
+/// index), so sorted byte-equality IS stream equality up to schedule.
+std::vector<std::string> must_deliver_sorted(
+    const std::vector<std::string>& lines,
+    const std::set<std::string>& kinds) {
+  std::vector<std::string> out;
+  for (const auto& line : lines)
+    if (kinds.contains(kind_of(line))) out.push_back(line);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Runs `input` through a direct pipe-mode session (no cluster) and
+/// returns the raw emitted lines — the golden stream.
+std::vector<std::string> direct_stream(core::JobService& service,
+                                       const std::string& input) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  support::StreamChannel channel(in, out);
+  core::JobProtocolSession session(service, channel, {});
+  (void)session.run();
+  std::vector<std::string> lines;
+  std::istringstream split(out.str());
+  std::string line;
+  while (std::getline(split, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Picks `count` distinct loadable specs whose ring owner is (or is not,
+/// per `owned`) `endpoint`, at the explicit per-shard seed the request
+/// will ship. Deterministic given the endpoints (a local ShardRouter
+/// replays exactly the client's placement).
+std::vector<std::string> specs_owned_by(ShardRouter& router,
+                                        const std::string& endpoint,
+                                        bool owned, std::size_t count,
+                                        const std::vector<std::string>& methods,
+                                        std::uint64_t seed) {
+  std::vector<std::string> out;
+  for (char a = 'a'; a <= 'z' && out.size() < count; ++a) {
+    for (char b = 'a'; b <= 'c' && out.size() < count; ++b) {
+      const std::string spec = std::string("c") + a + b;
+      const auto fp = router.fingerprint(spec, methods, seed, 0);
+      if ((router.placement(fp).front() == endpoint) == owned)
+        out.push_back(spec);
+    }
+  }
+  EXPECT_EQ(out.size(), count) << "candidate pool exhausted";
+  return out;
+}
+
+std::string submit_line(const std::string& id,
+                        const std::vector<std::string>& circuits,
+                        const std::vector<std::string>& methods,
+                        std::uint64_t seed, const std::uint64_t* flat_seed) {
+  json::JsonWriter cs(json::JsonWriter::Kind::Array);
+  for (const auto& c : circuits) cs.element(std::string_view(c));
+  json::JsonWriter ms(json::JsonWriter::Kind::Array);
+  for (const auto& m : methods) ms.element(std::string_view(m));
+  json::JsonWriter w;
+  w.field("op", "submit")
+      .field("id", id)
+      .field_raw("circuits", std::move(cs).str())
+      .field_raw("methods", std::move(ms).str())
+      .field("seed", seed);
+  if (flat_seed != nullptr) {
+    json::JsonWriter seeds(json::JsonWriter::Kind::Array);
+    for (std::size_t i = 0; i < circuits.size(); ++i)
+      seeds.element(*flat_seed);
+    w.field_raw("seeds", std::move(seeds).str());
+  }
+  return std::move(w).str() + "\n";
+}
+
+const std::set<std::string> kAllMustDeliver{
+    "queued", "running", "row", "done", "failed", "cancelled", "sweep_done"};
+const std::set<std::string> kDataOnly{"row", "done", "failed", "cancelled",
+                                      "sweep_done"};
+
+ClusterOptions fast_options() {
+  ClusterOptions options;
+  options.backoff_ms = 5;
+  return options;
+}
+
+TEST(ClusterClient, MergedStreamIsByteIdenticalToDirectServer) {
+  // The determinism contract, healthy path: 6 shards fanned over 3 TCP
+  // backends merge to the byte-exact stream one direct server produces
+  // for the same submit — envelopes, 17-digit doubles, sweep_done.
+  const auto library = lib::default_library();
+  TestBackend b1(library, synthetic_circuit);
+  TestBackend b2(library, synthetic_circuit);
+  TestBackend b3(library, synthetic_circuit);
+  const std::vector<std::string> circuits{"ca", "cb", "cc", "cd", "ce", "cf"};
+  const std::vector<std::string> methods{"evolution", "standard"};
+
+  Collector merged;
+  {
+    ClusterClient client({b1.endpoint(), b2.endpoint(), b3.endpoint()},
+                         lib::library_fingerprint(library), fast_options());
+    SweepRequest request;
+    request.id = "t";
+    request.circuits = circuits;
+    request.methods = methods;
+    request.seed = 42;
+    const auto sweep = client.submit_sweep(request, merged.fn());
+    sweep->wait();
+    EXPECT_TRUE(sweep->finished());
+  }
+
+  // Every shard was submitted exactly once, somewhere on the ring.
+  EXPECT_EQ(b1.service().submitted() + b2.service().submitted() +
+                b3.service().submitted(),
+            circuits.size());
+
+  core::JobServiceConfig config;
+  config.workers = 2;
+  config.flow = quick_config();
+  core::JobService direct(library, std::move(config));
+  direct.set_circuit_loader(synthetic_circuit);
+  const auto golden =
+      direct_stream(direct, submit_line("t", circuits, methods, 42, nullptr));
+
+  EXPECT_EQ(must_deliver_sorted(merged.snapshot(), kAllMustDeliver),
+            must_deliver_sorted(golden, kAllMustDeliver));
+}
+
+TEST(ClusterClient, ConnectRefusedFailsOverToRingSuccessor) {
+  // One configured backend is a dead endpoint (bound once, then closed —
+  // guaranteed connect-refused). Shards it owns must retry onto the live
+  // successor and the data stream must stay byte-identical to direct.
+  const auto library = lib::default_library();
+  std::string dead_endpoint;
+  {
+    support::TcpSocketListener dead("127.0.0.1", 0);
+    dead_endpoint = dead.endpoint();
+  }
+  TestBackend live(library, synthetic_circuit);
+
+  const std::vector<std::string> methods{"evolution", "standard"};
+  const std::uint64_t seed = 5;
+  ClusterOptions options = fast_options();
+  ShardRouter replica(
+      [&] {
+        HashRing ring(options.ring_replicas);
+        ring.add(dead_endpoint);
+        ring.add(live.endpoint());
+        return ring;
+      }(),
+      lib::library_fingerprint(library));
+  auto circuits = specs_owned_by(replica, dead_endpoint, true, 2, methods,
+                                 seed);
+  const auto live_owned =
+      specs_owned_by(replica, dead_endpoint, false, 1, methods, seed);
+  circuits.insert(circuits.end(), live_owned.begin(), live_owned.end());
+
+  Collector merged;
+  {
+    ClusterClient client({dead_endpoint, live.endpoint()},
+                         lib::library_fingerprint(library), options);
+    SweepRequest request;
+    request.id = "r";
+    request.circuits = circuits;
+    request.methods = methods;
+    request.seeds.assign(circuits.size(), seed);
+    const auto sweep = client.submit_sweep(request, merged.fn());
+    sweep->wait();
+  }
+
+  core::JobServiceConfig config;
+  config.workers = 2;
+  config.flow = quick_config();
+  core::JobService direct(library, std::move(config));
+  direct.set_circuit_loader(synthetic_circuit);
+  const auto golden = direct_stream(
+      direct, submit_line("r", circuits, methods, 1, &seed));
+
+  EXPECT_EQ(must_deliver_sorted(merged.snapshot(), kDataOnly),
+            must_deliver_sorted(golden, kDataOnly));
+  for (const auto& line : merged.snapshot())
+    EXPECT_NE(kind_of(line), "failed") << line;
+}
+
+TEST(ClusterClient, BackendKilledAfterAcceptedBeforeFirstRowRecovers) {
+  // The hard failover edge: the victim backend ACCEPTS its shards (its
+  // loader gate guarantees no row was produced), then dies. The shards
+  // must re-run on the ring successor and the final data stream must be
+  // byte-identical to a direct server — no lost rows, no duplicates.
+  const auto library = lib::default_library();
+  LoaderGate gate;
+  TestBackend healthy(library, synthetic_circuit);
+  TestBackend victim(library, [&gate](const std::string& spec) {
+    gate.wait();
+    return synthetic_circuit(spec);
+  });
+
+  const std::vector<std::string> methods{"evolution", "standard"};
+  const std::uint64_t seed = 9;
+  ClusterOptions options = fast_options();
+  ShardRouter replica(
+      [&] {
+        HashRing ring(options.ring_replicas);
+        ring.add(healthy.endpoint());
+        ring.add(victim.endpoint());
+        return ring;
+      }(),
+      lib::library_fingerprint(library));
+  auto circuits = specs_owned_by(replica, victim.endpoint(), true, 2,
+                                 methods, seed);
+  const auto healthy_owned =
+      specs_owned_by(replica, victim.endpoint(), false, 2, methods, seed);
+  circuits.insert(circuits.end(), healthy_owned.begin(), healthy_owned.end());
+
+  Collector merged;
+  {
+    ClusterClient client({healthy.endpoint(), victim.endpoint()},
+                         lib::library_fingerprint(library), options);
+    SweepRequest request;
+    request.id = "k";
+    request.circuits = circuits;
+    request.methods = methods;
+    request.seeds.assign(circuits.size(), seed);
+    const auto sweep = client.submit_sweep(request, merged.fn());
+
+    // Both victim-owned shards were accepted into the victim's service
+    // (they cannot progress past the gated loader, so no row exists yet).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (victim.service().submitted() < 2 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_GE(victim.service().submitted(), 2u)
+        << "victim never received its shards";
+
+    victim.kill();
+    gate.release();  // let the orphaned backend jobs drain harmlessly
+    sweep->wait();
+  }
+
+  core::JobServiceConfig config;
+  config.workers = 2;
+  config.flow = quick_config();
+  core::JobService direct(library, std::move(config));
+  direct.set_circuit_loader(synthetic_circuit);
+  const auto golden = direct_stream(
+      direct, submit_line("k", circuits, methods, 1, &seed));
+
+  // Rows and terminals: complete, deduplicated, byte-identical. (The
+  // queued/running lifecycle of retried shards is intentionally emitted
+  // once, on the first attempt — compare the data events only.)
+  EXPECT_EQ(must_deliver_sorted(merged.snapshot(), kDataOnly),
+            must_deliver_sorted(golden, kDataOnly));
+  for (const auto& line : merged.snapshot())
+    EXPECT_NE(kind_of(line), "failed") << line;
+}
+
+TEST(ClusterClient, ExhaustedRetriesSynthesizeFailedTerminals) {
+  // Nothing listens anywhere: every shard must fail cleanly after
+  // max_attempts ring passes — the sweep still completes with a
+  // sweep_done, never hangs.
+  const auto library = lib::default_library();
+  std::string dead1, dead2;
+  {
+    support::TcpSocketListener a("127.0.0.1", 0);
+    support::TcpSocketListener b("127.0.0.1", 0);
+    dead1 = a.endpoint();
+    dead2 = b.endpoint();
+  }
+  ClusterOptions options;
+  options.max_attempts = 2;
+  options.backoff_ms = 1;
+  ClusterClient client({dead1, dead2}, 0x1234, options);
+
+  Collector merged;
+  SweepRequest request;
+  request.id = "x";
+  request.circuits = {"ca", "cb"};
+  const auto sweep = client.submit_sweep(request, merged.fn());
+  sweep->wait();
+
+  const auto lines = merged.snapshot();
+  std::size_t failed = 0;
+  for (const auto& line : lines) {
+    if (kind_of(line) != "failed") continue;
+    ++failed;
+    EXPECT_NE(line.find("no reachable backend after 2 attempts"),
+              std::string::npos)
+        << line;
+  }
+  EXPECT_EQ(failed, 2u);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back(),
+            R"({"event":"sweep_done","id":"x","ok":0,"failed":2,)"
+            R"("cancelled":0})");
+}
+
+TEST(ClusterClient, StatsAndPingAggregateAcrossBackends) {
+  const auto library = lib::default_library();
+  TestBackend b1(library, synthetic_circuit);
+  TestBackend b2(library, synthetic_circuit);
+  ClusterClient client({b1.endpoint(), b2.endpoint()},
+                       lib::library_fingerprint(library), fast_options());
+
+  Collector merged;
+  SweepRequest request;
+  request.id = "s";
+  request.circuits = {"ca", "cb", "cc"};
+  request.methods = {"standard"};
+  client.submit_sweep(request, merged.fn())->wait();
+
+  const auto stats = json::JsonValue::parse(client.stats_line());
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->get_string("event"), "stats");
+  EXPECT_EQ(stats->get_u64("backends"), 2u);
+  EXPECT_EQ(stats->get_u64("backends_alive"), 2u);
+  EXPECT_EQ(stats->get_u64("workers"), 4u);
+  EXPECT_EQ(stats->get_u64("submitted"), 3u);
+  EXPECT_EQ(stats->get_u64("completed"), 3u);
+  // No backend runs a cache: the aggregate must not invent cache fields.
+  EXPECT_EQ(stats->find("cache_entries"), nullptr);
+  const json::JsonValue* per_backend = stats->find("per_backend");
+  ASSERT_NE(per_backend, nullptr);
+  ASSERT_EQ(per_backend->items().size(), 2u);
+  for (const auto& entry : per_backend->items())
+    EXPECT_TRUE(entry.get_bool("alive", false));
+
+  const auto pong = json::JsonValue::parse(client.ping_line());
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->get_string("event"), "pong");
+  EXPECT_EQ(pong->get_u64("protocol"), 1u);
+  EXPECT_EQ(pong->get_u64("backends"), 2u);
+  EXPECT_EQ(pong->get_u64("backends_alive"), 2u);
+  EXPECT_EQ(pong->get_u64("workers"), 4u);
+}
+
+TEST(ClusterClient, PingReportsDeadBackends) {
+  const auto library = lib::default_library();
+  std::string dead;
+  {
+    support::TcpSocketListener listener("127.0.0.1", 0);
+    dead = listener.endpoint();
+  }
+  TestBackend live(library, synthetic_circuit);
+  ClusterOptions options = fast_options();
+  options.stats_timeout_ms = 500;
+  ClusterClient client({dead, live.endpoint()},
+                       lib::library_fingerprint(library), options);
+  const auto pong = json::JsonValue::parse(client.ping_line());
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->get_u64("backends"), 2u);
+  EXPECT_EQ(pong->get_u64("backends_alive"), 1u);
+  EXPECT_EQ(pong->get_u64("workers"), 2u);
+}
+
+}  // namespace
+}  // namespace iddq::cluster

@@ -1,0 +1,141 @@
+// The three ring properties the cluster relies on (hash_ring.hpp):
+// determinism across instances, minimal disruption on node removal, and
+// rough spread across virtual nodes. successors() is additionally the
+// failover order, so its distinctness and stability are pinned here.
+#include "cluster/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace iddq::cluster {
+namespace {
+
+std::uint64_t key_of(std::uint64_t i) {
+  Hash64 h;
+  h.mix_string("ring-test-key");
+  h.mix_u64(i);
+  return h.value();
+}
+
+TEST(HashRing, OwnerIsIndependentOfInsertionOrder) {
+  // Two front-ends configured with the same --backend list in different
+  // orders must route identically — placement is a pure function of the
+  // node SET and the key.
+  HashRing forward(64), reverse(64);
+  const std::vector<std::string> nodes{"hosta:9000", "hostb:9000",
+                                       "hostc:9000", "hostd:9000"};
+  for (const auto& n : nodes) forward.add(n);
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) reverse.add(*it);
+
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t key = key_of(i);
+    EXPECT_EQ(forward.owner(key), reverse.owner(key)) << "key " << i;
+    EXPECT_EQ(forward.successors(key), reverse.successors(key));
+  }
+}
+
+TEST(HashRing, DuplicateAddIsANoOp) {
+  HashRing ring(16);
+  ring.add("a");
+  ring.add("b");
+  ring.add("a");
+  EXPECT_EQ(ring.size(), 2u);
+  HashRing plain(16);
+  plain.add("a");
+  plain.add("b");
+  for (std::uint64_t i = 0; i < 200; ++i)
+    EXPECT_EQ(ring.owner(key_of(i)), plain.owner(key_of(i)));
+}
+
+TEST(HashRing, RemovalRemapsOnlyTheRemovedNodesKeys) {
+  // The consistent-hashing property itself: killing hostc moves hostc's
+  // keys to their successors and NOBODY else's — warm caches on the
+  // surviving backends stay warm.
+  HashRing ring(64);
+  for (const char* n : {"hosta:9000", "hostb:9000", "hostc:9000"})
+    ring.add(n);
+
+  std::map<std::uint64_t, std::string> before;
+  for (std::uint64_t i = 0; i < 2000; ++i)
+    before[key_of(i)] = ring.owner(key_of(i));
+
+  ring.remove("hostc:9000");
+  std::size_t moved = 0;
+  for (const auto& [key, owner] : before) {
+    const std::string& now = ring.owner(key);
+    if (owner == "hostc:9000") {
+      EXPECT_NE(now, "hostc:9000");
+      ++moved;
+    } else {
+      EXPECT_EQ(now, owner) << "survivor key remapped";
+    }
+  }
+  EXPECT_GT(moved, 0u);  // hostc owned a nonempty share
+}
+
+TEST(HashRing, MoreVirtualNodesSmoothTheSpread) {
+  // The replicas knob's contract: raising virtual nodes tightens the
+  // worst-case per-backend share toward fair. Single-point arcs (one
+  // replica) can be wildly lopsided; at 512 replicas every backend's
+  // share of 9000 keys sits inside a generous [1/6, 1/2] band.
+  const std::vector<std::string> nodes{"hosta:9000", "hostb:9000",
+                                       "hostc:9000"};
+  const std::size_t keys = 9000;
+  auto worst_share = [&](std::size_t replicas) {
+    HashRing ring(replicas);
+    for (const auto& n : nodes) ring.add(n);
+    std::map<std::string, std::size_t> share;
+    for (std::uint64_t i = 0; i < keys; ++i) ++share[ring.owner(key_of(i))];
+    std::size_t worst = 0;
+    for (const auto& n : nodes) worst = std::max(worst, share[n]);
+    for (const auto& n : nodes)
+      EXPECT_GT(share[n], 0u) << n << " owns nothing at " << replicas;
+    return worst;
+  };
+  const std::size_t coarse = worst_share(1);
+  const std::size_t fine = worst_share(512);
+  EXPECT_LE(fine, coarse);
+  EXPECT_LT(fine, keys / 2) << "a backend owns over half the keys";
+  EXPECT_GT(fine, keys / 6) << "suspiciously perfect spread";
+}
+
+TEST(HashRing, SuccessorsListEveryNodeOnceOwnerFirst) {
+  HashRing ring(32);
+  for (const char* n : {"a:1", "b:1", "c:1", "d:1"}) ring.add(n);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const std::uint64_t key = key_of(i);
+    const auto order = ring.successors(key);
+    ASSERT_EQ(order.size(), ring.size());
+    EXPECT_EQ(order.front(), ring.owner(key));
+    const std::set<std::string> distinct(order.begin(), order.end());
+    EXPECT_EQ(distinct.size(), order.size()) << "duplicate failover target";
+  }
+}
+
+TEST(HashRing, SuccessorChainSurvivesRemovals) {
+  // Failover consistency: the ring the client retries on (minus the dead
+  // node) ranks the remaining candidates in the same relative order the
+  // full ring did — the "next" backend after a death is the one the
+  // original successors() already named.
+  HashRing full(64), reduced(64);
+  for (const char* n : {"a:1", "b:1", "c:1"}) full.add(n);
+  for (const char* n : {"a:1", "b:1"}) reduced.add(n);
+
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const std::uint64_t key = key_of(i);
+    auto want = full.successors(key);
+    want.erase(std::remove(want.begin(), want.end(), "c:1"), want.end());
+    EXPECT_EQ(reduced.successors(key), want) << "key " << i;
+  }
+}
+
+}  // namespace
+}  // namespace iddq::cluster

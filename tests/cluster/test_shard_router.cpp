@@ -1,0 +1,76 @@
+// ShardRouter determinism — the warm-cache affinity story only works if
+// two independent front-ends (and the same front-end after a restart)
+// compute the same fingerprint, hence the same placement, for the same
+// shard (shard_router.hpp).
+#include "cluster/shard_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iddq::cluster {
+namespace {
+
+HashRing three_backends() {
+  HashRing ring(64);
+  for (const char* n : {"hosta:9000", "hostb:9000", "hostc:9000"})
+    ring.add(n);
+  return ring;
+}
+
+const std::vector<std::string> kMethods{"evolution", "standard"};
+
+TEST(ShardRouter, FingerprintIsStableAcrossInstances) {
+  ShardRouter a(three_backends(), 0x1234);
+  ShardRouter b(three_backends(), 0x1234);
+  for (const char* circuit : {"c17", "c432", "not_a_real_circuit"}) {
+    const auto fa = a.fingerprint(circuit, kMethods, 42, 0);
+    EXPECT_EQ(fa, b.fingerprint(circuit, kMethods, 42, 0)) << circuit;
+    // Memoized second lookup must agree with the first.
+    EXPECT_EQ(fa, a.fingerprint(circuit, kMethods, 42, 0)) << circuit;
+    EXPECT_EQ(a.placement(fa), b.placement(fa));
+  }
+}
+
+TEST(ShardRouter, FingerprintSeparatesTheRunKeyAxes) {
+  // Every axis of the run key must move the fingerprint, or repeat
+  // sweeps with different parameters would collide onto one backend's
+  // cache for no benefit.
+  ShardRouter router(three_backends(), 0x1234);
+  const auto base = router.fingerprint("c17", kMethods, 42, 0);
+  EXPECT_NE(base, router.fingerprint("c432", kMethods, 42, 0));
+  EXPECT_NE(base, router.fingerprint("c17", kMethods, 43, 0));
+  EXPECT_NE(base, router.fingerprint("c17", kMethods, 42, 500));
+  const std::vector<std::string> other{"random"};
+  EXPECT_NE(base, router.fingerprint("c17", other, 42, 0));
+  ShardRouter other_lib(three_backends(), 0x9999);
+  EXPECT_NE(base, other_lib.fingerprint("c17", kMethods, 42, 0));
+}
+
+TEST(ShardRouter, UnloadableSpecFallsBackDeterministically) {
+  // A spec the front-end cannot load locally (synthetic test circuits,
+  // backend-only .bench paths) still routes — by spec-string hash — and
+  // does so identically on every router instance.
+  ShardRouter a(three_backends(), 7);
+  ShardRouter b(three_backends(), 7);
+  const auto fa = a.fingerprint("zz_no_such_circuit", kMethods, 1, 0);
+  EXPECT_EQ(fa, b.fingerprint("zz_no_such_circuit", kMethods, 1, 0));
+  EXPECT_NE(fa, a.fingerprint("zz_other_circuit", kMethods, 1, 0));
+  const auto placement = a.placement(fa);
+  ASSERT_EQ(placement.size(), 3u);
+  EXPECT_EQ(placement, b.placement(fa));
+}
+
+TEST(ShardRouter, PlacementIsTheRingFailoverOrder) {
+  ShardRouter router(three_backends(), 0xABCD);
+  const auto fp = router.fingerprint("c17", kMethods, 42, 0);
+  const auto placement = router.placement(fp);
+  ASSERT_EQ(placement.size(), 3u);
+  EXPECT_EQ(placement.front(), router.ring().owner(fp));
+  EXPECT_EQ(placement, router.ring().successors(fp));
+}
+
+}  // namespace
+}  // namespace iddq::cluster

@@ -313,10 +313,13 @@ TEST(JobProtocol, MaxQueueBoundRejectsSubmitWithErrorEvent) {
   ASSERT_EQ(errors.size(), 1u);
   EXPECT_NE(errors[0]->get_string("message").find("queue full"),
             std::string::npos);
-  // The rejected sweep produced no job events at all.
+  // The rejection error is id-tagged (cluster front-ends attribute it to
+  // the shard); the rejected sweep produced no JOB events at all.
+  EXPECT_EQ(errors[0]->get_string("id"), "late");
   for (const auto& e : events)
-    EXPECT_NE(e.get_string("id"), "late")
-        << "rejected sweep leaked event " << e.get_string("event");
+    if (e.get_string("event") != "error")
+      EXPECT_NE(e.get_string("id"), "late")
+          << "rejected sweep leaked event " << e.get_string("event");
   EXPECT_EQ(service->submitted(), 3u);
 }
 
@@ -526,6 +529,89 @@ TEST(JobProtocol, BoundedSessionQueueKeepsRowStreamIdentical) {
   }
   ASSERT_EQ(events_of_kind(bounded, "done").size(), 2u);
   ASSERT_EQ(events_of_kind(bounded, "sweep_done").size(), 1u);
+}
+
+TEST(JobProtocol, PingAnswersPongInline) {
+  // The cluster front-end's liveness probe: answered by the session
+  // thread without touching the worker pool, with the protocol revision
+  // and worker count a router needs.
+  const auto library = lib::default_library();
+  const auto service = make_service(library, 3, quick_config());
+  const auto events = run_session(*service,
+                                  R"({"op":"ping"})"
+                                  "\n");
+  const auto pongs = events_of_kind(events, "pong");
+  ASSERT_EQ(pongs.size(), 1u);
+  EXPECT_EQ(pongs[0]->get_u64("protocol"), 1u);
+  EXPECT_EQ(pongs[0]->get_u64("workers"), 3u);
+  EXPECT_EQ(events_of_kind(events, "error").size(), 0u);
+}
+
+TEST(JobProtocol, ExplicitSeedsOverrideTheShardDerivation) {
+  // The cluster determinism carrier: a submit shipping "seeds" runs each
+  // shard at exactly that base seed — NOT mix_seed(seed, shard) — so a
+  // front-end can re-run a shard anywhere and reproduce its rows. Rows
+  // are pinned bit-exact against direct engine runs at the shipped seeds.
+  const auto library = lib::default_library();
+  const auto config = quick_config();
+  const auto service = make_service(library, 2, config);
+
+  const std::vector<std::string> circuits{"ca", "cb"};
+  const std::vector<std::string> methods{"evolution", "standard"};
+  const std::vector<std::uint64_t> seeds{977, 431};
+
+  const auto events = run_session(
+      *service,
+      R"({"op":"submit","id":"e","circuits":["ca","cb"],)"
+      R"("methods":["evolution","standard"],"seed":1,"seeds":[977,431]})"
+      "\n");
+  ASSERT_EQ(events_of_kind(events, "sweep_done").size(), 1u);
+
+  std::map<std::string, std::vector<const json::JsonValue*>> rows;
+  for (const auto* row : events_of_kind(events, "row"))
+    rows[row->get_string("circuit")].push_back(row);
+  ASSERT_EQ(rows.size(), circuits.size());
+  for (std::size_t shard = 0; shard < circuits.size(); ++shard) {
+    SCOPED_TRACE(circuits[shard]);
+    const netlist::Netlist nl = synthetic_circuit(circuits[shard]);
+    FlowEngine engine(nl, library, config);
+    const auto expected = engine.run_methods(methods, seeds[shard]);
+    const auto& got = rows[circuits[shard]];
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t m = 0; m < expected.size(); ++m)
+      expect_row_matches(*got[m], expected[m]);
+  }
+}
+
+TEST(JobProtocol, SeedsLengthMismatchRejectsTheSubmitWhole) {
+  const auto library = lib::default_library();
+  const auto service = make_service(library, 1, quick_config());
+  const auto events = run_session(
+      *service,
+      R"({"op":"submit","id":"m","circuits":["ca","cb"],)"
+      R"("methods":["standard"],"seeds":[1,2,3]})"
+      "\n");
+  const auto errors = events_of_kind(events, "error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0]->get_string("message").find("one entry per circuit"),
+            std::string::npos);
+  EXPECT_EQ(events_of_kind(events, "accepted").size(), 0u);
+  EXPECT_EQ(service->submitted(), 0u);
+}
+
+TEST(JobProtocol, MalformedSeedsEntryRejectsTheSubmit) {
+  const auto library = lib::default_library();
+  const auto service = make_service(library, 1, quick_config());
+  const auto events = run_session(
+      *service,
+      R"({"op":"submit","id":"m","circuits":["ca"],)"
+      R"("methods":["standard"],"seeds":["not-a-seed"]})"
+      "\n");
+  const auto errors = events_of_kind(events, "error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0]->get_string("message").find("unsigned"),
+            std::string::npos);
+  EXPECT_EQ(service->submitted(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,80 @@
+// Pareto frontier over (area overhead down, coverage up) — the --pareto
+// satellite's kernel (report/pareto.hpp).
+#include "report/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace iddq::report {
+namespace {
+
+ParetoPoint pt(const char* label, double overhead, double coverage) {
+  return ParetoPoint{label, overhead, coverage};
+}
+
+TEST(Pareto, DominatesRequiresStrictImprovementSomewhere) {
+  EXPECT_TRUE(dominates(pt("a", 1.0, 95.0), pt("b", 2.0, 90.0)));
+  EXPECT_TRUE(dominates(pt("a", 1.0, 95.0), pt("b", 1.0, 90.0)));
+  EXPECT_TRUE(dominates(pt("a", 1.0, 95.0), pt("b", 2.0, 95.0)));
+  // Equal points do not dominate each other; neither do trade-offs.
+  EXPECT_FALSE(dominates(pt("a", 1.0, 95.0), pt("b", 1.0, 95.0)));
+  EXPECT_FALSE(dominates(pt("a", 1.0, 90.0), pt("b", 2.0, 95.0)));
+  EXPECT_FALSE(dominates(pt("b", 2.0, 95.0), pt("a", 1.0, 90.0)));
+}
+
+TEST(Pareto, FrontKeepsOnlyNonDominatedSortedByOverhead) {
+  const std::vector<ParetoPoint> points{
+      pt("cheap", 0.0, 90.0),     // frontier: cheapest
+      pt("mid", 1.0, 95.0),       // frontier: pays 1% for +5 coverage
+      pt("dominated", 2.0, 94.0), // mid beats it on both axes
+      pt("best", 3.0, 99.0),      // frontier: highest coverage
+  };
+  const auto front = pareto_front(points);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(Pareto, EqualCoverageAtHigherCostIsDominated) {
+  const std::vector<ParetoPoint> points{pt("a", 1.0, 95.0),
+                                        pt("b", 2.0, 95.0)};
+  EXPECT_EQ(pareto_front(points), (std::vector<std::size_t>{0}));
+}
+
+TEST(Pareto, CoordinateDuplicatesAllSurvive) {
+  // Two methods landing on the same (overhead, coverage) point are both
+  // worth reporting — neither strictly improves on the other.
+  const std::vector<ParetoPoint> points{pt("a", 1.0, 95.0),
+                                        pt("twin", 1.0, 95.0),
+                                        pt("worse", 2.0, 90.0)};
+  EXPECT_EQ(pareto_front(points), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Pareto, FrontIsPermutationInvariantForDistinctPoints) {
+  std::vector<ParetoPoint> points{
+      pt("p0", 3.0, 99.0), pt("p1", 0.0, 90.0), pt("p2", 1.0, 95.0),
+      pt("p3", 2.0, 94.0), pt("p4", 0.5, 80.0),
+  };
+  std::vector<std::string> want;
+  {
+    const auto front = pareto_front(points);
+    for (const auto i : front) want.push_back(points[i].label);
+  }
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.label < b.label;
+            });
+  std::vector<std::string> got;
+  for (const auto i : pareto_front(points)) got.push_back(points[i].label);
+  EXPECT_EQ(got, want);
+}
+
+TEST(Pareto, NegativeAndEmptyInputsAreHandled) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  // A single point — even with "odd" coordinates — is its own frontier.
+  const std::vector<ParetoPoint> one{pt("only", -1.0, -5.0)};
+  EXPECT_EQ(pareto_front(one), (std::vector<std::size_t>{0}));
+}
+
+}  // namespace
+}  // namespace iddq::report

@@ -3,6 +3,7 @@
 
     tools/bench_history.py [--max-commits N] [--csv FILE] [--json FILE]
                            [--rev-range RANGE] [--build-root DIR]
+                           [--plot FILE.svg] [--from-json FILE]
 
 For each commit on the current branch (newest first, bounded by
 --max-commits, default 8), the script:
@@ -21,6 +22,11 @@ must tolerate the repo's own past. Wall clocks from one host ARE
 comparable across commits (same machine, same flags), which is the point:
 this is the perf-trajectory companion to tools/bench_compare.py's
 row-identity gate.
+
+`--plot FILE.svg` renders the per-commit total_seconds trajectory as a
+standalone SVG line chart (stdlib only — no matplotlib in the container).
+`--from-json FILE` skips the history walk and plots/re-emits records
+collected by an earlier run, so plotting needs no rebuilds.
 
 Exit code 0 when at least one commit produced a timing; 1 otherwise;
 2 on usage errors.
@@ -114,6 +120,87 @@ def bench_one(repo, sha, build_root, jobs):
         shutil.rmtree(build_dir, ignore_errors=True)
 
 
+def plot_svg(records, path):
+    """Writes a standalone SVG line chart of total_seconds per commit.
+
+    Records come newest-first (rev-list order); the chart plots
+    oldest-left. Skipped commits are left out of the line but keep their
+    slot on the x axis, so gaps in history stay visible.
+    """
+    width, height = 800, 360
+    margin_left, margin_right, margin_top, margin_bottom = 70, 20, 40, 70
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    ordered = list(reversed(records))
+    timed = [r for r in ordered if r.get("status") == "ok"
+             and isinstance(r.get("total_seconds"), (int, float))]
+    y_max = max((r["total_seconds"] for r in timed), default=1.0)
+    y_max = y_max * 1.1 or 1.0  # headroom; avoid a zero-height scale
+    slots = max(len(ordered), 1)
+
+    def x_of(index):
+        if slots == 1:
+            return margin_left + plot_w / 2.0
+        return margin_left + plot_w * index / (slots - 1)
+
+    def y_of(seconds):
+        return margin_top + plot_h * (1.0 - seconds / y_max)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        '<style>text{font:12px sans-serif;fill:#333}'
+        '.axis{stroke:#888;stroke-width:1}'
+        '.grid{stroke:#ddd;stroke-width:1}'
+        '.line{stroke:#1f77b4;stroke-width:2;fill:none}'
+        '.pt{fill:#1f77b4}</style>',
+        f'<text x="{width / 2:.0f}" y="20" text-anchor="middle">'
+        'bench_table1 total_seconds per commit</text>',
+        f'<line class="axis" x1="{margin_left}" y1="{margin_top}" '
+        f'x2="{margin_left}" y2="{margin_top + plot_h}"/>',
+        f'<line class="axis" x1="{margin_left}" y1="{margin_top + plot_h}" '
+        f'x2="{margin_left + plot_w}" y2="{margin_top + plot_h}"/>',
+    ]
+    for tick in range(5):
+        seconds = y_max * tick / 4.0
+        y = y_of(seconds)
+        parts.append(
+            f'<line class="grid" x1="{margin_left}" y1="{y:.1f}" '
+            f'x2="{margin_left + plot_w}" y2="{y:.1f}"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{seconds:.1f}s</text>'
+        )
+
+    points = []
+    for index, record in enumerate(ordered):
+        if record.get("status") != "ok":
+            continue
+        seconds = record.get("total_seconds")
+        if not isinstance(seconds, (int, float)):
+            continue
+        points.append((x_of(index), y_of(seconds), record, seconds))
+    if points:
+        coords = " ".join(f"{x:.1f},{y:.1f}" for x, y, _, _ in points)
+        parts.append(f'<polyline class="line" points="{coords}"/>')
+    for x, y, record, seconds in points:
+        parts.append(f'<circle class="pt" cx="{x:.1f}" cy="{y:.1f}" r="3">'
+                     f"<title>{record['commit']}: {seconds:.3f}s</title>"
+                     "</circle>")
+    for index, record in enumerate(ordered):
+        x = x_of(index)
+        y = margin_top + plot_h + 14
+        parts.append(
+            f'<text x="{x:.1f}" y="{y}" text-anchor="middle" '
+            f'transform="rotate(45 {x:.1f} {y})">{record["commit"]}</text>'
+        )
+    parts.append("</svg>")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(parts) + "\n")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Per-commit bench_table1 total_seconds history."
@@ -130,41 +217,67 @@ def main():
                         "(default: temp dir, removed afterwards)")
     parser.add_argument("--jobs", type=int,
                         default=os.cpu_count() or 2, metavar="N")
+    parser.add_argument("--plot", metavar="FILE.svg",
+                        help="render total_seconds per commit as an SVG "
+                        "line chart (stdlib only)")
+    parser.add_argument("--from-json", metavar="FILE",
+                        help="plot/re-emit records from an earlier run's "
+                        "--json output instead of walking history")
     args = parser.parse_args()
     if args.max_commits < 1:
         print("bench_history: --max-commits must be >= 1", file=sys.stderr)
         return 2
 
-    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    commits = list_commits(repo, args.rev_range, args.max_commits)
+    if args.from_json:
+        try:
+            with open(args.from_json, "r", encoding="utf-8") as handle:
+                records = json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_history: unreadable --from-json: {err}",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(records, list):
+            print("bench_history: --from-json must hold a record array",
+                  file=sys.stderr)
+            return 2
+    else:
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        commits = list_commits(repo, args.rev_range, args.max_commits)
 
-    own_root = args.build_root is None
-    build_root = args.build_root or tempfile.mkdtemp(prefix="bench_history_")
-    os.makedirs(build_root, exist_ok=True)
+        own_root = args.build_root is None
+        build_root = (args.build_root
+                      or tempfile.mkdtemp(prefix="bench_history_"))
+        os.makedirs(build_root, exist_ok=True)
 
-    records = []
-    try:
-        for sha in commits:
-            record = commit_meta(repo, sha)
-            print(
-                f"bench_history: {record['commit']} {record['subject'][:60]}",
-                file=sys.stderr,
-            )
-            timing, reason = bench_one(repo, sha, build_root, args.jobs)
-            if timing is None:
-                record.update({"status": "skipped", "reason": reason})
-                print(f"  skipped: {reason}", file=sys.stderr)
-            else:
-                record.update({"status": "ok", **timing})
+        records = []
+        try:
+            for sha in commits:
+                record = commit_meta(repo, sha)
                 print(
-                    f"  total_seconds={timing['total_seconds']:.3f} "
-                    f"rows={timing['rows']}",
+                    f"bench_history: {record['commit']} "
+                    f"{record['subject'][:60]}",
                     file=sys.stderr,
                 )
-            records.append(record)
-    finally:
-        if own_root:
-            shutil.rmtree(build_root, ignore_errors=True)
+                timing, reason = bench_one(repo, sha, build_root, args.jobs)
+                if timing is None:
+                    record.update({"status": "skipped", "reason": reason})
+                    print(f"  skipped: {reason}", file=sys.stderr)
+                else:
+                    record.update({"status": "ok", **timing})
+                    print(
+                        f"  total_seconds={timing['total_seconds']:.3f} "
+                        f"rows={timing['rows']}",
+                        file=sys.stderr,
+                    )
+                records.append(record)
+        finally:
+            if own_root:
+                shutil.rmtree(build_root, ignore_errors=True)
+
+    if args.plot:
+        plot_svg(records, args.plot)
+        print(f"bench_history: plot written to {args.plot}",
+              file=sys.stderr)
 
     doc = json.dumps(records, indent=2)
     if args.json:

@@ -65,5 +65,33 @@ for flag in --listen --submit --session-queue --max-jobs-per-session \
   fi
 done
 
+# The Pareto reporting mode lives with the coverage docs it depends on.
+for flag in --pareto; do
+  if ! grep -q -e "$flag" "$coverage_docs"; then
+    echo "check_docs: '$flag' is undocumented in docs/coverage.md"
+    status=1
+  fi
+  if ! grep -q -e "$flag" "$readme"; then
+    echo "check_docs: '$flag' is missing from the README flag table"
+    status=1
+  fi
+done
+
+# The cluster front-end's routing/failover knobs must be documented in
+# docs/cluster.md (and surfaced in the README flag table).
+cluster_docs="$(dirname "$0")/../docs/cluster.md"
+[ -f "$cluster_docs" ] || {
+  echo "check_docs: $cluster_docs not found"; exit 1; }
+for flag in --backend --replicas --retry --backoff-ms; do
+  if ! grep -q -e "$flag" "$cluster_docs"; then
+    echo "check_docs: '$flag' is undocumented in docs/cluster.md"
+    status=1
+  fi
+  if ! grep -q -e "$flag" "$readme"; then
+    echo "check_docs: '$flag' is missing from the README flag table"
+    status=1
+  fi
+done
+
 [ "$status" -eq 0 ] && echo "check_docs: docs match the CLI surface"
 exit $status

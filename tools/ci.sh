@@ -48,11 +48,20 @@
 # block anyone's results.
 #
 #   $ tools/ci.sh stress [build-dir]   default build dir: build-stress
+#
+# Cluster leg (the CI cluster job): start three TCP backends and an
+# iddqsyn_cluster front-end over them, run a sweep through the front-end
+# with one backend killed mid-sweep, and diff the client's rows
+# byte-for-byte against the direct single-process engine at the same seed
+# (IDDQ_THREADS=2). Also exercises the remote --cache-stats path against
+# the front-end's aggregated stats.
+#
+#   $ tools/ci.sh cluster [build-dir]  default build dir: build-cluster
 set -eu
 
 MODE="full"
 case "${1:-}" in
-  smoke|threads|tsan|bench|coverage-smoke|stress)
+  smoke|threads|tsan|bench|coverage-smoke|stress|cluster)
     MODE="$1"
     shift
     ;;
@@ -163,6 +172,87 @@ if [ "$MODE" = "stress" ]; then
     diff -u "$BUILD_DIR/stress_golden.txt" "$BUILD_DIR/stress_c$c.sorted.txt"
   done
   echo "traffic stress OK"
+  exit 0
+fi
+
+if [ "$MODE" = "cluster" ]; then
+  BUILD_DIR="${1:-build-cluster}"
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DIDDQ_WERROR=ON -DIDDQ_BUILD_TESTS=OFF \
+    -DIDDQ_BUILD_BENCHES=OFF -DIDDQ_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target iddqsyn iddqsyn_server iddqsyn_cluster
+
+  SWEEP="c17 c1908 c2670 ila16x8 ila24x6 ila12x12"
+  METHODS="evolution,standard"
+  # shellcheck disable=SC2086
+  IDDQ_THREADS=2 "$BUILD_DIR/iddqsyn" --quiet --threads 2 \
+    --method "$METHODS" --seed 42 $SWEEP \
+    | sort > "$BUILD_DIR/cluster_golden.txt"
+
+  # Three backends on kernel-assigned ports, each with its own cache.
+  BACKENDS=""
+  PIDS=""
+  for i in 1 2 3; do
+    "$BUILD_DIR/iddqsyn_server" --listen 127.0.0.1:0 --workers 2 \
+      --threads 2 --cache-dir "$BUILD_DIR/cluster_cache$i" \
+      2> "$BUILD_DIR/cluster_s$i.err" &
+    PIDS="$PIDS $!"
+  done
+  # shellcheck disable=SC2064
+  trap "kill $PIDS \$CLUSTER_PID 2>/dev/null || true" EXIT INT TERM
+  for i in 1 2 3; do
+    EP=""
+    j=0
+    while [ $j -lt 100 ]; do
+      EP=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\)$/\1/p' \
+             "$BUILD_DIR/cluster_s$i.err")
+      [ -n "$EP" ] && break
+      sleep 0.1
+      j=$((j + 1))
+    done
+    [ -n "$EP" ] || { echo "cluster: backend $i never reported its port"; exit 1; }
+    BACKENDS="$BACKENDS --backend $EP"
+  done
+
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/iddqsyn_cluster" --listen 127.0.0.1:0 $BACKENDS \
+    2> "$BUILD_DIR/cluster_front.err" &
+  CLUSTER_PID=$!
+  CPORT=""
+  j=0
+  while [ $j -lt 100 ]; do
+    CPORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+              "$BUILD_DIR/cluster_front.err")
+    [ -n "$CPORT" ] && break
+    sleep 0.1
+    j=$((j + 1))
+  done
+  [ -n "$CPORT" ] || { echo "cluster: front-end never reported its port"; exit 1; }
+
+  # The sweep runs through the front-end while backend 1 is killed
+  # mid-flight: its shards must fail over to ring successors and the
+  # merged rows must still be byte-identical to the direct engine.
+  # shellcheck disable=SC2086
+  IDDQ_THREADS=2 timeout 600 "$BUILD_DIR/iddqsyn" \
+    --submit "127.0.0.1:$CPORT" --method "$METHODS" --seed 42 $SWEEP \
+    > "$BUILD_DIR/cluster_rows_raw.txt" &
+  CLIENT=$!
+  sleep 1
+  VICTIM=$(echo $PIDS | cut -d' ' -f1)
+  kill "$VICTIM" 2>/dev/null || true
+  wait $CLIENT
+  sort "$BUILD_DIR/cluster_rows_raw.txt" > "$BUILD_DIR/cluster_rows.txt"
+  diff -u "$BUILD_DIR/cluster_golden.txt" "$BUILD_DIR/cluster_rows.txt"
+
+  # Remote cache inspection through the front-end: the aggregate must
+  # report the ring scope (the killed backend shows up as dead).
+  "$BUILD_DIR/iddqsyn" --cache-stats - --submit "127.0.0.1:$CPORT" \
+    > "$BUILD_DIR/cluster_cache_stats.txt"
+  grep -q "across 2/3 backends" "$BUILD_DIR/cluster_cache_stats.txt"
+
+  kill $PIDS $CLUSTER_PID 2>/dev/null || true
+  trap - EXIT INT TERM
+  echo "cluster OK"
   exit 0
 fi
 

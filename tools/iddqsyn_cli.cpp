@@ -33,9 +33,18 @@
 //                         when the cache file has degraded)
 //   --no-cache            disable the cache even when --cache-dir is given
 //   --cache-stats DIR     inspect DIR/results.jsonl (entries, duplicate
-//                         keys, corrupt lines, hit-age histogram) and exit
+//                         keys, corrupt lines, hit-age histogram) and exit.
+//                         With --submit ENDPOINT the DIR is ignored (pass
+//                         "-"): the cache counters of the remote server —
+//                         or the aggregate of an iddqsyn_cluster front-end
+//                         — are fetched over the protocol's stats op
 //   --cache-compact DIR   rewrite DIR/results.jsonl keeping only the last
 //                         row per key, and exit
+//   --pareto              after the summary rows, print each circuit's
+//                         Pareto frontier over (relative sensor-area
+//                         overhead, measured fault coverage) across the
+//                         requested methods; needs --coverage
+//                         (docs/coverage.md)
 //   --submit ENDPOINT     client mode: send the job to an iddqsyn_server
 //                         instead of running locally; ENDPOINT is a unix
 //                         socket path, or host:port for a --listen TCP
@@ -82,6 +91,7 @@
 #include "netlist/circuit_loader.hpp"
 #include "netlist/stats.hpp"
 #include "partition/partition_io.hpp"
+#include "report/pareto.hpp"
 #include "report/table.hpp"
 #include "sim/coverage.hpp"
 #include "support/error.hpp"
@@ -109,6 +119,7 @@ struct CliOptions {
   std::string fault_model = "mixed";
   std::size_t patterns = 256;
   bool minimize_patterns = false;
+  bool pareto = false;
   std::optional<std::string> submit_socket;
   std::size_t stall_ms = 0;  // test hook: delay before draining events
   bool progress = false;
@@ -142,6 +153,8 @@ void print_usage(std::ostream& os) {
         "| bridges=N[,shorts=M] (default mixed)\n"
         "  --patterns N     coverage test patterns (default 256)\n"
         "  --minimize-patterns  greedy set-cover pattern minimization\n"
+        "  --pareto         print each circuit's (area overhead, fault "
+        "coverage) Pareto frontier; needs --coverage\n"
         "  --submit ENDPOINT  send the job to an iddqsyn_server (unix "
         "socket path, or host:port for TCP)\n"
         "  --stall-ms N     (--submit only) sleep N ms before reading "
@@ -249,6 +262,8 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       patterns_set = true;
     } else if (arg == "--minimize-patterns") {
       opts.minimize_patterns = true;
+    } else if (arg == "--pareto") {
+      opts.pareto = true;
     } else if (arg == "--cache-stats") {
       const auto v = need_value("--cache-stats");
       if (!v) return std::nullopt;
@@ -315,7 +330,8 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     }
   }
   // Cache-maintenance commands run without circuits and skip the rest of
-  // the validation.
+  // the validation. (--cache-stats with --submit inspects a remote
+  // server's cache over the protocol instead of a local directory.)
   if (opts.cache_stats_dir || opts.cache_compact_dir) return opts;
   if (opts.circuits.empty()) {
     std::cerr << "iddqsyn: at least one circuit argument expected\n";
@@ -347,6 +363,16 @@ std::optional<CliOptions> parse(int argc, char** argv) {
   if (opts.submit_socket && opts.coverage) {
     std::cerr << "iddqsyn: --coverage has no effect in --submit mode "
                  "(enable coverage on the server)\n";
+    return std::nullopt;
+  }
+  if (opts.pareto && opts.submit_socket) {
+    std::cerr << "iddqsyn: --pareto does not work in --submit mode (run "
+                 "it on locally printed rows)\n";
+    return std::nullopt;
+  }
+  if (opts.pareto && !opts.coverage) {
+    std::cerr << "iddqsyn: --pareto needs --coverage (the frontier's "
+                 "coverage axis comes from fault grading)\n";
     return std::nullopt;
   }
   if (opts.coverage) {
@@ -386,6 +412,33 @@ void print_method_row(std::ostream& os, const std::string& circuit,
        << " faults=" << r.faults_detected << "/" << r.faults_total
        << " patterns=" << r.patterns_minimized << "/" << r.patterns_used;
   os << "\n";
+}
+
+// --pareto: one frontier per circuit over (relative sensor-area overhead,
+// measured fault coverage). Overhead is relative to the cheapest graded
+// row of the SAME circuit — the frontier compares methods against each
+// other, not against an absolute area scale that differs per circuit.
+void print_pareto_front(std::ostream& os, const std::string& circuit,
+                        const std::vector<core::MethodResult>& rows) {
+  std::vector<report::ParetoPoint> points;
+  double min_area = 0.0;
+  for (const auto& r : rows) {
+    if (!r.has_coverage || r.sensor_area <= 0.0) continue;
+    if (points.empty() || r.sensor_area < min_area)
+      min_area = r.sensor_area;
+    points.push_back({r.method, r.sensor_area, r.fault_coverage_pct});
+  }
+  if (points.empty()) return;
+  for (auto& p : points)
+    p.area_overhead_pct = (p.area_overhead_pct / min_area - 1.0) * 100.0;
+  for (const std::size_t i : report::pareto_front(points)) {
+    os << circuit << ": pareto method=" << points[i].label << " area_ovh="
+       << report::format_pct(points[i].area_overhead_pct,
+                             /*already_pct=*/true)
+       << " cov="
+       << report::format_pct(points[i].coverage_pct, /*already_pct=*/true)
+       << "\n";
+  }
 }
 
 // Retiming + partition writing only apply to single-circuit runs; they act
@@ -448,6 +501,39 @@ int run_cache_maintenance(const CliOptions& opts) {
     }
   }
   return 0;
+}
+
+// --cache-stats - --submit ENDPOINT: fetch a remote server's (or cluster
+// front-end's) cache counters over the protocol's stats op. The local
+// variant reads a directory this process can see; a --listen server's
+// cache lives on another host, where only the protocol reaches it.
+int run_remote_cache_stats(const CliOptions& opts) {
+  const auto channel = support::connect_endpoint(*opts.submit_socket);
+  if (!channel->write_line(json::JsonWriter().field("op", "stats").str()))
+    throw Error("server connection lost during stats request");
+  std::string line;
+  while (channel->read_line(line)) {
+    const auto event = json::JsonValue::parse(line);
+    if (!event || !event->is_object()) continue;
+    if (event->get_string("event") != "stats") continue;  // hello etc.
+    std::cout << "cache-stats: " << *opts.submit_socket << ": ";
+    if (event->find("cache_entries") == nullptr) {
+      std::cout << "no cache configured (server runs without "
+                   "--cache-dir)\n";
+      return 0;
+    }
+    std::cout << event->get_u64("cache_entries") << " entries, "
+              << event->get_u64("cache_hits") << " hits, "
+              << event->get_u64("cache_misses") << " misses";
+    // Cluster front-ends aggregate across their ring; surface the scope.
+    if (const json::JsonValue* backends = event->find("backends"))
+      if (std::uint64_t n = 0; backends->as_u64(n))
+        std::cout << " across " << event->get_u64("backends_alive") << "/"
+                  << n << " backends";
+    std::cout << "\n";
+    return 0;
+  }
+  throw Error("server connection ended before answering stats");
 }
 
 // --submit: client mode against an iddqsyn_server. Rows stream back (and
@@ -550,6 +636,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   try {
+    if (opts->cache_stats_dir && opts->submit_socket)
+      return run_remote_cache_stats(*opts);
     if (opts->cache_stats_dir || opts->cache_compact_dir)
       return run_cache_maintenance(*opts);
     if (opts->submit_socket) return run_submit_client(*opts);
@@ -611,6 +699,7 @@ int main(int argc, char** argv) {
                   << ")\n";
       for (const auto& r : item.methods)
         print_method_row(std::cout, item.circuit, r);
+      if (opts->pareto) print_pareto_front(std::cout, item.circuit, item.methods);
     }
     if (cache) {
       const auto hits = cache->hits();
