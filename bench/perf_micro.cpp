@@ -16,10 +16,12 @@
 #include "core/start_partition.hpp"
 #include "core/tabu.hpp"
 #include "electrical/delay_model.hpp"
+#include "estimators/current_profile.hpp"
 #include "estimators/delay_estimator.hpp"
 #include "estimators/incremental_timing.hpp"
 #include "estimators/transition_times.hpp"
 #include "library/cell_library.hpp"
+#include "netlist/circuit_loader.hpp"
 #include "netlist/distance_oracle.hpp"
 #include "netlist/gen/iscas_profiles.hpp"
 #include "partition/evaluator.hpp"
@@ -49,15 +51,17 @@ const part::EvalContext& context() {
 
 // Size ladder for the scaling benches (Arg = index): per-move costs must
 // stop scaling with total gate count now that the refresh is incremental.
-constexpr std::array<const char*, 4> kSizeLadder = {"c1908", "c3540", "c5315",
-                                                    "c7552"};
+// Indices 4-5 are BIG-tier loader builtins (~10k / ~30k gates).
+constexpr std::array<const char*, 6> kSizeLadder = {
+    "c1908", "c3540", "c5315", "c7552", "big_dag10k", "big_dag30k"};
 
 const part::EvalContext& context_at(std::size_t idx) {
   static std::array<const netlist::Netlist*, kSizeLadder.size()> nls{};
   static std::array<const part::EvalContext*, kSizeLadder.size()> ctxs{};
   if (ctxs[idx] == nullptr) {
-    nls[idx] = new netlist::Netlist(netlist::gen::make_iscas_like(
-        kSizeLadder[idx]));
+    // load_circuit serves both families: c-names map to make_iscas_like,
+    // BIG-ladder names to their generators.
+    nls[idx] = new netlist::Netlist(netlist::load_circuit(kSizeLadder[idx]));
     ctxs[idx] = new part::EvalContext(*nls[idx], library(),
                                      elec::SensorSpec{}, part::CostWeights{});
   }
@@ -136,6 +140,8 @@ BENCHMARK(BM_FitnessAfterMove)
     ->Arg(1)
     ->Arg(2)
     ->Arg(3)
+    ->Arg(4)
+    ->Arg(5)
     ->Unit(benchmark::kMicrosecond);
 
 // probe_move vs the copy + move_gate + fitness recipe it replaces, against
@@ -175,7 +181,7 @@ void BM_ProbeVsCopy(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProbeVsCopy)
-    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})  // {circuit, 0=copy / 1=probe}
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1}})  // {circuit, 0=copy/1=probe}
     ->Unit(benchmark::kMicrosecond);
 
 // One perturbed gate: incremental repropagation vs the full O(V+E) pass.
@@ -249,6 +255,119 @@ void BM_DistanceOracle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DistanceOracle)->Unit(benchmark::kMillisecond);
+
+// Ladder for the profile-max benches: Table-1 sizes plus the full BIG
+// tier (the grid grows with circuit depth, so big_dag100k has the widest
+// time grid in the repo). Only needs TransitionTimes, so 100k is cheap
+// to set up even though a full EvalContext would not be.
+constexpr std::array<const char*, 5> kProfileLadder = {
+    "c1908", "c7552", "big_dag10k", "big_dag30k", "big_dag100k"};
+
+struct ProfileFixture {
+  netlist::Netlist nl;
+  std::vector<lib::CellParams> cells;
+  est::TransitionTimes tt;
+  est::ModuleCurrentProfile profile;
+  std::vector<netlist::GateId> members;  // gates inside the profiled module
+
+  explicit ProfileFixture(const char* name)
+      : nl(netlist::load_circuit(name)),
+        cells(lib::bind_cells(nl, library())),
+        tt(nl, cells, 45.0),
+        profile(tt.grid_size()) {
+    // A plausible module: every 8th logic gate, i.e. the n/8-gate module
+    // a K=8 partition would hold.
+    const auto logic = nl.logic_gates();
+    for (std::size_t i = 0; i < logic.size(); i += 8)
+      members.push_back(logic[i]);
+    for (const netlist::GateId g : members)
+      profile.add_gate(tt.at(g), cells[g].ipeak_ua);
+  }
+};
+
+ProfileFixture& profile_at(std::size_t idx) {
+  static std::array<ProfileFixture*, kProfileLadder.size()> fixtures{};
+  if (fixtures[idx] == nullptr)
+    fixtures[idx] = new ProfileFixture(kProfileLadder[idx]);
+  return *fixtures[idx];
+}
+
+// One overlay probe ("what would the module maxima be with gate g added")
+// — the inner question of every tabu candidate and ES descendant. The
+// tree path touches O(|T(g)| log grid) nodes; the scan path is the old
+// O(grid) full pass kept as `scan_max_with_gate_added`. Down the ladder
+// the tree time should stay flat while the scan time tracks the grid.
+void BM_ProfileOverlayProbe(benchmark::State& state) {
+  auto& f = profile_at(static_cast<std::size_t>(state.range(0)));
+  const bool tree = state.range(1) != 0;
+  const auto logic = f.nl.logic_gates();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const netlist::GateId g = logic[i++ % logic.size()];
+    if (tree) {
+      benchmark::DoNotOptimize(
+          f.profile.max_with_gate_added(f.tt.at(g), f.cells[g].ipeak_ua));
+    } else {
+      benchmark::DoNotOptimize(f.profile.scan_max_with_gate_added(
+          f.tt.at(g), f.cells[g].ipeak_ua));
+    }
+  }
+}
+BENCHMARK(BM_ProfileOverlayProbe)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}})  // {circuit, 0=scan / 1=tree}
+    ->Unit(benchmark::kMicrosecond);
+
+// A committed move's profile work: remove one gate, add another, read the
+// new maxima. The tree pays leaf updates plus one lazy O(grid) rebuild at
+// the query; the scan path pays the same leaf updates plus the two full
+// O(grid) max scans the old refresh ran. Same asymptotics, so this bench
+// pins that the lazy tree costs nothing extra on the commit path.
+void BM_ProfileCommitAndMax(benchmark::State& state) {
+  auto& f = profile_at(static_cast<std::size_t>(state.range(0)));
+  const bool tree = state.range(1) != 0;
+  const auto logic = f.nl.logic_gates();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const netlist::GateId out = f.members[i % f.members.size()];
+    const netlist::GateId in = logic[i++ % logic.size()];
+    f.profile.remove_gate(f.tt.at(out), f.cells[out].ipeak_ua);
+    f.profile.add_gate(f.tt.at(in), f.cells[in].ipeak_ua);
+    if (tree) {
+      benchmark::DoNotOptimize(f.profile.max_current_ua());
+      benchmark::DoNotOptimize(f.profile.max_switching());
+    } else {
+      benchmark::DoNotOptimize(f.profile.scan_max_current_ua());
+      benchmark::DoNotOptimize(f.profile.scan_max_switching());
+    }
+    f.profile.remove_gate(f.tt.at(in), f.cells[in].ipeak_ua);
+    f.profile.add_gate(f.tt.at(out), f.cells[out].ipeak_ua);
+  }
+}
+BENCHMARK(BM_ProfileCommitAndMax)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}})  // {circuit, 0=scan / 1=tree}
+    ->Unit(benchmark::kMicrosecond);
+
+// Closed-form 50%-crossing vs the historical 100-iteration bisection it
+// replaced (both still bit-identical, pinned by the electrical tests).
+void BM_DelayAnchorClosedVsBisect(benchmark::State& state) {
+  const bool closed = state.range(0) != 0;
+  elec::DelayModelInput in;
+  in.rs_kohm = 0.02;
+  in.cs_ff = 2000.0;
+  in.cg_ff = 15.0;
+  in.rg_kohm = 25.0;
+  in.n = 50;
+  for (auto _ : state) {
+    if (closed) {
+      benchmark::DoNotOptimize(elec::DelayDegradationModel::t50_ps(in));
+    } else {
+      benchmark::DoNotOptimize(
+          elec::DelayDegradationModel::t50_ps_bisect(in));
+    }
+    in.n = (in.n % 200) + 1;
+  }
+}
+BENCHMARK(BM_DelayAnchorClosedVsBisect)->Arg(0)->Arg(1);
 
 void BM_DelayModelSolve(benchmark::State& state) {
   elec::DelayModelInput in;

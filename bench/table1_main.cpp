@@ -33,6 +33,15 @@
 // (relative sensor-area overhead, measured fault coverage) method points —
 // the trade-off view of the same rows (src/report/pareto.hpp).
 //
+// `--tier big` swaps the six Table-1 stand-ins for the large-circuit
+// ladder (big_dag10k / big_dag30k / big_dag100k / ila64x32 / mult64,
+// ~10k-100k gates) that the scaling work is measured on. The paper
+// columns disappear — the 1995 paper has no numbers at these sizes —
+// and the JSON gains a "tier" field (only when non-default, so existing
+// BENCH_table1.json baselines stay comparable). `--only NAME` restricts
+// any tier to one circuit; the CI big-smoke leg uses it to sweep just
+// big_dag10k against a committed golden.
+//
 // Paper-reported reference values (where the 1995 scan is legible):
 //   #modules:            2 / 3 / 4 / 6 / 5 / 6
 //   std-vs-evo area:     +30.6% / +14.5% / +22.9% / +25.3% / +25.9% / +19.7%
@@ -53,6 +62,7 @@
 #include "core/job_service.hpp"
 #include "core/result_cache.hpp"
 #include "library/cell_library.hpp"
+#include "netlist/circuit_loader.hpp"
 #include "netlist/gen/iscas_profiles.hpp"
 #include "report/pareto.hpp"
 #include "report/table.hpp"
@@ -61,18 +71,18 @@
 
 int main(int argc, char** argv) {
   using namespace iddq;
-  std::cout << "=== Table 1: evolution-based vs standard partitioning ===\n";
-  std::cout << "(paper: Wunderlich et al., ED&TC 1995, section 5.1)\n\n";
-
   const char* cache_dir = std::getenv("IDDQ_CACHE_DIR");
   std::size_t service_workers = 0;  // 0 = direct FlowEngine path
   std::size_t threads = support::ExecutorPool::env_threads();
   std::optional<std::string> json_path;
   bool coverage = false;
   bool pareto = false;
+  std::string tier = "table1";
+  std::optional<std::string> only;
   const auto usage = [] {
     std::cerr << "usage: bench_table1 [cache-dir] [--service N] "
-                 "[--threads N] [--json FILE] [--coverage] [--pareto]\n";
+                 "[--threads N] [--json FILE] [--coverage] [--pareto] "
+                 "[--tier table1|big] [--only CIRCUIT]\n";
   };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--service") == 0) {
@@ -102,6 +112,21 @@ int main(int argc, char** argv) {
       coverage = true;
     } else if (std::strcmp(argv[i], "--pareto") == 0) {
       pareto = true;
+    } else if (std::strcmp(argv[i], "--tier") == 0) {
+      const char* name = i + 1 < argc ? argv[++i] : "";
+      if (std::strcmp(name, "table1") != 0 && std::strcmp(name, "big") != 0) {
+        std::cerr << "bench_table1: --tier must be 'table1' or 'big'\n";
+        usage();
+        return 1;
+      }
+      tier = name;
+    } else if (std::strcmp(argv[i], "--only") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_table1: --only needs a circuit name\n";
+        usage();
+        return 1;
+      }
+      only = argv[++i];
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::cerr << "bench_table1: unknown option '" << argv[i] << "'\n";
       usage();
@@ -116,6 +141,55 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   }
+  const bool big_tier = tier == "big";
+  if (big_tier) {
+    std::cout << "=== BIG tier: evolution-based vs standard partitioning "
+                 "at 10k-100k gates ===\n";
+    std::cout << "(scaling ladder from the in-tree generators; no paper "
+                 "reference at these sizes)\n\n";
+  } else {
+    std::cout
+        << "=== Table 1: evolution-based vs standard partitioning ===\n";
+    std::cout << "(paper: Wunderlich et al., ED&TC 1995, section 5.1)\n\n";
+  }
+
+  // The sweep's circuit list. Table-1 circuits are the statistical ISCAS85
+  // stand-ins from make_iscas_like; the BIG ladder names are loader
+  // builtins (netlist::load_circuit) so the bench measures exactly what
+  // `iddqsyn big_dag10k` would run.
+  std::vector<std::string> circuit_names;
+  std::vector<std::size_t> paper_idx;  // index into the paper_* arrays
+  if (big_tier) {
+    circuit_names = {"big_dag10k", "big_dag30k", "big_dag100k", "ila64x32",
+                     "mult64"};
+  } else {
+    for (const auto name : netlist::gen::table1_circuit_names())
+      circuit_names.emplace_back(name);
+  }
+  for (std::size_t i = 0; i < circuit_names.size(); ++i) paper_idx.push_back(i);
+  if (only) {
+    std::vector<std::string> kept_names;
+    std::vector<std::size_t> kept_idx;
+    for (std::size_t i = 0; i < circuit_names.size(); ++i) {
+      if (circuit_names[i] == *only) {
+        kept_names.push_back(circuit_names[i]);
+        kept_idx.push_back(paper_idx[i]);
+      }
+    }
+    if (kept_names.empty()) {
+      std::cerr << "bench_table1: --only '" << *only << "' matches no "
+                << tier << "-tier circuit; tier sweeps:";
+      for (const auto& name : circuit_names) std::cerr << ' ' << name;
+      std::cerr << "\n";
+      return 1;
+    }
+    circuit_names = std::move(kept_names);
+    paper_idx = std::move(kept_idx);
+  }
+  const auto load_tier_circuit = [&](const std::string& name) {
+    return big_tier ? netlist::load_circuit(name)
+                    : netlist::gen::make_iscas_like(name);
+  };
   // Open the JSON sink up front: an unwritable path must fail before the
   // sweep (minutes uncached), not after it.
   std::optional<std::ofstream> json_out;
@@ -143,10 +217,17 @@ int main(int argc, char** argv) {
   const double paper_overhead_pct[] = {30.6, 14.5, 22.9, 25.3, 25.9, 19.7};
   const std::size_t paper_modules[] = {2, 3, 4, 6, 5, 6};
 
-  std::vector<std::string> headers{
-      "circuit", "gates", "#mod", "#mod(paper)", "area(evo)", "area(std)",
-      "std ovh", "ovh(paper)", "c2(evo)", "c2(std)", "c4(evo)", "c4(std)",
-      "time"};
+  // Paper reference columns only exist on the table-1 tier; the 1995
+  // paper reports nothing at BIG-ladder sizes.
+  std::vector<std::string> headers =
+      big_tier
+          ? std::vector<std::string>{"circuit", "gates", "#mod", "area(evo)",
+                                     "area(std)", "std ovh", "c2(evo)",
+                                     "c2(std)", "c4(evo)", "c4(std)", "time"}
+          : std::vector<std::string>{"circuit", "gates", "#mod",
+                                     "#mod(paper)", "area(evo)", "area(std)",
+                                     "std ovh", "ovh(paper)", "c2(evo)",
+                                     "c2(std)", "c4(evo)", "c4(std)", "time"};
   if (coverage) {
     headers.insert(headers.end() - 1,
                    {"cov(evo)", "cov(std)", "pat(evo)", "pat(std)"});
@@ -183,13 +264,12 @@ int main(int argc, char** argv) {
     service_config.flow = engine_config;
     service.emplace(library, std::move(service_config));
     // Builtin table-1 circuits are statistical stand-ins produced by
-    // make_iscas_like, not the CLI loader's builtins.
-    service->set_circuit_loader([](const std::string& spec) {
-      return netlist::gen::make_iscas_like(spec);
-    });
-    for (const auto name : netlist::gen::table1_circuit_names()) {
+    // make_iscas_like, not the CLI loader's builtins; BIG-ladder names
+    // ARE loader builtins.
+    service->set_circuit_loader(load_tier_circuit);
+    for (const auto& name : circuit_names) {
       core::JobSpec spec;
-      spec.circuit = std::string(name);
+      spec.circuit = name;
       spec.methods = {"evolution", "standard"};
       spec.base_seed = cfg.es.seed;
       handles.push_back(service->submit(std::move(spec)));
@@ -207,7 +287,7 @@ int main(int argc, char** argv) {
   std::vector<JsonRow> json_rows;
 
   std::size_t idx = 0;
-  for (const auto name : netlist::gen::table1_circuit_names()) {
+  for (const auto& name : circuit_names) {
     const auto t0 = std::chrono::steady_clock::now();
 
     core::MethodResult evolution;
@@ -221,9 +301,9 @@ int main(int argc, char** argv) {
       }
       evolution = job.rows.at(0);
       standard = job.rows.at(1);
-      gate_count = netlist::gen::make_iscas_like(name).logic_gate_count();
+      gate_count = load_tier_circuit(name).logic_gate_count();
     } else {
-      const auto nl = netlist::gen::make_iscas_like(name);
+      const auto nl = load_tier_circuit(name);
       gate_count = nl.logic_gate_count();
       // Same runs and seeds as core::run_flow, but through a cache-aware
       // engine: evolution first, then the standard baseline clustered at
@@ -251,21 +331,24 @@ int main(int argc, char** argv) {
             : 0.0;
 
     if (json_out || pareto)
-      json_rows.push_back({std::string(name), gate_count, evolution,
-                           standard, overhead_pct, seconds});
+      json_rows.push_back(
+          {name, gate_count, evolution, standard, overhead_pct, seconds});
     std::vector<std::string> cells{
-        std::string(name),
+        name,
         std::to_string(gate_count),
-        std::to_string(evolution.module_count),
-        std::to_string(paper_modules[idx]),
-        report::format_eng(evolution.sensor_area),
-        report::format_eng(standard.sensor_area),
-        report::format_pct(overhead_pct, /*already_pct=*/true),
-        report::format_pct(paper_overhead_pct[idx], true),
-        report::format_eng(evolution.delay_overhead),
-        report::format_eng(standard.delay_overhead),
-        report::format_eng(evolution.test_overhead),
-        report::format_eng(standard.test_overhead)};
+        std::to_string(evolution.module_count)};
+    if (!big_tier)
+      cells.push_back(std::to_string(paper_modules[paper_idx[idx]]));
+    cells.push_back(report::format_eng(evolution.sensor_area));
+    cells.push_back(report::format_eng(standard.sensor_area));
+    cells.push_back(report::format_pct(overhead_pct, /*already_pct=*/true));
+    if (!big_tier)
+      cells.push_back(
+          report::format_pct(paper_overhead_pct[paper_idx[idx]], true));
+    cells.push_back(report::format_eng(evolution.delay_overhead));
+    cells.push_back(report::format_eng(standard.delay_overhead));
+    cells.push_back(report::format_eng(evolution.test_overhead));
+    cells.push_back(report::format_eng(standard.test_overhead));
     if (coverage) {
       cells.push_back(
           report::format_pct(evolution.fault_coverage_pct, true));
@@ -351,8 +434,11 @@ int main(int argc, char** argv) {
     }
     const char* fast = std::getenv("IDDQSYN_BENCH_FAST");
     json::JsonWriter doc;
-    doc.field("bench", "table1")
-        .field("fast", fast != nullptr && std::string(fast) == "1")
+    doc.field("bench", "table1");
+    // Only emitted off the default tier so pre-tier BENCH_table1.json
+    // baselines stay comparable (bench_compare: absent == "table1").
+    if (big_tier) doc.field("tier", tier);
+    doc.field("fast", fast != nullptr && std::string(fast) == "1")
         // Row "seconds" semantics differ per mode — only compare files
         // with matching seconds_kind (and fast/threads) across PRs.
         .field("seconds_kind", service_workers > 0
@@ -381,6 +467,17 @@ int main(int argc, char** argv) {
     std::cout << "\ncache: " << cache->hits() << " hits, " << cache->misses()
               << " misses (" << cache->size() << " entries)\n";
 
+  if (big_tier) {
+    std::cout <<
+        "\nnotes:\n"
+        "  * ladder circuits are deterministic generator builtins\n"
+        "    (big_dag<N>k: NAND-heavy random DAGs, ila64x32: AND/EXOR\n"
+        "    iterative logic array, mult64: 64x64 NOR-cell array\n"
+        "    multiplier); `iddqsyn <name>` runs the identical netlists.\n"
+        "  * rows are byte-identical at any --threads, same as table1;\n"
+        "    the committed BENCH_big.json is the drift gate.\n";
+    return 0;
+  }
   std::cout <<
       "\nnotes:\n"
       "  * circuits are statistical ISCAS85 stand-ins (c6288: real 16x16\n"

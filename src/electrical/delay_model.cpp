@@ -50,6 +50,84 @@ void validate(const DelayModelInput& in) {
   require(in.n >= 1, "delay model: n must be >= 1");
 }
 
+/// Brackets the 50% crossing. The static-divider delay is the quasi-static
+/// bound; double past it defensively for extreme pole splits. Returns the
+/// upper bound (the lower bound is always 0).
+double bracket_hi(const Waveform& w, double quasi_static_ps) {
+  double hi = quasi_static_ps;
+  int guard = 0;
+  while (w.at(hi) > 0.5 && guard++ < 64) hi *= 2.0;
+  IDDQ_ASSERT(w.at(hi) <= 0.5);
+  return hi;
+}
+
+/// Safeguarded Newton on the analytic waveform: solves v(t) = 0.5 on
+/// (0, hi] to ~machine precision. The waveform is strictly decreasing
+/// (v'(0) = -a < 0 and the faster-decaying positive term of v' can never
+/// overtake the slower negative one), so the bracket [blo, bhi] shrinks
+/// monotonically and any Newton step that escapes it falls back to its
+/// midpoint. Returns false when the iteration fails to settle (the caller
+/// then evaluates every refinement decision directly).
+bool newton_crossing(const Waveform& w, double hi, double& t_cross) {
+  double blo = 0.0;
+  double bhi = hi;
+  double t = 0.5 * (blo + bhi);
+  for (int i = 0; i < 80; ++i) {
+    const double e1 = std::exp(w.lambda1 * t);
+    const double e2 = std::exp(w.lambda2 * t);
+    const double v = w.alpha * e1 + w.beta * e2;
+    const double dv =
+        w.alpha * w.lambda1 * e1 + w.beta * w.lambda2 * e2;
+    if (v > 0.5)
+      blo = t;
+    else
+      bhi = t;
+    double next = dv < 0.0 ? t - (v - 0.5) / dv : 0.5 * (blo + bhi);
+    if (!(next > blo && next < bhi)) next = 0.5 * (blo + bhi);
+    if (std::abs(next - t) <= 1e-15 * hi) {
+      t_cross = next;
+      return true;
+    }
+    t = next;
+  }
+  return false;
+}
+
+/// The historical refinement, replayed: identical bracket, identical
+/// midpoint sequence, identical termination — but each "is the waveform
+/// still above 50% at mid?" decision is settled by comparing mid against
+/// the analytic crossing instead of evaluating two exponentials. Only
+/// midpoints inside a guard band around the crossing (where floating-point
+/// noise in the waveform could flip the comparison) evaluate the waveform
+/// directly, which is what makes the replay bit-exact: outside the band
+/// the waveform's strict monotonicity makes the comparison and the
+/// evaluation provably agree, inside the band the evaluation IS the
+/// decision. The band is ~1e-13 * hi wide — two orders above the combined
+/// Newton/waveform noise floor (~1e-15 * hi) and an order below the
+/// bisection's own 1e-12 * hi stopping width — so at most the last couple
+/// of midpoints land in it.
+double refine_replay(const Waveform& w, double hi, double t_cross,
+                     bool have_cross) {
+  const double margin = 1e-13 * hi;
+  double lo = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    bool above;
+    if (have_cross && mid < t_cross - margin)
+      above = true;
+    else if (have_cross && mid > t_cross + margin)
+      above = false;
+    else
+      above = w.at(mid) > 0.5;
+    if (above)
+      lo = mid;
+    else
+      hi = mid;
+    if ((hi - lo) <= 1e-12 * hi) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
 }  // namespace
 
 double DelayDegradationModel::t50_ps(const DelayModelInput& in) {
@@ -63,13 +141,21 @@ double DelayDegradationModel::t50_ps(const DelayModelInput& in) {
     return t50_nominal * (1.0 + k);
   }
   const Waveform w = solve(in);
-  // Bracket the 50% crossing. The static-divider delay is the quasi-static
-  // bound; double past it defensively for extreme pole splits.
+  const double hi = bracket_hi(w, t50_nominal * (1.0 + k));
+  double t_cross = 0.0;
+  const bool have_cross = newton_crossing(w, hi, t_cross);
+  return refine_replay(w, hi, t_cross, have_cross);
+}
+
+double DelayDegradationModel::t50_ps_bisect(const DelayModelInput& in) {
+  validate(in);
+  const double t50_nominal = kLn2 * in.rg_kohm * in.cg_ff;
+  if (in.rs_kohm <= kTiny) return t50_nominal;  // rail pinned to ground
+  const double k = static_cast<double>(in.n) * in.rs_kohm / in.rg_kohm;
+  if (in.cs_ff <= kTiny) return t50_nominal * (1.0 + k);
+  const Waveform w = solve(in);
   double lo = 0.0;
-  double hi = t50_nominal * (1.0 + k);
-  int guard = 0;
-  while (w.at(hi) > 0.5 && guard++ < 64) hi *= 2.0;
-  IDDQ_ASSERT(w.at(hi) <= 0.5);
+  double hi = bracket_hi(w, t50_nominal * (1.0 + k));
   for (int i = 0; i < 100; ++i) {
     const double mid = 0.5 * (lo + hi);
     if (w.at(mid) > 0.5)

@@ -9,6 +9,8 @@
 #include "netlist/gen/c17.hpp"
 #include "netlist/gen/ila.hpp"
 #include "netlist/gen/iscas_profiles.hpp"
+#include "netlist/gen/multiplier.hpp"
+#include "netlist/gen/random_dag.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -38,14 +40,39 @@ bool parse_ila_name(std::string_view lower, std::size_t& rows,
   return str::parse_size(rows_s, rows) && str::parse_size(cols_s, cols);
 }
 
-// A bare "c<digits>" or "ila<R>x<C>" token is how users name generators;
-// anything with a path separator or an extension is clearly meant as a
-// file.
+// Parametric big-circuit builtins for the BIG bench tier. "big_dag<N>k"
+// is an N-thousand-gate NAND-heavy random DAG (DagProfile::basic shape,
+// fixed per-size seed, depth growing gently with size so the time grid
+// scales too); "mult<N>" is the N x N NOR-cell array multiplier (the
+// c6288 structure scaled up). Bounds are enforced in load_circuit, like
+// the ILA family.
+bool parse_big_dag_name(std::string_view lower, std::size_t& kgates) {
+  if (!str::starts_with(lower, "big_dag")) return false;
+  const auto body = lower.substr(7);
+  if (body.size() < 2 || body.back() != 'k') return false;
+  const auto digits = body.substr(0, body.size() - 1);
+  if (!all_digits(digits)) return false;
+  return str::parse_size(digits, kgates);
+}
+
+bool parse_mult_name(std::string_view lower, std::size_t& n) {
+  if (!str::starts_with(lower, "mult")) return false;
+  const auto digits = lower.substr(4);
+  if (!all_digits(digits)) return false;
+  return str::parse_size(digits, n);
+}
+
+// A bare "c<digits>", "ila<R>x<C>", "big_dag<N>k", or "mult<N>" token is
+// how users name generators; anything with a path separator or an
+// extension is clearly meant as a file.
 bool looks_like_builtin_name(std::string_view spec) {
   const std::string lower = str::to_lower(spec);
   std::size_t rows = 0;
   std::size_t cols = 0;
   if (parse_ila_name(lower, rows, cols)) return true;
+  std::size_t param = 0;
+  if (parse_big_dag_name(lower, param) || parse_mult_name(lower, param))
+    return true;
   if (spec.size() < 2 || (spec[0] != 'c' && spec[0] != 'C')) return false;
   return all_digits(spec.substr(1));
 }
@@ -54,8 +81,10 @@ bool looks_like_builtin_name(std::string_view spec) {
 
 std::vector<std::string> builtin_circuit_names() {
   // "ila8x8" stands in for the whole parametric ila<R>x<C> family (any
-  // 2..256 x 1..256); the load_circuit error text spells that out.
-  std::vector<std::string> names{"c17", "ila8x8"};
+  // 2..256 x 1..256), "big_dag10k" for big_dag<N>k (1..128 thousand
+  // gates), and "mult64" for mult<N> (2..64); the load_circuit error text
+  // spells that out.
+  std::vector<std::string> names{"c17", "ila8x8", "big_dag10k", "mult64"};
   for (const auto name : gen::table1_circuit_names())
     names.emplace_back(name);
   std::sort(names.begin(), names.end());
@@ -68,6 +97,9 @@ bool is_builtin_circuit(std::string_view spec) {
   std::size_t rows = 0;
   std::size_t cols = 0;
   if (parse_ila_name(lower, rows, cols)) return true;
+  std::size_t param = 0;
+  if (parse_big_dag_name(lower, param) || parse_mult_name(lower, param))
+    return true;
   const auto table1 = gen::table1_circuit_names();
   return std::find(table1.begin(), table1.end(), lower) != table1.end();
 }
@@ -85,6 +117,24 @@ Netlist load_circuit(const std::string& spec) {
                   "': ILA dimensions must be 2..256 x 1..256");
     return gen::make_and_exor_ila(ila_rows, ila_cols).netlist;
   }
+  std::size_t kgates = 0;
+  if (parse_big_dag_name(lower, kgates)) {
+    // 128k gates caps the family comfortably above the 100k north-star
+    // without letting a typo (big_dag1000k) allocate the machine away.
+    if (kgates < 1 || kgates > 128)
+      throw Error("builtin '" + spec +
+                  "': big_dag size must be 1..128 (thousand gates)");
+    // Depth grows gently with size so the transition-time grid scales
+    // along with the gate count (a fixed depth would pin the grid).
+    return gen::make_random_dag(gen::DagProfile::basic(
+        lower, kgates * 1000, 32 + kgates, 0xB16DA6 + kgates));
+  }
+  std::size_t mult_n = 0;
+  if (parse_mult_name(lower, mult_n)) {
+    if (mult_n < 2 || mult_n > 64)
+      throw Error("builtin '" + spec + "': mult width must be 2..64");
+    return gen::make_multiplier(mult_n);
+  }
   if (is_builtin_circuit(lower)) return gen::make_iscas_like(lower);
 
   std::error_code ec;
@@ -93,8 +143,9 @@ Netlist load_circuit(const std::string& spec) {
     std::ostringstream os;
     os << "unknown builtin circuit '" << spec << "'; valid builtins:";
     for (const auto& name : builtin_circuit_names()) os << ' ' << name;
-    os << " (ila<R>x<C> takes any size 2..256 x 1..256; or pass a .bench "
-          "file path)";
+    os << " (ila<R>x<C> takes any size 2..256 x 1..256, big_dag<N>k any "
+          "1..128 thousand gates, mult<N> any width 2..64; or pass a "
+          ".bench file path)";
     throw Error(os.str());
   }
   if (!exists)

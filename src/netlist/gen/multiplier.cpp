@@ -62,7 +62,7 @@ class MultBuilder {
 }  // namespace
 
 Netlist make_multiplier(std::size_t n, std::string_view name) {
-  require(n >= 2 && n <= 32, "make_multiplier: n must be in [2, 32]");
+  require(n >= 2 && n <= 64, "make_multiplier: n must be in [2, 64]");
   const std::string circuit_name =
       name.empty() ? "mult" + std::to_string(n) + "x" + std::to_string(n)
                    : std::string(name);

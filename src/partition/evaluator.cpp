@@ -88,22 +88,23 @@ void PartitionEvaluator::rebuild_all() {
   leak_ua_.assign(k, 0.0);
   cvr_ff_.assign(k, 0.0);
   separation_.assign(k, 0.0);
-  type_histogram_.assign(k, std::vector<std::uint32_t>(ctx_->type_count, 0));
+  type_histogram_.assign(k * ctx_->type_count, 0);
   std::vector<std::uint32_t> module_of(partition_.gate_count(), kUnassigned);
   for (netlist::GateId g = 0; g < partition_.gate_count(); ++g)
     module_of[g] = partition_.module_of(g);
   for (std::uint32_t m = 0; m < k; ++m) {
+    const auto hist = hist_row(m);
     for (const netlist::GateId g : partition_.module(m)) {
       const auto& cell = ctx_->cells[g];
       profiles_[m].add_gate(ctx_->transition_times.at(g), cell.ipeak_ua);
       leak_ua_[m] += units::na_to_ua(cell.ileak_na);
       cvr_ff_[m] += cell.cvr_ff;
-      type_histogram_[m][ctx_->type_of[g]]++;
+      hist[ctx_->type_of[g]]++;
     }
     separation_[m] = est::module_separation(ctx_->oracle, partition_.module(m),
                                             m, module_of);
   }
-  type_delta_.assign(k, std::vector<double>(ctx_->type_count, 1.0));
+  type_delta_.assign(k * ctx_->type_count, 1.0);
   area_.assign(k, 0.0);
   settle_ps_.assign(k, 0.0);
   dirty_.assign(k, 1);
@@ -145,9 +146,9 @@ void PartitionEvaluator::move_gate(netlist::GateId g, std::uint32_t target) {
   cvr_ff_[src] -= cell.cvr_ff;
   cvr_ff_[target] += cell.cvr_ff;
   const std::uint16_t type = ctx_->type_of[g];
-  IDDQ_ASSERT(type_histogram_[src][type] > 0);
-  type_histogram_[src][type]--;
-  type_histogram_[target][type]++;
+  IDDQ_ASSERT(hist_row(src)[type] > 0);
+  hist_row(src)[type]--;
+  hist_row(target)[type]++;
 
   // A move dirties exactly its two endpoint modules; erase_module below
   // carries the flags through the slot swap.
@@ -167,8 +168,10 @@ void PartitionEvaluator::erase_module(std::uint32_t m) {
     leak_ua_[m] = leak_ua_[last];
     cvr_ff_[m] = cvr_ff_[last];
     separation_[m] = separation_[last];
-    type_histogram_[m] = std::move(type_histogram_[last]);
-    type_delta_[m] = std::move(type_delta_[last]);
+    const auto last_hist = hist_row(last);
+    std::copy(last_hist.begin(), last_hist.end(), hist_row(m).begin());
+    const auto last_row = delta_row(last);
+    std::copy(last_row.begin(), last_row.end(), delta_row(m).begin());
     area_[m] = area_[last];
     settle_ps_[m] = settle_ps_[last];
     dirty_[m] = dirty_[last];
@@ -177,8 +180,8 @@ void PartitionEvaluator::erase_module(std::uint32_t m) {
   leak_ua_.pop_back();
   cvr_ff_.pop_back();
   separation_.pop_back();
-  type_histogram_.pop_back();
-  type_delta_.pop_back();
+  type_histogram_.resize(last * ctx_->type_count);
+  type_delta_.resize(last * ctx_->type_count);
   area_.pop_back();
   settle_ps_.pop_back();
   dirty_.pop_back();
@@ -203,8 +206,8 @@ double PartitionEvaluator::violation() const {
 
 void PartitionEvaluator::derive_module_delay(
     double idd_max_ua, std::uint32_t max_switching, double cvr_ff,
-    const std::vector<std::uint32_t>& histogram,
-    std::vector<double>& type_delta_row, double& area, double& settle) const {
+    std::span<const std::uint32_t> histogram, std::span<double> type_delta_row,
+    double& area, double& settle) const {
   // Worst-case degradation per (module, cell type): every gate of the
   // module is charged the module's peak simultaneity n_max,m — the paper's
   // pessimistic treatment of the time-grid functions delta(g, t). Note the
@@ -215,7 +218,9 @@ void PartitionEvaluator::derive_module_delay(
   const double rs = elec::sensor_rs_kohm(ctx_->sensor, idd_max_ua);
   const double cs = cvr_ff + ctx_->sensor.c_sensor_ff;
   const std::uint32_t n_max = std::max<std::uint32_t>(max_switching, 1);
-  type_delta_row.assign(ctx_->type_count, 1.0);
+  IDDQ_ASSERT(histogram.size() == ctx_->type_count &&
+              type_delta_row.size() == ctx_->type_count);
+  std::fill(type_delta_row.begin(), type_delta_row.end(), 1.0);
   for (std::size_t t = 0; t < ctx_->type_count; ++t) {
     if (histogram[t] == 0) continue;
     elec::DelayModelInput in;
@@ -238,13 +243,13 @@ void PartitionEvaluator::refresh() {
   for (std::uint32_t m = 0; m < k; ++m) {
     if (!dirty_[m]) continue;
     derive_module_delay(profiles_[m].max_current_ua(),
-                        profiles_[m].max_switching(), cvr_ff_[m],
-                        type_histogram_[m], type_delta_[m], area_[m],
-                        settle_ps_[m]);
+                        profiles_[m].max_switching(), cvr_ff_[m], hist_row(m),
+                        delta_row(m), area_[m], settle_ps_[m]);
     dirty_gates += partition_.module_size(m);
   }
   const auto factor = [this](netlist::GateId g) {
-    return type_delta_[partition_.module_of(g)][ctx_->type_of[g]];
+    return type_delta_[partition_.module_of(g) * ctx_->type_count +
+                       ctx_->type_of[g]];
   };
   // Dense updates (big mutations touching most gates, or a copied
   // evaluator whose timing state was dropped) take the plain full pass;
@@ -317,7 +322,8 @@ MoveProbe PartitionEvaluator::probe_move(netlist::GateId g,
     // A fresh copy dropped its arrival state and nothing has dirtied it
     // since; rebuild it (bit-identical to the dropped state).
     d_bic_ps_ = timing_.rebuild([this](netlist::GateId x) {
-      return type_delta_[partition_.module_of(x)][ctx_->type_of[x]];
+      return type_delta_[partition_.module_of(x) * ctx_->type_count +
+                         ctx_->type_of[x]];
     });
   }
 
@@ -353,13 +359,17 @@ MoveProbe PartitionEvaluator::probe_move(netlist::GateId g,
   const double cvr_src = cvr_ff_[src] - cell.cvr_ff;
   const double cvr_tgt = cvr_ff_[target] + cell.cvr_ff;
   const std::uint16_t type = ctx_->type_of[g];
-  scratch.hist_src = type_histogram_[src];
+  const auto src_hist = hist_row(src);
+  scratch.hist_src.assign(src_hist.begin(), src_hist.end());
   IDDQ_ASSERT(scratch.hist_src[type] > 0);
   scratch.hist_src[type]--;
-  scratch.hist_tgt = type_histogram_[target];
+  const auto tgt_hist = hist_row(target);
+  scratch.hist_tgt.assign(tgt_hist.begin(), tgt_hist.end());
   scratch.hist_tgt[type]++;
 
   double area_src = 0.0, area_tgt = 0.0, settle_src = 0.0, settle_tgt = 0.0;
+  scratch.row_src.resize(ctx_->type_count);
+  scratch.row_tgt.resize(ctx_->type_count);
   derive_module_delay(peak_src.current_ua, peak_src.switching, cvr_src,
                       scratch.hist_src, scratch.row_src, area_src,
                       settle_src);
@@ -383,7 +393,7 @@ MoveProbe PartitionEvaluator::probe_move(netlist::GateId g,
     const std::uint32_t m = partition_.module_of(x);
     if (m == src) return scratch.row_src[ctx_->type_of[x]];
     if (m == target) return scratch.row_tgt[ctx_->type_of[x]];
-    return type_delta_[m][ctx_->type_of[x]];
+    return type_delta_[m * ctx_->type_count + ctx_->type_of[x]];
   };
   const double d_bic = timing_.probe(scratch.seeds, probe_factor);
 
@@ -442,6 +452,10 @@ void PartitionEvaluator::self_check() {
   refresh();
   PartitionEvaluator fresh(*ctx_, partition_);
   for (std::uint32_t m = 0; m < partition_.module_count(); ++m) {
+    // The incremental max state first: every tournament-tree node must be
+    // consistent with its leaves and the O(1) maxima with the O(grid)
+    // reference scans.
+    profiles_[m].self_check();
     // Switching counts are integers and must match exactly; the running
     // current sums accumulate floating-point rounding in a different order
     // than a fresh summation, so they are compared with a tolerance.
@@ -461,7 +475,10 @@ void PartitionEvaluator::self_check() {
             "self_check: cvr mismatch");
     require(math::rel_diff(fresh.separation_[m], separation_[m]) < 1e-9,
             "self_check: separation mismatch");
-    require(fresh.type_histogram_[m] == type_histogram_[m],
+    const auto fresh_hist = fresh.hist_row(m);
+    const auto inc_hist = hist_row(m);
+    require(std::equal(fresh_hist.begin(), fresh_hist.end(), inc_hist.begin(),
+                       inc_hist.end()),
             "self_check: type histogram mismatch");
   }
   // Lazy delay state: the cached anchors/area/settling are pure functions
@@ -469,16 +486,18 @@ void PartitionEvaluator::self_check() {
   // against *those* sums they must be bit-exact — and so must the
   // incrementally maintained critical path against a full pass over the
   // same per-gate factors.
-  std::vector<double> row;
+  std::vector<double> row(ctx_->type_count);
   double area = 0.0;
   double settle = 0.0;
   double settle_max = 0.0;
   std::vector<double> factors(ctx_->nl.gate_count(), 1.0);
   for (std::uint32_t m = 0; m < partition_.module_count(); ++m) {
     derive_module_delay(profiles_[m].max_current_ua(),
-                        profiles_[m].max_switching(), cvr_ff_[m],
-                        type_histogram_[m], row, area, settle);
-    require(row == type_delta_[m], "self_check: type-delta row mismatch");
+                        profiles_[m].max_switching(), cvr_ff_[m], hist_row(m),
+                        row, area, settle);
+    const auto cached = delta_row(m);
+    require(std::equal(row.begin(), row.end(), cached.begin(), cached.end()),
+            "self_check: type-delta row mismatch");
     require(area == area_[m], "self_check: sensor-area cache mismatch");
     require(settle == settle_ps_[m], "self_check: settling cache mismatch");
     settle_max = std::max(settle_max, settle);

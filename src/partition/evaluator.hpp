@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "electrical/sensor_model.hpp"
@@ -182,29 +183,56 @@ class PartitionEvaluator {
   /// Derives the delay-model anchors, sensor area, and settling time of a
   /// module's (profile, cvr, histogram) state. The single code path for
   /// refresh(), probe_move(), and self_check() — sharing it is what keeps
-  /// overlay arithmetic bit-identical to committed refreshes.
+  /// overlay arithmetic bit-identical to committed refreshes. The row
+  /// spans must be ctx_->type_count wide (a row of the SoA matrices below
+  /// or an equally sized scratch row).
   void derive_module_delay(double idd_max_ua, std::uint32_t max_switching,
                            double cvr_ff,
-                           const std::vector<std::uint32_t>& histogram,
-                           std::vector<double>& type_delta_row, double& area,
+                           std::span<const std::uint32_t> histogram,
+                           std::span<double> type_delta_row, double& area,
                            double& settle) const;
   void mark_dirty(std::uint32_t m);
+
+  /// Rows of the flat [module x type] SoA matrices.
+  [[nodiscard]] std::span<const std::uint32_t> hist_row(
+      std::uint32_t m) const noexcept {
+    return std::span<const std::uint32_t>(type_histogram_)
+        .subspan(m * ctx_->type_count, ctx_->type_count);
+  }
+  [[nodiscard]] std::span<std::uint32_t> hist_row(std::uint32_t m) noexcept {
+    return std::span<std::uint32_t>(type_histogram_)
+        .subspan(m * ctx_->type_count, ctx_->type_count);
+  }
+  [[nodiscard]] std::span<const double> delta_row(
+      std::uint32_t m) const noexcept {
+    return std::span<const double>(type_delta_)
+        .subspan(m * ctx_->type_count, ctx_->type_count);
+  }
+  [[nodiscard]] std::span<double> delta_row(std::uint32_t m) noexcept {
+    return std::span<double>(type_delta_)
+        .subspan(m * ctx_->type_count, ctx_->type_count);
+  }
 
   const EvalContext* ctx_;
   Partition partition_;
 
-  // Per-module caches, indexed like partition_ modules.
+  // Per-module caches, indexed like partition_ modules. The per-type state
+  // is SoA: one flat [module x type] matrix per quantity (stride
+  // ctx_->type_count) instead of a vector-of-vectors, so a refresh sweeps
+  // contiguous memory the compiler can vectorize, a probe's overlay rows
+  // are cheap span copies, and erase_module's slot swap is a copy_n
+  // instead of a heap-handle shuffle.
   std::vector<est::ModuleCurrentProfile> profiles_;
   std::vector<double> leak_ua_;
   std::vector<double> cvr_ff_;
   std::vector<double> separation_;
-  std::vector<std::vector<std::uint32_t>> type_histogram_;
+  std::vector<std::uint32_t> type_histogram_;  // flat [module x type]
 
   // Lazily refreshed delay/area state (valid where !dirty_[m]). The
-  // per-gate degradation factor is type_delta_[module_of(g)][type_of(g)]
+  // per-gate degradation factor is delta_row(module_of(g))[type_of(g)]
   // — served to the timing engine through a lookup, never materialised as
   // a per-gate array.
-  std::vector<std::vector<double>> type_delta_;  // [module][type]
+  std::vector<double> type_delta_;               // flat [module x type]
   std::vector<double> area_;                     // sensor area per module
   std::vector<double> settle_ps_;                // Delta(tau) per module
   std::vector<std::uint8_t> dirty_;              // per module

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/rng.hpp"
 
 namespace iddq::elec {
 namespace {
@@ -109,6 +110,46 @@ TEST(DelayModel, TypicalMagnitudeIsFewPercent) {
   const double d = DelayDegradationModel::delta(in);
   EXPECT_GT(d, 1.005);
   EXPECT_LT(d, 1.2);
+}
+
+TEST(DelayModel, ClosedFormMatchesBisectionBitForBit) {
+  // The analytic-crossing path must reproduce the historical
+  // bracket-and-bisect result EXACTLY — t50_ps feeds the per-module delay
+  // anchors, and any last-bit drift there would change committed bench
+  // rows. Sweep the operating range with wide log-uniform samples.
+  Rng rng(0x750'750);
+  for (int i = 0; i < 4000; ++i) {
+    DelayModelInput in;
+    in.rs_kohm = std::pow(10.0, rng.uniform(-4.0, 1.0));
+    in.cs_ff = std::pow(10.0, rng.uniform(-1.0, 6.0));
+    in.cg_ff = std::pow(10.0, rng.uniform(-1.0, 2.5));
+    in.rg_kohm = std::pow(10.0, rng.uniform(-1.0, 2.5));
+    in.n = static_cast<std::uint32_t>(1 + rng.below(4000));
+    const double fast = DelayDegradationModel::t50_ps(in);
+    const double reference = DelayDegradationModel::t50_ps_bisect(in);
+    ASSERT_EQ(fast, reference)
+        << "rs=" << in.rs_kohm << " cs=" << in.cs_ff << " cg=" << in.cg_ff
+        << " rg=" << in.rg_kohm << " n=" << in.n;
+  }
+}
+
+TEST(DelayModel, ClosedFormMatchesBisectionAtExtremePoleSplits) {
+  // Corner regimes: near-degenerate poles, huge simultaneity, tiny and
+  // enormous rail capacitance — the cases where the doubling bracket and
+  // the guard-band fallback actually engage.
+  for (const double rs : {1e-6, 1e-3, 0.02, 1.0, 50.0})
+    for (const double cs : {1e-3, 1.0, 2000.0, 1e8})
+      for (const std::uint32_t n : {1u, 7u, 500u, 100000u}) {
+        DelayModelInput in;
+        in.rs_kohm = rs;
+        in.cs_ff = cs;
+        in.cg_ff = 15.0;
+        in.rg_kohm = 25.0;
+        in.n = n;
+        ASSERT_EQ(DelayDegradationModel::t50_ps(in),
+                  DelayDegradationModel::t50_ps_bisect(in))
+            << "rs=" << rs << " cs=" << cs << " n=" << n;
+      }
 }
 
 TEST(DelayModel, RejectsInvalidInputs) {

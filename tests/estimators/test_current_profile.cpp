@@ -5,9 +5,28 @@
 #include "library/cell_library.hpp"
 #include "netlist/gen/array_cut.hpp"
 #include "netlist/gen/c17.hpp"
+#include "support/rng.hpp"
 
 namespace iddq::est {
 namespace {
+
+/// Random synthetic gate for the tournament-tree property tests.
+struct FakeGate {
+  DynamicBitset times;
+  double ipeak_ua = 0.0;
+};
+
+std::vector<FakeGate> random_gates(Rng& rng, std::size_t grid,
+                                   std::size_t count) {
+  std::vector<FakeGate> gates(count);
+  for (auto& g : gates) {
+    g.times = DynamicBitset(grid);
+    const std::size_t bits = 1 + rng.below(std::max<std::size_t>(grid / 4, 1));
+    for (std::size_t b = 0; b < bits; ++b) g.times.set(rng.below(grid));
+    g.ipeak_ua = rng.uniform(0.05, 8.0);
+  }
+  return gates;
+}
 
 struct Fixture {
   netlist::Netlist nl = netlist::gen::make_c17();
@@ -109,6 +128,111 @@ TEST(CurrentProfile, SumOfModuleMaximaBoundsGlobalPeak) {
   for (const auto& g : groups)
     sum += profile_of(f.tt, f.cells, g).max_current_ua();
   EXPECT_GE(sum, global.max_current_ua() - 1e-9);
+}
+
+TEST(CurrentProfile, TreeMaximaMatchScansUnderRandomChurn) {
+  // The O(1) tournament-tree maxima must stay bit-equal to the historical
+  // O(grid) scans through arbitrary add/remove sequences — including the
+  // witness-invalidation paths where the gate carrying the current max is
+  // removed and the tree must fall back to the runner-up. Odd,
+  // non-power-of-two grids exercise the 1-based tree's irregular shape.
+  Rng rng(0xC0FFEE);
+  for (const std::size_t grid : {1ul, 2ul, 3ul, 7ul, 64ul, 193ul}) {
+    const auto gates = random_gates(rng, grid, 40);
+    ModuleCurrentProfile p(grid);
+    std::vector<std::size_t> in_module;
+    std::vector<std::size_t> out_of_module(gates.size());
+    for (std::size_t i = 0; i < gates.size(); ++i) out_of_module[i] = i;
+    for (int step = 0; step < 400; ++step) {
+      const bool add = in_module.empty() ||
+                       (!out_of_module.empty() && rng.below(2) == 0);
+      auto& pool = add ? out_of_module : in_module;
+      auto& other = add ? in_module : out_of_module;
+      const std::size_t pick = rng.below(pool.size());
+      const std::size_t gate = pool[pick];
+      pool[pick] = pool.back();
+      pool.pop_back();
+      other.push_back(gate);
+      if (add)
+        p.add_gate(gates[gate].times, gates[gate].ipeak_ua);
+      else
+        p.remove_gate(gates[gate].times, gates[gate].ipeak_ua);
+      ASSERT_EQ(p.max_current_ua(), p.scan_max_current_ua());
+      ASSERT_EQ(p.max_switching(), p.scan_max_switching());
+      if (step % 50 == 0) ASSERT_NO_THROW(p.self_check());
+    }
+    ASSERT_NO_THROW(p.self_check());
+  }
+}
+
+TEST(CurrentProfile, OverlayMaximaMatchScansAndRollBack) {
+  // The span+range-query overlay probes must (a) return exactly what the
+  // O(grid) overlay scan returns — itself pinned to copy + update +
+  // max_*() — and (b) leave the profile bit-identical to its pre-probe
+  // state.
+  Rng rng(0xBADA55);
+  for (const std::size_t grid : {3ul, 29ul, 128ul, 193ul}) {
+    const auto gates = random_gates(rng, grid, 30);
+    ModuleCurrentProfile p(grid);
+    std::vector<std::size_t> in_module;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (rng.below(2) == 0) continue;
+      p.add_gate(gates[i].times, gates[i].ipeak_ua);
+      in_module.push_back(i);
+    }
+    if (in_module.empty()) {
+      p.add_gate(gates[0].times, gates[0].ipeak_ua);
+      in_module.push_back(0);
+    }
+    const ModuleCurrentProfile before = p;
+    for (int trial = 0; trial < 100; ++trial) {
+      const auto& cand = gates[rng.below(gates.size())];
+      const auto fast = p.max_with_gate_added(cand.times, cand.ipeak_ua);
+      const auto ref = p.scan_max_with_gate_added(cand.times, cand.ipeak_ua);
+      ASSERT_EQ(fast.current_ua, ref.current_ua);
+      ASSERT_EQ(fast.switching, ref.switching);
+      // Cross-check against the materialised copy the overlay stands for.
+      ModuleCurrentProfile copy = p;
+      copy.add_gate(cand.times, cand.ipeak_ua);
+      ASSERT_EQ(fast.current_ua, copy.max_current_ua());
+      ASSERT_EQ(fast.switching, copy.max_switching());
+
+      const auto& member = gates[in_module[rng.below(in_module.size())]];
+      const auto rfast = p.max_with_gate_removed(member.times,
+                                                 member.ipeak_ua);
+      const auto rref =
+          p.scan_max_with_gate_removed(member.times, member.ipeak_ua);
+      ASSERT_EQ(rfast.current_ua, rref.current_ua);
+      ASSERT_EQ(rfast.switching, rref.switching);
+      ModuleCurrentProfile rcopy = p;
+      rcopy.remove_gate(member.times, member.ipeak_ua);
+      ASSERT_EQ(rfast.current_ua, rcopy.max_current_ua());
+      ASSERT_EQ(rfast.switching, rcopy.max_switching());
+
+      ASSERT_EQ(p, before);  // probes rolled back bit-exactly
+    }
+    ASSERT_NO_THROW(p.self_check());
+  }
+}
+
+TEST(CurrentProfile, OverlayRemovalOfDominantGateFindsRunnerUp) {
+  // Targeted witness-invalidation: one gate dominates the peak at a unique
+  // slot; probing its removal must surface the runner-up slot's value, not
+  // a stale root.
+  ModuleCurrentProfile p(16);
+  DynamicBitset dominant(16);
+  dominant.set(5);
+  DynamicBitset runner_up(16);
+  runner_up.set(11);
+  p.add_gate(dominant, 100.0);
+  p.add_gate(runner_up, 7.0);
+  EXPECT_DOUBLE_EQ(p.max_current_ua(), 100.0);
+  const auto after = p.max_with_gate_removed(dominant, 100.0);
+  EXPECT_DOUBLE_EQ(after.current_ua, 7.0);
+  EXPECT_EQ(after.switching, 1u);
+  // And the probe left the dominant gate in place.
+  EXPECT_DOUBLE_EQ(p.max_current_ua(), 100.0);
+  EXPECT_EQ(p.max_switching(), 1u);
 }
 
 }  // namespace

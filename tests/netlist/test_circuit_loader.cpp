@@ -11,10 +11,10 @@
 namespace iddq::netlist {
 namespace {
 
-TEST(CircuitLoader, BuiltinNamesAreTheEightGenerators) {
+TEST(CircuitLoader, BuiltinNamesAreTheTenGenerators) {
   const auto names = builtin_circuit_names();
-  ASSERT_EQ(names.size(), 8u);
-  EXPECT_EQ(names.front(), "c17");
+  ASSERT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.front(), "big_dag10k");
   for (const auto& name : names) EXPECT_TRUE(is_builtin_circuit(name));
 }
 
@@ -49,6 +49,63 @@ TEST(CircuitLoader, IlaDimensionBoundsAreEnforced) {
   }
 }
 
+TEST(CircuitLoader, BigDagAndMultNamesAreParametric) {
+  EXPECT_TRUE(is_builtin_circuit("big_dag10k"));
+  EXPECT_TRUE(is_builtin_circuit("BIG_DAG30K"));
+  EXPECT_TRUE(is_builtin_circuit("mult64"));
+  EXPECT_TRUE(is_builtin_circuit("Mult8"));
+  EXPECT_FALSE(is_builtin_circuit("big_dag10"));   // missing the 'k'
+  EXPECT_FALSE(is_builtin_circuit("big_dagk"));    // no digits
+  EXPECT_FALSE(is_builtin_circuit("big_dagxk"));   // not digits
+  EXPECT_FALSE(is_builtin_circuit("mult"));        // no width
+  EXPECT_FALSE(is_builtin_circuit("mult16x16"));   // internal name, not spec
+}
+
+TEST(CircuitLoader, LoadsBigDagWithRequestedGateCount) {
+  const auto nl = load_circuit("big_dag1k");
+  EXPECT_EQ(nl.logic_gate_count(), 1000u);
+  EXPECT_EQ(nl.name(), "big_dag1k");
+  // Deterministic: the same spec always yields the same netlist.
+  const auto again = load_circuit("BIG_DAG1K");
+  ASSERT_EQ(again.logic_gate_count(), nl.logic_gate_count());
+  for (std::size_t g = 0; g < nl.gate_count(); ++g) {
+    ASSERT_EQ(nl.gate(g).kind, again.gate(g).kind);
+    ASSERT_EQ(nl.gate(g).fanins, again.gate(g).fanins);
+  }
+  // Distinct sizes get distinct seeds, not a truncation of one another.
+  EXPECT_EQ(load_circuit("big_dag2k").logic_gate_count(), 2000u);
+}
+
+TEST(CircuitLoader, LoadsMultiplierWithRequestedWidth) {
+  const auto nl = load_circuit("mult4");
+  EXPECT_EQ(nl.primary_inputs().size(), 8u);
+  EXPECT_EQ(nl.primary_outputs().size(), 8u);
+  EXPECT_GT(nl.logic_gate_count(), 4u * 4u);  // pp array + adder cells
+}
+
+TEST(CircuitLoader, BigDagAndMultBoundsAreEnforced) {
+  for (const char* bad : {"big_dag0k", "big_dag129k", "big_dag1000k"}) {
+    try {
+      (void)load_circuit(bad);
+      FAIL() << "expected Error for " << bad;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("big_dag size must be 1..128"),
+                std::string::npos)
+          << bad;
+    }
+  }
+  for (const char* bad : {"mult1", "mult65", "mult999"}) {
+    try {
+      (void)load_circuit(bad);
+      FAIL() << "expected Error for " << bad;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("mult width must be 2..64"),
+                std::string::npos)
+          << bad;
+    }
+  }
+}
+
 TEST(CircuitLoader, LoadsBuiltinsCaseInsensitively) {
   const auto lower = load_circuit("c17");
   const auto upper = load_circuit("C17");
@@ -66,6 +123,8 @@ TEST(CircuitLoader, UnknownBuiltinLikeNameListsValidBuiltins) {
     EXPECT_NE(what.find("unknown builtin circuit 'c432'"), std::string::npos);
     EXPECT_NE(what.find("c17"), std::string::npos);
     EXPECT_NE(what.find("c7552"), std::string::npos);
+    EXPECT_NE(what.find("big_dag10k"), std::string::npos);
+    EXPECT_NE(what.find("mult64"), std::string::npos);
   }
 }
 

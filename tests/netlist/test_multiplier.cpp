@@ -80,7 +80,7 @@ TEST(Multiplier, MostlyNorCells) {
 
 TEST(Multiplier, RejectsBadWidths) {
   EXPECT_THROW((void)make_multiplier(1), Error);
-  EXPECT_THROW((void)make_multiplier(33), Error);
+  EXPECT_THROW((void)make_multiplier(65), Error);
 }
 
 TEST(Multiplier, DefaultNameEncodesWidth) {

@@ -30,10 +30,11 @@ import json
 import sys
 
 TIMING_ROW_FIELDS = {"seconds"}
-# "coverage" is only emitted by --coverage runs, so legacy baselines
-# (no field) and default runs stay mutually comparable, while a graded
-# run never diffs against an ungraded one.
-COMPARABILITY_FIELDS = ("bench", "fast", "seconds_kind", "coverage")
+# "coverage" is only emitted by --coverage runs, and "tier" only by
+# non-default --tier runs, so legacy baselines (no field) and default
+# runs stay mutually comparable, while a graded run never diffs against
+# an ungraded one and a BIG-tier run never diffs against table1.
+COMPARABILITY_FIELDS = ("bench", "tier", "fast", "seconds_kind", "coverage")
 
 
 def load(path):

@@ -4,6 +4,7 @@
     tools/bench_history.py [--max-commits N] [--csv FILE] [--json FILE]
                            [--rev-range RANGE] [--build-root DIR]
                            [--plot FILE.svg] [--from-json FILE]
+                           [--tier table1|big]
 
 For each commit on the current branch (newest first, bounded by
 --max-commits, default 8), the script:
@@ -13,7 +14,10 @@ For each commit on the current branch (newest first, bounded by
   2. configures and builds ONLY the bench_table1_main target there
      (benches on, tests/examples off, so old commits build fast),
   3. runs the FAST sweep (IDDQSYN_BENCH_FAST=1) with --json and collects
-     `total_seconds` plus the row count,
+     `total_seconds` plus the row count — `--tier big` records the
+     BIG-ladder sweep instead (the flag is only passed to the bench for
+     non-default tiers, so table1 walks still reach commits that predate
+     `--tier`; commits without BIG support report as skipped),
   4. emits one record per commit as JSON (default: stdout) and/or CSV.
 
 Commits that predate the bench target, fail to build, or fail to run are
@@ -71,7 +75,7 @@ def commit_meta(repo, sha):
     return {"commit": short, "date": date, "subject": subject}
 
 
-def bench_one(repo, sha, build_root, jobs):
+def bench_one(repo, sha, build_root, jobs, tier):
     """Returns (record, reason); reason is None on success."""
     worktree = os.path.join(build_root, f"wt_{sha[:12]}")
     build_dir = os.path.join(build_root, f"build_{sha[:12]}")
@@ -100,7 +104,10 @@ def bench_one(repo, sha, build_root, jobs):
         bench = os.path.join(build_dir, BENCH_TARGET)
         json_path = os.path.join(build_dir, "bench_history_row.json")
         env = dict(os.environ, IDDQSYN_BENCH_FAST="1")
-        proc = run([bench, "--json", json_path], env=env)
+        cmd = [bench, "--json", json_path]
+        if tier != "table1":
+            cmd += ["--tier", tier]
+        proc = run(cmd, env=env)
         if proc.returncode != 0:
             return None, f"bench run failed: {proc.stderr.strip()[:200]}"
 
@@ -113,6 +120,7 @@ def bench_one(repo, sha, build_root, jobs):
             "total_seconds": doc.get("total_seconds"),
             "rows": len(doc.get("rows", [])),
             "fast": doc.get("fast"),
+            "tier": doc.get("tier", "table1"),
             "threads": doc.get("threads"),
         }, None
     finally:
@@ -223,6 +231,11 @@ def main():
     parser.add_argument("--from-json", metavar="FILE",
                         help="plot/re-emit records from an earlier run's "
                         "--json output instead of walking history")
+    parser.add_argument("--tier", choices=["table1", "big"],
+                        default="table1",
+                        help="bench tier to sweep at each commit "
+                        "(default: table1; 'big' runs the 10k-100k-gate "
+                        "ladder and is skipped by commits that predate it)")
     args = parser.parse_args()
     if args.max_commits < 1:
         print("bench_history: --max-commits must be >= 1", file=sys.stderr)
@@ -258,7 +271,8 @@ def main():
                     f"{record['subject'][:60]}",
                     file=sys.stderr,
                 )
-                timing, reason = bench_one(repo, sha, build_root, args.jobs)
+                timing, reason = bench_one(repo, sha, build_root,
+                                           args.jobs, args.tier)
                 if timing is None:
                     record.update({"status": "skipped", "reason": reason})
                     print(f"  skipped: {reason}", file=sys.stderr)
@@ -289,7 +303,7 @@ def main():
         import csv
 
         fields = ["commit", "date", "subject", "status", "reason",
-                  "total_seconds", "rows", "fast", "threads"]
+                  "total_seconds", "rows", "fast", "tier", "threads"]
         with open(args.csv, "w", encoding="utf-8", newline="") as handle:
             writer = csv.DictWriter(handle, fieldnames=fields,
                                     extrasaction="ignore")

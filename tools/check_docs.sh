@@ -77,6 +77,23 @@ for flag in --pareto; do
   fi
 done
 
+# The bench tiers (bench_table1_main --tier/--only) must be documented
+# in the README's bench section and docs/architecture.md's big-circuit
+# scaling section.
+arch_docs="$(dirname "$0")/../docs/architecture.md"
+[ -f "$arch_docs" ] || {
+  echo "check_docs: $arch_docs not found"; exit 1; }
+for flag in --tier --only; do
+  if ! grep -q -e "$flag" "$readme"; then
+    echo "check_docs: '$flag' is missing from the README bench section"
+    status=1
+  fi
+done
+if ! grep -q -e "--tier big" "$arch_docs"; then
+  echo "check_docs: '--tier big' is undocumented in docs/architecture.md"
+  status=1
+fi
+
 # The cluster front-end's routing/failover knobs must be documented in
 # docs/cluster.md (and surfaced in the README flag table).
 cluster_docs="$(dirname "$0")/../docs/cluster.md"

@@ -40,6 +40,15 @@
 #
 #   $ tools/ci.sh coverage-smoke [build-dir]  default: build-coverage
 #
+# Big-circuit smoke (the CI big-smoke job): build the bench, run the
+# BIG-tier sweep restricted to the ~10k-gate big_dag10k at FAST budget
+# with IDDQ_THREADS=2, and diff the rows against the committed golden
+# tests/golden/BENCH_big_smoke.json — the large-circuit scaling path
+# obeys the same byte-identity contract as the Table-1 tier, at a
+# wall-clock cost CI can afford (~2 s of sweep).
+#
+#   $ tools/ci.sh big-smoke [build-dir]  default: build-bench
+#
 # Traffic stress (the CI stress job): start a TCP server, run three
 # concurrent submit clients — one deliberately slow (--stall-ms) so the
 # per-session event queue absorbs a non-draining reader — and diff every
@@ -61,7 +70,7 @@ set -eu
 
 MODE="full"
 case "${1:-}" in
-  smoke|threads|tsan|bench|coverage-smoke|stress|cluster)
+  smoke|threads|tsan|bench|big-smoke|coverage-smoke|stress|cluster)
     MODE="$1"
     shift
     ;;
@@ -98,6 +107,20 @@ if [ "$MODE" = "bench" ]; then
   python3 "$ROOT/tools/bench_compare.py" "$ROOT/BENCH_table1.json" \
     "$BUILD_DIR/BENCH_fresh.json"
   echo "bench rows OK"
+  exit 0
+fi
+
+if [ "$MODE" = "big-smoke" ]; then
+  BUILD_DIR="${1:-build-bench}"
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DIDDQ_WERROR=ON -DIDDQ_BUILD_TESTS=OFF \
+    -DIDDQ_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_table1_main
+  IDDQSYN_BENCH_FAST=1 IDDQ_THREADS=2 "$BUILD_DIR/bench_table1_main" \
+    --tier big --only big_dag10k --json "$BUILD_DIR/BENCH_big_fresh.json"
+  python3 "$ROOT/tools/bench_compare.py" \
+    "$ROOT/tests/golden/BENCH_big_smoke.json" \
+    "$BUILD_DIR/BENCH_big_fresh.json"
+  echo "big smoke OK"
   exit 0
 fi
 

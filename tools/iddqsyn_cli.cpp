@@ -5,9 +5,12 @@
 //
 //   <circuit>             path to an ISCAS85 .bench file, or one of the
 //                         built-in generators: c17, c1908, c2670, c3540,
-//                         c5315, c6288, c7552, or a parametric AND-EXOR
-//                         iterative logic array ila<R>x<C> (2..256 rows,
-//                         1..256 columns), e.g. ila8x8
+//                         c5315, c6288, c7552, or a parametric family: an
+//                         AND-EXOR iterative logic array ila<R>x<C> (2..256
+//                         rows, 1..256 columns, e.g. ila8x8), a layered
+//                         random DAG big_dag<N>k (1..128 thousand gates,
+//                         e.g. big_dag10k), or an array multiplier mult<N>
+//                         (width 2..64, e.g. mult64)
 //
 // Options:
 //   --method NAMES        comma-separated optimizer specs from the registry
@@ -135,7 +138,8 @@ struct CliOptions {
 
 void print_usage(std::ostream& os) {
   os << "usage: iddqsyn [options] <circuit.bench | c17 | c1908 | c2670 | "
-        "c3540 | c5315 | c6288 | c7552 | ila<R>x<C>> [<circuit> ...]\n"
+        "c3540 | c5315 | c6288 | c7552 | ila<R>x<C> | big_dag<N>k | "
+        "mult<N>> [<circuit> ...]\n"
         "  --method NAMES   comma-separated optimizer specs "
         "(default: evolution,standard)\n"
         "  --jobs N         worker threads over circuits (default 1)\n"
