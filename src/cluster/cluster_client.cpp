@@ -19,6 +19,7 @@ ClusterSweep::ClusterSweep(const SweepRequest& request, EmitFn emit)
       budget_(request.budget),
       use_cache_(request.use_cache),
       priority_(request.priority),
+      deadline_ms_(request.deadline_ms),
       merger_(request.id, request.circuits),
       shards_(request.circuits.size()),
       emit_(std::move(emit)) {}
@@ -51,6 +52,8 @@ ClusterClient::ClusterClient(const std::vector<std::string>& endpoints,
     backend_index_.emplace(e, backends_.size());
     backends_.push_back(std::make_unique<Backend>(e));
   }
+  if (options_.heartbeat_ms > 0)
+    heartbeat_ = std::thread([this] { heartbeat_loop(); });
 }
 
 ClusterClient::~ClusterClient() {
@@ -68,7 +71,9 @@ ClusterClient::~ClusterClient() {
       }
     }
     reply_cv_.notify_all();
+    hb_cv_.notify_all();
   }
+  if (heartbeat_.joinable()) heartbeat_.join();
   std::vector<std::thread> readers;
   {
     const std::scoped_lock lock(readers_mutex_);
@@ -131,6 +136,13 @@ void ClusterClient::reader_loop(std::size_t backend,
         kind == "sweep_done")
       continue;  // backend-session bookkeeping, not shard state
     if (kind == "stats" || kind == "pong") {
+      if (kind == "pong" && event->get_string("id") == "hb") {
+        // Heartbeat pong (its ping carried id "hb"): count it for the
+        // prober and keep it away from the stats/ping rendezvous, which
+        // would otherwise mistake it for a lost broadcast reply.
+        b.hb_pongs.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       const std::scoped_lock lock(state_mutex_);
       if (b.reply_pending) {
         b.reply = line;
@@ -259,14 +271,32 @@ void ClusterClient::dispatch_shard(
       }
       return;
     }
-    if (attempt > 0) {
-      // Bounded exponential backoff between ring passes; deterministic for
-      // results (only placement timing changes, and rows do not depend on
-      // placement).
-      const std::size_t factor =
-          std::size_t{1} << std::min<std::size_t>(attempt - 1, 4);
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options_.backoff_ms * factor));
+    if (attempt > 0 && options_.backoff_ms > 0) {
+      // Deterministic decorrelated jitter: attempt k sleeps a value in
+      // [base, min(3 * previous sleep, base * 16)] picked by
+      // mix_seed(jitter_seed, shard, attempt) — no wall-clock randomness
+      // (identical runs back off identically), while shards that failed
+      // together spread their retries instead of stampeding the next
+      // backend in lockstep. Results never depend on it: only placement
+      // timing changes, and rows do not depend on placement.
+      const std::size_t base = options_.backoff_ms;
+      std::size_t prev = base;
+      {
+        const std::scoped_lock lock(state_mutex_);
+        if (sh.prev_backoff_ms > 0) prev = sh.prev_backoff_ms;
+      }
+      const std::size_t hi =
+          std::min(base * 16, std::max(base, prev * 3));
+      const std::uint64_t r = Rng::mix_seed(
+          Rng::mix_seed(options_.jitter_seed, shard), attempt);
+      const std::size_t sleep_ms =
+          base + (hi > base ? static_cast<std::size_t>(r % (hi - base + 1))
+                            : 0);
+      {
+        const std::scoped_lock lock(state_mutex_);
+        sh.prev_backoff_ms = sleep_ms;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
     bool dispatched = false;
     for (std::size_t k = 0; k < sh.placement.size() && !dispatched; ++k) {
@@ -277,6 +307,12 @@ void ClusterClient::dispatch_shard(
         sh.next_candidate = (sh.next_candidate + 1) % sh.placement.size();
       }
       const std::size_t backend = backend_index_.at(sh.placement[slot]);
+      // Skip backends whose breaker is open — except on the final
+      // attempt, where any candidate beats a synthesized failure.
+      if (attempt + 1 < options_.max_attempts) {
+        const std::scoped_lock lock(state_mutex_);
+        if (backends_[backend]->breaker_open) continue;
+      }
       if (!ensure_connected(backend)) continue;
       std::string route_id;
       {
@@ -302,6 +338,11 @@ void ClusterClient::dispatch_shard(
           .field("budget", static_cast<std::uint64_t>(sweep->budget_))
           .field("cache", sweep->use_cache_)
           .field("priority", static_cast<double>(sweep->priority_));
+      // Shipped only when set, so deadline-free submits keep their exact
+      // pre-deadline bytes on the wire.
+      if (sweep->deadline_ms_ > 0)
+        submit.field("deadline_ms",
+                     static_cast<std::uint64_t>(sweep->deadline_ms_));
       if (write_to_backend(backend, std::move(submit).str())) {
         dispatched = true;
         break;
@@ -370,6 +411,70 @@ void ClusterClient::cancel(const std::shared_ptr<ClusterSweep>& sweep) {
   }
 }
 
+void ClusterClient::heartbeat_loop() {
+  std::unique_lock lock(state_mutex_);
+  while (!stopping_.load()) {
+    hb_cv_.wait_for(lock, std::chrono::milliseconds(options_.heartbeat_ms),
+                    [this] { return stopping_.load(); });
+    if (stopping_.load()) break;
+    lock.unlock();
+    for (std::size_t i = 0; i < backends_.size(); ++i) probe_backend(i);
+    lock.lock();
+  }
+}
+
+void ClusterClient::probe_backend(std::size_t backend) {
+  Backend& b = *backends_[backend];
+  const auto now = std::chrono::steady_clock::now();
+  {
+    const std::scoped_lock lock(state_mutex_);
+    // An open breaker rests out its cooldown; the first probe past
+    // breaker_open_until is the half-open trial.
+    if (b.breaker_open && now < b.breaker_open_until) return;
+  }
+  // A probe succeeds when the PREVIOUS heartbeat ping was answered (its
+  // pong arrives on the reader thread well within one cycle), the
+  // connection (re)opens, and this cycle's ping is writable. hb_pings is
+  // heartbeat-thread-private; hb_pongs comes from the reader.
+  bool ok = b.hb_pongs.load(std::memory_order_relaxed) >= b.hb_pings;
+  if (ok) ok = ensure_connected(backend);
+  if (ok) {
+    ok = write_to_backend(
+        backend,
+        JsonWriter().field("op", "ping").field("id", "hb").str());
+    if (ok) ++b.hb_pings;
+  }
+  if (!ok) {
+    // Forget the unanswered ping: a reconnected backend must not keep
+    // failing probes over a pong the dead connection swallowed.
+    b.hb_pings = b.hb_pongs.load(std::memory_order_relaxed);
+  }
+  const std::scoped_lock lock(state_mutex_);
+  if (ok) {
+    b.consecutive_failures = 0;
+    if (b.breaker_open) {
+      // Half-open probe succeeded: close the breaker, re-admit the
+      // backend so new shards route to it again.
+      b.breaker_open = false;
+      router_.set_node_enabled(b.endpoint, true);
+      breaker_reopens_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (b.breaker_open) {
+    b.breaker_open_until =
+        now + std::chrono::milliseconds(options_.breaker_cooldown_ms);
+    return;
+  }
+  if (++b.consecutive_failures >= options_.breaker_threshold) {
+    b.breaker_open = true;
+    b.breaker_open_until =
+        now + std::chrono::milliseconds(options_.breaker_cooldown_ms);
+    router_.set_node_enabled(b.endpoint, false);
+    breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 std::vector<std::string> ClusterClient::broadcast(
     const std::string& op_line, const std::string& reply_kind) {
   std::vector<bool> asked(backends_.size(), false);
@@ -426,10 +531,18 @@ std::string ClusterClient::stats_line() {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_entries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t drained_sessions = 0;
   JsonWriter per_backend(JsonWriter::Kind::Array);
   for (std::size_t i = 0; i < backends_.size(); ++i) {
     JsonWriter entry;
     entry.field("endpoint", std::string_view(backends_[i]->endpoint));
+    {
+      const std::scoped_lock lock(state_mutex_);
+      entry.field("breaker", backends_[i]->breaker_open
+                                 ? std::string_view("open")
+                                 : std::string_view("closed"));
+    }
     if (const auto event = replies[i].empty()
                                ? std::nullopt
                                : JsonValue::parse(replies[i])) {
@@ -439,12 +552,16 @@ std::string ClusterClient::stats_line() {
           .field("submitted", event->get_u64("submitted"))
           .field("completed", event->get_u64("completed"))
           .field("failed", event->get_u64("failed"))
-          .field("cancelled", event->get_u64("cancelled"));
+          .field("cancelled", event->get_u64("cancelled"))
+          .field("timeouts", event->get_u64("timeouts"))
+          .field("drained_sessions", event->get_u64("drained_sessions"));
       workers += event->get_u64("workers");
       submitted += event->get_u64("submitted");
       completed += event->get_u64("completed");
       failed += event->get_u64("failed");
       cancelled += event->get_u64("cancelled");
+      timeouts += event->get_u64("timeouts");
+      drained_sessions += event->get_u64("drained_sessions");
       if (event->find("cache_entries") != nullptr) {
         any_cache = true;
         entry.field("cache_hits", event->get_u64("cache_hits"))
@@ -467,7 +584,12 @@ std::string ClusterClient::stats_line() {
       .field("submitted", submitted)
       .field("completed", completed)
       .field("failed", failed)
-      .field("cancelled", cancelled);
+      .field("cancelled", cancelled)
+      .field("timeouts", timeouts)
+      .field("drained_sessions", drained_sessions)
+      .field("breaker_opens", breaker_opens_.load(std::memory_order_relaxed))
+      .field("breaker_reopens",
+             breaker_reopens_.load(std::memory_order_relaxed));
   if (any_cache) {
     // Summed across backends: each host's JSONL store is one slice of the
     // logical cluster cache, so the totals describe the whole.

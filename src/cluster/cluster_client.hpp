@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -47,11 +48,28 @@ struct ClusterOptions {
   /// Dispatch attempts per shard (first try included) before the cluster
   /// synthesizes a `failed` terminal.
   std::size_t max_attempts = 3;
-  /// Base retry backoff; attempt k sleeps backoff_ms * 2^(k-1), capped at
-  /// 16x.
+  /// Base retry backoff. Attempt k sleeps a deterministic decorrelated-
+  /// jitter value in [backoff_ms, min(3 * previous sleep, backoff_ms *
+  /// 16)] — the jitter source is Rng::mix_seed(jitter_seed, shard,
+  /// attempt), not wall clock, so retry schedules reproduce exactly while
+  /// still de-synchronizing shards that fail together.
   std::size_t backoff_ms = 200;
+  /// Seeds the retry jitter (fixed default: identical runs back off
+  /// identically).
+  std::uint64_t jitter_seed = 0x1DD0BACC;
   /// How long stats_line()/ping_line() wait for backend replies.
   std::size_t stats_timeout_ms = 2000;
+  /// Health-check cadence (--heartbeat-ms): every heartbeat_ms each
+  /// backend gets a `ping` probe (id "hb"); an unanswered or unwritable
+  /// probe counts one failure toward the circuit breaker. 0 = off.
+  std::size_t heartbeat_ms = 0;
+  /// Consecutive probe failures that open a backend's breaker (the
+  /// backend is evicted from the active ring; docs/robustness.md).
+  std::size_t breaker_threshold = 3;
+  /// Cooldown before an open breaker half-opens: the next probe after
+  /// breaker_cooldown_ms re-admits the backend on success, re-arms the
+  /// cooldown on failure.
+  std::size_t breaker_cooldown_ms = 1000;
 };
 
 struct SweepRequest {
@@ -66,6 +84,9 @@ struct SweepRequest {
   std::size_t budget = 0;
   bool use_cache = true;
   int priority = 0;
+  /// Per-job deadline forwarded verbatim to every shard's backend submit
+  /// (0 = omit the field; the backend's own default applies).
+  std::size_t deadline_ms = 0;
 };
 
 /// Sink for merged event lines; `droppable` marks progress ticks so the
@@ -88,6 +109,7 @@ class ClusterSweep {
     std::vector<std::string> placement;  // ring failover order
     std::size_t next_candidate = 0;      // rotates through placement
     std::size_t attempts = 0;
+    std::size_t prev_backoff_ms = 0;  // decorrelated-jitter state
     std::string last_error;  // latest backend rejection, for fail_shard
   };
 
@@ -98,6 +120,7 @@ class ClusterSweep {
   std::size_t budget_ = 0;
   bool use_cache_ = true;
   int priority_ = 0;
+  std::size_t deadline_ms_ = 0;
   RowMerger merger_;
   std::vector<Shard> shards_;
   EmitFn emit_;
@@ -155,6 +178,14 @@ class ClusterClient {
     // reply_cv_): the reader thread deposits the next matching reply.
     bool reply_pending = false;
     std::string reply;
+    // Circuit breaker (docs/robustness.md). All guarded by state_mutex_
+    // except hb_pongs, which the reader thread bumps lock-free when a
+    // pong tagged "hb" arrives.
+    std::size_t consecutive_failures = 0;
+    bool breaker_open = false;
+    std::chrono::steady_clock::time_point breaker_open_until{};
+    std::uint64_t hb_pings = 0;  // heartbeat thread only
+    std::atomic<std::uint64_t> hb_pongs{0};
   };
 
   /// A dispatched shard: backend submit id -> where its events belong.
@@ -176,6 +207,11 @@ class ClusterClient {
   void finish_if_done(const std::shared_ptr<ClusterSweep>& sweep,
                       bool emit_lines = true);
   bool write_to_backend(std::size_t backend, const std::string& line);
+  /// Heartbeat prober (started when options_.heartbeat_ms > 0): probes
+  /// every backend each cycle, drives the per-backend circuit breaker,
+  /// and evicts/re-admits backends on the router's active ring.
+  void heartbeat_loop();
+  void probe_backend(std::size_t backend);
   /// Broadcasts `op` to every reachable backend and collects one reply
   /// line per backend whose event matches `reply_kind` (empty string on
   /// timeout/unreachable), within stats_timeout_ms.
@@ -195,6 +231,13 @@ class ClusterClient {
 
   std::mutex readers_mutex_;
   std::vector<std::thread> readers_;  // every reader generation ever spawned
+
+  // Heartbeat thread (empty when heartbeat_ms == 0); hb_cv_ wakes it for
+  // shutdown so the destructor never waits out a full cycle.
+  std::thread heartbeat_;
+  std::condition_variable hb_cv_;
+  std::atomic<std::uint64_t> breaker_opens_{0};
+  std::atomic<std::uint64_t> breaker_reopens_{0};
 };
 
 }  // namespace iddq::cluster

@@ -1,5 +1,6 @@
 #include "cluster/shard_router.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "netlist/circuit_loader.hpp"
@@ -9,7 +10,36 @@
 namespace iddq::cluster {
 
 ShardRouter::ShardRouter(HashRing ring, std::uint64_t library_fp)
-    : ring_(std::move(ring)), library_fp_(library_fp) {}
+    : ring_(std::move(ring)),
+      library_fp_(library_fp),
+      active_ring_(ring_) {}
+
+std::vector<std::string> ShardRouter::placement(std::uint64_t fp) const {
+  const std::scoped_lock lock(mutex_);
+  if (disabled_.empty()) return ring_.successors(fp);
+  // Healthy nodes in active-ring order (the evicted node's keys remap to
+  // its successors), then the evicted nodes in full-ring order so every
+  // backend still appears exactly once as a last-resort candidate.
+  std::vector<std::string> order = active_ring_.successors(fp);
+  for (const auto& node : ring_.successors(fp)) {
+    bool present = false;
+    for (const auto& have : order) present = present || have == node;
+    if (!present) order.push_back(node);
+  }
+  return order;
+}
+
+void ShardRouter::set_node_enabled(const std::string& node, bool enabled) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = std::find(disabled_.begin(), disabled_.end(), node);
+  if (enabled == (it == disabled_.end())) return;  // already in that state
+  if (enabled)
+    disabled_.erase(it);
+  else
+    disabled_.push_back(node);
+  active_ring_ = ring_;
+  for (const auto& down : disabled_) active_ring_.remove(down);
+}
 
 std::uint64_t ShardRouter::circuit_fingerprint(const std::string& spec) {
   {

@@ -40,20 +40,31 @@ class ShardRouter {
       std::uint64_t shard_seed, std::size_t budget);
 
   /// Failover order for a fingerprint: owner first, then distinct ring
-  /// successors.
-  [[nodiscard]] std::vector<std::string> placement(std::uint64_t fp) const {
-    return ring_.successors(fp);
-  }
+  /// successors. Nodes evicted by the health checker (set_node_enabled)
+  /// are removed from the active ring — their keys remap to successors —
+  /// but stay appended at the tail of every placement as last-resort
+  /// candidates, so a shard can still reach them when every healthy
+  /// backend has failed it.
+  [[nodiscard]] std::vector<std::string> placement(std::uint64_t fp) const;
+
+  /// Evicts (`enabled == false`) or re-admits a node. Idempotent and
+  /// thread-safe against concurrent placement() — the cluster heartbeat
+  /// thread flips this while sessions route (docs/robustness.md).
+  void set_node_enabled(const std::string& node, bool enabled);
 
   [[nodiscard]] const HashRing& ring() const noexcept { return ring_; }
 
  private:
   [[nodiscard]] std::uint64_t circuit_fingerprint(const std::string& spec);
 
-  HashRing ring_;
+  const HashRing ring_;  // full membership; never mutated after build
   std::uint64_t library_fp_;
-  std::mutex mutex_;  // guards circuit_fps_ (sessions route concurrently)
+  mutable std::mutex mutex_;  // guards circuit_fps_ + active_ring_/disabled_
   std::map<std::string, std::uint64_t> circuit_fps_;
+  /// ring_ minus the disabled nodes; rebuilt on each toggle (eviction is
+  /// rare — heartbeat threshold crossings — so rebuild cost is noise).
+  HashRing active_ring_;
+  std::vector<std::string> disabled_;
 };
 
 }  // namespace iddq::cluster

@@ -71,8 +71,11 @@ struct JobEvent {
   std::size_t row_index = 0;
   std::shared_ptr<const MethodResult> row;
 
-  // Kind::failed payload.
+  // Kind::failed payload. `reason` is the machine-readable failure class
+  // ("timeout" for an expired deadline; empty for plain errors) and rides
+  // the protocol's failed event as a `reason` field.
   std::string error;
+  std::string reason;
 };
 
 /// Delivery contract of an event class under backpressure

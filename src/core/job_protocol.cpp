@@ -26,6 +26,9 @@ struct SubmitRequest {
   std::size_t budget = 0;
   bool use_cache = true;
   int priority = 0;
+  /// Per-job wall-clock budget (JobSpec::deadline_ms); 0 falls back to
+  /// the server's --job-timeout-ms default.
+  std::size_t deadline_ms = 0;
 };
 
 namespace {
@@ -89,6 +92,9 @@ std::string event_json(const std::string& sweep_id, const JobEvent& e) {
     }
     case JobEvent::Kind::failed:
       w.field("error", e.error);
+      // Machine-readable failure class ("timeout"). Absent for plain
+      // errors, keeping pre-deadline streams byte-identical.
+      if (!e.reason.empty()) w.field("reason", e.reason);
       break;
     default:
       break;
@@ -137,10 +143,19 @@ bool JobProtocolSession::run() {
     // EOF and shutdown both drain: every submitted job reaches a terminal
     // state and has streamed its events before the session ends. (After
     // an overflow disconnect the jobs were cancelled and their events are
-    // rejected at the queue, so this stays prompt.)
+    // rejected at the queue, so this stays prompt.) In server-wide drain
+    // mode the wait is bounded by --drain-timeout-ms and the session says
+    // bye even when it was ended by the accept loop's shutdown_read — the
+    // client sees an orderly close, not a silent EOF.
     drain();
-    if (shutdown_requested && !writer.disconnected())
+    const bool server_draining =
+        options_.draining != nullptr &&
+        options_.draining->load(std::memory_order_acquire);
+    if ((shutdown_requested || server_draining) && !writer.disconnected())
       send(JsonWriter().field("event", "bye").str());
+    if (server_draining && options_.traffic != nullptr)
+      options_.traffic->drained_sessions.fetch_add(1,
+                                                   std::memory_order_relaxed);
     // Everything queued is on the wire before run() returns — callers
     // (and tests) may read the channel's other end immediately after.
     writer.flush();
@@ -156,7 +171,14 @@ bool JobProtocolSession::handle_line(const std::string& line) {
     return false;
   }
   const std::string op = request->get_string("op");
-  if (op == "shutdown") return true;
+  if (op == "shutdown") {
+    // Flip the server-wide drain flag here, not in the caller: every
+    // OTHER session must start rejecting submits before this one's bye,
+    // or a submit racing the shutdown could be half-admitted.
+    if (options_.draining != nullptr)
+      options_.draining->store(true, std::memory_order_release);
+    return true;
+  }
   if (op == "stats") {
     send_stats();
     return false;
@@ -166,11 +188,16 @@ bool JobProtocolSession::handle_line(const std::string& line) {
     // interaction — a wedged worker pool still answers, a dead transport
     // does not, which is exactly the health signal a cluster front-end
     // needs before routing shards here.
-    send(JsonWriter()
-             .field("event", "pong")
-             .field("protocol", std::uint64_t{1})
-             .field("workers", service_->worker_count())
-             .str());
+    JsonWriter pong;
+    pong.field("event", "pong")
+        .field("protocol", std::uint64_t{1})
+        .field("workers", service_->worker_count());
+    // Echo the probe id (the heartbeat prober tags its pings "hb" so its
+    // pongs never collide with a stats/ping rendezvous). Absent when the
+    // request had none — plain pings keep their old bytes.
+    const std::string ping_id = request->get_string("id");
+    if (!ping_id.empty()) pong.field("id", ping_id);
+    send(std::move(pong).str());
     return false;
   }
   if (op == "cancel") {
@@ -192,6 +219,14 @@ bool JobProtocolSession::handle_line(const std::string& line) {
     SubmitRequest submit;
     submit.id = request->get_string("id");
     if (submit.id.empty()) submit.id = "job-" + std::to_string(++auto_id_);
+    // Drain mode (docs/robustness.md): the server is shutting down —
+    // in-flight work finishes, new work is turned away.
+    if (options_.draining != nullptr &&
+        options_.draining->load(std::memory_order_acquire)) {
+      send_error("submit: server is draining; resubmit elsewhere",
+                 submit.id);
+      return false;
+    }
     if (const json::JsonValue* circuits = request->find("circuits")) {
       for (const auto& c : circuits->items())
         if (c.is_string()) submit.circuits.push_back(c.as_string());
@@ -218,6 +253,8 @@ bool JobProtocolSession::handle_line(const std::string& line) {
     }
     submit.budget = static_cast<std::size_t>(request->get_u64("budget", 0));
     submit.use_cache = request->get_bool("cache", true);
+    submit.deadline_ms = static_cast<std::size_t>(
+        request->get_u64("deadline_ms", options_.default_deadline_ms));
     // Doubles carry the sign ("priority":-2 is valid — background work).
     // Untrusted input: clamp before the cast (out-of-int-range and NaN
     // would be undefined behavior); 1e6 dwarfs any real priority scheme.
@@ -359,6 +396,7 @@ void JobProtocolSession::handle_submit(const SubmitRequest& request) {
                            : request.seeds[shard];
       spec.max_evaluations = request.budget;
       spec.priority = request.priority;
+      spec.deadline_ms = request.deadline_ms;
       spec.cache_policy = request.use_cache ? JobSpec::CachePolicy::use
                                             : JobSpec::CachePolicy::bypass;
       JobHandle handle = service_->submit(
@@ -502,7 +540,13 @@ void JobProtocolSession::send_stats() {
       .field("submitted", service_->submitted())
       .field("completed", service_->completed())
       .field("failed", service_->failed())
-      .field("cancelled", service_->cancelled());
+      .field("cancelled", service_->cancelled())
+      .field("timeouts", service_->timeouts())
+      .field("drained_sessions",
+             options_.traffic != nullptr
+                 ? options_.traffic->drained_sessions.load(
+                       std::memory_order_relaxed)
+                 : std::uint64_t{0});
   if (const ResultCache* cache = service_->flow_config().cache;
       cache != nullptr) {
     w.field("cache_hits", cache->hits())
@@ -554,6 +598,26 @@ void JobProtocolSession::drain() {
   {
     const std::scoped_lock lock(state_mutex_);
     handles = handles_;
+  }
+  // Bounded drain (docs/robustness.md): once the server is draining, in-
+  // flight jobs get --drain-timeout-ms collectively; whatever is still
+  // running at the deadline is cancelled (cooperative — it lands within
+  // one progress tick, so the unconditional wait below stays prompt).
+  if (options_.drain_timeout_ms > 0 && options_.draining != nullptr &&
+      options_.draining->load(std::memory_order_acquire)) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.drain_timeout_ms);
+    for (const auto& handle : handles) {
+      const auto now = std::chrono::steady_clock::now();
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now);
+      if (left.count() <= 0 || !handle.wait_for(left)) {
+        for (auto& rest : handles) rest.cancel();
+        break;
+      }
+    }
   }
   for (const auto& handle : handles) (void)handle.wait();
 }

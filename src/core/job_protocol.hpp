@@ -55,6 +55,9 @@ struct SessionTrafficStats {
   std::atomic<std::uint64_t> overflow_disconnects{0};
   /// Submits rejected by the per-session in-flight quota.
   std::atomic<std::uint64_t> quota_rejections{0};
+  /// Sessions that completed while the server was draining (their
+  /// in-flight jobs finished or were cancelled at the drain deadline).
+  std::atomic<std::uint64_t> drained_sessions{0};
 };
 
 /// Session knobs; namespace-scope so it can be a default argument.
@@ -80,6 +83,21 @@ struct JobProtocolOptions {
   /// Optional server-wide counters; sessions bump them when the overflow
   /// policy or the quota fires. May be nullptr (standalone sessions).
   SessionTrafficStats* traffic = nullptr;
+  /// Server-wide drain flag (docs/robustness.md). When set — by any
+  /// session's shutdown op or the server's SIGTERM handler — every
+  /// session rejects new submits with a protocol `error`, finishes its
+  /// in-flight jobs bounded by `drain_timeout_ms`, and answers `bye`.
+  /// May be nullptr (standalone sessions: only their own shutdown op
+  /// drains them, unbounded — the pre-drain semantics).
+  std::atomic<bool>* draining = nullptr;
+  /// Budget for in-flight jobs once draining (iddqsyn_server
+  /// --drain-timeout-ms): jobs still running at the deadline are
+  /// cancelled (cooperative — they land within one progress tick).
+  /// 0 = wait for them without bound.
+  std::size_t drain_timeout_ms = 0;
+  /// Default JobSpec::deadline_ms for submits that do not carry their own
+  /// "deadline_ms" (iddqsyn_server --job-timeout-ms). 0 = none.
+  std::size_t default_deadline_ms = 0;
 };
 
 class JobProtocolSession {

@@ -23,6 +23,14 @@ struct JobControl {
 
   std::atomic<bool> cancel_requested{false};
 
+  /// Deadline from submit time (queue wait counts against the budget);
+  /// unset when spec.deadline_ms == 0. `deadline_expired` records that a
+  /// cooperative poll tripped the deadline, distinguishing the resulting
+  /// CancelledError from a user cancel.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  std::atomic<bool> deadline_expired{false};
+
   mutable std::mutex mutex;
   mutable std::condition_variable cv;
   JobState state = JobState::queued;
@@ -72,6 +80,7 @@ struct JobControl {
     }
     JobEvent event = make_event(kind);
     event.error = r.error;
+    event.reason = r.reason;
     // Emit the terminal event BEFORE wait() can return: a caller that
     // drains handles and then tears its sink down is guaranteed no event
     // arrives afterwards. (status() may briefly still read `running`
@@ -141,6 +150,11 @@ JobHandle JobService::submit(JobSpec spec, JobEventSink sink) {
   ctl->id = next_id_.fetch_add(1, std::memory_order_relaxed);
   ctl->spec = std::move(spec);
   ctl->sink = std::move(sink);
+  if (ctl->spec.deadline_ms > 0) {
+    ctl->has_deadline = true;
+    ctl->deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(ctl->spec.deadline_ms);
+  }
   // Invariant for callers: once the job is announced (queued emitted),
   // ANY failure to queue it — a closed queue after shutdown, an
   // exception while queueing — finalizes it as failed, so the sink
@@ -226,8 +240,18 @@ void JobService::execute(detail::JobControl& job) {
 
     FlowSequenceOptions sequence;
     sequence.max_evaluations = job.spec.max_evaluations;
+    // One cooperative stop signal serves both cancel and deadline: the
+    // engine already polls this before each method and at every progress
+    // tick, so an expired deadline lands exactly where a cancel would —
+    // no second mechanism, no preemption (docs/robustness.md).
     sequence.cancelled = [&job] {
-      return job.cancel_requested.load(std::memory_order_relaxed);
+      if (job.cancel_requested.load(std::memory_order_relaxed)) return true;
+      if (job.has_deadline &&
+          std::chrono::steady_clock::now() >= job.deadline) {
+        job.deadline_expired.store(true, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
     };
     // Chain rather than replace the config's default progress sink: the
     // service's event emitter would otherwise shadow it (run_method gives
@@ -259,8 +283,17 @@ void JobService::execute(detail::JobControl& job) {
     result.state = JobState::done;
     completed_.fetch_add(1, std::memory_order_relaxed);
   } catch (const CancelledError&) {
-    result.state = JobState::cancelled;
-    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    if (job.deadline_expired.load(std::memory_order_relaxed)) {
+      result.error = "timeout: exceeded deadline of " +
+                     std::to_string(job.spec.deadline_ms) + "ms";
+      result.reason = "timeout";
+      result.state = JobState::failed;
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      result.state = JobState::cancelled;
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+    }
   } catch (const std::exception& e) {
     result.error = e.what();
     result.state = JobState::failed;
@@ -280,6 +313,9 @@ std::uint64_t JobService::failed() const noexcept {
 }
 std::uint64_t JobService::cancelled() const noexcept {
   return cancelled_.load(std::memory_order_relaxed);
+}
+std::uint64_t JobService::timeouts() const noexcept {
+  return timeouts_.load(std::memory_order_relaxed);
 }
 
 }  // namespace iddq::core

@@ -53,6 +53,12 @@ struct JobSpec {
   /// so it is not part of the job's cache identity.
   int priority = 0;
 
+  /// Wall-clock budget from submit (queue wait included); 0 = none. An
+  /// expired job fails at its next cooperative poll point with reason
+  /// "timeout" (docs/robustness.md). Scheduling-adjacent like priority:
+  /// not part of the job's cache identity.
+  std::size_t deadline_ms = 0;
+
   enum class CachePolicy {
     use,    // consult/populate the service's shared ResultCache
     bypass  // always recompute; never read or write the cache
@@ -68,6 +74,9 @@ struct JobResult {
   /// when done, a prefix when failed/cancelled mid-sequence.
   std::vector<MethodResult> rows;
   std::string error;  // non-empty iff state == failed
+  /// Machine-readable failure class ("timeout" today); empty for plain
+  /// errors. Rides the protocol's failed event as a `reason` field.
+  std::string reason;
   JobState state = JobState::queued;
 
   [[nodiscard]] bool ok() const noexcept { return state == JobState::done; }
@@ -177,6 +186,8 @@ class JobService {
   [[nodiscard]] std::uint64_t completed() const noexcept;  // done only
   [[nodiscard]] std::uint64_t failed() const noexcept;
   [[nodiscard]] std::uint64_t cancelled() const noexcept;
+  /// Subset of failed(): jobs that expired their deadline_ms.
+  [[nodiscard]] std::uint64_t timeouts() const noexcept;
 
  private:
   void worker_loop();
@@ -197,6 +208,7 @@ class JobService {
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
 };
 
 }  // namespace iddq::core

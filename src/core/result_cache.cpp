@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "support/error.hpp"
+#include "support/fault_plan.hpp"
 #include "support/hash.hpp"
 
 namespace iddq::core {
@@ -248,6 +249,9 @@ void ResultCache::attach_dir(const std::string& dir) {
 
   const std::scoped_lock lock(mutex_);
   file_path_ = (fs::path(dir) / "results.jsonl").string();
+  // A crashed compaction leaves its temp file behind; the real file is
+  // still intact (the rename never happened), so just sweep up the tmp.
+  fs::remove(fs::path(file_path_ + ".compact.tmp"), ec);
   std::ifstream in(file_path_);
   std::string line;
   std::streamoff offset = in ? static_cast<std::streamoff>(in.tellg()) : 0;
@@ -391,12 +395,25 @@ void ResultCache::store(std::uint64_t key, const CacheRecord& record) {
   entries_[key] = record;
   touch(key);
   if (file_path_.empty()) return;
+  // Fault-plan hook (docs/robustness.md): a scripted torn append writes a
+  // strict prefix with no newline — the crash point between write() and
+  // the terminator — and everything after it never reaches disk at all.
+  // The offset map is left untouched for both, matching a real crash: no
+  // survivor ever points at the garbage tail.
+  auto fate = support::FaultPlan::AppendFate::kWrite;
+  const support::FaultPlan* plan = support::FaultPlan::active();
+  if (plan != nullptr) fate = plan->cache_append_fate();
+  if (fate == support::FaultPlan::AppendFate::kDrop) return;
   std::ofstream out(file_path_, std::ios::app);
   if (!out)
     throw Error("result cache: cannot append to '" + file_path_ + "'");
   // The put position right after opening in append mode is implementation-
   // defined; an explicit seek-to-end pins the offset the line lands at.
   out.seekp(0, std::ios::end);
+  if (fate == support::FaultPlan::AppendFate::kTear) {
+    out << plan->torn_prefix(serialize(key, record));
+    return;
+  }
   offsets_[key] = static_cast<std::streamoff>(out.tellp());
   out << serialize(key, record) << '\n';
   evict_over_cap();
@@ -537,13 +554,31 @@ CacheCompaction compact_cache_file(const std::string& dir) {
     if (!out)
       throw Error("result cache: write to '" + tmp_path + "' failed");
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, path, ec);
-  if (ec)
-    throw Error("result cache: cannot replace '" + path +
-                "': " + ec.message());
+  detail::replace_file(tmp_path, path);
   return result;
 }
+
+namespace detail {
+
+void replace_file(const std::string& from, const std::string& to,
+                  bool force_copy) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!force_copy) {
+    fs::rename(from, to, ec);
+    if (!ec) return;
+  }
+  // rename() cannot cross filesystems (EXDEV: cache dir on one mount,
+  // tmp on another) — fall back to copy+remove. Not atomic, but the copy
+  // lands fully before the source is dropped, and a torn copy is exactly
+  // the corrupt-tail case attach_dir already recovers from.
+  fs::copy_file(from, to, fs::copy_options::overwrite_existing, ec);
+  if (ec)
+    throw Error("result cache: cannot replace '" + to + "': " + ec.message());
+  fs::remove(from, ec);  // best-effort; a stale tmp is swept on next open
+}
+
+}  // namespace detail
 
 std::uint64_t cache_context_fingerprint(std::uint64_t netlist_fp,
                                         std::uint64_t library_fp,

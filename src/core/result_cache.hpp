@@ -198,10 +198,20 @@ struct CacheCompaction {
 };
 
 /// Rewrites `<dir>/results.jsonl` keeping only the last line per key (in
-/// last-write order), atomically via a temp file + rename. Byte-preserving
-/// for the surviving lines. Throws iddq::Error on IO failure. Must not run
-/// concurrently with writers appending to the same directory.
+/// last-write order), atomically via a temp file + rename (copy+remove
+/// when the rename fails across filesystems). A temp file orphaned by a
+/// crash mid-compaction is swept up by the next attach_dir. Byte-
+/// preserving for the surviving lines. Throws iddq::Error on IO failure.
+/// Must not run concurrently with writers appending to the same directory.
 [[nodiscard]] CacheCompaction compact_cache_file(const std::string& dir);
+
+namespace detail {
+/// Moves `from` over `to`: rename when possible, copy+remove when the
+/// rename fails (EXDEV across mounts). `force_copy` is the test hook for
+/// the fallback path. Throws iddq::Error when both strategies fail.
+void replace_file(const std::string& from, const std::string& to,
+                  bool force_copy = false);
+}  // namespace detail
 
 /// Fingerprint of everything that is constant per FlowEngine: circuit and
 /// library content, sensor spec, cost weights, rho, the optimizer tuning

@@ -1,0 +1,157 @@
+#include "support/fault_plan.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace iddq::support {
+
+namespace {
+
+/// The armed plan. Owned by `g_owned` below; never destroyed while armed.
+std::atomic<const FaultPlan*> g_active{nullptr};
+
+std::unique_ptr<FaultPlan>& owned_plan() {
+  static std::unique_ptr<FaultPlan> owned;
+  return owned;
+}
+
+std::uint64_t parse_count(std::string_view text, std::string_view directive) {
+  std::size_t value = 0;
+  if (!str::parse_size(text, value))
+    throw Error("fault plan: '" + std::string(directive) +
+                "': bad number '" + std::string(text) + "'");
+  return value;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  for (const auto directive : str::split(spec, ';')) {
+    if (directive.empty()) continue;
+    const auto eq = directive.find('=');
+    if (eq == std::string_view::npos)
+      throw Error("fault plan: directive '" + std::string(directive) +
+                  "' is missing '='");
+    const auto name = str::trim(directive.substr(0, eq));
+    const auto args = str::split(directive.substr(eq + 1), '@');
+    const auto expect = [&](std::size_t n) {
+      if (args.size() != n)
+        throw Error("fault plan: '" + std::string(name) + "' takes " +
+                    std::to_string(n) + " '@'-separated argument(s), got " +
+                    std::to_string(args.size()));
+    };
+    if (name == "seed") {
+      expect(1);
+      plan.seed_ = parse_count(args[0], name);
+    } else if (name == "drop-after") {
+      expect(2);
+      plan.drop_.push_back(
+          {std::string(args[0]), parse_count(args[1], name), 0});
+    } else if (name == "stall-write") {
+      expect(3);
+      plan.stall_.push_back({std::string(args[0]),
+                             parse_count(args[1], name),
+                             parse_count(args[2], name)});
+    } else if (name == "refuse-connect") {
+      expect(2);
+      plan.refuse_.push_back(
+          {std::string(args[0]), parse_count(args[1], name), 0});
+    } else if (name == "tear-cache-append") {
+      expect(1);
+      plan.tear_at_ = parse_count(args[0], name);
+      if (plan.tear_at_ == 0)
+        throw Error("fault plan: 'tear-cache-append' index is 1-based");
+    } else {
+      throw Error("fault plan: unknown directive '" + std::string(name) + "'");
+    }
+  }
+  plan.runtime_->refuse_counts.assign(plan.refuse_.size(), 0);
+  return plan;
+}
+
+const FaultPlan* FaultPlan::active() {
+  static const bool env_loaded = [] {
+    const char* spec = std::getenv("IDDQ_FAULT_PLAN");
+    if (spec == nullptr || *spec == '\0') return true;
+    try {
+      owned_plan() = std::make_unique<FaultPlan>(parse(spec));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "IDDQ_FAULT_PLAN: %s\n", e.what());
+      std::abort();
+    }
+    g_active.store(owned_plan().get(), std::memory_order_release);
+    return true;
+  }();
+  (void)env_loaded;
+  return g_active.load(std::memory_order_acquire);
+}
+
+void FaultPlan::arm_for_test(std::string_view spec) {
+  (void)active();  // settle the env check before overriding
+  g_active.store(nullptr, std::memory_order_release);
+  owned_plan() = std::make_unique<FaultPlan>(parse(spec));
+  g_active.store(owned_plan().get(), std::memory_order_release);
+}
+
+void FaultPlan::disarm_for_test() {
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+bool FaultPlan::matches(const Rule& rule, std::string_view tag) {
+  return rule.match == "*" || tag.find(rule.match) != std::string_view::npos;
+}
+
+FaultPlan::ChannelFaults FaultPlan::channel_faults(
+    std::string_view tag) const {
+  ChannelFaults faults;
+  for (const auto& rule : drop_) {
+    if (matches(rule, tag)) {
+      faults.drop_after_lines = rule.a;
+      break;
+    }
+  }
+  for (const auto& rule : stall_) {
+    if (matches(rule, tag)) {
+      faults.stall_line = rule.a;
+      faults.stall_ms = rule.b;
+      break;
+    }
+  }
+  return faults;
+}
+
+bool FaultPlan::refuse_connect(std::string_view endpoint) const {
+  for (std::size_t i = 0; i < refuse_.size(); ++i) {
+    if (!matches(refuse_[i], endpoint)) continue;
+    const std::scoped_lock lock(runtime_->mutex);
+    if (runtime_->refuse_counts[i] < refuse_[i].a) {
+      ++runtime_->refuse_counts[i];
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+FaultPlan::AppendFate FaultPlan::cache_append_fate() const {
+  if (tear_at_ == 0) return AppendFate::kWrite;
+  const std::scoped_lock lock(runtime_->mutex);
+  ++runtime_->appends;
+  if (runtime_->appends < tear_at_) return AppendFate::kWrite;
+  return runtime_->appends == tear_at_ ? AppendFate::kTear : AppendFate::kDrop;
+}
+
+std::string FaultPlan::torn_prefix(std::string_view line) const {
+  if (line.size() < 2) return {};
+  // Strict prefix in [1, size-1]: always loses bytes, never a whole line.
+  const std::uint64_t keep =
+      1 + Rng::mix_seed(seed_, line.size()) % (line.size() - 1);
+  return std::string(line.substr(0, static_cast<std::size_t>(keep)));
+}
+
+}  // namespace iddq::support

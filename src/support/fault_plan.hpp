@@ -1,0 +1,121 @@
+// Deterministic fault-injection ("chaos") schedule for the serving stack.
+//
+// A FaultPlan is a scripted, seeded list of failures that the transport
+// layer (support/transport.cpp) and the result cache (core/result_cache.cpp)
+// honor through cheap hooks: drop a connection after it has written N
+// lines, stall one specific write for M ms, refuse the first K connect
+// attempts to an endpoint, or tear the cache file's next append mid-record
+// (simulating a kill between write() and the newline). Every fault fires
+// at a *count* — the Nth write, the Kth connect — never at a wall-clock
+// instant, so the failure a test provokes is reproducible bit-for-bit.
+//
+// Spec grammar (docs/robustness.md): directives separated by ';', each
+// `name=arg@arg@...` ('@' separates args because endpoints contain ':'):
+//
+//   drop-after=MATCH@N        drop matching channels after N written lines
+//   stall-write=MATCH@L@MS    the L-th write on a matching channel sleeps
+//                             MS ms first (write still succeeds)
+//   refuse-connect=MATCH@K    first K connects to matching endpoints fail
+//   tear-cache-append=N       the N-th cache append writes only a strict,
+//                             deterministic prefix; later appends vanish
+//                             (the process "died" at append N)
+//   seed=S                    seeds the torn-prefix length choice
+//
+// MATCH is a substring match against a channel tag ('*' matches all).
+// Server-accepted channels are tagged "accept:<listen endpoint>", client
+// channels "connect:<endpoint>", so one plan can target one side of one
+// specific listener.
+//
+// A plan is armed process-wide from the IDDQ_FAULT_PLAN environment
+// variable (read once, first use) or from tests via arm_for_test(). The
+// disarmed fast path — the only path production traffic ever sees — is a
+// single relaxed atomic load returning nullptr.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iddq::support {
+
+class FaultPlan {
+ public:
+  /// Faults resolved for one channel tag, captured once at channel
+  /// creation so the per-write check is two integer compares.
+  struct ChannelFaults {
+    std::uint64_t drop_after_lines = 0;  ///< 0 = never drop
+    std::uint64_t stall_line = 0;        ///< 1-based write to stall; 0 = none
+    std::uint64_t stall_ms = 0;
+  };
+
+  /// What ResultCache::store must do with its next disk append.
+  enum class AppendFate {
+    kWrite,  ///< normal append
+    kTear,   ///< write torn_prefix() only — the simulated crash point
+    kDrop,   ///< write nothing (the process is "dead" after the tear)
+  };
+
+  FaultPlan() = default;
+
+  /// Parses a spec string (grammar above). Throws iddq::Error on a
+  /// malformed directive — a mistyped plan must fail loudly, not silently
+  /// run the test without its faults.
+  [[nodiscard]] static FaultPlan parse(std::string_view spec);
+
+  /// The armed plan, or nullptr (the common case). First call loads
+  /// IDDQ_FAULT_PLAN from the environment; a malformed value aborts with
+  /// a message rather than running unprotected.
+  [[nodiscard]] static const FaultPlan* active();
+
+  /// Arms `spec` process-wide until disarm_for_test(). Test-only: callers
+  /// must not race channel creation in another thread.
+  static void arm_for_test(std::string_view spec);
+  static void disarm_for_test();
+
+  /// Resolves drop/stall rules for a channel tag (first matching rule of
+  /// each kind wins).
+  [[nodiscard]] ChannelFaults channel_faults(std::string_view tag) const;
+
+  /// True when this connect attempt to `endpoint` must fail; counts one
+  /// refusal against the first matching rule's budget.
+  [[nodiscard]] bool refuse_connect(std::string_view endpoint) const;
+
+  /// Counts one cache append and returns its fate.
+  [[nodiscard]] AppendFate cache_append_fate() const;
+
+  /// Deterministic strict prefix of `line` (1 <= len < line.size(),
+  /// derived from seed=; empty for lines shorter than 2 bytes). The torn
+  /// tail never parses, so recovery sees exactly one corrupt line.
+  [[nodiscard]] std::string torn_prefix(std::string_view line) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  struct Rule {
+    std::string match;  // substring; "*" matches everything
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+  };
+
+  /// Mutable runtime counters, boxed so FaultPlan stays movable.
+  struct Runtime {
+    std::mutex mutex;
+    std::vector<std::uint64_t> refuse_counts;  // parallel to refuse_
+    std::uint64_t appends = 0;
+  };
+
+  static bool matches(const Rule& rule, std::string_view tag);
+
+  std::uint64_t seed_ = 0x1DD0FA17;  // arbitrary default; seed= overrides
+  std::vector<Rule> drop_;
+  std::vector<Rule> stall_;
+  std::vector<Rule> refuse_;
+  std::uint64_t tear_at_ = 0;  // 0 = never tear
+  std::unique_ptr<Runtime> runtime_ = std::make_unique<Runtime>();
+};
+
+}  // namespace iddq::support

@@ -9,10 +9,13 @@
 
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <csignal>
 #include <cstring>
+#include <thread>
 
 #include "support/error.hpp"
+#include "support/fault_plan.hpp"
 
 namespace iddq::support {
 
@@ -60,6 +63,25 @@ void resolve_tcp(const std::string& host, std::uint16_t port, bool listening,
   if (rc != 0)
     throw Error("tcp: cannot resolve '" + host + ":" + port_text +
                 "': " + ::gai_strerror(rc));
+}
+
+/// Fault-plan hooks (docs/robustness.md). Both are no-ops — one atomic
+/// load — unless a plan is armed.
+void tag_accepted_channel(FdChannel& conn, const std::string& endpoint) {
+  if (const FaultPlan* plan = FaultPlan::active())
+    conn.apply_fault_plan(*plan, "accept:" + endpoint);
+}
+
+void check_connect_refusal(const std::string& endpoint) {
+  if (const FaultPlan* plan = FaultPlan::active()) {
+    if (plan->refuse_connect(endpoint))
+      throw Error("fault plan: refused connect to '" + endpoint + "'");
+  }
+}
+
+void tag_connected_channel(FdChannel& conn, const std::string& endpoint) {
+  if (const FaultPlan* plan = FaultPlan::active())
+    conn.apply_fault_plan(*plan, "connect:" + endpoint);
 }
 
 std::uint16_t bound_port(int fd) {
@@ -120,6 +142,17 @@ bool FdChannel::read_line(std::string& out) {
 }
 
 bool FdChannel::write_line(std::string_view line) {
+  if (fault_drop_after_ != 0 || fault_stall_line_ != 0) {
+    ++lines_written_;
+    if (lines_written_ == fault_stall_line_ && fault_stall_ms_ > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault_stall_ms_));
+    if (fault_drop_after_ != 0 && lines_written_ > fault_drop_after_) {
+      // The scripted "crash": tear the whole connection down so the peer
+      // sees EOF after exactly fault_drop_after_ lines.
+      shutdown_write();
+      return false;
+    }
+  }
   std::string framed(line);
   framed += '\n';
   std::size_t sent = 0;
@@ -133,6 +166,14 @@ bool FdChannel::write_line(std::string_view line) {
     sent += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+void FdChannel::apply_fault_plan(const FaultPlan& plan,
+                                 std::string_view tag) {
+  const FaultPlan::ChannelFaults faults = plan.channel_faults(tag);
+  fault_drop_after_ = faults.drop_after_lines;
+  fault_stall_line_ = faults.stall_line;
+  fault_stall_ms_ = faults.stall_ms;
 }
 
 void FdChannel::shutdown_read() {
@@ -180,7 +221,11 @@ std::unique_ptr<FdChannel> UnixSocketListener::accept() {
     const int fd = fd_.load();
     if (fd < 0) return nullptr;
     const int conn = ::accept(fd, nullptr, nullptr);
-    if (conn >= 0) return std::make_unique<FdChannel>(conn);
+    if (conn >= 0) {
+      auto channel = std::make_unique<FdChannel>(conn);
+      tag_accepted_channel(*channel, path_);
+      return channel;
+    }
     if (errno == EINTR) continue;
     return nullptr;  // closed under us, or unrecoverable
   }
@@ -238,7 +283,9 @@ std::unique_ptr<FdChannel> TcpSocketListener::accept() {
       // Event lines are small and latency-sensitive; never batch them.
       const int one = 1;
       (void)::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      return std::make_unique<FdChannel>(conn);
+      auto channel = std::make_unique<FdChannel>(conn);
+      tag_accepted_channel(*channel, endpoint());
+      return channel;
     }
     if (errno == EINTR) continue;
     return nullptr;
@@ -259,6 +306,7 @@ std::string TcpSocketListener::endpoint() const {
 
 std::unique_ptr<FdChannel> connect_unix_socket(const std::string& path) {
   ignore_sigpipe_once();
+  check_connect_refusal(path);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0)
     throw Error(std::string("unix socket: ") + std::strerror(errno));
@@ -269,13 +317,17 @@ std::unique_ptr<FdChannel> connect_unix_socket(const std::string& path) {
     ::close(fd);
     throw Error("unix socket: cannot connect to '" + path + "': " + reason);
   }
-  return std::make_unique<FdChannel>(fd);
+  auto channel = std::make_unique<FdChannel>(fd);
+  tag_connected_channel(*channel, path);
+  return channel;
 }
 
 std::unique_ptr<FdChannel> connect_tcp(const std::string& host,
                                        std::uint16_t port) {
   ignore_sigpipe_once();
   if (port == 0) throw Error("tcp: cannot connect to port 0");
+  const std::string endpoint = host + ":" + std::to_string(port);
+  check_connect_refusal(endpoint);
   AddrInfoGuard resolved;
   resolve_tcp(host, port, /*listening=*/false, resolved);
   std::string last_error = "no addresses resolved";
@@ -288,7 +340,9 @@ std::unique_ptr<FdChannel> connect_tcp(const std::string& host,
     if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
       const int one = 1;
       (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      return std::make_unique<FdChannel>(fd);
+      auto channel = std::make_unique<FdChannel>(fd);
+      tag_connected_channel(*channel, endpoint);
+      return channel;
     }
     last_error = std::strerror(errno);
     ::close(fd);

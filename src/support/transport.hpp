@@ -39,6 +39,8 @@
 
 namespace iddq::support {
 
+class FaultPlan;
+
 class LineChannel {
  public:
   virtual ~LineChannel() = default;
@@ -92,9 +94,21 @@ class FdChannel final : public LineChannel {
   void shutdown_read() override;
   void shutdown_write() override;
 
+  /// Resolves `plan`'s drop/stall rules for `tag` onto this channel
+  /// (docs/robustness.md). Listeners tag accepted channels
+  /// "accept:<endpoint>", connect_* tags clients "connect:<endpoint>" —
+  /// only when a plan is armed, so the per-write fast path stays two
+  /// integer compares against zero.
+  void apply_fault_plan(const FaultPlan& plan, std::string_view tag);
+
  private:
   int fd_ = -1;
   std::string buffer_;  // bytes read past the last returned line
+  // Armed fault-injection state (all zero unless apply_fault_plan ran).
+  std::uint64_t fault_drop_after_ = 0;
+  std::uint64_t fault_stall_line_ = 0;
+  std::uint64_t fault_stall_ms_ = 0;
+  std::uint64_t lines_written_ = 0;
 };
 
 /// Accept side of a socket transport. Both the unix-domain and the TCP

@@ -77,10 +77,13 @@ class LoaderGate {
 /// JobProtocolSession over a shared JobService.
 class TestBackend {
  public:
+  /// `port` 0 picks an ephemeral port; a fixed port lets a test restart a
+  /// killed backend at the same endpoint (breaker half-open re-admission).
   TestBackend(const lib::CellLibrary& library,
               core::JobService::CircuitLoader loader,
-              core::FlowEngineConfig flow = quick_config())
-      : listener_("127.0.0.1", 0), endpoint_(listener_.endpoint()) {
+              core::FlowEngineConfig flow = quick_config(),
+              std::uint16_t port = 0)
+      : listener_("127.0.0.1", port), endpoint_(listener_.endpoint()) {
     core::JobServiceConfig config;
     config.workers = 2;
     config.flow = std::move(flow);
@@ -97,6 +100,7 @@ class TestBackend {
   }
 
   [[nodiscard]] const std::string& endpoint() const { return endpoint_; }
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
   [[nodiscard]] core::JobService& service() { return *service_; }
 
   /// Simulates the backend dying: stop accepting and sever every live
@@ -506,6 +510,90 @@ TEST(ClusterClient, PingReportsDeadBackends) {
   EXPECT_EQ(pong->get_u64("backends"), 2u);
   EXPECT_EQ(pong->get_u64("backends_alive"), 1u);
   EXPECT_EQ(pong->get_u64("workers"), 2u);
+}
+
+/// Polls `pred` until it holds or `limit` elapses. The breaker test is
+/// eventual-consistency by nature (heartbeat cadence), so assertions wait
+/// generously and only the final state matters.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds limit) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
+}
+
+std::string breaker_state(ClusterClient& client, const std::string& endpoint) {
+  const auto stats = json::JsonValue::parse(client.stats_line());
+  if (!stats) return "";
+  const json::JsonValue* per = stats->find("per_backend");
+  if (per == nullptr) return "";
+  for (const auto& entry : per->items())
+    if (entry.get_string("endpoint") == endpoint)
+      return entry.get_string("breaker");
+  return "";
+}
+
+TEST(ClusterClient, HeartbeatOpensBreakerAndHalfOpenReadmits) {
+  // docs/robustness.md, health-checked ring: consecutive failed probes
+  // open the victim's breaker (evicting it from the active ring), sweeps
+  // keep completing on the survivors, and a restart at the same endpoint
+  // is re-admitted through the half-open probe after the cooldown.
+  const auto library = lib::default_library();
+  TestBackend b1(library, synthetic_circuit);
+  auto victim = std::make_unique<TestBackend>(library, synthetic_circuit);
+  const std::string victim_endpoint = victim->endpoint();
+  const std::uint16_t victim_port = victim->port();
+
+  ClusterOptions options = fast_options();
+  options.heartbeat_ms = 25;
+  options.breaker_threshold = 2;
+  options.breaker_cooldown_ms = 50;
+  options.stats_timeout_ms = 500;
+  ClusterClient client({b1.endpoint(), victim_endpoint},
+                       lib::library_fingerprint(library), options);
+
+  ASSERT_EQ(breaker_state(client, victim_endpoint), "closed");
+
+  victim->kill();
+  victim.reset();  // releases the port for the restart below
+  ASSERT_TRUE(eventually(
+      [&] { return breaker_state(client, victim_endpoint) == "open"; },
+      std::chrono::seconds(20)));
+  const auto opened = json::JsonValue::parse(client.stats_line());
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_GE(opened->get_u64("breaker_opens"), 1u);
+
+  // Evicted, not erased: a sweep routed while the victim is down lands
+  // entirely on the healthy backend and finishes with zero failures.
+  Collector merged;
+  SweepRequest request;
+  request.id = "evicted";
+  request.circuits = {"ca", "cb", "cc", "cd"};
+  request.methods = {"standard"};
+  request.seed = 7;
+  client.submit_sweep(request, merged.fn())->wait();
+  std::size_t verdicts = 0;
+  for (const auto& line : merged.snapshot()) {
+    const auto event = json::JsonValue::parse(line);
+    if (event && event->get_string("event") == "sweep_done") {
+      EXPECT_EQ(event->get_u64("ok"), 4u);
+      EXPECT_EQ(event->get_u64("failed"), 0u);
+      ++verdicts;
+    }
+  }
+  EXPECT_EQ(verdicts, 1u);
+
+  TestBackend reborn(library, synthetic_circuit, quick_config(), victim_port);
+  ASSERT_EQ(reborn.endpoint(), victim_endpoint);
+  ASSERT_TRUE(eventually(
+      [&] { return breaker_state(client, victim_endpoint) == "closed"; },
+      std::chrono::seconds(20)));
+  const auto readmitted = json::JsonValue::parse(client.stats_line());
+  ASSERT_TRUE(readmitted.has_value());
+  EXPECT_GE(readmitted->get_u64("breaker_reopens"), 1u);
 }
 
 }  // namespace

@@ -142,5 +142,66 @@ TEST(RowMerger, FailShardSynthesizesTerminalOnce) {
                          R"("failed":1,"cancelled":1})");
 }
 
+TEST(RowMerger, LateStaleTerminalAfterSuccessorCompletionIsSuppressed) {
+  // The chaos-leg shape (docs/robustness.md): the first backend stalls
+  // mid-shard, the retry finishes the shard on a successor, and THEN the
+  // stalled backend's buffered terminal finally flushes. That stale
+  // terminal must neither forward nor double-count the shard.
+  RowMerger merger("s", {"ca"});
+  EXPECT_TRUE(feed(merger, 0, R"({"event":"running","id":"cx-0",)"
+                              R"("circuit":"ca","job":1})")
+                  .line.has_value());
+  merger.reopen(0);  // presumed dead; shard redispatched
+
+  EXPECT_TRUE(feed(merger, 0, R"({"event":"row","id":"cx-1","circuit":"ca",)"
+                              R"("job":1,"index":0,"cost":1.5})")
+                  .line.has_value());
+  EXPECT_TRUE(feed(merger, 0, R"({"event":"done","id":"cx-1",)"
+                              R"("circuit":"ca","job":1,"rows":1})")
+                  .became_terminal);
+
+  // The stalled first attempt wakes up and flushes its own ending.
+  const auto stale_failed =
+      feed(merger, 0, R"({"event":"failed","id":"cx-0","circuit":"ca",)"
+                      R"("job":1,"error":"connection torn down"})");
+  EXPECT_FALSE(stale_failed.line.has_value());
+  EXPECT_FALSE(stale_failed.became_terminal);
+  const auto stale_row =
+      feed(merger, 0, R"({"event":"row","id":"cx-0","circuit":"ca",)"
+                      R"("job":1,"index":0,"cost":1.5})");
+  EXPECT_FALSE(stale_row.line.has_value());
+
+  // The sweep verdict reflects only the successor's outcome.
+  const auto sweep_done = merger.take_sweep_done();
+  ASSERT_TRUE(sweep_done.has_value());
+  EXPECT_EQ(*sweep_done, R"({"event":"sweep_done","id":"s","ok":1,)"
+                         R"("failed":0,"cancelled":0})");
+}
+
+TEST(RowMerger, SecondFailedForTheSameShardCountsOnce) {
+  // Two backends can both end up failing the same shard (the retry's
+  // target dies too, or a stale failure races the synthesized one); the
+  // client must see one failed terminal and a failed:1 verdict.
+  RowMerger merger("s", {"ca"});
+  const auto first =
+      feed(merger, 0, R"({"event":"failed","id":"cx-0","circuit":"ca",)"
+                      R"("job":1,"error":"loader exploded"})");
+  ASSERT_TRUE(first.line.has_value());
+  EXPECT_TRUE(first.became_terminal);
+
+  const auto second =
+      feed(merger, 0, R"({"event":"failed","id":"cx-1","circuit":"ca",)"
+                      R"("job":1,"error":"loader exploded again"})");
+  EXPECT_FALSE(second.line.has_value());
+  EXPECT_FALSE(second.became_terminal);
+  EXPECT_EQ(merger.fail_shard(0, "synthesized too"), "");
+
+  EXPECT_TRUE(merger.all_terminal());
+  const auto sweep_done = merger.take_sweep_done();
+  ASSERT_TRUE(sweep_done.has_value());
+  EXPECT_EQ(*sweep_done, R"({"event":"sweep_done","id":"s","ok":0,)"
+                         R"("failed":1,"cancelled":0})");
+}
+
 }  // namespace
 }  // namespace iddq::cluster

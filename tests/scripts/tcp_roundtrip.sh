@@ -3,7 +3,8 @@
 #   1. the same sweep over --listen (TCP) and --socket (unix) produces
 #      bit-identical client row output,
 #   2. connecting to a dead port is a clean exit-2 error, not a hang,
-#   3. a server that dies mid-stream leaves the client with a clean
+#   3. a server that dies mid-stream (SIGKILL — SIGTERM now drains
+#      gracefully, docs/robustness.md) leaves the client with a clean
 #      "connection ended" error, not a hang.
 # Usage: tcp_roundtrip.sh <iddqsyn_server> <iddqsyn>
 set -eu
@@ -82,6 +83,9 @@ set -e
 grep -qi "connect" "$WORK/refused_err.txt"
 
 # --- 3. server death mid-stream: clean client error, not a hang ---------
+# SIGKILL, not SIGTERM: a TERM'd server drains gracefully (cancels the
+# sweep, says bye — the client exits 0 by design), so simulating a crash
+# requires the signal the server cannot catch.
 start_tcp_server
 # evolution on several circuits keeps the sweep alive long enough for the
 # kill below to land mid-stream.
@@ -90,7 +94,9 @@ timeout 60 "$CLI" --submit "127.0.0.1:$PORT" \
   > "$WORK/midstream_rows.txt" 2> "$WORK/midstream_err.txt" &
 CLIENT_PID=$!
 sleep 0.5
-stop_server
+kill -9 "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
 set +e
 wait "$CLIENT_PID"
 STATUS=$?

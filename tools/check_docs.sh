@@ -110,5 +110,39 @@ for flag in --backend --replicas --retry --backoff-ms; do
   fi
 done
 
+# The robustness surface (deadlines, breaker, drain) must be documented
+# in docs/robustness.md, cross-linked from its home page, and surfaced
+# in the README flag table.
+robustness_docs="$(dirname "$0")/../docs/robustness.md"
+[ -f "$robustness_docs" ] || {
+  echo "check_docs: $robustness_docs not found"; exit 1; }
+for flag in --job-timeout-ms --drain-timeout-ms --heartbeat-ms \
+    --breaker-threshold --breaker-cooldown-ms; do
+  if ! grep -q -e "$flag" "$robustness_docs"; then
+    echo "check_docs: '$flag' is undocumented in docs/robustness.md"
+    status=1
+  fi
+  if ! grep -q -e "$flag" "$readme"; then
+    echo "check_docs: '$flag' is missing from the README flag table"
+    status=1
+  fi
+done
+for flag in --job-timeout-ms --drain-timeout-ms; do
+  if ! grep -q -e "$flag" "$server_docs"; then
+    echo "check_docs: '$flag' is undocumented in docs/server.md"
+    status=1
+  fi
+done
+for flag in --heartbeat-ms --breaker-threshold --breaker-cooldown-ms; do
+  if ! grep -q -e "$flag" "$cluster_docs"; then
+    echo "check_docs: '$flag' is undocumented in docs/cluster.md"
+    status=1
+  fi
+done
+if ! grep -q "IDDQ_FAULT_PLAN" "$robustness_docs"; then
+  echo "check_docs: IDDQ_FAULT_PLAN grammar is missing from docs/robustness.md"
+  status=1
+fi
+
 [ "$status" -eq 0 ] && echo "check_docs: docs match the CLI surface"
 exit $status

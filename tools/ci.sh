@@ -66,11 +66,22 @@
 # the front-end's aggregated stats.
 #
 #   $ tools/ci.sh cluster [build-dir]  default build dir: build-cluster
+#
+# Chaos leg (the CI chaos job, docs/robustness.md): three backends under
+# a deterministic IDDQ_FAULT_PLAN — one drops every accepted session
+# after 4 event lines, one stalls a write — behind a heartbeat-probing
+# front-end. The sweep's surviving rows must diff byte-identical against
+# the direct engine; a --deadline-ms 1 submit must fail with a timeout;
+# the aggregated stats books must balance (submitted == completed +
+# failed + cancelled, timeouts >= 1); and a SIGTERM'd server must drain
+# gracefully within its --drain-timeout-ms bound.
+#
+#   $ tools/ci.sh chaos [build-dir]    default build dir: build-chaos
 set -eu
 
 MODE="full"
 case "${1:-}" in
-  smoke|threads|tsan|bench|big-smoke|coverage-smoke|stress|cluster)
+  smoke|threads|tsan|bench|big-smoke|coverage-smoke|stress|cluster|chaos)
     MODE="$1"
     shift
     ;;
@@ -276,6 +287,173 @@ if [ "$MODE" = "cluster" ]; then
   kill $PIDS $CLUSTER_PID 2>/dev/null || true
   trap - EXIT INT TERM
   echo "cluster OK"
+  exit 0
+fi
+
+if [ "$MODE" = "chaos" ]; then
+  BUILD_DIR="${1:-build-chaos}"
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DIDDQ_WERROR=ON -DIDDQ_BUILD_TESTS=OFF \
+    -DIDDQ_BUILD_BENCHES=OFF -DIDDQ_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target iddqsyn iddqsyn_server iddqsyn_cluster
+
+  SWEEP="c17 c1908 c2670 ila16x8 ila24x6 ila12x12"
+  METHODS="evolution,standard"
+  # shellcheck disable=SC2086
+  IDDQ_THREADS=2 "$BUILD_DIR/iddqsyn" --quiet --threads 2 \
+    --method "$METHODS" --seed 42 $SWEEP \
+    | sort > "$BUILD_DIR/chaos_golden.txt"
+
+  # Three backends: #1 drops every accepted session after 4 event lines,
+  # #2 stalls one write per session for 1.5s, #3 is clean. The plans are
+  # seeded and deterministic (docs/robustness.md).
+  BACKENDS=""
+  PIDS=""
+  CLUSTER_PID=""
+  DRAIN_PID=""
+  for i in 1 2 3; do
+    PLAN=""
+    [ $i -eq 1 ] && PLAN="drop-after=accept@4"
+    [ $i -eq 2 ] && PLAN="stall-write=accept@3@1500"
+    IDDQ_FAULT_PLAN="$PLAN" "$BUILD_DIR/iddqsyn_server" \
+      --listen 127.0.0.1:0 --workers 2 --threads 2 \
+      2> "$BUILD_DIR/chaos_s$i.err" &
+    PIDS="$PIDS $!"
+  done
+  # shellcheck disable=SC2064
+  trap "kill $PIDS \$CLUSTER_PID \$DRAIN_PID 2>/dev/null || true" EXIT INT TERM
+  for i in 1 2 3; do
+    EP=""
+    j=0
+    while [ $j -lt 100 ]; do
+      EP=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\)$/\1/p' \
+             "$BUILD_DIR/chaos_s$i.err")
+      [ -n "$EP" ] && break
+      sleep 0.1
+      j=$((j + 1))
+    done
+    [ -n "$EP" ] || { echo "chaos: backend $i never reported its port"; exit 1; }
+    BACKENDS="$BACKENDS --backend $EP"
+  done
+
+  # Heartbeat-probing front-end: the dropping backend's channel death is
+  # detected by probes, its breaker flaps open, and dispatch routes
+  # around it; retries use deterministic decorrelated jitter.
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/iddqsyn_cluster" --listen 127.0.0.1:0 $BACKENDS \
+    --heartbeat-ms 100 --retry 5 --backoff-ms 50 \
+    2> "$BUILD_DIR/chaos_front.err" &
+  CLUSTER_PID=$!
+  CPORT=""
+  j=0
+  while [ $j -lt 100 ]; do
+    CPORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+              "$BUILD_DIR/chaos_front.err")
+    [ -n "$CPORT" ] && break
+    sleep 0.1
+    j=$((j + 1))
+  done
+  [ -n "$CPORT" ] || { echo "chaos: front-end never reported its port"; exit 1; }
+
+  # The surviving rows must be byte-identical to the direct engine even
+  # though backend 1 keeps dying and backend 2 keeps stalling.
+  # shellcheck disable=SC2086
+  IDDQ_THREADS=2 timeout 600 "$BUILD_DIR/iddqsyn" \
+    --submit "127.0.0.1:$CPORT" --method "$METHODS" --seed 42 $SWEEP \
+    > "$BUILD_DIR/chaos_rows_raw.txt"
+  sort "$BUILD_DIR/chaos_rows_raw.txt" > "$BUILD_DIR/chaos_rows.txt"
+  diff -u "$BUILD_DIR/chaos_golden.txt" "$BUILD_DIR/chaos_rows.txt"
+
+  # A 1ms deadline must expire: the client exits 2 with a timeout error
+  # and the backend books it as failed/"reason":"timeout" — a normal
+  # terminal, never failed over.
+  RC=0
+  timeout 600 "$BUILD_DIR/iddqsyn" --submit "127.0.0.1:$CPORT" \
+    --deadline-ms 1 --method evolution --seed 777 c2670 \
+    > "$BUILD_DIR/chaos_deadline_out.txt" \
+    2> "$BUILD_DIR/chaos_deadline_err.txt" || RC=$?
+  [ "$RC" -eq 2 ] || {
+    echo "chaos: deadline client exited $RC, want 2"
+    cat "$BUILD_DIR/chaos_deadline_err.txt"
+    exit 1
+  }
+  grep -q "timeout" "$BUILD_DIR/chaos_deadline_err.txt"
+
+  # The books must balance: aggregated across the ring, every submitted
+  # job reached a terminal (completed + failed + cancelled == submitted)
+  # and at least one of them timed out. Cancels are cooperative, so poll.
+  timeout 120 python3 - "$CPORT" <<'PYEOF'
+import json, socket, sys, time
+
+port = int(sys.argv[1])
+deadline = time.time() + 90
+last = None
+while time.time() < deadline:
+    stats = None
+    try:
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+            f = s.makefile("rw", encoding="utf-8", newline="\n")
+            f.write(json.dumps({"op": "stats"}) + "\n")
+            f.flush()
+            for line in f:
+                ev = json.loads(line)
+                if ev.get("event") == "stats":
+                    stats = ev
+                    break
+    except OSError:
+        stats = None
+    if stats is not None:
+        last = stats
+        balanced = (
+            stats["submitted"]
+            == stats["completed"] + stats["failed"] + stats["cancelled"]
+        )
+        if balanced and stats["submitted"] > 0 and stats.get("timeouts", 0) >= 1:
+            print("chaos stats OK: " + json.dumps(last))
+            sys.exit(0)
+    time.sleep(1)
+print("chaos: stats never balanced: " + json.dumps(last), file=sys.stderr)
+sys.exit(1)
+PYEOF
+
+  # Graceful drain: SIGTERM a standalone server mid-sweep. It must stop
+  # accepting, finish or cancel in-flight work within --drain-timeout-ms,
+  # say goodbye to its session, and exit on its own.
+  "$BUILD_DIR/iddqsyn_server" --listen 127.0.0.1:0 --workers 2 \
+    --threads 2 --drain-timeout-ms 2000 2> "$BUILD_DIR/chaos_drain.err" &
+  DRAIN_PID=$!
+  DPORT=""
+  j=0
+  while [ $j -lt 100 ]; do
+    DPORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+              "$BUILD_DIR/chaos_drain.err")
+    [ -n "$DPORT" ] && break
+    sleep 0.1
+    j=$((j + 1))
+  done
+  [ -n "$DPORT" ] || { echo "chaos: drain server never reported its port"; exit 1; }
+  timeout 600 "$BUILD_DIR/iddqsyn" --submit "127.0.0.1:$DPORT" \
+    --method "$METHODS" --seed 999 c1908 c2670 ila24x6 \
+    > "$BUILD_DIR/chaos_drain_client.txt" 2>&1 &
+  DRAIN_CLIENT=$!
+  sleep 1
+  kill -TERM "$DRAIN_PID"
+  j=0
+  while kill -0 "$DRAIN_PID" 2>/dev/null; do
+    if [ $j -ge 300 ]; then
+      echo "chaos: drained server never exited"
+      exit 1
+    fi
+    sleep 0.1
+    j=$((j + 1))
+  done
+  wait "$DRAIN_PID" 2>/dev/null || true
+  wait "$DRAIN_CLIENT" 2>/dev/null || true
+  grep -q "drained" "$BUILD_DIR/chaos_drain.err"
+
+  kill $PIDS $CLUSTER_PID 2>/dev/null || true
+  trap - EXIT INT TERM
+  echo "chaos OK"
   exit 0
 fi
 

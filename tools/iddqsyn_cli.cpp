@@ -125,6 +125,7 @@ struct CliOptions {
   bool pareto = false;
   std::optional<std::string> submit_socket;
   std::size_t stall_ms = 0;  // test hook: delay before draining events
+  std::size_t deadline_ms = 0;  // per-job deadline shipped with the submit
   bool progress = false;
   std::optional<std::string> output_path;
   std::optional<std::string> lib_path;
@@ -163,6 +164,8 @@ void print_usage(std::ostream& os) {
         "socket path, or host:port for TCP)\n"
         "  --stall-ms N     (--submit only) sleep N ms before reading "
         "events — a deliberately slow reader for stress tests\n"
+        "  --deadline-ms N  (--submit only) per-job deadline: jobs past N "
+        "ms of wall clock fail with reason \"timeout\"\n"
         "  --progress       stream optimizer progress to stderr\n"
         "  --list-methods   print registered optimizer names and exit\n"
         "  -o FILE          write the first method's partition to FILE "
@@ -286,6 +289,13 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         std::cerr << "iddqsyn: --stall-ms must be an integer >= 0\n";
         return std::nullopt;
       }
+    } else if (arg == "--deadline-ms") {
+      const auto v = need_value("--deadline-ms");
+      if (!v || !str::parse_size(*v, opts.deadline_ms) ||
+          opts.deadline_ms == 0) {
+        std::cerr << "iddqsyn: --deadline-ms must be >= 1\n";
+        return std::nullopt;
+      }
     } else if (arg == "--progress") {
       opts.progress = true;
     } else if (arg == "-o") {
@@ -347,6 +357,10 @@ std::optional<CliOptions> parse(int argc, char** argv) {
   }
   if (opts.submit_socket && (opts.output_path || opts.retime)) {
     std::cerr << "iddqsyn: -o/--retime do not work in --submit mode\n";
+    return std::nullopt;
+  }
+  if (opts.deadline_ms > 0 && !opts.submit_socket) {
+    std::cerr << "iddqsyn: --deadline-ms only works in --submit mode\n";
     return std::nullopt;
   }
   if (opts.stall_ms > 0 && !opts.submit_socket) {
@@ -561,6 +575,9 @@ int run_submit_client(const CliOptions& opts) {
       .field_raw("methods", methods.str())
       .field("seed", opts.seed)
       .field("cache", !opts.no_cache);
+  if (opts.deadline_ms > 0)
+    submit.field("deadline_ms",
+                 static_cast<std::uint64_t>(opts.deadline_ms));
   if (!channel->write_line(submit.str()))
     throw Error("server connection lost during submit");
 

@@ -59,6 +59,7 @@
 #include "library/fingerprint.hpp"
 #include "library/lib_io.hpp"
 #include "support/error.hpp"
+#include "support/fault_plan.hpp"
 #include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/transport.hpp"
@@ -89,7 +90,15 @@ void print_usage(std::ostream& os) {
         "  --replicas N     virtual nodes per backend on the hash ring "
         "(default 64)\n"
         "  --retry N        dispatch attempts per shard (default 3)\n"
-        "  --backoff-ms MS  base retry backoff in ms (default 200)\n"
+        "  --backoff-ms MS  base retry backoff in ms (default 200; actual "
+        "sleeps use deterministic decorrelated jitter)\n"
+        "  --heartbeat-ms MS  probe every backend each MS ms and run the "
+        "per-backend circuit breaker (default 0 = off; "
+        "docs/robustness.md)\n"
+        "  --breaker-threshold N  consecutive probe failures that open a "
+        "backend's breaker (default 3)\n"
+        "  --breaker-cooldown-ms MS  open-breaker cooldown before a "
+        "half-open re-probe (default 1000)\n"
         "  --session-queue N  per-session event-queue bound (default 1024; "
         "0 = unbounded)\n"
         "  --lib FILE       cell library for the routing fingerprint "
@@ -157,6 +166,29 @@ std::optional<ClusterToolOptions> parse(int argc, char** argv) {
       if (!v || !str::parse_size(*v, opts.cluster.backoff_ms)) {
         std::cerr
             << "iddqsyn_cluster: --backoff-ms must be an integer >= 0\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--heartbeat-ms") {
+      const auto v = need_value("--heartbeat-ms");
+      // 0 = no heartbeat thread (breaker never trips).
+      if (!v || !str::parse_size(*v, opts.cluster.heartbeat_ms)) {
+        std::cerr
+            << "iddqsyn_cluster: --heartbeat-ms must be an integer >= 0\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--breaker-threshold") {
+      const auto v = need_value("--breaker-threshold");
+      if (!v || !str::parse_size(*v, opts.cluster.breaker_threshold) ||
+          opts.cluster.breaker_threshold == 0) {
+        std::cerr << "iddqsyn_cluster: --breaker-threshold must be >= 1\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--breaker-cooldown-ms") {
+      const auto v = need_value("--breaker-cooldown-ms");
+      if (!v || !str::parse_size(*v, opts.cluster.breaker_cooldown_ms) ||
+          opts.cluster.breaker_cooldown_ms == 0) {
+        std::cerr
+            << "iddqsyn_cluster: --breaker-cooldown-ms must be >= 1\n";
         return std::nullopt;
       }
     } else if (arg == "--session-queue") {
@@ -306,6 +338,8 @@ class ClusterSession {
     sweep_request.use_cache = request.get_bool("cache", true);
     sweep_request.priority =
         static_cast<int>(request.get_double("priority", 0.0));
+    sweep_request.deadline_ms =
+        static_cast<std::size_t>(request.get_u64("deadline_ms", 0));
     if (sweep_request.circuits.empty()) {
       send_error("submit: needs \"circuits\" (or \"circuit\")",
                  sweep_request.id);
@@ -440,6 +474,9 @@ int serve_listener(cluster::ClusterClient& client,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Settle the IDDQ_FAULT_PLAN env check up front: a malformed plan must
+  // abort at startup, not at the first transport or cache hook.
+  (void)support::FaultPlan::active();
   const auto opts = parse(argc, argv);
   if (!opts) {
     print_usage(std::cerr);

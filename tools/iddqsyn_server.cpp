@@ -76,6 +76,7 @@
 #include "sim/coverage.hpp"
 #include "support/error.hpp"
 #include "support/executor.hpp"
+#include "support/fault_plan.hpp"
 #include "support/strings.hpp"
 #include "support/transport.hpp"
 
@@ -93,6 +94,8 @@ struct ServerOptions {
   std::size_t max_queue = 0;     // 0 = unbounded
   std::size_t session_queue = 1024;      // 0 = unbounded
   std::size_t max_jobs_per_session = 0;  // 0 = unlimited
+  std::size_t job_timeout_ms = 0;        // 0 = no default deadline
+  std::size_t drain_timeout_ms = 0;      // 0 = drain waits unbounded
   std::size_t cache_idle_evict_sec = 0;  // 0 = disabled
   std::optional<std::string> cache_dir;
   std::size_t cache_resident = 0;          // 0 = unbounded residency
@@ -121,6 +124,12 @@ void print_usage(std::ostream& os) {
         "0 = unbounded)\n"
         "  --max-jobs-per-session N  per-session in-flight job quota "
         "(default 0 = unlimited)\n"
+        "  --job-timeout-ms N  default per-job deadline: a job past N ms of "
+        "wall clock fails with reason \"timeout\" (submit deadline_ms "
+        "overrides; default 0 = none)\n"
+        "  --drain-timeout-ms N  graceful-drain bound: on shutdown/SIGTERM "
+        "finish in-flight jobs for up to N ms, then cancel the rest "
+        "(default 0 = wait for them)\n"
         "  --cache-idle-evict SEC  evict in-memory cache entries idle for "
         "SEC seconds\n"
         "  --cache-dir DIR  content-addressed result cache "
@@ -214,6 +223,22 @@ std::optional<ServerOptions> parse(int argc, char** argv) {
                      "integer >= 0\n";
         return std::nullopt;
       }
+    } else if (arg == "--job-timeout-ms") {
+      const auto v = need_value("--job-timeout-ms");
+      // 0 = no default deadline (per-submit deadline_ms still honored).
+      if (!v || !str::parse_size(*v, opts.job_timeout_ms)) {
+        std::cerr
+            << "iddqsyn_server: --job-timeout-ms must be an integer >= 0\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--drain-timeout-ms") {
+      const auto v = need_value("--drain-timeout-ms");
+      // 0 = unbounded drain (wait for every in-flight job).
+      if (!v || !str::parse_size(*v, opts.drain_timeout_ms)) {
+        std::cerr
+            << "iddqsyn_server: --drain-timeout-ms must be an integer >= 0\n";
+        return std::nullopt;
+      }
     } else if (arg == "--cache-idle-evict") {
       const auto v = need_value("--cache-idle-evict");
       if (!v || !str::parse_size(*v, opts.cache_idle_evict_sec) ||
@@ -286,20 +311,44 @@ std::optional<ServerOptions> parse(int argc, char** argv) {
   return opts;
 }
 
+// SIGTERM → graceful drain (docs/robustness.md): the handler may only
+// touch async-signal-safe state, so it flips an atomic and closes the
+// listener fd (atomic exchange + shutdown/close), which unblocks the
+// accept loop; everything else happens on normal threads.
+std::atomic<support::SocketListener*> g_signal_listener{nullptr};
+
+extern "C" void handle_sigterm(int /*signum*/) {
+  if (auto* listener = g_signal_listener.exchange(nullptr))
+    listener->close();
+}
+
 int serve_listener(core::JobService& service,
                    support::SocketListener& listener,
-                   core::JobProtocolOptions protocol_options) {
+                   core::JobProtocolOptions protocol_options,
+                   std::atomic<bool>& draining) {
   // Tests (and `--listen host:0` deployments) parse the endpoint — which
   // carries the kernel-assigned port — from this line.
   std::cerr << "iddqsyn_server: listening on " << listener.endpoint()
             << "\n";
 
+  g_signal_listener.store(&listener);
+  (void)std::signal(SIGTERM, handle_sigterm);
+
   std::atomic<bool> shutdown_requested{false};
   std::mutex threads_mutex;
   std::vector<std::thread> sessions;
+  // Live session channels, so drain can stop their blocked read loops.
+  std::mutex conns_mutex;
+  std::vector<std::weak_ptr<support::FdChannel>> conns;
 
   while (auto channel = listener.accept()) {
     std::shared_ptr<support::FdChannel> conn = std::move(channel);
+    {
+      const std::scoped_lock lock(conns_mutex);
+      std::erase_if(conns,
+                    [](const auto& weak) { return weak.expired(); });
+      conns.push_back(conn);
+    }
     std::thread session([&service, &listener, &shutdown_requested, conn,
                          protocol_options] {
       core::JobProtocolSession protocol(service, *conn, protocol_options);
@@ -313,6 +362,17 @@ int serve_listener(core::JobService& service,
     const std::scoped_lock lock(threads_mutex);
     sessions.push_back(std::move(session));
   }
+  // Accept loop over — client shutdown op or SIGTERM. Enter drain mode
+  // (new submits already rejected by any session that checks the flag)
+  // and stop every session's blocked read so each finishes its in-flight
+  // jobs bounded by --drain-timeout-ms, flushes, and says bye.
+  g_signal_listener.store(nullptr);
+  draining.store(true);
+  {
+    const std::scoped_lock lock(conns_mutex);
+    for (const auto& weak : conns)
+      if (const auto conn = weak.lock()) conn->shutdown_read();
+  }
   {
     const std::scoped_lock lock(threads_mutex);
     for (auto& t : sessions)
@@ -320,7 +380,8 @@ int serve_listener(core::JobService& service,
   }
   std::cerr << "iddqsyn_server: "
             << (shutdown_requested.load() ? "shutdown requested by client"
-                                          : "listener closed")
+                                          : "drained (signal or listener "
+                                            "closed)")
             << "\n";
   return 0;
 }
@@ -328,6 +389,9 @@ int serve_listener(core::JobService& service,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Settle the IDDQ_FAULT_PLAN env check up front: a malformed plan must
+  // abort at startup, not at the first transport or cache hook.
+  (void)support::FaultPlan::active();
   const auto opts = parse(argc, argv);
   if (!opts) {
     print_usage(std::cerr);
@@ -381,14 +445,18 @@ int main(int argc, char** argv) {
     protocol_options.session_queue = opts->session_queue;
     protocol_options.max_jobs_per_session = opts->max_jobs_per_session;
     protocol_options.traffic = &traffic;
+    protocol_options.default_deadline_ms = opts->job_timeout_ms;
+    protocol_options.drain_timeout_ms = opts->drain_timeout_ms;
+    std::atomic<bool> draining{false};
+    protocol_options.draining = &draining;
     if (opts->listen) {
       support::TcpSocketListener listener(opts->listen->first,
                                           opts->listen->second);
-      return serve_listener(service, listener, protocol_options);
+      return serve_listener(service, listener, protocol_options, draining);
     }
     if (opts->socket_path) {
       support::UnixSocketListener listener(*opts->socket_path);
-      return serve_listener(service, listener, protocol_options);
+      return serve_listener(service, listener, protocol_options, draining);
     }
 
     support::StreamChannel channel(std::cin, std::cout);
